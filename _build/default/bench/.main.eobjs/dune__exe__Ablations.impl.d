@@ -1,0 +1,1 @@
+bench/ablations.ml: Array I432 I432_gc I432_kernel I432_util Imax List Memory_manager Obj_type Printf Segment System

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Experiments List Micro Printf Sys

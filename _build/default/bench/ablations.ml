@@ -1,0 +1,229 @@
+(* Ablation benches for the design choices DESIGN.md §5 calls out:
+   bus-contention coefficient, port queue capacity, GC scan quantum, and
+   swap victim policy. *)
+
+open I432
+open Imax
+module K = I432_kernel
+module G = I432_gc
+module U = I432_util
+
+let fi = float_of_int
+
+(* How much bus contention does the ~10x envelope tolerate?  Sweep alpha. *)
+let bus_alpha () =
+  let throughput ~processors ~alpha =
+    let m =
+      K.Machine.create
+        ~config:
+          {
+            K.Machine.default_config with
+            K.Machine.processors;
+            bus_alpha_per_mille = alpha;
+          }
+        ()
+    in
+    for i = 1 to 32 do
+      ignore
+        (K.Machine.spawn m ~name:(Printf.sprintf "j%d" i) (fun () ->
+             K.Machine.compute m 2_000))
+    done;
+    let r = K.Machine.run m in
+    fi (32 * 2_000) /. (fi r.K.Machine.elapsed_ns /. 1e9)
+  in
+  let rows =
+    List.map
+      (fun alpha ->
+        let base = throughput ~processors:1 ~alpha in
+        string_of_int alpha
+        :: List.map
+             (fun n -> U.Table.fmt_float (throughput ~processors:n ~alpha /. base))
+             [ 4; 8; 12; 16 ])
+      [ 0; 10; 20; 40; 80 ]
+  in
+  U.Table.print
+    ~title:"Ablation: bus contention coefficient vs scaling envelope"
+    ~header:[ "alpha (per-mille/cpu)"; "4 cpus"; "8 cpus"; "12 cpus"; "16 cpus" ]
+    ~aligns:[ U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right ]
+    rows
+
+(* Port queue capacity vs sender blocking: deeper queues absorb bursts. *)
+let port_capacity () =
+  let messages = 4_000 in
+  let run capacity =
+    let m =
+      K.Machine.create
+        ~config:{ K.Machine.default_config with K.Machine.processors = 2 }
+        ()
+    in
+    let port = K.Machine.create_port m ~capacity ~discipline:K.Port.Fifo () in
+    ignore
+      (K.Machine.spawn m ~name:"s" (fun () ->
+           let payload = K.Machine.allocate_generic m ~data_length:8 () in
+           for _ = 1 to messages do
+             K.Machine.send m ~port ~msg:payload
+           done));
+    ignore
+      (K.Machine.spawn m ~name:"r" (fun () ->
+           for _ = 1 to messages do
+             ignore (K.Machine.receive m ~port);
+             (* Slow consumer: bursty imbalance. *)
+             K.Machine.compute m 2
+           done));
+    let r = K.Machine.run m in
+    let _, _, send_blocks, recv_blocks, depth, _ = K.Machine.port_stats m port in
+    [
+      string_of_int capacity;
+      string_of_int send_blocks;
+      string_of_int recv_blocks;
+      string_of_int depth;
+      U.Table.fmt_float (fi r.K.Machine.elapsed_ns /. 1e6);
+    ]
+  in
+  U.Table.print
+    ~title:"Ablation: port queue capacity under a slow consumer (4k msgs)"
+    ~header:[ "capacity"; "send blocks"; "recv blocks"; "max depth"; "elapsed (ms)" ]
+    ~aligns:[ U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right ]
+    (List.map run [ 1; 4; 16; 64; 256 ])
+
+(* GC scan quantum: bigger quanta finish cycles faster but hog the
+   processor in longer increments. *)
+let gc_quantum () =
+  let run quantum =
+    let m =
+      K.Machine.create
+        ~config:{ K.Machine.default_config with K.Machine.processors = 1 }
+        ()
+    in
+    let table = K.Machine.table m in
+    let collector =
+      G.Collector.create
+        ~config:
+          {
+            G.Collector.default_config with
+            G.Collector.scan_quantum = quantum;
+            idle_sleep_ns = 200_000;
+          }
+        m
+    in
+    ignore (G.Collector.spawn_daemon collector);
+    ignore
+      (K.Machine.spawn m ~name:"mutator" (fun () ->
+           let root = K.Machine.allocate_generic m ~access_length:16 () in
+           K.Machine.add_root m root;
+           for _ = 1 to 40 do
+             for i = 0 to 11 do
+               let o = K.Machine.allocate_generic m ~access_length:1 () in
+               Segment.store_access table root ~slot:(i mod 16) (Some o)
+             done;
+             for i = 0 to 15 do
+               Segment.store_access table root ~slot:i None
+             done;
+             K.Machine.yield m
+           done));
+    let r = K.Machine.run m in
+    let st = G.Collector.stats collector in
+    [
+      string_of_int quantum;
+      string_of_int st.G.Collector.cycles;
+      string_of_int st.G.Collector.swept;
+      U.Table.fmt_float (fi r.K.Machine.elapsed_ns /. 1e6);
+    ]
+  in
+  U.Table.print
+    ~title:"Ablation: collector scan quantum (480 dead objects offered)"
+    ~header:[ "scan quantum"; "cycles"; "reclaimed"; "elapsed (ms)" ]
+    ~aligns:[ U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right ]
+    (List.map run [ 4; 16; 64; 256 ])
+
+(* Swap victim policy: LRU vs FIFO on a loop that re-touches a hot set. *)
+let swap_policy () =
+  let run choice =
+    let sys =
+      System.boot
+        ~config:
+          {
+            System.default_config with
+            System.memory_manager = choice;
+            heap_bytes = 8 * 1024;
+          }
+        ()
+    in
+    let m = System.machine sys in
+    let objs =
+      Array.init 16 (fun _ ->
+          System.mm_allocate sys ~data_length:1024 ~access_length:0
+            ~otype:Obj_type.Generic)
+    in
+    (* Hot set: objects 0-3 touched 4x more often than the rest. *)
+    let prng = U.Prng.create ~seed:5 in
+    ignore
+      (K.Machine.spawn m ~name:"mutator" (fun () ->
+           for _ = 1 to 600 do
+             let hot = U.Prng.int prng 5 < 4 in
+             let idx =
+               if hot then U.Prng.int prng 4 else 4 + U.Prng.int prng 12
+             in
+             System.mm_touch sys objs.(idx);
+             K.Machine.write_word m objs.(idx) ~offset:0 1
+           done));
+    let _ = System.run sys in
+    let st = System.mm_stats sys in
+    [
+      System.memory_choice_to_string choice;
+      string_of_int st.Memory_manager.swap_ins;
+      string_of_int st.Memory_manager.swap_outs;
+    ]
+  in
+  U.Table.print
+    ~title:
+      "Ablation: swap victim policy, 16K working set on 8K heap, 80% of \
+       touches to a 4K hot set"
+    ~header:[ "policy"; "swap-ins"; "swap-outs" ]
+    ~aligns:[ U.Table.Left; U.Table.Right; U.Table.Right ]
+    [ run System.Swapping_lru; run System.Swapping_fifo ]
+
+(* Hardware time-slice length: shorter slices interleave hogs faster but
+   pay a dispatch charge per preemption. *)
+let time_slice () =
+  let run slice_us =
+    let timings =
+      { I432.Timings.default with I432.Timings.time_slice_ns = slice_us * 1000 }
+    in
+    let m =
+      K.Machine.create
+        ~config:
+          { K.Machine.default_config with K.Machine.processors = 1; timings }
+        ()
+    in
+    for i = 1 to 4 do
+      ignore
+        (K.Machine.spawn m ~name:(Printf.sprintf "hog%d" i) (fun () ->
+             (* 20 ms of work in 100 us instructions: preemption can bite
+                at every instruction boundary. *)
+             for _ = 1 to 200 do
+               K.Machine.compute m 100
+             done))
+    done;
+    let r = K.Machine.run m in
+    [
+      string_of_int slice_us;
+      string_of_int r.K.Machine.preemptions;
+      string_of_int r.K.Machine.dispatches;
+      U.Table.fmt_float (fi r.K.Machine.elapsed_ns /. 1e6);
+    ]
+  in
+  U.Table.print
+    ~title:"Ablation: hardware time slice vs preemption overhead (4 hogs x 20 ms)"
+    ~header:[ "slice (us)"; "preemptions"; "dispatches"; "elapsed (ms)" ]
+    ~aligns:[ U.Table.Right; U.Table.Right; U.Table.Right; U.Table.Right ]
+    (List.map run [ 1_000; 5_000; 10_000; 50_000 ])
+
+let all =
+  [
+    ("bus-alpha", "bus coefficient vs scaling envelope", bus_alpha);
+    ("time-slice", "time-slice length vs preemption cost", time_slice);
+    ("port-capacity", "port queue depth vs blocking", port_capacity);
+    ("gc-quantum", "collector scan quantum", gc_quantum);
+    ("swap-policy", "LRU vs FIFO victim selection", swap_policy);
+  ]

@@ -1,0 +1,56 @@
+(* Benchmark entry point.
+
+     dune exec bench/main.exe            # every experiment + ablations
+     dune exec bench/main.exe e3         # one experiment
+     dune exec bench/main.exe ablations  # ablations only
+     dune exec bench/main.exe micro      # bechamel wall-clock micro-benches
+
+   Experiment ids and their paper sources are listed in DESIGN.md §4 and
+   EXPERIMENTS.md. *)
+
+let run_named name =
+  match List.assoc_opt name (List.map (fun (n, _, f) -> (n, f)) Experiments.all) with
+  | Some f ->
+    f ();
+    print_newline ();
+    true
+  | None -> false
+
+let run_all_experiments () =
+  List.iter
+    (fun (id, description, f) ->
+      Printf.printf "== %s: %s ==\n" id description;
+      f ();
+      print_newline ())
+    Experiments.all
+
+let run_ablations () =
+  List.iter
+    (fun (id, description, f) ->
+      Printf.printf "== ablation %s: %s ==\n" id description;
+      f ();
+      print_newline ())
+    Ablations.all
+
+let usage () =
+  print_endline "usage: main.exe [all|micro|ablations|<experiment-id>]";
+  print_endline "experiments:";
+  List.iter
+    (fun (id, description, _) -> Printf.printf "  %-6s %s\n" id description)
+    Experiments.all;
+  List.iter
+    (fun (id, description, _) -> Printf.printf "  %-14s %s\n" id description)
+    Ablations.all
+
+let () =
+  match Sys.argv with
+  | [| _ |] | [| _; "all" |] ->
+    print_endline "iMAX-432 reproduction benchmarks (virtual time at 8 MHz)";
+    print_newline ();
+    run_all_experiments ();
+    run_ablations ();
+    Micro.run ()
+  | [| _; "micro" |] -> Micro.run ()
+  | [| _; "ablations" |] -> run_ablations ()
+  | [| _; name |] -> if not (run_named name) then usage ()
+  | _ -> usage ()

@@ -1,0 +1,213 @@
+(* Bechamel wall-clock micro-benchmarks of the simulator's primitives: one
+   Test.make per reproduced table/figure, measuring the host cost of the
+   corresponding simulated operation.  Virtual-time results (the paper
+   comparison) come from Experiments; these confirm the simulator itself is
+   cheap enough to run the sweeps. *)
+
+open Bechamel
+open Toolkit
+open I432
+open Imax
+module K = I432_kernel
+
+let machine () =
+  K.Machine.create
+    ~config:{ K.Machine.default_config with K.Machine.processors = 1 }
+    ()
+
+(* E1: one simulated inter-domain call (outside the run loop: pure cost of
+   the accounting path). *)
+let test_domain_call =
+  let m = machine () in
+  let dom = K.Domain.create (K.Machine.table m) (K.Machine.global_sro m) ~name:"d" in
+  Test.make ~name:"e1-domain-call"
+    (Staged.stage (fun () -> K.Machine.domain_call m dom (fun () -> 0)))
+
+(* E2: one allocate + release pair from the global SRO. *)
+let test_allocate =
+  let m = machine () in
+  let sro = K.Machine.global_sro m in
+  Test.make ~name:"e2-allocate-release"
+    (Staged.stage (fun () ->
+         let a =
+           K.Machine.allocate m sro ~data_length:64 ~access_length:0
+             ~otype:Obj_type.Generic
+         in
+         K.Machine.release m sro ~index:(Access.index a)))
+
+(* E3: a full 4-processor run of 8 small jobs (machine build + run). *)
+let test_scaling_run =
+  Test.make ~name:"e3-4cpu-run"
+    (Staged.stage (fun () ->
+         let m =
+           K.Machine.create
+             ~config:{ K.Machine.default_config with K.Machine.processors = 4 }
+             ()
+         in
+         for i = 1 to 8 do
+           ignore
+             (K.Machine.spawn m ~name:(string_of_int i) (fun () ->
+                  K.Machine.compute m 50))
+         done;
+         ignore (K.Machine.run m)))
+
+(* E4: untyped vs typed port round trip (the functor must add nothing). *)
+module Ap = Typed_ports.Make (Typed_ports.Access_message)
+
+let port_roundtrip_run use_typed () =
+  let m = machine () in
+  let prt = Untyped_ports.create_port m ~message_count:8 () in
+  let tprt = Ap.create m ~message_count:8 () in
+  let payload = K.Machine.allocate_generic m ~data_length:8 () in
+  ignore
+    (K.Machine.spawn m ~name:"s" (fun () ->
+         for _ = 1 to 32 do
+           if use_typed then Ap.send m ~prt:tprt ~msg:payload
+           else Untyped_ports.send m ~prt ~msg:payload
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"r" (fun () ->
+         for _ = 1 to 32 do
+           if use_typed then ignore (Ap.receive m ~prt:tprt)
+           else ignore (Untyped_ports.receive m ~prt)
+         done));
+  ignore (K.Machine.run m)
+
+let test_untyped_ports =
+  Test.make ~name:"e4-untyped-ports-32msg" (Staged.stage (port_roundtrip_run false))
+
+let test_typed_ports =
+  Test.make ~name:"e4-typed-ports-32msg" (Staged.stage (port_roundtrip_run true))
+
+(* E5: raw send/receive pair through the kernel syscall path. *)
+let test_ipc_pair =
+  Test.make ~name:"e5-send-receive-pair"
+    (Staged.stage (fun () ->
+         let m = machine () in
+         let port = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+         let payload = K.Machine.allocate_generic m ~data_length:8 () in
+         ignore
+           (K.Machine.spawn m ~name:"s" (fun () ->
+                K.Machine.send m ~port ~msg:payload));
+         ignore
+           (K.Machine.spawn m ~name:"r" (fun () ->
+                ignore (K.Machine.receive m ~port)));
+         ignore (K.Machine.run m)))
+
+(* E6: one fair-share rebalance pass. *)
+let test_rebalance =
+  let sys =
+    System.boot
+      ~config:{ System.default_config with System.scheduling = Scheduler.Fair_share }
+      ()
+  in
+  let pm = System.process_manager sys in
+  let sched = System.scheduler sys in
+  let g = Scheduler.add_group sched "g" in
+  List.iter
+    (fun i ->
+      let p =
+        Process_manager.create_process pm ~name:(string_of_int i) (fun () -> ())
+      in
+      Scheduler.enroll sched g p)
+    [ 1; 2; 3; 4 ];
+  Test.make ~name:"e6-fair-share-rebalance"
+    (Staged.stage (fun () -> Scheduler.rebalance sched))
+
+(* E7: one swap-out/swap-in round trip. *)
+let test_swap_roundtrip =
+  Test.make ~name:"e7-swap-roundtrip"
+    (Staged.stage (fun () ->
+         let sys =
+           System.boot
+             ~config:
+               {
+                 System.default_config with
+                 System.memory_manager = System.Swapping_lru;
+                 heap_bytes = 4096;
+               }
+             ()
+         in
+         let objs =
+           Array.init 8 (fun _ ->
+               System.mm_allocate sys ~data_length:1024 ~access_length:0
+                 ~otype:Obj_type.Generic)
+         in
+         System.mm_touch sys objs.(0)))
+
+(* E8: one full collection cycle over a small heap. *)
+let test_gc_cycle =
+  Test.make ~name:"e8-gc-cycle"
+    (Staged.stage (fun () ->
+         let m = machine () in
+         let c = I432_gc.Collector.create m in
+         for _ = 1 to 20 do
+           ignore (K.Machine.allocate_generic m ~data_length:32 ())
+         done;
+         ignore (I432_gc.Collector.cycle c)))
+
+(* E9: farm creation + loss + filter recovery. *)
+let test_filter_recovery =
+  Test.make ~name:"e9-filter-recovery"
+    (Staged.stage (fun () ->
+         let m = machine () in
+         let farm = Device_io.create_tape_farm m ~drives:2 in
+         ignore
+           (K.Machine.spawn m ~name:"c" (fun () ->
+                ignore (Device_io.acquire_drive farm)));
+         ignore (K.Machine.run m);
+         let c = I432_gc.Collector.create m in
+         ignore
+           (K.Machine.spawn m ~name:"r" (fun () ->
+                ignore (I432_gc.Collector.cycle c);
+                ignore (Device_io.recover_lost_drives farm)));
+         ignore (K.Machine.run m)))
+
+(* E10: one stop/start pulse over a small tree. *)
+let test_stop_start =
+  let sys = System.boot () in
+  let pm = System.process_manager sys in
+  let root = Process_manager.create_process pm ~name:"root" (fun () -> ()) in
+  for i = 1 to 3 do
+    ignore
+      (Process_manager.create_process pm ~parent:root
+         ~name:(Printf.sprintf "c%d" i) (fun () -> ()))
+  done;
+  Test.make ~name:"e10-stop-start-tree"
+    (Staged.stage (fun () ->
+         Process_manager.stop pm root;
+         Process_manager.start pm root))
+
+let benchmarks =
+  Test.make_grouped ~name:"imax432"
+    [
+      test_domain_call;
+      test_allocate;
+      test_scaling_run;
+      test_untyped_ports;
+      test_typed_ports;
+      test_ipc_pair;
+      test_rebalance;
+      test_swap_roundtrip;
+      test_gc_cycle;
+      test_filter_recovery;
+      test_stop_start;
+    ]
+
+(* Run with a short quota and print ns/run estimates. *)
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances benchmarks in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |])
+      (Instance.monotonic_clock) raw
+  in
+  print_endline "Bechamel micro-benchmarks (host wall clock per simulated op):";
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results

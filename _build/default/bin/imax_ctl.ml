@@ -1,0 +1,254 @@
+(* imax_ctl: command-line driver for the iMAX-432 simulator.
+
+   Subcommands boot a configured system, run a canned scenario, and print
+   the run report and subsystem statistics.  This is the OEM's "selection
+   of packages" knob surfaced as flags: processors, memory manager,
+   scheduling policy, and the GC daemon are all chosen at boot. *)
+
+open Cmdliner
+open I432
+open Imax
+module K = I432_kernel
+module U = I432_util
+
+(* ---------------- shared flags ---------------- *)
+
+let processors =
+  let doc = "Number of general data processors." in
+  Arg.(value & opt int 2 & info [ "p"; "processors" ] ~docv:"N" ~doc)
+
+let memory_manager =
+  let doc = "Memory manager: non-swapping, swapping-lru or swapping-fifo." in
+  let choices =
+    Arg.enum
+      [
+        ("non-swapping", System.Non_swapping);
+        ("swapping-lru", System.Swapping_lru);
+        ("swapping-fifo", System.Swapping_fifo);
+      ]
+  in
+  Arg.(value & opt choices System.Non_swapping & info [ "memory-manager" ] ~doc)
+
+let scheduling =
+  let doc = "Scheduling policy: null, round-robin or fair-share." in
+  let choices =
+    Arg.enum
+      [
+        ("null", Scheduler.Null);
+        ("round-robin", Scheduler.Round_robin);
+        ("fair-share", Scheduler.Fair_share);
+      ]
+  in
+  Arg.(value & opt choices Scheduler.Null & info [ "scheduling" ] ~doc)
+
+let gc_daemon =
+  let doc = "Run the on-the-fly garbage collector daemon." in
+  Arg.(value & flag & info [ "gc" ] ~doc)
+
+let snapshot =
+  let doc = "Print a machine snapshot (processes, processors, ports) at exit." in
+  Arg.(value & flag & info [ "snapshot" ] ~doc)
+
+let maybe_snapshot snapshot machine =
+  if snapshot then
+    print_string (K.Snapshot.render (K.Snapshot.capture machine))
+
+let config processors memory_manager scheduling gc_daemon =
+  {
+    System.default_config with
+    System.processors;
+    memory_manager;
+    scheduling;
+    run_gc_daemon = gc_daemon;
+  }
+
+let config_term =
+  Term.(const config $ processors $ memory_manager $ scheduling $ gc_daemon)
+
+let print_report (r : K.Machine.run_report) =
+  Printf.printf "elapsed: %.3f ms (virtual, 8 MHz)\n"
+    (float_of_int r.K.Machine.elapsed_ns /. 1e6);
+  Printf.printf "processes completed: %d, faulted: %d, dispatches: %d, preemptions: %d\n"
+    r.K.Machine.completed r.K.Machine.faulted r.K.Machine.dispatches
+    r.K.Machine.preemptions;
+  match r.K.Machine.deadlocked with
+  | [] -> ()
+  | names -> Printf.printf "still blocked: %s\n" (String.concat ", " names)
+
+(* ---------------- scenarios ---------------- *)
+
+(* Producer/consumer rings through bounded ports. *)
+let scenario_pipeline config snapshot stages messages =
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let pm = System.process_manager sys in
+  let ports =
+    Array.init stages (fun _ -> Untyped_ports.create_port m ~message_count:8 ())
+  in
+  ignore
+    (Process_manager.create_process pm ~name:"source" (fun () ->
+         for i = 1 to messages do
+           let o = K.Machine.allocate_generic m ~data_length:8 () in
+           K.Machine.write_word m o ~offset:0 i;
+           Untyped_ports.send m ~prt:ports.(0) ~msg:o
+         done));
+  for s = 1 to stages - 1 do
+    ignore
+      (Process_manager.create_process pm ~name:(Printf.sprintf "stage%d" s)
+         (fun () ->
+           for _ = 1 to messages do
+             let msg = Untyped_ports.receive m ~prt:ports.(s - 1) in
+             K.Machine.compute m 5;
+             Untyped_ports.send m ~prt:ports.(s) ~msg
+           done))
+  done;
+  let sum = ref 0 in
+  ignore
+    (Process_manager.create_process pm ~name:"sink" (fun () ->
+         for _ = 1 to messages do
+           let msg = Untyped_ports.receive m ~prt:ports.(stages - 1) in
+           sum := !sum + K.Machine.read_word m msg ~offset:0
+         done));
+  let report = System.run sys in
+  Printf.printf "pipeline: %d messages through %d stages, payload sum %d\n"
+    messages stages !sum;
+  print_report report;
+  maybe_snapshot snapshot m;
+  if !sum <> messages * (messages + 1) / 2 then exit 1
+
+(* Allocation churn with or without the GC daemon. *)
+let scenario_churn config snapshot rounds =
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let pm = System.process_manager sys in
+  let table = K.Machine.table m in
+  ignore
+    (Process_manager.create_process pm ~name:"churner" (fun () ->
+         let root = K.Machine.allocate_generic m ~access_length:8 () in
+         K.Machine.add_root m root;
+         for _ = 1 to rounds do
+           for i = 0 to 7 do
+             let o = K.Machine.allocate_generic m ~data_length:64 () in
+             Segment.store_access table root ~slot:i (Some o)
+           done;
+           for i = 0 to 7 do
+             Segment.store_access table root ~slot:i None
+           done;
+           K.Machine.yield m
+         done));
+  let report = System.run sys in
+  Printf.printf "churn: %d rounds (%d objects allocated)\n" rounds (rounds * 8);
+  Printf.printf "descriptors live at halt: %d\n" (Object_table.count_valid table);
+  (match System.collector sys with
+  | Some c ->
+    let st = I432_gc.Collector.stats c in
+    Printf.printf "gc: %d cycles, %d reclaimed\n" st.I432_gc.Collector.cycles
+      st.I432_gc.Collector.swept
+  | None -> print_endline "gc: daemon not configured");
+  print_report report;
+  maybe_snapshot snapshot m
+
+(* The tape farm recovery story end to end. *)
+let scenario_tapes config snapshot drives =
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let pm = System.process_manager sys in
+  let farm = Device_io.create_tape_farm m ~drives in
+  for i = 1 to drives do
+    ignore
+      (Process_manager.create_process pm ~name:(Printf.sprintf "client%d" i)
+         (fun () ->
+           match Device_io.acquire_drive farm with
+           | Some h ->
+             let (module T) = Device_io.device_of farm h in
+             T.write (Printf.sprintf "dataset-%d" i)
+           | None -> ()))
+  done;
+  let _ = System.run sys in
+  Printf.printf "drives free after careless clients: %d/%d\n"
+    (Device_io.free_drive_count farm)
+    drives;
+  let collector = I432_gc.Collector.create m in
+  ignore
+    (Process_manager.create_process pm ~name:"recovery" (fun () ->
+         ignore (I432_gc.Collector.cycle collector);
+         ignore (Device_io.recover_lost_drives farm)));
+  let report = System.run sys in
+  Printf.printf "drives free after recovery: %d/%d\n"
+    (Device_io.free_drive_count farm)
+    drives;
+  print_report report;
+  maybe_snapshot snapshot m
+
+(* Rendezvous demo: an adder task serving entry calls. *)
+let scenario_rendezvous config snapshot calls =
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let adder_entry = Ada_tasks.create_entry m ~name:"add_one" () in
+  ignore
+    (Ada_tasks.create_task m ~name:"adder" (fun () ->
+         for _ = 1 to calls do
+           Ada_tasks.accept adder_entry ~body:(fun parameter ->
+               let v = K.Machine.read_word m parameter ~offset:0 in
+               K.Machine.write_word m parameter ~offset:0 (v + 1);
+               parameter)
+         done));
+  let final = ref 0 in
+  ignore
+    (Ada_tasks.create_task m ~name:"caller" (fun () ->
+         let x = K.Machine.allocate_generic m ~data_length:8 () in
+         K.Machine.write_word m x ~offset:0 0;
+         for _ = 1 to calls do
+           ignore (Ada_tasks.call adder_entry ~parameter:x)
+         done;
+         final := K.Machine.read_word m x ~offset:0));
+  let report = System.run sys in
+  Printf.printf "rendezvous: %d entry calls, final value %d\n" calls !final;
+  print_report report;
+  maybe_snapshot snapshot m;
+  if !final <> calls then exit 1
+
+(* ---------------- commands ---------------- *)
+
+let pipeline_cmd =
+  let stages =
+    Arg.(value & opt int 4 & info [ "stages" ] ~docv:"N" ~doc:"Pipeline stages.")
+  in
+  let messages =
+    Arg.(value & opt int 100 & info [ "messages" ] ~docv:"N" ~doc:"Messages.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Multi-stage port pipeline across processors.")
+    Term.(const scenario_pipeline $ config_term $ snapshot $ stages $ messages)
+
+let churn_cmd =
+  let rounds =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"N" ~doc:"Churn rounds.")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Allocation churn; pair with --gc to reclaim.")
+    Term.(const scenario_churn $ config_term $ snapshot $ rounds)
+
+let tapes_cmd =
+  let drives =
+    Arg.(value & opt int 6 & info [ "drives" ] ~docv:"N" ~doc:"Tape drives.")
+  in
+  Cmd.v
+    (Cmd.info "tapes" ~doc:"Lost tape drives recovered by destruction filters.")
+    Term.(const scenario_tapes $ config_term $ snapshot $ drives)
+
+let rendezvous_cmd =
+  let calls =
+    Arg.(value & opt int 50 & info [ "calls" ] ~docv:"N" ~doc:"Entry calls.")
+  in
+  Cmd.v
+    (Cmd.info "rendezvous" ~doc:"Ada rendezvous implemented on 432 ports.")
+    Term.(const scenario_rendezvous $ config_term $ snapshot $ calls)
+
+let main =
+  Cmd.group
+    (Cmd.info "imax_ctl" ~version:"1.0"
+       ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
+    [ pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd ]
+
+let () = exit (Cmd.eval main)

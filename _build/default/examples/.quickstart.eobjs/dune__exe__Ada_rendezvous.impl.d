@@ -1,0 +1,1 @@
+examples/ada_rendezvous.ml: Ada_tasks I432_kernel Imax Printf Queue System

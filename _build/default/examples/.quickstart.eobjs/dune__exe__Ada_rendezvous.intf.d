@@ -1,0 +1,1 @@
+examples/ada_rendezvous.mli:

@@ -1,0 +1,1 @@
+examples/multiuser.ml: Array I432_kernel I432_util Imax List Printf Process_manager Scheduler System

@@ -1,0 +1,1 @@
+examples/pipeline.ml: I432_kernel Imax Printf Process_manager System Untyped_ports

@@ -1,0 +1,1 @@
+examples/quickstart.ml: I432_kernel Imax Printf Process_manager System Typed_ports

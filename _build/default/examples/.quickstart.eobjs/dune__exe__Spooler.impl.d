@@ -1,0 +1,1 @@
+examples/spooler.ml: Ada_tasks Array Device_io I432_kernel Imax Levels List Printf Process_manager System

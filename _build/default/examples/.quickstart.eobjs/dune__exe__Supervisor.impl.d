@@ -1,0 +1,1 @@
+examples/supervisor.ml: I432_kernel Imax Interpose List Printf Process_manager System

@@ -1,0 +1,1 @@
+examples/tape_farm.ml: Device_io I432_gc I432_kernel Imax Printf Process_manager System

@@ -1,0 +1,1 @@
+examples/tape_farm.mli:

@@ -1,0 +1,62 @@
+(* Tape farm: the paper's lost-object scenario (§8.2).
+
+   Each physical tape drive is represented by a sealed object of type
+   tape_drive.  Careless client processes acquire drives, write to them,
+   and drop the capability without returning it — so the drive object
+   becomes garbage and, absent countermeasures, "the system will be short
+   one tape drive".
+
+   The farm registers a destruction filter on its type definition, so the
+   garbage collector manufactures an access descriptor for each lost drive
+   and sends it to the farm's port; the recovery process rewinds the drive
+   and returns it to the pool. *)
+
+open Imax
+module K = I432_kernel
+
+let drives = 6
+
+let () =
+  let sys =
+    System.boot ~config:{ System.default_config with processors = 2 } ()
+  in
+  let machine = System.machine sys in
+  let pm = System.process_manager sys in
+  let farm = Device_io.create_tape_farm machine ~drives in
+
+  (* Careless clients: use a drive, never call release_drive. *)
+  let client id () =
+    match Device_io.acquire_drive farm with
+    | None -> ()
+    | Some handle ->
+      let (module T) = Device_io.device_of farm handle in
+      T.write (Printf.sprintf "backup from client %d" id);
+      K.Machine.compute machine 50;
+      (* ... and walk away; the only capability dies with this body. *)
+      ()
+  in
+  for i = 1 to drives do
+    ignore
+      (Process_manager.create_process pm ~name:(Printf.sprintf "client%d" i)
+         (client i))
+  done;
+  let _ = System.run sys in
+  Printf.printf "after clients: %d of %d drives free (the rest are lost)\n"
+    (Device_io.free_drive_count farm)
+    drives;
+  assert (Device_io.free_drive_count farm = 0);
+
+  (* One collection cycle finds the lost drives and posts them to the
+     farm's filter port; the recovery process drains it. *)
+  let collector = I432_gc.Collector.create machine in
+  let recovered = ref 0 in
+  let recovery () =
+    let _ = I432_gc.Collector.cycle collector in
+    recovered := Device_io.recover_lost_drives farm
+  in
+  ignore (Process_manager.create_process pm ~name:"recovery" recovery);
+  let _ = System.run sys in
+  Printf.printf "recovery: %d lost drives recovered, %d free now\n" !recovered
+    (Device_io.free_drive_count farm);
+  assert (Device_io.free_drive_count farm = drives);
+  print_endline "tape_farm OK"

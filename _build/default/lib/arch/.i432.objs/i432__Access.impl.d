@@ -1,0 +1,1 @@
+lib/arch/access.ml: Format Printf Rights

@@ -1,0 +1,1 @@
+lib/arch/access.mli: Format Rights

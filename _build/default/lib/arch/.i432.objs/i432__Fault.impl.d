@@ -1,0 +1,1 @@
+lib/arch/fault.ml: Format Obj_type Printexc Printf Rights

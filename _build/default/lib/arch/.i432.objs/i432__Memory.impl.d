@@ -1,0 +1,1 @@
+lib/arch/memory.ml: Bytes Char Fault Sys

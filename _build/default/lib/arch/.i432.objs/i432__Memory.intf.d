@@ -1,0 +1,1 @@
+lib/arch/memory.mli: Bytes

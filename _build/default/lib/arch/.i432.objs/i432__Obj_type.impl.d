@@ -1,0 +1,1 @@
+lib/arch/obj_type.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/arch/object_table.ml: Access Array Fault Obj_type

@@ -1,0 +1,1 @@
+lib/arch/object_table.mli: Access Obj_type

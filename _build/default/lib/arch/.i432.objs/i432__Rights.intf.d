@@ -1,0 +1,1 @@
+lib/arch/rights.mli: Format

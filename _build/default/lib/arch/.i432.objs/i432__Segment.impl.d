@@ -1,0 +1,1 @@
+lib/arch/segment.ml: Access Array Bytes Fault Memory Obj_type Object_table Rights

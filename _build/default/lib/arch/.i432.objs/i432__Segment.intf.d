@@ -1,0 +1,1 @@
+lib/arch/segment.mli: Access Bytes Memory Obj_type Object_table

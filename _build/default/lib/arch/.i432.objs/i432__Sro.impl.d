@@ -1,0 +1,1 @@
+lib/arch/sro.ml: Access Fault List Obj_type Object_table Rights Segment

@@ -1,0 +1,1 @@
+lib/arch/sro.mli: Access Obj_type Object_table

@@ -1,0 +1,1 @@
+lib/arch/type_def.ml: Access Fault Obj_type Object_table Rights Segment Sro

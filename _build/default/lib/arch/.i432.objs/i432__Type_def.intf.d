@@ -1,0 +1,1 @@
+lib/arch/type_def.mli: Access Object_table Rights

@@ -1,0 +1,30 @@
+(* Access descriptors: the 432's capabilities.
+
+   An access descriptor names an entry in the global object table and
+   carries the rights available through it (paper §2).  Possession of an
+   access descriptor is the only way to reach an object. *)
+
+type t = {
+  index : int;  (* object-table index *)
+  rights : Rights.t;
+}
+
+let make ~index ~rights =
+  if index < 0 then invalid_arg "Access.make: negative index";
+  { index; rights }
+
+let index t = t.index
+let rights t = t.rights
+
+(* Weaken the descriptor; rights can only shrink through this path. *)
+let restrict t rights = { t with rights = Rights.restrict t.rights rights }
+
+let read_only t = restrict t Rights.read_only
+
+let without_type_right t bit =
+  { t with rights = Rights.remove_type_right t.rights bit }
+
+let equal a b = a.index = b.index && Rights.equal a.rights b.rights
+
+let to_string t = Printf.sprintf "#%d[%s]" t.index (Rights.to_string t.rights)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,51 @@
+(* Protection and resource faults detected by the simulated hardware.
+
+   Every runtime check in the architecture raises [Fault]; the kernel turns
+   faults in user processes into process termination (or delivery to a fault
+   port) and treats faults below system level 3 as fatal (paper §7.3). *)
+
+type cause =
+  | Rights_violation of { needed : string; held : Rights.t }
+  | Level_violation of { stored_level : int; target_level : int }
+  | Type_mismatch of { expected : Obj_type.t; actual : Obj_type.t }
+  | Bounds of { part : string; offset : int; length : int }
+  | Invalid_descriptor of int
+  | Null_access
+  | Storage_exhausted of { requested : int; available : int }
+  | Sro_destroyed
+  | Segment_swapped_out of int
+  | Protocol of string
+
+exception Fault of cause
+
+let raise_fault cause = raise (Fault cause)
+
+let to_string = function
+  | Rights_violation { needed; held } ->
+    Printf.sprintf "rights violation: needed %s, held %s" needed
+      (Rights.to_string held)
+  | Level_violation { stored_level; target_level } ->
+    Printf.sprintf
+      "level violation: storing level-%d access into level-%d object"
+      stored_level target_level
+  | Type_mismatch { expected; actual } ->
+    Printf.sprintf "type mismatch: expected %s, found %s"
+      (Obj_type.to_string expected) (Obj_type.to_string actual)
+  | Bounds { part; offset; length } ->
+    Printf.sprintf "bounds: offset %d beyond %s part of length %d" offset part
+      length
+  | Invalid_descriptor i -> Printf.sprintf "invalid object descriptor %d" i
+  | Null_access -> "null access descriptor"
+  | Storage_exhausted { requested; available } ->
+    Printf.sprintf "storage exhausted: requested %d bytes, %d available"
+      requested available
+  | Sro_destroyed -> "storage resource object already destroyed"
+  | Segment_swapped_out i -> Printf.sprintf "segment %d is swapped out" i
+  | Protocol msg -> "protocol: " ^ msg
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let () =
+  Printexc.register_printer (function
+    | Fault c -> Some ("I432.Fault.Fault(" ^ to_string c ^ ")")
+    | _ -> None)

@@ -1,0 +1,21 @@
+(** Protection and resource faults detected by the simulated hardware. *)
+
+type cause =
+  | Rights_violation of { needed : string; held : Rights.t }
+  | Level_violation of { stored_level : int; target_level : int }
+      (** attempt to store a shorter-lived access into a longer-lived object *)
+  | Type_mismatch of { expected : Obj_type.t; actual : Obj_type.t }
+  | Bounds of { part : string; offset : int; length : int }
+  | Invalid_descriptor of int
+  | Null_access
+  | Storage_exhausted of { requested : int; available : int }
+  | Sro_destroyed
+  | Segment_swapped_out of int
+      (** raised to drive the swapping memory manager (paper §6.2) *)
+  | Protocol of string
+
+exception Fault of cause
+
+val raise_fault : cause -> 'a
+val to_string : cause -> string
+val pp : Format.formatter -> cause -> unit

@@ -1,0 +1,51 @@
+(* Hardware-recognized object types of the 432 (paper §2), plus user-defined
+   types created through type-definition objects (paper §7.2). *)
+
+type t =
+  | Generic
+  | Processor
+  | Process
+  | Port
+  | Dispatching_port
+  | Storage_resource
+  | Domain
+  | Context
+  | Type_definition
+  | Custom of int  (** identified by the id of its type-definition object *)
+
+let equal a b =
+  match a, b with
+  | Generic, Generic
+  | Processor, Processor
+  | Process, Process
+  | Port, Port
+  | Dispatching_port, Dispatching_port
+  | Storage_resource, Storage_resource
+  | Domain, Domain
+  | Context, Context
+  | Type_definition, Type_definition -> true
+  | Custom i, Custom j -> i = j
+  | ( Generic | Processor | Process | Port | Dispatching_port
+    | Storage_resource | Domain | Context | Type_definition | Custom _ ), _ ->
+    false
+
+let to_string = function
+  | Generic -> "generic"
+  | Processor -> "processor"
+  | Process -> "process"
+  | Port -> "port"
+  | Dispatching_port -> "dispatching-port"
+  | Storage_resource -> "storage-resource"
+  | Domain -> "domain"
+  | Context -> "context"
+  | Type_definition -> "type-definition"
+  | Custom id -> Printf.sprintf "custom(%d)" id
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* System objects are the types the processor interprets; their payloads are
+   maintained by the kernel rather than by user stores. *)
+let is_system = function
+  | Processor | Process | Port | Dispatching_port | Storage_resource
+  | Domain | Context | Type_definition -> true
+  | Generic | Custom _ -> false

@@ -1,0 +1,24 @@
+(** Hardware-recognized object types of the 432, plus user-defined types.
+
+    The processor gives special semantics to the system types (dispatching,
+    IPC, storage allocation, domain transfer); [Generic] and [Custom] objects
+    carry no hardware semantics beyond protection. *)
+
+type t =
+  | Generic
+  | Processor
+  | Process
+  | Port
+  | Dispatching_port
+  | Storage_resource
+  | Domain
+  | Context
+  | Type_definition
+  | Custom of int  (** identified by the id of its type-definition object *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** True for the types whose payload the kernel interprets. *)
+val is_system : t -> bool

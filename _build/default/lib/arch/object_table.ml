@@ -1,0 +1,141 @@
+(* The global object descriptor table (paper §2).
+
+   "Access descriptors or capabilities name entries in a global object
+   descriptor table.  Each object descriptor in this table describes a
+   segment ...  The one object descriptor for a given segment provides the
+   physical base address and length of the segment, ... what type of object
+   it represents, and includes information needed for virtual memory
+   management and parallel garbage collection."
+
+   The data part of a segment lives in Memory; the access part is an array
+   of access descriptors held directly in the descriptor entry (on the real
+   432 it is memory too, but it is only reachable through checked access
+   instructions, so an OCaml array preserves the semantics exactly).
+
+   [payload] attaches kernel-interpreted state to system objects (ports,
+   processes, processors, SROs, type definitions) via an extensible
+   variant, keeping the architecture layer free of kernel dependencies. *)
+
+type color = White | Gray | Black
+
+type payload = ..
+
+type entry = {
+  index : int;
+  mutable valid : bool;
+  mutable otype : Obj_type.t;
+  mutable base : int;  (* physical base address of the data part *)
+  mutable data_length : int;
+  mutable access_part : Access.t option array;
+  mutable level : int;  (* lifetime level number, 0 = global (§5) *)
+  mutable color : color;  (* tri-color state for the on-the-fly GC (§8.1) *)
+  mutable sro : int;  (* index of the allocating SRO, -1 for primal objects *)
+  mutable swapped_out : bool;  (* used by the swapping memory manager (§6.2) *)
+  mutable payload : payload option;
+}
+
+type t = {
+  mutable entries : entry option array;
+  mutable free : int list;  (* recycled descriptor indices *)
+  mutable next : int;  (* high-water mark *)
+  mutable barrier_shades : int;  (* gray-bit settings performed (§8.1) *)
+}
+
+let create ?(initial_capacity = 256) () =
+  if initial_capacity <= 0 then invalid_arg "Object_table.create";
+  {
+    entries = Array.make initial_capacity None;
+    free = [];
+    next = 0;
+    barrier_shades = 0;
+  }
+
+let grow t =
+  let n = Array.length t.entries in
+  let bigger = Array.make (2 * n) None in
+  Array.blit t.entries 0 bigger 0 n;
+  t.entries <- bigger
+
+let lookup t index =
+  if index < 0 || index >= Array.length t.entries then
+    Fault.raise_fault (Fault.Invalid_descriptor index);
+  match t.entries.(index) with
+  | Some e when e.valid -> e
+  | Some _ | None -> Fault.raise_fault (Fault.Invalid_descriptor index)
+
+let entry_of_access t access = lookup t (Access.index access)
+
+let is_valid t index =
+  index >= 0
+  && index < Array.length t.entries
+  && (match t.entries.(index) with Some e -> e.valid | None -> false)
+
+let allocate_entry t ~otype ~base ~data_length ~access_length ~level ~sro =
+  if data_length < 0 || data_length > 0x10000 then
+    invalid_arg "Object_table: data part exceeds 64K";
+  if access_length < 0 || access_length > 0x4000 then
+    invalid_arg "Object_table: access part too large";
+  let index =
+    match t.free with
+    | i :: rest ->
+      t.free <- rest;
+      i
+    | [] ->
+      if t.next >= Array.length t.entries then grow t;
+      let i = t.next in
+      t.next <- t.next + 1;
+      i
+  in
+  let e =
+    {
+      index;
+      valid = true;
+      otype;
+      base;
+      data_length;
+      access_part = Array.make access_length None;
+      level;
+      (* Allocate-gray: a fresh object survives the collection cycle in
+         progress, giving the mutator time to make it reachable (the
+         standard allocate-black discipline for on-the-fly collectors). *)
+      color = Gray;
+      sro;
+      swapped_out = false;
+      payload = None;
+    }
+  in
+  t.entries.(index) <- Some e;
+  e
+
+let free_entry t index =
+  let e = lookup t index in
+  e.valid <- false;
+  e.payload <- None;
+  e.access_part <- [||];
+  t.entries.(index) <- None;
+  t.free <- index :: t.free
+
+(* The write barrier of the Dijkstra on-the-fly collector: the hardware sets
+   the gray bit "whenever access descriptors are moved" (§8.1). *)
+let shade t index =
+  if is_valid t index then begin
+    let e = lookup t index in
+    if e.color = White then begin
+      e.color <- Gray;
+      t.barrier_shades <- t.barrier_shades + 1
+    end
+  end
+
+let barrier_shades t = t.barrier_shades
+
+let iter_valid f t =
+  Array.iter
+    (function Some e when e.valid -> f e | Some _ | None -> ())
+    t.entries
+
+let count_valid t =
+  let n = ref 0 in
+  iter_valid (fun _ -> incr n) t;
+  !n
+
+let capacity t = Array.length t.entries

@@ -1,0 +1,61 @@
+(** The global object descriptor table.
+
+    One descriptor per segment: physical base and length of the data part,
+    the access part, the object's hardware type, its lifetime level number,
+    and the tri-color state used by the parallel garbage collector.
+
+    [payload] is an extensible variant through which the kernel attaches
+    interpreted state to system objects without the architecture layer
+    depending on the kernel. *)
+
+type color = White | Gray | Black
+
+type payload = ..
+
+type entry = {
+  index : int;
+  mutable valid : bool;
+  mutable otype : Obj_type.t;
+  mutable base : int;
+  mutable data_length : int;
+  mutable access_part : Access.t option array;
+  mutable level : int;
+  mutable color : color;
+  mutable sro : int;
+  mutable swapped_out : bool;
+  mutable payload : payload option;
+}
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+(** Raises [Fault Invalid_descriptor] for a free or out-of-range index. *)
+val lookup : t -> int -> entry
+
+val entry_of_access : t -> Access.t -> entry
+val is_valid : t -> int -> bool
+
+(** Low-level descriptor allocation; normally reached through {!Sro.allocate}.
+    Data part is limited to 64 KB, per the architecture. *)
+val allocate_entry :
+  t ->
+  otype:Obj_type.t ->
+  base:int ->
+  data_length:int ->
+  access_length:int ->
+  level:int ->
+  sro:int ->
+  entry
+
+val free_entry : t -> int -> unit
+
+(** GC write barrier: shade the object gray if it is white. *)
+val shade : t -> int -> unit
+
+(** Number of barrier shadings since creation. *)
+val barrier_shades : t -> int
+
+val iter_valid : (entry -> unit) -> t -> unit
+val count_valid : t -> int
+val capacity : t -> int

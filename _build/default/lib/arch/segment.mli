@@ -1,0 +1,41 @@
+(** Checked segment access.
+
+    Every operation takes an access descriptor and validates rights, bounds,
+    and presence; storing into the access part additionally enforces the
+    level (lifetime) rule and runs the garbage collector's gray-bit write
+    barrier. *)
+
+(** {1 Data part} *)
+
+val read_u8 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int
+val write_u8 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int -> unit
+val read_u16 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int
+val write_u16 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int -> unit
+val read_i32 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int
+val write_i32 : Object_table.t -> Memory.t -> Access.t -> offset:int -> int -> unit
+
+val read_bytes :
+  Object_table.t -> Memory.t -> Access.t -> offset:int -> len:int -> Bytes.t
+
+val write_bytes :
+  Object_table.t -> Memory.t -> Access.t -> offset:int -> Bytes.t -> unit
+
+(** {1 Access part} *)
+
+val load_access : Object_table.t -> Access.t -> slot:int -> Access.t option
+
+(** Enforces the level rule: an access for a shorter-lived (higher-level)
+    object may not be stored into a longer-lived (lower-level) object.
+    Shades the stored object's descriptor gray (GC barrier). *)
+val store_access :
+  Object_table.t -> Access.t -> slot:int -> Access.t option -> unit
+
+(** {1 Inspection} *)
+
+val otype : Object_table.t -> Access.t -> Obj_type.t
+val level : Object_table.t -> Access.t -> int
+val data_length : Object_table.t -> Access.t -> int
+val access_length : Object_table.t -> Access.t -> int
+
+(** Raises [Fault Type_mismatch] unless the object has the expected type. *)
+val check_type : Object_table.t -> Access.t -> Obj_type.t -> unit

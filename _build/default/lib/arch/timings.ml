@@ -1,0 +1,82 @@
+(* Virtual-time instruction costs.
+
+   All simulator time is integer nanoseconds on an 8 MHz 432 (one cycle =
+   125 ns), so the two costs the paper publishes anchor the calibration:
+
+     - "a domain switch on the 432 takes about 65 microseconds" (§2)
+     - "80 microseconds ... to allocate a segment from an SRO" (§5)
+
+   The remaining costs are estimates chosen to be consistent with the
+   companion IPC paper (Cox et al., SOSP 1981) and with the paper's remark
+   that a domain switch "compares reasonably with the cost of procedure
+   activation on other contemporary processors".  They are collected in a
+   record so benchmarks can ablate them. *)
+
+type t = {
+  cycle_ns : int;  (* one processor cycle *)
+  domain_call_ns : int;  (* inter-domain subprogram call *)
+  domain_return_ns : int;
+  intra_call_ns : int;  (* call within a domain: ordinary activation *)
+  intra_return_ns : int;
+  allocate_ns : int;  (* create-object from an SRO, size independent *)
+  destroy_ns : int;  (* return a segment to its SRO *)
+  send_ns : int;  (* port send, no blocking *)
+  receive_ns : int;  (* port receive, no blocking *)
+  dispatch_ns : int;  (* bind a ready process to an idle processor *)
+  block_ns : int;  (* queue a process at a port and save its state *)
+  read_word_ns : int;  (* 32-bit data read through an AD *)
+  write_word_ns : int;
+  move_access_ns : int;  (* copy an access descriptor between slots *)
+  gc_scan_object_ns : int;  (* collector marks one object *)
+  gc_sweep_object_ns : int;
+  compute_unit_ns : int;  (* one abstract unit of user computation *)
+  time_slice_ns : int;  (* default hardware time slice *)
+}
+
+let default =
+  {
+    cycle_ns = 125;
+    domain_call_ns = 65_000;
+    domain_return_ns = 22_000;
+    intra_call_ns = 5_000;
+    intra_return_ns = 2_000;
+    allocate_ns = 80_000;
+    destroy_ns = 18_000;
+    send_ns = 12_000;
+    receive_ns = 12_000;
+    dispatch_ns = 22_000;
+    block_ns = 16_000;
+    read_word_ns = 500;
+    write_word_ns = 625;
+    move_access_ns = 1_250;
+    gc_scan_object_ns = 6_000;
+    gc_sweep_object_ns = 4_000;
+    compute_unit_ns = 1_000;
+    time_slice_ns = 10_000_000;
+  }
+
+let us ns = float_of_int ns /. 1_000.0
+
+(* Scale every cost by a rational factor; used by ablation benches. *)
+let scale t ~num ~den =
+  let f x = x * num / den in
+  {
+    cycle_ns = f t.cycle_ns;
+    domain_call_ns = f t.domain_call_ns;
+    domain_return_ns = f t.domain_return_ns;
+    intra_call_ns = f t.intra_call_ns;
+    intra_return_ns = f t.intra_return_ns;
+    allocate_ns = f t.allocate_ns;
+    destroy_ns = f t.destroy_ns;
+    send_ns = f t.send_ns;
+    receive_ns = f t.receive_ns;
+    dispatch_ns = f t.dispatch_ns;
+    block_ns = f t.block_ns;
+    read_word_ns = f t.read_word_ns;
+    write_word_ns = f t.write_word_ns;
+    move_access_ns = f t.move_access_ns;
+    gc_scan_object_ns = f t.gc_scan_object_ns;
+    gc_sweep_object_ns = f t.gc_sweep_object_ns;
+    compute_unit_ns = f t.compute_unit_ns;
+    time_slice_ns = f t.time_slice_ns;
+  }

@@ -1,0 +1,34 @@
+(** Virtual-time instruction costs for the simulated 8 MHz 432.
+
+    Calibrated to the two figures the paper publishes: 65 µs per domain
+    switch (§2) and 80 µs per SRO segment allocation (§5).  All times are in
+    integer nanoseconds. *)
+
+type t = {
+  cycle_ns : int;
+  domain_call_ns : int;
+  domain_return_ns : int;
+  intra_call_ns : int;
+  intra_return_ns : int;
+  allocate_ns : int;
+  destroy_ns : int;
+  send_ns : int;
+  receive_ns : int;
+  dispatch_ns : int;
+  block_ns : int;
+  read_word_ns : int;
+  write_word_ns : int;
+  move_access_ns : int;
+  gc_scan_object_ns : int;
+  gc_sweep_object_ns : int;
+  compute_unit_ns : int;
+  time_slice_ns : int;
+}
+
+val default : t
+
+(** Nanoseconds to microseconds. *)
+val us : int -> float
+
+(** Scale every cost by [num/den] (integer arithmetic). *)
+val scale : t -> num:int -> den:int -> t

@@ -1,0 +1,45 @@
+(** Type-definition objects: user-defined, hardware-checked types.
+
+    A type manager creates a type definition, seals its instances with it,
+    and alone can amplify rights on those instances.  The definition also
+    records the type's destruction-filter port, consulted by the garbage
+    collector when an instance becomes garbage.
+
+    Type rights on a type-definition access: {!Rights.t1} = seal/create,
+    {!Rights.t2} = amplify. *)
+
+val create : Object_table.t -> Access.t -> name:string -> Access.t
+val id : Object_table.t -> Access.t -> int
+val name : Object_table.t -> Access.t -> string
+
+(** Seal a [Generic] object as an instance of this type. *)
+val seal : Object_table.t -> Access.t -> target:Access.t -> unit
+
+(** Allocate from the SRO and seal in one step. *)
+val create_instance :
+  Object_table.t ->
+  Access.t ->
+  Access.t ->
+  data_length:int ->
+  access_length:int ->
+  Access.t
+
+(** Raises [Fault Type_mismatch] unless an instance of this type. *)
+val check_instance : Object_table.t -> Access.t -> Access.t -> unit
+
+val is_instance : Object_table.t -> Access.t -> Access.t -> bool
+
+(** Type-manager-only rights amplification. *)
+val amplify :
+  Object_table.t -> Access.t -> Access.t -> rights:Rights.t -> Access.t
+
+val sealed_count : Object_table.t -> Access.t -> int
+
+(** {1 Destruction filters (paper §8.2)} *)
+
+val set_filter_port : Object_table.t -> Access.t -> port_index:int -> unit
+val clear_filter_port : Object_table.t -> Access.t -> unit
+val filter_port : Object_table.t -> Access.t -> int option
+
+(** Filter port registered for the given [Custom] type id, if any. *)
+val filter_port_for_id : Object_table.t -> id:int -> int option

@@ -1,0 +1,1 @@
+lib/core/ada_tasks.ml: Access Fault I432 I432_kernel List Obj_type

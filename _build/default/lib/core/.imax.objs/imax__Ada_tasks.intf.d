@@ -1,0 +1,1 @@
+lib/core/ada_tasks.mli: Access I432 I432_kernel

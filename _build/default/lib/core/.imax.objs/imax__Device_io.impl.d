@@ -1,0 +1,1 @@
+lib/core/device_io.ml: Access Array Bytes I432 I432_gc I432_kernel List Printf String Type_def

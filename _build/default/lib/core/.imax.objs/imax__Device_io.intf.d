@@ -1,0 +1,1 @@
+lib/core/device_io.mli: Access Bytes I432 I432_kernel

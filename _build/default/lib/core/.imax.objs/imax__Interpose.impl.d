@@ -1,0 +1,1 @@
+lib/core/interpose.ml: Access I432 I432_kernel List Untyped_ports

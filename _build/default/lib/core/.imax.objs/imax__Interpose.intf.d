@@ -1,0 +1,1 @@
+lib/core/interpose.mli: Access I432 I432_kernel Untyped_ports

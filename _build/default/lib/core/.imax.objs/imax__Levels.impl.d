@@ -1,0 +1,1 @@
+lib/core/levels.ml: Ada_tasks Fault I432 I432_kernel Printf String

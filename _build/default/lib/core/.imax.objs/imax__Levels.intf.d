@@ -1,0 +1,1 @@
+lib/core/levels.mli: Access Ada_tasks Fault I432 I432_kernel

@@ -1,0 +1,1 @@
+lib/core/memory_manager.ml: Access Bytes Fault Hashtbl I432 I432_kernel List Memory Obj_type Object_table Sro

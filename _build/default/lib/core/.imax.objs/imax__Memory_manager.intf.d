@@ -1,0 +1,1 @@
+lib/core/memory_manager.mli: Access I432 I432_kernel Obj_type

@@ -1,0 +1,1 @@
+lib/core/object_filing.ml: Access Array Bytes Fault Hashtbl I432 I432_kernel List Obj_type Object_table Rights Segment

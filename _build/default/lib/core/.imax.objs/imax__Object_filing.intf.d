@@ -1,0 +1,1 @@
+lib/core/object_filing.mli: Access I432 I432_kernel Obj_type

@@ -1,0 +1,1 @@
+lib/core/process_manager.ml: Access Fault I432 I432_gc I432_kernel List Object_table Option Sro

@@ -1,0 +1,1 @@
+lib/core/process_manager.mli: Access I432 I432_kernel

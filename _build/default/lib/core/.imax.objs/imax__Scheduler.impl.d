@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Access I432 I432_kernel List Process_manager

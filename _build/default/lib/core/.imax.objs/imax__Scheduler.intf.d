@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Access I432 I432_kernel Process_manager

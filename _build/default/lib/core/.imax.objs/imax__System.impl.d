@@ -1,0 +1,1 @@
+lib/core/system.ml: I432 I432_gc I432_kernel Memory_manager Process_manager Scheduler

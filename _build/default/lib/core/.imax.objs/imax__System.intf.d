@@ -1,0 +1,1 @@
+lib/core/system.mli: Access I432 I432_gc I432_kernel Memory_manager Obj_type Process_manager Scheduler Timings

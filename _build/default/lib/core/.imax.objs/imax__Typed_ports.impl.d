@@ -1,0 +1,1 @@
+lib/core/typed_ports.ml: Access I432 I432_kernel Option Type_def Untyped_ports

@@ -1,0 +1,1 @@
+lib/core/typed_ports.mli: Access I432 I432_kernel Untyped_ports

@@ -1,0 +1,1 @@
+lib/core/untyped_ports.ml: Access Fault I432 I432_kernel Printf Rights

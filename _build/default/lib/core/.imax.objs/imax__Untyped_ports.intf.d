@@ -1,0 +1,1 @@
+lib/core/untyped_ports.mli: Access I432 I432_kernel

@@ -1,0 +1,93 @@
+(* Interposition on system interfaces (paper §4).
+
+   "Unlike many systems for which calls to the operating system are very
+   different from calls to other subprograms, the iMAX user sees no
+   difference whatsoever ...  any system interface can be mimicked by a
+   user package.  This makes it straightforward for a user to extend the
+   system interface, trap certain system calls, or otherwise alter iMAX
+   services."
+
+   This module demonstrates the technique on the port interface: a wrapper
+   that satisfies the same signature as Untyped_ports but routes every
+   operation through user hooks — tracing, filtering, or transforming
+   messages — without the wrapped code being able to tell the difference.
+   Because the interface is plain subprogram calls, no compiler or kernel
+   support is involved. *)
+
+open I432
+module K = I432_kernel
+
+(* The common port interface both the real package and wrappers satisfy. *)
+module type PORT_INTERFACE = sig
+  val create_port :
+    K.Machine.t ->
+    ?message_count:int ->
+    ?port_discipline:Untyped_ports.q_discipline ->
+    unit ->
+    Untyped_ports.port
+
+  val send :
+    K.Machine.t -> prt:Untyped_ports.port -> msg:Untyped_ports.any_access -> unit
+
+  val receive : K.Machine.t -> prt:Untyped_ports.port -> Untyped_ports.any_access
+end
+
+(* The genuine iMAX package, as a first-class instance of the interface. *)
+module Real : PORT_INTERFACE = struct
+  let create_port = Untyped_ports.create_port
+  let send = Untyped_ports.send
+  let receive = Untyped_ports.receive
+end
+
+type hooks = {
+  on_send : Access.t -> Access.t option;
+      (** return [None] to drop the message, [Some m] (possibly rewritten)
+          to pass it on *)
+  on_receive : Access.t -> Access.t;
+  on_create : unit -> unit;
+}
+
+let default_hooks =
+  { on_send = (fun m -> Some m); on_receive = (fun m -> m); on_create = (fun () -> ()) }
+
+type trace_entry = Sent of Access.t | Dropped of Access.t | Received of Access.t
+
+(* Build an interposed package: same signature, user policy inside.  The
+   wrapped package is a parameter, so interposers stack. *)
+let wrap ?(hooks = default_hooks) (module Base : PORT_INTERFACE) =
+  let log : trace_entry list ref = ref [] in
+  let module Wrapped = struct
+    let create_port machine ?message_count ?port_discipline () =
+      hooks.on_create ();
+      Base.create_port machine ?message_count ?port_discipline ()
+
+    let send machine ~prt ~msg =
+      match hooks.on_send msg with
+      | Some msg' ->
+        log := Sent msg' :: !log;
+        Base.send machine ~prt ~msg:msg'
+      | None -> log := Dropped msg :: !log
+
+    let receive machine ~prt =
+      let msg = hooks.on_receive (Base.receive machine ~prt) in
+      log := Received msg :: !log;
+      msg
+  end in
+  ((module Wrapped : PORT_INTERFACE), fun () -> List.rev !log)
+
+(* A ready-made auditing interposer: counts operations without altering
+   behaviour — the "trap certain system calls" case. *)
+let auditor (module Base : PORT_INTERFACE) =
+  let sends = ref 0 and receives = ref 0 in
+  let module Audited = struct
+    let create_port = Base.create_port
+
+    let send machine ~prt ~msg =
+      incr sends;
+      Base.send machine ~prt ~msg
+
+    let receive machine ~prt =
+      incr receives;
+      Base.receive machine ~prt
+  end in
+  ((module Audited : PORT_INTERFACE), fun () -> (!sends, !receives))

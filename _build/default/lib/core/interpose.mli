@@ -1,0 +1,48 @@
+(** Interposition on system interfaces (paper §4): a user package that
+    satisfies the same signature as an iMAX package and can therefore
+    stand in for it — extending, tracing, or filtering — with no kernel
+    or compiler cooperation. *)
+
+open I432
+module K := I432_kernel
+
+(** The interface both the real port package and wrappers satisfy. *)
+module type PORT_INTERFACE = sig
+  val create_port :
+    K.Machine.t ->
+    ?message_count:int ->
+    ?port_discipline:Untyped_ports.q_discipline ->
+    unit ->
+    Untyped_ports.port
+
+  val send :
+    K.Machine.t -> prt:Untyped_ports.port -> msg:Untyped_ports.any_access -> unit
+
+  val receive :
+    K.Machine.t -> prt:Untyped_ports.port -> Untyped_ports.any_access
+end
+
+(** The genuine iMAX package as a first-class instance. *)
+module Real : PORT_INTERFACE
+
+type hooks = {
+  on_send : Access.t -> Access.t option;
+      (** [None] drops the message; [Some m] (possibly rewritten) passes *)
+  on_receive : Access.t -> Access.t;
+  on_create : unit -> unit;
+}
+
+val default_hooks : hooks
+
+type trace_entry = Sent of Access.t | Dropped of Access.t | Received of Access.t
+
+(** Wrap a package with user policy; returns the wrapped package and a
+    trace reader.  Interposers stack. *)
+val wrap :
+  ?hooks:hooks ->
+  (module PORT_INTERFACE) ->
+  (module PORT_INTERFACE) * (unit -> trace_entry list)
+
+(** A counting interposer: (sends, receives) observed. *)
+val auditor :
+  (module PORT_INTERFACE) -> (module PORT_INTERFACE) * (unit -> int * int)

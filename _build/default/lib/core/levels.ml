@@ -1,0 +1,99 @@
+(* The internal level discipline of iMAX (paper §7.3).
+
+   "The implementation of iMAX defines a set of levels which dictate what
+   operations are permitted to processes at that level.  Processes below
+   level 3 of the system ... are in general not permitted to fault.
+   Processes at level 2 are actually permitted a limited set of timeout
+   faults while those at level 1 are not permitted even these.  To avoid
+   dependency couplings, all communications between levels 2 and 3 of the
+   system must be asynchronous and upward communication must never depend
+   upon a reply."
+
+   Levels are orthogonal to abstractions: a single abstraction may span
+   several levels.  The kernel enforces the fault rule (Machine panics when
+   a process below level 3 faults); this module provides the level
+   vocabulary, the communication-legality checks, and the asynchronous
+   notification primitive that is the only legal upward channel from
+   level 2. *)
+
+open I432
+module K = I432_kernel
+
+type level =
+  | Level1  (* innermost: no faults at all, not even timeouts *)
+  | Level2  (* limited timeout faults; upward communication asynchronous *)
+  | Level3  (* may fault; full services *)
+  | User  (* ordinary application processes (level 4 and above) *)
+
+let to_int = function Level1 -> 1 | Level2 -> 2 | Level3 -> 3 | User -> 4
+
+let of_int = function
+  | 1 -> Level1
+  | 2 -> Level2
+  | 3 -> Level3
+  | n when n >= 4 -> User
+  | n -> invalid_arg (Printf.sprintf "Levels.of_int: %d" n)
+
+let to_string = function
+  | Level1 -> "level-1"
+  | Level2 -> "level-2"
+  | Level3 -> "level-3"
+  | User -> "user"
+
+(* May a process at [level] fault with [cause]?  Level 2 is allowed only
+   timeouts; level 1 nothing; level 3 and users anything. *)
+let may_fault level cause =
+  match level with
+  | Level3 | User -> true
+  | Level1 -> false
+  | Level2 -> (
+    match cause with
+    | Fault.Protocol msg ->
+      (* The "limited set of timeout faults". *)
+      String.length msg >= 7 && String.sub msg 0 7 = "timeout"
+    | Fault.Rights_violation _ | Fault.Level_violation _
+    | Fault.Type_mismatch _ | Fault.Bounds _ | Fault.Invalid_descriptor _
+    | Fault.Null_access | Fault.Storage_exhausted _ | Fault.Sro_destroyed
+    | Fault.Segment_swapped_out _ -> false)
+
+(* Is a communication from [src] to [dst] required to be asynchronous?
+   The 2<->3 boundary is; everything else may be synchronous. *)
+let must_be_asynchronous ~src ~dst =
+  let s = to_int src and d = to_int dst in
+  (s = 2 && d >= 3) || (s >= 3 && d = 2)
+
+(* May [src] block waiting for a reply from [dst]?  "Upward communication
+   must never depend upon a reply": level 2 must not wait on level 3. *)
+let may_await_reply ~src ~dst =
+  not (to_int src = 2 && to_int dst >= 3)
+
+exception Discipline_violation of string
+
+(* Spawn a process pinned to an iMAX level.  The kernel's panic rule uses
+   the numeric level. *)
+let spawn machine ~level ?(priority = 8) ?daemon ~name body =
+  K.Machine.spawn machine ~system_level:(to_int level) ~priority ?daemon ~name
+    body
+
+(* The only legal upward channel from level 2: a non-blocking post that
+   neither waits for space nor for a reply.  Returns whether the
+   notification was accepted. *)
+let async_notify machine ~src ~port ~msg =
+  if to_int src = 2 then K.Machine.cond_send machine ~port ~msg
+  else begin
+    K.Machine.send machine ~port ~msg;
+    true
+  end
+
+(* A guarded synchronous call helper for intra-level services: refuses the
+   call shapes the discipline forbids instead of deadlocking the system. *)
+let sync_call machine ~src ~dst ~entry ~parameter =
+  if not (may_await_reply ~src ~dst) then
+    raise
+      (Discipline_violation
+         (Printf.sprintf "%s may not await a reply from %s" (to_string src)
+            (to_string dst)))
+  else begin
+    ignore machine;
+    Ada_tasks.call entry ~parameter
+  end

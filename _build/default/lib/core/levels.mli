@@ -1,0 +1,52 @@
+(** The internal level discipline of iMAX (paper §7.3).
+
+    Levels are orthogonal to abstractions.  Below system level 3, processes
+    are not permitted to fault (level 2 only timeouts, level 1 nothing);
+    all communication across the 2/3 boundary must be asynchronous, and
+    upward communication must never depend on a reply. *)
+
+open I432
+module K := I432_kernel
+
+type level = Level1 | Level2 | Level3 | User
+
+val to_int : level -> int
+val of_int : int -> level
+val to_string : level -> string
+
+(** May a process at this level raise this fault? *)
+val may_fault : level -> Fault.cause -> bool
+
+(** Is the src/dst pairing required to communicate asynchronously? *)
+val must_be_asynchronous : src:level -> dst:level -> bool
+
+(** May [src] block awaiting a reply from [dst]? *)
+val may_await_reply : src:level -> dst:level -> bool
+
+exception Discipline_violation of string
+
+(** Spawn a process pinned to an iMAX level (the kernel panics if a
+    process below level 3 faults). *)
+val spawn :
+  K.Machine.t ->
+  level:level ->
+  ?priority:int ->
+  ?daemon:bool ->
+  name:string ->
+  (unit -> unit) ->
+  Access.t
+
+(** The only legal upward channel from level 2: a non-blocking post.
+    Returns acceptance. *)
+val async_notify :
+  K.Machine.t -> src:level -> port:Access.t -> msg:Access.t -> bool
+
+(** Guarded synchronous entry call: raises [Discipline_violation] for the
+    call shapes the discipline forbids. *)
+val sync_call :
+  K.Machine.t ->
+  src:level ->
+  dst:level ->
+  entry:Ada_tasks.entry ->
+  parameter:Access.t ->
+  Access.t

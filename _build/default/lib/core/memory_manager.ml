@@ -1,0 +1,351 @@
+(* Memory management via alternate implementations (paper §6.2).
+
+   "Virtually all processes make use of memory management facilities via a
+   standard interface that permits allocation of new objects.  Few processes
+   depend upon whether the underlying implementation includes swapping or
+   not.  A single Ada specification defines the common interface. ...  Both
+   a swapping and a non-swapping implementation meet this specification but
+   are optimized internally to the level of function they provide.  Each may
+   provide an additional management interface."
+
+   The common interface is the module type S below; the system is configured
+   by picking one first-class module (see {!System}).  The interface covers
+   the three allocation mechanisms of §5: stack allocation (per-call local
+   heaps), global heap allocation, and local heap allocation. *)
+
+open I432
+module K = I432_kernel
+
+type stats = {
+  mutable allocations : int;
+  mutable frees : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable alloc_faults : int;  (* storage exhausted on first attempt *)
+}
+
+let fresh_stats () =
+  { allocations = 0; frees = 0; swap_ins = 0; swap_outs = 0; alloc_faults = 0 }
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : K.Machine.t -> heap_bytes:int -> t
+
+  (** Global heap allocation: the object lives at level 0 until
+      unreachable. *)
+  val allocate :
+    t -> data_length:int -> access_length:int -> otype:Obj_type.t -> Access.t
+
+  (** Local heap allocation at a lifetime level (a new SRO per level). *)
+  val allocate_local :
+    t ->
+    level:int ->
+    data_length:int ->
+    access_length:int ->
+    otype:Obj_type.t ->
+    Access.t
+
+  (** Explicit release (garbage collection frees the rest). *)
+  val free : t -> Access.t -> unit
+
+  (** Touch an object before direct data access: the swapping implementation
+      brings the segment in; the non-swapping one checks validity only. *)
+  val touch : t -> Access.t -> unit
+
+  (** The common interface ends here; [stats] is the per-implementation
+      management interface the paper allows. *)
+  val stats : t -> stats
+end
+
+(* Shared plumbing: per-level local SROs and descriptor release. *)
+
+let release_to_owner table index st =
+  match Sro.state_of_object table ~index with
+  | Some s ->
+    Sro.release table ~sro_state:s ~index;
+    st.frees <- st.frees + 1
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Non-swapping implementation (the paper's first release)             *)
+(* ------------------------------------------------------------------ *)
+
+module Nonswapping : S = struct
+  type t = {
+    machine : K.Machine.t;
+    heap : Access.t;  (* level-0 SRO *)
+    mutable locals : (int * Access.t) list;  (* level -> SRO *)
+    st : stats;
+  }
+
+  let name = "non-swapping"
+
+  let create machine ~heap_bytes =
+    let heap = K.Machine.create_local_sro machine ~level:0 ~bytes:heap_bytes in
+    { machine; heap; locals = []; st = fresh_stats () }
+
+  let allocate t ~data_length ~access_length ~otype =
+    match
+      K.Machine.allocate t.machine t.heap ~data_length ~access_length ~otype
+    with
+    | a ->
+      t.st.allocations <- t.st.allocations + 1;
+      a
+    | exception Fault.Fault (Fault.Storage_exhausted _ as cause) ->
+      t.st.alloc_faults <- t.st.alloc_faults + 1;
+      Fault.raise_fault cause
+
+  let local_sro t ~level =
+    match List.assoc_opt level t.locals with
+    | Some sro when Sro.is_live (K.Machine.table t.machine) sro -> sro
+    | Some _ | None ->
+      let sro =
+        K.Machine.create_local_sro t.machine ~level ~bytes:(64 * 1024)
+      in
+      t.locals <- (level, sro) :: List.remove_assoc level t.locals;
+      sro
+
+  let allocate_local t ~level ~data_length ~access_length ~otype =
+    let sro = local_sro t ~level in
+    let a = K.Machine.allocate t.machine sro ~data_length ~access_length ~otype in
+    t.st.allocations <- t.st.allocations + 1;
+    a
+
+  let free t access =
+    release_to_owner (K.Machine.table t.machine) (Access.index access) t.st
+
+  let touch t access =
+    (* Validity check only: a non-swapping system never has absent
+       segments. *)
+    ignore (Object_table.entry_of_access (K.Machine.table t.machine) access)
+
+  let stats t = t.st
+end
+
+(* ------------------------------------------------------------------ *)
+(* Swapping implementation (the paper's second release)                *)
+(* ------------------------------------------------------------------ *)
+
+type victim_policy = Lru | Fifo_policy
+
+module type SWAP_CONFIG = sig
+  val victim_policy : victim_policy
+  val swap_in_ns : int
+  val swap_out_ns : int
+end
+
+module Default_swap_config = struct
+  let victim_policy = Lru
+  let swap_in_ns = 400_000  (* ~0.4 ms: a fast backing store *)
+  let swap_out_ns = 400_000
+end
+
+module Make_swapping (C : SWAP_CONFIG) : S = struct
+  type resident = {
+    index : int;
+    mutable last_touch : int;  (* virtual ns, for LRU *)
+    arrival : int;  (* monotonic, for FIFO *)
+  }
+
+  type t = {
+    machine : K.Machine.t;
+    heap : Access.t;
+    mutable locals : (int * Access.t) list;
+    mutable residents : resident list;
+    backing : (int, Bytes.t) Hashtbl.t;  (* swapped-out segment images *)
+    mutable arrivals : int;
+    st : stats;
+  }
+
+  let name =
+    match C.victim_policy with
+    | Lru -> "swapping/lru"
+    | Fifo_policy -> "swapping/fifo"
+
+  let create machine ~heap_bytes =
+    let heap = K.Machine.create_local_sro machine ~level:0 ~bytes:heap_bytes in
+    {
+      machine;
+      heap;
+      locals = [];
+      residents = [];
+      backing = Hashtbl.create 64;
+      arrivals = 0;
+      st = fresh_stats ();
+    }
+
+  let note_resident t index =
+    t.arrivals <- t.arrivals + 1;
+    t.residents <-
+      { index; last_touch = K.Machine.now t.machine; arrival = t.arrivals }
+      :: t.residents
+
+  (* Pick a victim among resident, non-system, non-empty segments. *)
+  let pick_victim t ~avoid =
+    let table = K.Machine.table t.machine in
+    let candidates =
+      List.filter
+        (fun r ->
+          r.index <> avoid
+          && Object_table.is_valid table r.index
+          &&
+          let e = Object_table.lookup table r.index in
+          (not e.Object_table.swapped_out)
+          && (not (Obj_type.is_system e.Object_table.otype))
+          && e.Object_table.data_length > 0)
+        t.residents
+    in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+      let better a b =
+        (* Arrival breaks ties so equal-timestamp residents evict
+           oldest-first. *)
+        match C.victim_policy with
+        | Lru ->
+          if (a.last_touch, a.arrival) <= (b.last_touch, b.arrival) then a
+          else b
+        | Fifo_policy -> if a.arrival <= b.arrival then a else b
+      in
+      Some (List.fold_left better first rest)
+
+  (* Swap one segment out: save its data image, mark the descriptor absent,
+     and return its frame to the owning SRO's free store. *)
+  let swap_out t victim =
+    let table = K.Machine.table t.machine in
+    let memory = K.Machine.memory t.machine in
+    let e = Object_table.lookup table victim.index in
+    let image =
+      Memory.blit_to_bytes memory ~src_addr:e.Object_table.base
+        ~len:e.Object_table.data_length
+    in
+    Hashtbl.replace t.backing victim.index image;
+    (match Sro.state_of_object table ~index:victim.index with
+    | Some s ->
+      Sro.donate table ~sro_state:s ~base:e.Object_table.base
+        ~length:e.Object_table.data_length
+    | None -> ());
+    e.Object_table.swapped_out <- true;
+    t.residents <- List.filter (fun r -> r.index <> victim.index) t.residents;
+    K.Machine.charge t.machine C.swap_out_ns;
+    t.st.swap_outs <- t.st.swap_outs + 1
+
+  (* Evict until [sro_state] can supply [size] bytes, or no victims remain. *)
+  let rec make_room t ~sro_state ~size ~avoid =
+    let table = K.Machine.table t.machine in
+    match Sro.carve table ~sro_state ~size with
+    | Some base -> Some base
+    | None -> (
+      match pick_victim t ~avoid with
+      | None -> None
+      | Some victim ->
+        swap_out t victim;
+        make_room t ~sro_state ~size ~avoid)
+
+  (* Bring a swapped-out segment back, evicting residents as needed. *)
+  let swap_in t index =
+    let table = K.Machine.table t.machine in
+    let memory = K.Machine.memory t.machine in
+    let e = Object_table.lookup table index in
+    if e.Object_table.swapped_out then begin
+      let size = e.Object_table.data_length in
+      match Sro.state_of_object table ~index with
+      | None -> Fault.raise_fault Fault.Sro_destroyed
+      | Some s -> (
+        match make_room t ~sro_state:s ~size ~avoid:index with
+        | None ->
+          Fault.raise_fault
+            (Fault.Storage_exhausted { requested = size; available = 0 })
+        | Some base ->
+          (match Hashtbl.find_opt t.backing index with
+          | Some image ->
+            Memory.blit_from_bytes memory ~src:image ~dst_addr:base
+          | None -> Memory.fill memory ~addr:base ~len:size ~byte:'\000');
+          Hashtbl.remove t.backing index;
+          e.Object_table.base <- base;
+          e.Object_table.swapped_out <- false;
+          note_resident t index;
+          K.Machine.charge t.machine C.swap_in_ns;
+          t.st.swap_ins <- t.st.swap_ins + 1)
+    end
+
+  let allocate_with_pressure t sro ~data_length ~access_length ~otype =
+    match
+      K.Machine.allocate t.machine sro ~data_length ~access_length ~otype
+    with
+    | a ->
+      t.st.allocations <- t.st.allocations + 1;
+      note_resident t (Access.index a);
+      a
+    | exception Fault.Fault (Fault.Storage_exhausted _) -> (
+      t.st.alloc_faults <- t.st.alloc_faults + 1;
+      let table = K.Machine.table t.machine in
+      let s = Sro.state_of table sro in
+      match make_room t ~sro_state:s ~size:data_length ~avoid:(-1) with
+      | None ->
+        Fault.raise_fault
+          (Fault.Storage_exhausted { requested = data_length; available = 0 })
+      | Some base ->
+        (* Return the carved frame and let the allocator place the new
+           object there. *)
+        Sro.donate table ~sro_state:s ~base ~length:data_length;
+        let a =
+          K.Machine.allocate t.machine sro ~data_length ~access_length ~otype
+        in
+        t.st.allocations <- t.st.allocations + 1;
+        note_resident t (Access.index a);
+        a)
+
+  let allocate t ~data_length ~access_length ~otype =
+    allocate_with_pressure t t.heap ~data_length ~access_length ~otype
+
+  let local_sro t ~level =
+    match List.assoc_opt level t.locals with
+    | Some sro when Sro.is_live (K.Machine.table t.machine) sro -> sro
+    | Some _ | None ->
+      let sro =
+        K.Machine.create_local_sro t.machine ~level ~bytes:(64 * 1024)
+      in
+      t.locals <- (level, sro) :: List.remove_assoc level t.locals;
+      sro
+
+  let allocate_local t ~level ~data_length ~access_length ~otype =
+    let sro = local_sro t ~level in
+    allocate_with_pressure t sro ~data_length ~access_length ~otype
+
+  let free t access =
+    let table = K.Machine.table t.machine in
+    let e = Object_table.entry_of_access table access in
+    Hashtbl.remove t.backing e.Object_table.index;
+    t.residents <-
+      List.filter (fun r -> r.index <> e.Object_table.index) t.residents;
+    if e.Object_table.swapped_out then begin
+      (* No physical frame to return; make the release a descriptor-only
+         operation. *)
+      e.Object_table.data_length <- 0;
+      e.Object_table.swapped_out <- false
+    end;
+    release_to_owner table e.Object_table.index t.st
+
+  let touch t access =
+    let table = K.Machine.table t.machine in
+    let e = Object_table.entry_of_access table access in
+    if e.Object_table.swapped_out then swap_in t e.Object_table.index;
+    List.iter
+      (fun r ->
+        if r.index = e.Object_table.index then
+          r.last_touch <- K.Machine.now t.machine)
+      t.residents
+
+  let stats t = t.st
+end
+
+module Swapping = Make_swapping (Default_swap_config)
+
+module Swapping_fifo = Make_swapping (struct
+  let victim_policy = Fifo_policy
+  let swap_in_ns = Default_swap_config.swap_in_ns
+  let swap_out_ns = Default_swap_config.swap_out_ns
+end)

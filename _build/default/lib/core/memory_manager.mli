@@ -1,0 +1,66 @@
+(** Memory management via alternate implementations of one specification
+    (paper §6.2).
+
+    The common interface is the module type {!S}; the system is configured
+    by selecting one implementation (see {!System}).  It covers the three
+    allocation mechanisms of §5 — stack (per-level local heaps), global
+    heap, and local heap — plus explicit release and the presence [touch]
+    the swapping implementation needs. *)
+
+open I432
+module K := I432_kernel
+
+type stats = {
+  mutable allocations : int;
+  mutable frees : int;
+  mutable swap_ins : int;
+  mutable swap_outs : int;
+  mutable alloc_faults : int;  (** storage exhausted on first attempt *)
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : K.Machine.t -> heap_bytes:int -> t
+
+  val allocate :
+    t -> data_length:int -> access_length:int -> otype:Obj_type.t -> Access.t
+
+  val allocate_local :
+    t ->
+    level:int ->
+    data_length:int ->
+    access_length:int ->
+    otype:Obj_type.t ->
+    Access.t
+
+  val free : t -> Access.t -> unit
+
+  (** Bring the segment in (swapping) or just validate (non-swapping). *)
+  val touch : t -> Access.t -> unit
+
+  (** The per-implementation management interface the paper allows. *)
+  val stats : t -> stats
+end
+
+(** The paper's first release: no swapping; exhaustion faults. *)
+module Nonswapping : S
+
+type victim_policy = Lru | Fifo_policy
+
+module type SWAP_CONFIG = sig
+  val victim_policy : victim_policy
+  val swap_in_ns : int
+  val swap_out_ns : int
+end
+
+module Default_swap_config : SWAP_CONFIG
+
+(** The second release: segments move to a backing store under pressure
+    and return on [touch]; direct access to an absent segment faults with
+    [Segment_swapped_out]. *)
+module Make_swapping (_ : SWAP_CONFIG) : S
+
+module Swapping : S
+module Swapping_fifo : S

@@ -1,0 +1,210 @@
+(* Object filing: type-preserving passive storage (paper §7.2, and the
+   companion object-filing paper it cites).
+
+   "By the definition of Ada, if a storage system exists before the
+   compilation of a package, then it cannot know of and therefore cannot
+   preserve the type of some object that it is asked to store. ...  No
+   matter what path a system object follows within the 432, its
+   hardware-recognized type identity is guaranteed to be preserved and
+   checked, either by the hardware or by object filing."
+
+   This module is the minimal filing system this paper relies on: a passive
+   store that checkpoints an object's data image *and* its hardware type,
+   and reconstructs the object on retrieval with the type intact — so a
+   sealed Custom object comes back sealed, and a retrieval asserting the
+   wrong type faults rather than producing an untyped blob. *)
+
+open I432
+module K = I432_kernel
+
+type filed = {
+  image : Bytes.t;
+  filed_type : Obj_type.t;
+  filed_level : int;
+  access_length : int;
+}
+
+type filed_node = {
+  node_image : Bytes.t;
+  node_type : Obj_type.t;
+  node_access_length : int;
+  node_edges : (int * int) list;  (* slot -> serial of target node *)
+}
+
+type filed_graph = { nodes : filed_node array }  (* serial 0 is the root *)
+
+type t = {
+  machine : K.Machine.t;
+  files : (string, filed) Hashtbl.t;
+  graphs : (string, filed_graph) Hashtbl.t;
+  mutable stores : int;
+  mutable retrievals : int;
+}
+
+let create machine =
+  {
+    machine;
+    files = Hashtbl.create 16;
+    graphs = Hashtbl.create 16;
+    stores = 0;
+    retrievals = 0;
+  }
+
+(* File an object under [key]: its data image and type identity are
+   captured.  Access parts are not filed (a passive store cannot hold live
+   capabilities; the real system transitively filed composites, which is
+   beyond this paper's scope). *)
+let store t ~key access =
+  let table = K.Machine.table t.machine in
+  let e = Object_table.entry_of_access table access in
+  if not (Rights.has_read (Access.rights access)) then
+    Fault.raise_fault
+      (Fault.Rights_violation { needed = "read"; held = Access.rights access });
+  let image =
+    K.Machine.read_bytes t.machine access ~offset:0
+      ~len:e.Object_table.data_length
+  in
+  Hashtbl.replace t.files key
+    {
+      image;
+      filed_type = e.Object_table.otype;
+      filed_level = e.Object_table.level;
+      access_length = Array.length e.Object_table.access_part;
+    };
+  t.stores <- t.stores + 1
+
+exception Not_filed of string
+
+(* Retrieve a fresh object carrying the filed data and the filed type.  The
+   object is allocated from [sro] (default: the global heap). *)
+let retrieve t ?sro ~key () =
+  let sro = match sro with Some s -> s | None -> K.Machine.global_sro t.machine in
+  match Hashtbl.find_opt t.files key with
+  | None -> raise (Not_filed key)
+  | Some f ->
+    let table = K.Machine.table t.machine in
+    let access =
+      K.Machine.allocate t.machine sro ~data_length:(Bytes.length f.image)
+        ~access_length:f.access_length ~otype:Obj_type.Generic
+    in
+    if Bytes.length f.image > 0 then
+      K.Machine.write_bytes t.machine access ~offset:0 f.image;
+    (* Restore the hardware type identity. *)
+    let e = Object_table.entry_of_access table access in
+    e.Object_table.otype <- f.filed_type;
+    t.retrievals <- t.retrievals + 1;
+    access
+
+(* Retrieve with a type assertion: the typed channel of §7.2. *)
+let retrieve_as t ?sro ~key ~expected () =
+  let access = retrieve t ?sro ~key () in
+  Segment.check_type (K.Machine.table t.machine) access expected;
+  access
+
+(* ------------------------------------------------------------------ *)
+(* Composite filing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A filed composite holds the data images and types of every object
+   reachable from the root through access parts, plus the edge structure,
+   so the graph (including cycles and sharing) is rebuilt isomorphic on
+   retrieval.  This is the slice of the companion filing paper that this
+   paper's type-preservation claim needs for composite objects. *)
+
+(* Serialize the reachable graph with a depth-first walk; serials are
+   assigned in discovery order so retrieval is deterministic. *)
+let store_graph t ~key root =
+  let table = K.Machine.table t.machine in
+  let serial_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let acc : (int * filed_node) list ref = ref [] in
+  let count = ref 0 in
+  let rec walk access =
+    let e = Object_table.entry_of_access table access in
+    match Hashtbl.find_opt serial_of e.Object_table.index with
+    | Some serial -> serial
+    | None ->
+      let serial = !count in
+      incr count;
+      Hashtbl.add serial_of e.Object_table.index serial;
+      let image =
+        K.Machine.read_bytes t.machine access ~offset:0
+          ~len:e.Object_table.data_length
+      in
+      (* Reserve our slot in discovery order, then fill edges after the
+         children are walked (placeholder updated in place). *)
+      let edges = ref [] in
+      Array.iteri
+        (fun slot stored ->
+          match stored with
+          | Some child -> edges := (slot, walk child) :: !edges
+          | None -> ())
+        e.Object_table.access_part;
+      acc :=
+        ( serial,
+          {
+            node_image = image;
+            node_type = e.Object_table.otype;
+            node_access_length = Array.length e.Object_table.access_part;
+            node_edges = List.rev !edges;
+          } )
+        :: !acc;
+      serial
+  in
+  let root_serial = walk root in
+  assert (root_serial = 0);
+  let nodes = Array.make !count (List.assoc 0 !acc) in
+  List.iter (fun (serial, node) -> nodes.(serial) <- node) !acc;
+  Hashtbl.replace t.graphs key { nodes };
+  t.stores <- t.stores + 1;
+  Array.length nodes
+
+(* Rebuild a filed graph: allocate every node, restore images and types,
+   then wire the access parts.  Cycles work because allocation precedes
+   wiring. *)
+let retrieve_graph t ?sro ~key () =
+  let sro = match sro with Some s -> s | None -> K.Machine.global_sro t.machine in
+  match Hashtbl.find_opt t.graphs key with
+  | None -> raise (Not_filed key)
+  | Some g ->
+    let table = K.Machine.table t.machine in
+    let fresh =
+      Array.map
+        (fun node ->
+          let access =
+            K.Machine.allocate t.machine sro
+              ~data_length:(Bytes.length node.node_image)
+              ~access_length:node.node_access_length ~otype:Obj_type.Generic
+          in
+          if Bytes.length node.node_image > 0 then
+            K.Machine.write_bytes t.machine access ~offset:0 node.node_image;
+          (Object_table.entry_of_access table access).Object_table.otype <-
+            node.node_type;
+          access)
+        g.nodes
+    in
+    Array.iteri
+      (fun serial node ->
+        List.iter
+          (fun (slot, target) ->
+            Segment.store_access table fresh.(serial) ~slot
+              (Some fresh.(target)))
+          node.node_edges)
+      g.nodes;
+    t.retrievals <- t.retrievals + 1;
+    fresh.(0)
+
+let graph_size t ~key =
+  match Hashtbl.find_opt t.graphs key with
+  | Some g -> Some (Array.length g.nodes)
+  | None -> None
+
+let filed_type t ~key =
+  match Hashtbl.find_opt t.files key with
+  | Some f -> Some f.filed_type
+  | None -> None
+
+let mem t ~key = Hashtbl.mem t.files key
+let remove t ~key = Hashtbl.remove t.files key
+let count t = Hashtbl.length t.files
+let stores t = t.stores
+let retrievals t = t.retrievals

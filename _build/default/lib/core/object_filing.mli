@@ -1,0 +1,47 @@
+(** Object filing: type-preserving passive storage (paper §7.2).
+
+    A filed object's data image and hardware type identity are captured
+    together; retrieval reconstructs the object with its type intact, so a
+    sealed instance comes back sealed and a wrong type assertion faults.
+    Composite filing captures the reachable graph (cycles and sharing
+    included) and rebuilds it isomorphic. *)
+
+open I432
+module K := I432_kernel
+
+type t
+
+exception Not_filed of string
+
+val create : K.Machine.t -> t
+
+(** File one object's data image and type under [key]. *)
+val store : t -> key:string -> Access.t -> unit
+
+(** Recreate a filed object (allocated from [sro], default global heap). *)
+val retrieve : t -> ?sro:Access.t -> key:string -> unit -> Access.t
+
+(** Retrieve with a hardware type assertion; wrong type faults. *)
+val retrieve_as :
+  t -> ?sro:Access.t -> key:string -> expected:Obj_type.t -> unit -> Access.t
+
+(** {1 Composite filing} *)
+
+(** File everything reachable from the root through access parts.
+    Returns the number of objects filed. *)
+val store_graph : t -> key:string -> Access.t -> int
+
+(** Rebuild a filed graph isomorphic (fresh objects, same shapes, types,
+    data, sharing, and cycles).  Returns the new root. *)
+val retrieve_graph : t -> ?sro:Access.t -> key:string -> unit -> Access.t
+
+val graph_size : t -> key:string -> int option
+
+(** {1 Introspection} *)
+
+val filed_type : t -> key:string -> Obj_type.t option
+val mem : t -> key:string -> bool
+val remove : t -> key:string -> unit
+val count : t -> int
+val stores : t -> int
+val retrievals : t -> int

@@ -1,0 +1,147 @@
+(* The basic process manager (paper §6.1).
+
+   It "completes the model of processes embedded in the hardware" without
+   arbitrating the processor resource: dispatching parameters pass through
+   to the hardware, and resource policy is layered on top by a scheduler
+   package (see {!Scheduler}).
+
+   Stop/start semantics: "Each process has a count of the number of stops or
+   starts outstanding against it which determines if it is currently
+   running.  Since starts and stops apply to entire trees, a user wishing to
+   control a computation need not be aware of the internal structure of that
+   process."  A process is in the dispatching mix iff its stop count is
+   zero; the kernel is told only about 0<->1 transitions, and the scheduler
+   port is notified so a policy module can track the mix without tracking
+   the tree (the counts are "maintained by the basic process manager").
+
+   The manager also registers the process destruction filter so that lost
+   process objects are recovered (§8.2: the first release of iMAX "uses this
+   facility only to recover lost process objects"). *)
+
+open I432
+module K = I432_kernel
+
+type node = {
+  access : Access.t;
+  node_name : string;
+  parent : int option;  (* object index of parent process *)
+  mutable children : int list;
+  mutable stop_count : int;
+  mutable live : bool;
+}
+
+type t = {
+  machine : K.Machine.t;
+  mutable nodes : (int * node) list;  (* keyed by process object index *)
+  recovery_port : Access.t;  (* destruction filter for process objects *)
+  mutable recovered : int;
+}
+
+let create machine =
+  let recovery_port =
+    K.Machine.create_port machine ~capacity:256 ~discipline:K.Port.Fifo ()
+  in
+  I432_gc.Destruction_filter.register_process_filter recovery_port;
+  { machine; nodes = []; recovery_port; recovered = 0 }
+
+let find t index = List.assoc_opt index t.nodes
+
+let node_of_access t access =
+  match find t (Access.index access) with
+  | Some n -> n
+  | None -> Fault.raise_fault (Fault.Protocol "process not managed")
+
+(* Create a managed process, optionally as the child of another managed
+   process (the Ada task model: a process's lifetime nests in its
+   parent's). *)
+let create_process t ?parent ?(priority = 8) ?(system_level = 4) ~name body =
+  let access =
+    K.Machine.spawn t.machine ~priority ~system_level ~name body
+  in
+  let index = Access.index access in
+  let parent_index = Option.map (fun a -> Access.index a) parent in
+  (match parent_index with
+  | Some pi -> (
+    match find t pi with
+    | Some pn -> pn.children <- index :: pn.children
+    | None -> Fault.raise_fault (Fault.Protocol "parent process not managed"))
+  | None -> ());
+  let node =
+    {
+      access;
+      node_name = name;
+      parent = parent_index;
+      children = [];
+      stop_count = 0;
+      live = true;
+    }
+  in
+  t.nodes <- (index, node) :: t.nodes;
+  access
+
+(* Apply [f] over the whole tree rooted at [node], prefix order. *)
+let rec iter_tree t node f =
+  f node;
+  List.iter
+    (fun ci -> match find t ci with Some c -> iter_tree t c f | None -> ())
+    node.children
+
+(* Stop the entire computation rooted at [access]: increment every count;
+   processes crossing 0 -> 1 leave the dispatching mix. *)
+let stop t access =
+  let root = node_of_access t access in
+  iter_tree t root (fun n ->
+      n.stop_count <- n.stop_count + 1;
+      if n.stop_count = 1 then K.Machine.set_stopped t.machine n.access true)
+
+(* Start: decrement every count; 1 -> 0 re-enters the mix.  Starts without a
+   matching stop are a protocol fault, keeping the nesting discipline. *)
+let start t access =
+  let root = node_of_access t access in
+  iter_tree t root (fun n ->
+      if n.stop_count <= 0 then
+        Fault.raise_fault (Fault.Protocol "start without outstanding stop");
+      n.stop_count <- n.stop_count - 1;
+      if n.stop_count = 0 then K.Machine.set_stopped t.machine n.access false)
+
+let stop_count t access = (node_of_access t access).stop_count
+let is_runnable t access = (node_of_access t access).stop_count = 0
+
+let children t access =
+  List.filter_map (fun i -> find t i) (node_of_access t access).children
+
+(* Dispatching parameters pass straight through to the hardware ("the null
+   policy simply passes through the dispatching parameters"). *)
+let set_priority t access priority =
+  K.Machine.set_priority t.machine access priority
+
+let set_scheduler_port t access port =
+  K.Machine.set_scheduler_port t.machine access port
+
+(* Drain the process destruction filter: recover lost process objects,
+   releasing their table entries.  Must run inside a process body.  Returns
+   the number recovered. *)
+let recover_lost_processes t =
+  let corpses =
+    I432_gc.Destruction_filter.drain t.machine ~port:t.recovery_port
+      ~finalize:(fun corpse ->
+        let index = Access.index corpse in
+        (match find t index with
+        | Some n -> n.live <- false
+        | None -> ());
+        let table = K.Machine.table t.machine in
+        let e = Object_table.lookup table index in
+        if Object_table.is_valid table e.Object_table.sro then
+          let sro_entry = Object_table.lookup table e.Object_table.sro in
+          match sro_entry.Object_table.payload with
+          | Some (Sro.Sro_state s) ->
+            Sro.release table ~sro_state:s ~index
+          | Some _ | None -> ())
+  in
+  let n = List.length corpses in
+  t.recovered <- t.recovered + n;
+  n
+
+let recovered t = t.recovered
+let recovery_port t = t.recovery_port
+let managed_count t = List.length t.nodes

@@ -1,0 +1,49 @@
+(** The basic process manager (paper §6.1).
+
+    Completes the hardware process model without arbitrating the processor:
+    dispatching parameters pass through, and policy modules layer on top
+    (see {!Scheduler}).  Maintains the process tree and the nested
+    stop/start counts — a process is in the dispatching mix iff its count
+    is zero; only 0<->1 transitions reach the kernel.  Also registers the
+    destruction filter that recovers lost process objects. *)
+
+open I432
+module K := I432_kernel
+
+type node
+type t
+
+val create : K.Machine.t -> t
+
+(** Create a managed process, optionally as the child of another managed
+    process (lifetimes nest as in the Ada task model). *)
+val create_process :
+  t ->
+  ?parent:Access.t ->
+  ?priority:int ->
+  ?system_level:int ->
+  name:string ->
+  (unit -> unit) ->
+  Access.t
+
+(** Stop the whole computation rooted at the process: every tree member's
+    count is incremented; 0 -> 1 leaves the dispatching mix. *)
+val stop : t -> Access.t -> unit
+
+(** Undo one stop over the tree; 1 -> 0 re-enters the mix.  A start without
+    a matching stop raises [Fault (Protocol _)]. *)
+val start : t -> Access.t -> unit
+
+val stop_count : t -> Access.t -> int
+val is_runnable : t -> Access.t -> bool
+val children : t -> Access.t -> node list
+val set_priority : t -> Access.t -> int -> unit
+val set_scheduler_port : t -> Access.t -> Access.t -> unit
+
+(** Drain the process destruction filter, releasing recovered corpses.
+    Must run inside a process body.  Returns the number recovered. *)
+val recover_lost_processes : t -> int
+
+val recovered : t -> int
+val recovery_port : t -> Access.t
+val managed_count : t -> int

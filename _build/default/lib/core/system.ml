@@ -1,0 +1,140 @@
+(* System configuration and boot (paper §3, §6).
+
+   "support for a minimum range of application, configurability are the most
+   important iMAX goals ...  iMAX uses two complementary approaches:
+   selection of needed packages and alternate implementations of standard
+   specifications."
+
+   A configuration selects: the number of processors, which memory-manager
+   implementation satisfies the common specification (§6.2), which
+   scheduling policy is layered on the basic process manager (§6.1), and
+   whether the garbage-collector daemon runs (§8.1).  Boot instantiates
+   exactly the selected packages — there is no central registry of optional
+   services. *)
+
+module K = I432_kernel
+
+type memory_choice = Non_swapping | Swapping_lru | Swapping_fifo
+
+type config = {
+  processors : int;
+  memory_bytes : int;
+  heap_bytes : int;  (* managed heap carved for the memory manager *)
+  memory_manager : memory_choice;
+  scheduling : Scheduler.policy;
+  run_gc_daemon : bool;
+  gc_config : I432_gc.Collector.config;
+  bus_alpha_per_mille : int;
+  timings : I432.Timings.t;
+}
+
+let default_config =
+  {
+    processors = 1;
+    memory_bytes = 1 lsl 22;
+    heap_bytes = 1 lsl 20;
+    memory_manager = Non_swapping;
+    scheduling = Scheduler.Null;
+    run_gc_daemon = false;
+    gc_config = I432_gc.Collector.default_config;
+    bus_alpha_per_mille = 20;
+    timings = I432.Timings.default;
+  }
+
+(* A booted system: the machine plus the packages the configuration
+   selected.  The memory manager is a first-class module packaged with its
+   state — the "package as type" extension of §6.3. *)
+
+type packed_mm = Packed : (module Memory_manager.S with type t = 'a) * 'a -> packed_mm
+
+type t = {
+  machine : K.Machine.t;
+  process_manager : Process_manager.t;
+  scheduler : Scheduler.t;
+  memory : packed_mm;
+  collector : I432_gc.Collector.t option;
+  config : config;
+}
+
+let boot ?(config = default_config) () =
+  let machine =
+    K.Machine.create
+      ~config:
+        {
+          K.Machine.processors = config.processors;
+          memory_bytes = config.memory_bytes;
+          timings = config.timings;
+          bus_alpha_per_mille = config.bus_alpha_per_mille;
+          global_heap_bytes = config.memory_bytes - 4096;
+          trace = false;
+        }
+      ()
+  in
+  let process_manager = Process_manager.create machine in
+  let scheduler = Scheduler.create machine process_manager config.scheduling in
+  (match config.scheduling with
+  | Scheduler.Fair_share -> ignore (Scheduler.spawn_daemon scheduler)
+  | Scheduler.Null | Scheduler.Round_robin -> ());
+  let memory =
+    match config.memory_manager with
+    | Non_swapping ->
+      let mm =
+        Memory_manager.Nonswapping.create machine ~heap_bytes:config.heap_bytes
+      in
+      Packed ((module Memory_manager.Nonswapping), mm)
+    | Swapping_lru ->
+      let mm =
+        Memory_manager.Swapping.create machine ~heap_bytes:config.heap_bytes
+      in
+      Packed ((module Memory_manager.Swapping), mm)
+    | Swapping_fifo ->
+      let mm =
+        Memory_manager.Swapping_fifo.create machine
+          ~heap_bytes:config.heap_bytes
+      in
+      Packed ((module Memory_manager.Swapping_fifo), mm)
+  in
+  let collector =
+    if config.run_gc_daemon then begin
+      let c = I432_gc.Collector.create ~config:config.gc_config machine in
+      ignore (I432_gc.Collector.spawn_daemon c);
+      Some c
+    end
+    else None
+  in
+  { machine; process_manager; scheduler; memory; collector; config }
+
+let machine t = t.machine
+let process_manager t = t.process_manager
+let scheduler t = t.scheduler
+let collector t = t.collector
+
+(* Allocate through whichever memory-manager implementation was selected;
+   callers cannot tell which is running (§6.2). *)
+let mm_allocate t ~data_length ~access_length ~otype =
+  let (Packed ((module M), mm)) = t.memory in
+  M.allocate mm ~data_length ~access_length ~otype
+
+let mm_free t access =
+  let (Packed ((module M), mm)) = t.memory in
+  M.free mm access
+
+let mm_touch t access =
+  let (Packed ((module M), mm)) = t.memory in
+  M.touch mm access
+
+let mm_stats t =
+  let (Packed ((module M), mm)) = t.memory in
+  M.stats mm
+
+let mm_name t =
+  let (Packed ((module M), _)) = t.memory in
+  M.name
+
+let memory_choice_to_string = function
+  | Non_swapping -> "non-swapping"
+  | Swapping_lru -> "swapping/lru"
+  | Swapping_fifo -> "swapping/fifo"
+
+(* Run to completion and report. *)
+let run ?max_ns ?max_steps t = K.Machine.run ?max_ns ?max_steps t.machine

@@ -1,0 +1,114 @@
+(* The generic package Typed_Ports (paper §4, Figure 2).
+
+   "The user may create an instance of this package for any access type,
+   thus creating a new Ada level type user_port that can be type checked at
+   compile time ...  The implementation of this package is in terms of
+   Untyped_Ports and an unchecked_conversion from any_access to the
+   user_message type.  The inline facility allows the code generated for any
+   instance of this package to be identical to that generated for the
+   untyped port package."
+
+   In OCaml the generic package is a functor and the unchecked conversions
+   are the coercions the MESSAGE argument supplies.  For messages that are
+   themselves 432 objects the conversions are the identity, so the compiled
+   instance performs exactly the Untyped_ports operations — the
+   zero-overhead claim benchmarked in experiment E4.
+
+   Make_checked goes "one step further ... to provide the type checking
+   dynamically at runtime" using the 432's user-defined types: each send and
+   receive also verifies the hardware type of the message object. *)
+
+open I432
+module K = I432_kernel
+
+module type MESSAGE = sig
+  type t
+
+  val to_access : t -> Access.t
+  val of_access : Access.t -> t
+end
+
+module type S = sig
+  type user_message
+  type user_port
+
+  val create :
+    K.Machine.t ->
+    ?message_count:int ->
+    ?port_discipline:Untyped_ports.q_discipline ->
+    unit ->
+    user_port
+
+  val send : K.Machine.t -> prt:user_port -> msg:user_message -> unit
+  val receive : K.Machine.t -> prt:user_port -> user_message
+  val cond_send : K.Machine.t -> prt:user_port -> msg:user_message -> bool
+  val cond_receive : K.Machine.t -> prt:user_port -> user_message option
+end
+
+module Make (M : MESSAGE) : S with type user_message = M.t = struct
+  type user_message = M.t
+
+  (* "type user_port is new port" — a fresh strong type over the hardware
+     port, so ports of different instances cannot be confused. *)
+  type user_port = Untyped_ports.port
+
+  let create machine ?message_count ?port_discipline () =
+    Untyped_ports.create_port machine ?message_count ?port_discipline ()
+
+  let send machine ~prt ~msg =
+    Untyped_ports.send machine ~prt ~msg:(M.to_access msg)
+
+  let receive machine ~prt = M.of_access (Untyped_ports.receive machine ~prt)
+
+  let cond_send machine ~prt ~msg =
+    Untyped_ports.cond_send machine ~prt ~msg:(M.to_access msg)
+
+  let cond_receive machine ~prt =
+    Option.map M.of_access (Untyped_ports.cond_receive machine ~prt)
+end
+
+(* Identity message module: messages that already are access descriptors.
+   An instance over it compiles to exactly the untyped operations. *)
+module Access_message = struct
+  type t = Access.t
+
+  let to_access a = a
+  let of_access a = a
+end
+
+(* Runtime-checked variant: every message must be a hardware-sealed instance
+   of the given user-defined type. *)
+module Make_checked (T : sig
+  val machine : K.Machine.t
+  val typedef : Access.t
+end) : S with type user_message = Access.t = struct
+  type user_message = Access.t
+  type user_port = Untyped_ports.port
+
+  let table = K.Machine.table T.machine
+
+  let create machine ?message_count ?port_discipline () =
+    Untyped_ports.create_port machine ?message_count ?port_discipline ()
+
+  let check msg = Type_def.check_instance table T.typedef msg
+
+  let send machine ~prt ~msg =
+    check msg;
+    Untyped_ports.send machine ~prt ~msg
+
+  let receive machine ~prt =
+    let msg = Untyped_ports.receive machine ~prt in
+    check msg;
+    msg
+
+  let cond_send machine ~prt ~msg =
+    check msg;
+    Untyped_ports.cond_send machine ~prt ~msg
+
+  let cond_receive machine ~prt =
+    match Untyped_ports.cond_receive machine ~prt with
+    | Some msg ->
+      check msg;
+      Some msg
+    | None -> None
+end

@@ -1,0 +1,49 @@
+(** The generic package [Typed_Ports] (paper §4, Figure 2).
+
+    A functor instance gives a strongly typed port view with code identical
+    to [Untyped_Ports] — the paper's zero-overhead claim, measured by
+    experiment E4.  [Make_checked] adds the 432's dynamic type check on
+    every message, the runtime extension the paper sketches. *)
+
+open I432
+module K := I432_kernel
+
+(** The instance argument: the user message type and its conversions to and
+    from [any_access] (the Ada instance's unchecked conversions). *)
+module type MESSAGE = sig
+  type t
+
+  val to_access : t -> Access.t
+  val of_access : Access.t -> t
+end
+
+module type S = sig
+  type user_message
+
+  (** "type user_port is new port": a fresh strong type per instance. *)
+  type user_port
+
+  val create :
+    K.Machine.t ->
+    ?message_count:int ->
+    ?port_discipline:Untyped_ports.q_discipline ->
+    unit ->
+    user_port
+
+  val send : K.Machine.t -> prt:user_port -> msg:user_message -> unit
+  val receive : K.Machine.t -> prt:user_port -> user_message
+  val cond_send : K.Machine.t -> prt:user_port -> msg:user_message -> bool
+  val cond_receive : K.Machine.t -> prt:user_port -> user_message option
+end
+
+module Make (M : MESSAGE) : S with type user_message = M.t
+
+(** Identity instance: messages that already are access descriptors. *)
+module Access_message : MESSAGE with type t = Access.t
+
+(** Runtime-checked instance: every message must be a hardware-sealed
+    instance of [typedef]. *)
+module Make_checked (_ : sig
+  val machine : K.Machine.t
+  val typedef : Access.t
+end) : S with type user_message = Access.t

@@ -1,0 +1,53 @@
+(* The iMAX package Untyped_Ports (paper §4, Figure 1).
+
+   "The type any_access ... corresponds to an otherwise untyped access
+   descriptor. ...  Of the three subprograms ... Send and Receive will
+   correspond to single instructions, while Create is software implemented."
+
+   Send and Receive map to the kernel's single-instruction port syscalls
+   (the Ada inline pragma); Create_port is implemented conventionally here,
+   in the only package holding the environment needed to construct port
+   objects — the 432 protection structures guarantee as much, since the
+   port-creating SRO access is confined to this module's closure. *)
+
+open I432
+module K = I432_kernel
+
+(* any_access: an otherwise untyped access descriptor. *)
+type any_access = Access.t
+
+type port = Access.t
+
+type q_discipline = K.Port.discipline = Fifo | Priority
+
+let max_msg_cnt = 4096
+
+(* Create a port with the given size and queueing discipline. *)
+let create_port machine ?(message_count = 16) ?(port_discipline = Fifo) () =
+  if message_count < 1 || message_count > max_msg_cnt then
+    Fault.raise_fault
+      (Fault.Protocol
+         (Printf.sprintf "message_count %d outside 1..%d" message_count
+            max_msg_cnt));
+  K.Machine.create_port machine ~capacity:message_count
+    ~discipline:port_discipline ()
+
+(* The calling process sends [msg] to [prt], blocking while the message
+   queue is full. *)
+let send machine ~prt ~(msg : any_access) = K.Machine.send machine ~port:prt ~msg
+
+(* The calling process receives a message from [prt], blocking until one is
+   available. *)
+let receive machine ~prt : any_access = K.Machine.receive machine ~port:prt
+
+(* Non-blocking variants (the 432's conditional send/receive). *)
+let cond_send machine ~prt ~(msg : any_access) =
+  K.Machine.cond_send machine ~port:prt ~msg
+
+let cond_receive machine ~prt : any_access option =
+  K.Machine.cond_receive machine ~port:prt
+
+(* Restrict a port access to one capability direction: a send-only or
+   receive-only descriptor to hand to clients. *)
+let send_only prt = Access.without_type_right prt Rights.t2
+let receive_only prt = Access.without_type_right prt Rights.t1

@@ -1,0 +1,36 @@
+(** The iMAX package [Untyped_Ports] (paper §4, Figure 1).
+
+    Messages are [any_access] — otherwise untyped access descriptors.  Send
+    and Receive correspond to single 432 instructions; port creation is
+    software-implemented and confined to this package. *)
+
+open I432
+
+type any_access = Access.t
+type port = Access.t
+type q_discipline = I432_kernel.Port.discipline = Fifo | Priority
+
+val max_msg_cnt : int
+
+(** Create a port with the given queue size (default 16) and queueing
+    discipline (default [Fifo]). *)
+val create_port :
+  I432_kernel.Machine.t ->
+  ?message_count:int ->
+  ?port_discipline:q_discipline ->
+  unit ->
+  port
+
+(** Blocks while the port's message queue is full. *)
+val send : I432_kernel.Machine.t -> prt:port -> msg:any_access -> unit
+
+(** Blocks until a message is available. *)
+val receive : I432_kernel.Machine.t -> prt:port -> any_access
+
+val cond_send : I432_kernel.Machine.t -> prt:port -> msg:any_access -> bool
+val cond_receive : I432_kernel.Machine.t -> prt:port -> any_access option
+
+(** Capability-restricted views of a port. *)
+val send_only : port -> port
+
+val receive_only : port -> port

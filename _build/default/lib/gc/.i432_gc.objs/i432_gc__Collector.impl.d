@@ -1,0 +1,1 @@
+lib/gc/collector.ml: Access Array Destruction_filter Fault I432 I432_kernel List Obj_type Object_table Rights Sro Timings Type_def

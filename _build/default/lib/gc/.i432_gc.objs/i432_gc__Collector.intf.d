@@ -1,0 +1,1 @@
+lib/gc/collector.mli: I432 I432_kernel

@@ -1,0 +1,1 @@
+lib/gc/destruction_filter.ml: Access I432 I432_kernel List Type_def

@@ -1,0 +1,1 @@
+lib/gc/destruction_filter.mli: Access I432 I432_kernel Object_table

@@ -1,0 +1,1 @@
+lib/kernel/bus.mli:

@@ -1,0 +1,1 @@
+lib/kernel/context.ml: Fault I432 Obj_type Object_table Segment Sro

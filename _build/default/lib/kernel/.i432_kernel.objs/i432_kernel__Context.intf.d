@@ -1,0 +1,1 @@
+lib/kernel/context.mli: Access I432 Object_table

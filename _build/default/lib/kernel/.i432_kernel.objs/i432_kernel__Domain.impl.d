@@ -1,0 +1,1 @@
+lib/kernel/domain.ml: Fault I432 Obj_type Object_table Segment Sro

@@ -1,0 +1,1 @@
+lib/kernel/domain.mli: Access I432 Object_table

@@ -1,0 +1,1 @@
+lib/kernel/machine.ml: Access Array Bus Bytes Context Dispatch Domain Fault I432 List Memory Obj_type Object_table Port Printexc Printf Process Processor Rights Segment Sro Syscall Timings

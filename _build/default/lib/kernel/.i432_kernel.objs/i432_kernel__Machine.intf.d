@@ -1,0 +1,1 @@
+lib/kernel/machine.mli: Access Bus Bytes Fault I432 Memory Obj_type Object_table Port Process Timings

@@ -1,0 +1,1 @@
+lib/kernel/port.ml: Access Fault I432 List Obj_type Object_table Rights Segment

@@ -1,0 +1,1 @@
+lib/kernel/port.mli: Access I432 Object_table

@@ -1,0 +1,1 @@
+lib/kernel/process.ml: Access Effect Fault I432 Obj_type Object_table Printf Segment Syscall

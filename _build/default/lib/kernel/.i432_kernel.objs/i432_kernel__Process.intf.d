@@ -1,0 +1,1 @@
+lib/kernel/process.mli: Access Effect Fault I432 Object_table Syscall

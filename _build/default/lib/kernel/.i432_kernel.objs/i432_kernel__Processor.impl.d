@@ -1,0 +1,1 @@
+lib/kernel/processor.ml: I432 Object_table

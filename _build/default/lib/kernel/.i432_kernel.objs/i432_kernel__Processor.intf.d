@@ -1,0 +1,1 @@
+lib/kernel/processor.mli: I432 Object_table

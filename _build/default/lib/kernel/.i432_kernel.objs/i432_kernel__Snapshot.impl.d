@@ -1,0 +1,1 @@
+lib/kernel/snapshot.ml: Buffer I432 List Machine Object_table Port Printf Process Processor

@@ -1,0 +1,1 @@
+lib/kernel/syscall.ml: Access Effect I432 Printf

@@ -1,0 +1,1 @@
+lib/kernel/syscall.mli: Access Effect I432

@@ -1,0 +1,30 @@
+(** Context objects: activation records with lifetime levels.
+
+    Each context within a process has a level one greater than its
+    caller's; the hardware level rule then confines capabilities for
+    deeper-lived objects to deeper contexts, which is what makes local-heap
+    reclamation safe. *)
+
+open I432
+
+(** [create table sro ~depth ~caller ~slots] allocates an activation record
+    whose descriptor level is [depth]. *)
+val create :
+  Object_table.t ->
+  Access.t ->
+  depth:int ->
+  caller:int option ->
+  slots:int ->
+  Access.t
+
+val depth : Object_table.t -> Access.t -> int
+val caller : Object_table.t -> Access.t -> int option
+
+(** Capability locals; stores are subject to the level rule. *)
+val set_local :
+  Object_table.t -> Access.t -> slot:int -> Access.t option -> unit
+
+val get_local : Object_table.t -> Access.t -> slot:int -> Access.t option
+
+(** Return: the activation record is released to its SRO. *)
+val destroy : Object_table.t -> Access.t -> unit

@@ -1,0 +1,56 @@
+(* Dispatching ports (paper §2): "ready processes are dispatched on
+   processors automatically by the hardware via algorithms that involve
+   processor, process, and dispatching port objects."
+
+   The ready queue orders by descending process priority, FIFO within a
+   priority.  Stopped or otherwise non-ready processes may linger in the
+   queue after state changes; the pop operation skips them (they re-enter
+   explicitly when restarted). *)
+
+type entry = { process : int; priority : int; seq : int }
+
+type t = {
+  mutable ready : entry list;  (* in service order *)
+  mutable seq : int;
+  mutable enqueues : int;
+  mutable dispatches : int;
+  mutable max_ready : int;
+}
+
+let create () = { ready = []; seq = 0; enqueues = 0; dispatches = 0; max_ready = 0 }
+
+let enqueue t ~process ~priority =
+  let e = { process; priority; seq = t.seq } in
+  t.seq <- t.seq + 1;
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest ->
+      if e.priority > x.priority then e :: x :: rest else x :: go rest
+  in
+  t.ready <- go t.ready;
+  t.enqueues <- t.enqueues + 1;
+  let n = List.length t.ready in
+  if n > t.max_ready then t.max_ready <- n
+
+(* Pop the first entry accepted by [eligible]; ineligible entries stay. *)
+let pop t ~eligible =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+      if eligible e.process then begin
+        t.ready <- List.rev_append acc rest;
+        t.dispatches <- t.dispatches + 1;
+        Some e.process
+      end
+      else go (e :: acc) rest
+  in
+  go [] t.ready
+
+let remove t ~process =
+  t.ready <- List.filter (fun e -> e.process <> process) t.ready
+
+let mem t ~process = List.exists (fun e -> e.process = process) t.ready
+let length t = List.length t.ready
+let dispatches_of t = t.dispatches
+let enqueues_of t = t.enqueues
+let max_ready_of t = t.max_ready

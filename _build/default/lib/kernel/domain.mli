@@ -1,0 +1,27 @@
+(** Domain objects: small protection domains corresponding to the Ada
+    package construct.  A domain's access part holds the capabilities that
+    form the package's private environment; inter-domain calls are charged
+    the ~65 µs domain switch by {!Machine.domain_call}. *)
+
+open I432
+
+type t = {
+  self : int;
+  domain_name : string;
+  mutable calls : int;
+  mutable returns : int;
+  mutable max_depth : int;
+  mutable depth : int;
+}
+
+type Object_table.payload += Domain_state of t
+
+val state_of : Object_table.t -> Access.t -> t
+val create : Object_table.t -> Access.t -> name:string -> Access.t
+val name : Object_table.t -> Access.t -> string
+val calls : Object_table.t -> Access.t -> int
+
+(** Park a private capability in the domain's environment. *)
+val set_private : Object_table.t -> Access.t -> slot:int -> Access.t -> unit
+
+val get_private : Object_table.t -> Access.t -> slot:int -> Access.t option

@@ -1,0 +1,974 @@
+(* The simulated 432 system: one shared memory, one global object table, N
+   general data processors, and a hardware dispatching port.
+
+   The run loop is a deterministic discrete-event simulation: it always
+   advances the processor with the smallest virtual clock (ties broken by
+   processor id), resuming that processor's current process until its next
+   syscall.  Non-blocking instructions (segment access, allocation, domain
+   calls, computation) are charged to the running processor directly by the
+   wrapper functions below; potentially blocking instructions arrive here as
+   {!Syscall} effects and are implemented against the port and dispatching
+   structures.
+
+   All synchronization is explicit, as §3 requires: nothing in the kernel
+   assumes a single processor is running. *)
+
+open I432
+
+exception Kernel_panic of string
+
+type config = {
+  processors : int;
+  memory_bytes : int;
+  timings : Timings.t;
+  bus_alpha_per_mille : int;
+  global_heap_bytes : int;  (* size of the boot-time level-0 SRO *)
+  trace : bool;
+}
+
+let default_config =
+  {
+    processors = 1;
+    memory_bytes = 1 lsl 22;
+    timings = Timings.default;
+    bus_alpha_per_mille = 20;
+    global_heap_bytes = (1 lsl 22) - 4096;
+    trace = false;
+  }
+
+type run_report = {
+  elapsed_ns : int;  (* largest processor clock at halt *)
+  completed : int;
+  faulted : int;
+  deadlocked : string list;  (* names of processes still blocked at halt *)
+  dispatches : int;
+  preemptions : int;
+}
+
+type t = {
+  table : Object_table.t;
+  memory : Memory.t;
+  timings : Timings.t;
+  bus : Bus.t;
+  processors : Processor.t array;
+  dispatch : Dispatch.t;
+  global_sro : Access.t;
+  mutable current : Processor.t option;
+  mutable in_body : bool;  (* true while a process body is executing *)
+  mutable processes : Process.t list;  (* every process ever created *)
+  mutable live_user_processes : int;  (* non-daemon, non-terminal *)
+  mutable gc_roots : Access.t list;
+  mutable trace_buf : string list;
+  trace_enabled : bool;
+  mutable preemptions : int;
+  mutable faults : (string * Fault.cause) list;
+  mutable fault_port : int option;  (* faulted processes are sent here *)
+  mutable halted : bool;
+}
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s -> if t.trace_enabled then t.trace_buf <- s :: t.trace_buf)
+    fmt
+
+let create ?(config = default_config) () =
+  if config.processors <= 0 then invalid_arg "Machine.create: processors";
+  let table = Object_table.create () in
+  let memory = Memory.create ~size_bytes:config.memory_bytes in
+  let bus =
+    Bus.create ~alpha_per_mille:config.bus_alpha_per_mille
+      ~processors:config.processors ()
+  in
+  let global_sro =
+    Sro.create table ~level:0 ~base:4096 ~length:config.global_heap_bytes
+  in
+  let processors =
+    Array.init config.processors (fun id ->
+        let e =
+          Object_table.allocate_entry table ~otype:Obj_type.Processor ~base:0
+            ~data_length:0 ~access_length:4 ~level:0 ~sro:(-1)
+        in
+        let p = Processor.make ~id ~self:e.Object_table.index in
+        e.Object_table.payload <- Some (Processor.Processor_state p);
+        p)
+  in
+  {
+    table;
+    memory;
+    timings = config.timings;
+    bus;
+    processors;
+    dispatch = Dispatch.create ();
+    global_sro;
+    current = None;
+    in_body = false;
+    processes = [];
+    live_user_processes = 0;
+    gc_roots = [];
+    trace_buf = [];
+    trace_enabled = config.trace;
+    preemptions = 0;
+    faults = [];
+    fault_port = None;
+    halted = false;
+  }
+
+let table t = t.table
+let memory t = t.memory
+let timings t = t.timings
+let bus t = t.bus
+let global_sro t = t.global_sro
+let processor_count t = Array.length t.processors
+let trace_lines t = List.rev t.trace_buf
+let faults t = List.rev t.faults
+
+(* Virtual time now: the clock of the executing processor, or the max clock
+   when called from outside the run loop. *)
+let now t =
+  match t.current with
+  | Some p -> p.Processor.clock_ns
+  | None ->
+    Array.fold_left (fun acc p -> max acc p.Processor.clock_ns) 0 t.processors
+
+(* Charge virtual time for an instruction to the running processor, with bus
+   contention applied.  Outside the run loop (boot code) charges are free:
+   configuration happens "before the machine starts". *)
+let charge t ns =
+  match t.current with
+  | None -> ()
+  | Some p ->
+    let eff = Bus.penalize t.bus ns in
+    p.Processor.clock_ns <- p.Processor.clock_ns + eff;
+    p.Processor.busy_ns <- p.Processor.busy_ns + eff;
+    (match p.Processor.current with
+    | Some pi ->
+      let proc = Process.state_of_index t.table pi in
+      proc.Process.cpu_ns <- proc.Process.cpu_ns + eff;
+      proc.Process.slice_used_ns <- proc.Process.slice_used_ns + eff;
+      (* Time-slice end (§5): when the slice expires while the body is
+         executing, inject an involuntary yield at this instruction
+         boundary.  Only from body context — kernel-side charges (dispatch,
+         syscall service) must not unwind. *)
+      if
+        t.in_body
+        && proc.Process.slice_used_ns >= t.timings.Timings.time_slice_ns
+        && proc.Process.status = Process.Running
+      then ignore (Syscall.perform Syscall.Preempt)
+    | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Checked, time-charged instruction wrappers                          *)
+(* ------------------------------------------------------------------ *)
+
+let compute t units = charge t (units * t.timings.Timings.compute_unit_ns)
+
+let read_word t access ~offset =
+  charge t t.timings.Timings.read_word_ns;
+  Segment.read_i32 t.table t.memory access ~offset
+
+let write_word t access ~offset v =
+  charge t t.timings.Timings.write_word_ns;
+  Segment.write_i32 t.table t.memory access ~offset v
+
+let read_byte t access ~offset =
+  charge t t.timings.Timings.read_word_ns;
+  Segment.read_u8 t.table t.memory access ~offset
+
+let write_byte t access ~offset v =
+  charge t t.timings.Timings.write_word_ns;
+  Segment.write_u8 t.table t.memory access ~offset v
+
+let read_bytes t access ~offset ~len =
+  charge t (t.timings.Timings.read_word_ns * (1 + (len / 4)));
+  Segment.read_bytes t.table t.memory access ~offset ~len
+
+let write_bytes t access ~offset src =
+  charge t (t.timings.Timings.write_word_ns * (1 + (Bytes.length src / 4)));
+  Segment.write_bytes t.table t.memory access ~offset src
+
+let load_access t access ~slot =
+  charge t t.timings.Timings.move_access_ns;
+  Segment.load_access t.table access ~slot
+
+let store_access t access ~slot v =
+  charge t t.timings.Timings.move_access_ns;
+  Segment.store_access t.table access ~slot v
+
+(* The create-object instruction (§5): ~80 us. *)
+let allocate t sro ~data_length ~access_length ~otype =
+  charge t t.timings.Timings.allocate_ns;
+  Sro.allocate t.table sro ~data_length ~access_length ~otype
+
+let allocate_generic t ?(data_length = 64) ?(access_length = 4) () =
+  allocate t t.global_sro ~data_length ~access_length ~otype:Obj_type.Generic
+
+let release t sro ~index =
+  charge t t.timings.Timings.destroy_ns;
+  Sro.release_by_access t.table sro ~index
+
+(* Local heaps (§5): an SRO created at the process's current call depth.
+   Carved from the global heap's free store. *)
+let create_local_sro t ~level ~bytes =
+  charge t t.timings.Timings.allocate_ns;
+  (* The new heap's store is carved whole from the global heap's free
+     regions (it is address space, not a segment, so the 64K segment limit
+     does not apply). *)
+  let s = Sro.state_of t.table t.global_sro in
+  match Sro.carve t.table ~sro_state:s ~size:bytes with
+  | Some base -> Sro.create t.table ~level ~base ~length:bytes
+  | None ->
+    Fault.raise_fault
+      (Fault.Storage_exhausted
+         { requested = bytes; available = Sro.free_bytes t.table t.global_sro })
+
+let destroy_sro t sro =
+  charge t t.timings.Timings.destroy_ns;
+  Sro.destroy t.table sro
+
+(* Domain transitions (§2): ~65 us per switch at 8 MHz. *)
+let domain_call t domain f =
+  let d = Domain.state_of t.table domain in
+  charge t t.timings.Timings.domain_call_ns;
+  d.Domain.calls <- d.Domain.calls + 1;
+  d.Domain.depth <- d.Domain.depth + 1;
+  if d.Domain.depth > d.Domain.max_depth then d.Domain.max_depth <- d.Domain.depth;
+  let finish () =
+    d.Domain.depth <- d.Domain.depth - 1;
+    d.Domain.returns <- d.Domain.returns + 1;
+    charge t t.timings.Timings.domain_return_ns
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+(* An ordinary activation within the current domain, for comparison. *)
+let intra_call t f =
+  charge t t.timings.Timings.intra_call_ns;
+  let v = f () in
+  charge t t.timings.Timings.intra_return_ns;
+  v
+
+(* The process currently executing on the charging processor, if any. *)
+let running_process t =
+  match t.current with
+  | Some p -> (
+    match p.Processor.current with
+    | Some pi -> Some (Process.state_of_index t.table pi)
+    | None -> None)
+  | None -> None
+
+(* Call [f] inside a fresh activation record (paper §2, §5): the context's
+   level is one greater than the caller's, so capabilities for objects
+   allocated at this depth cannot leak upward.  The context object is
+   passed to [f] for its capability locals and destroyed on return. *)
+let call_in_context t ?(slots = 8) f =
+  match running_process t with
+  | None -> Fault.raise_fault (Fault.Protocol "call_in_context outside a process")
+  | Some proc ->
+    charge t t.timings.Timings.intra_call_ns;
+    let depth = proc.Process.call_depth + 1 in
+    let caller =
+      match proc.Process.contexts with
+      | c :: _ -> Some (Access.index c)
+      | [] -> None
+    in
+    let ctx = Context.create t.table t.global_sro ~depth ~caller ~slots in
+    proc.Process.call_depth <- depth;
+    proc.Process.contexts <- ctx :: proc.Process.contexts;
+    let finish () =
+      proc.Process.call_depth <- depth - 1;
+      (match proc.Process.contexts with
+      | _ :: rest -> proc.Process.contexts <- rest
+      | [] -> ());
+      Context.destroy t.table ctx;
+      charge t t.timings.Timings.intra_return_ns
+    in
+    (match f ctx with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+(* Current activation record of the running process. *)
+let current_context t =
+  match running_process t with
+  | Some proc -> (
+    match proc.Process.contexts with c :: _ -> Some c | [] -> None)
+  | None -> None
+
+(* Route faulted processes to a supervisor port (§5). *)
+let set_fault_port t port =
+  Segment.check_type t.table port Obj_type.Port;
+  t.fault_port <- Some (Access.index port)
+
+(* ------------------------------------------------------------------ *)
+(* Ports                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let create_port t ?(sro = None) ~capacity ~discipline () =
+  if capacity < 1 then invalid_arg "Machine.create_port: capacity";
+  let sro = match sro with Some s -> s | None -> t.global_sro in
+  let access =
+    allocate t sro ~data_length:0 ~access_length:capacity ~otype:Obj_type.Port
+  in
+  let e = Object_table.entry_of_access t.table access in
+  e.Object_table.payload <-
+    Some
+      (Port.Port_state
+         {
+           Port.self = e.Object_table.index;
+           capacity;
+           discipline;
+           queue = [];
+           senders = [];
+           receivers = [];
+           seq = 0;
+           sends = 0;
+           receives = 0;
+           send_blocks = 0;
+           receive_blocks = 0;
+           total_queue_wait_ns = 0;
+           max_depth = 0;
+         });
+  access
+
+let port_stats t access =
+  let p = Port.state_of t.table access in
+  ( p.Port.sends,
+    p.Port.receives,
+    p.Port.send_blocks,
+    p.Port.receive_blocks,
+    p.Port.max_depth,
+    Port.mean_queue_wait_ns p )
+
+(* ------------------------------------------------------------------ *)
+(* Processes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_ready t (proc : Process.t) =
+  proc.Process.status <- Process.Ready;
+  Dispatch.enqueue t.dispatch ~process:proc.Process.index
+    ~priority:proc.Process.priority
+
+(* Notify the scheduler port that [proc] entered or left the dispatching mix
+   (§6.1).  Non-blocking: notifications overflowing the port are dropped. *)
+let notify_scheduler t (proc : Process.t) =
+  match proc.Process.scheduler_port with
+  | None -> ()
+  | Some port_index ->
+    let p = Port.state_of_index t.table port_index in
+    if not (Port.is_full p) then begin
+      let msg = Access.make ~index:proc.Process.index ~rights:Rights.read_only in
+      Port.enqueue p ~msg ~priority:proc.Process.priority ~now:(now t);
+      p.Port.sends <- p.Port.sends + 1
+    end
+
+let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
+    ?(name = "process") ?sro body =
+  let sro = match sro with Some s -> s | None -> t.global_sro in
+  let access =
+    Sro.allocate t.table sro ~data_length:0 ~access_length:8
+      ~otype:Obj_type.Process
+  in
+  let e = Object_table.entry_of_access t.table access in
+  let proc =
+    {
+      Process.index = e.Object_table.index;
+      name;
+      daemon;
+      code = Process.Not_started body;
+      status = Process.Created;
+      stopped = false;
+      priority;
+      pending = Syscall.R_unit;
+      wake_at = 0;
+      cpu_ns = 0;
+      slice_used_ns = 0;
+      system_level;
+      affinity = None;
+      scheduler_port = None;
+      local_roots = [];
+      call_depth = 0;
+      contexts = [];
+      dispatches = 0;
+      preemptions = 0;
+      blocks = 0;
+      messages_sent = 0;
+      messages_received = 0;
+    }
+  in
+  e.Object_table.payload <- Some (Process.Process_state proc);
+  t.processes <- proc :: t.processes;
+  if not daemon then t.live_user_processes <- t.live_user_processes + 1;
+  make_ready t proc;
+  trace t "spawn %s as process %d" name proc.Process.index;
+  access
+
+let process_state t access = Process.state_of t.table access
+
+(* Kernel half of stop/start (§6.1): flip the in-mix bit.  iMAX's basic
+   process manager keeps the nested counts and calls these on 0<->1
+   transitions only. *)
+let set_stopped t access stopped =
+  let proc = Process.state_of t.table access in
+  if proc.Process.stopped <> stopped then begin
+    proc.Process.stopped <- stopped;
+    if stopped then begin
+      (match proc.Process.status with
+      | Process.Ready -> Dispatch.remove t.dispatch ~process:proc.Process.index
+      | Process.Created | Process.Running | Process.Blocked_send _
+      | Process.Blocked_receive _ | Process.Sleeping | Process.Finished
+      | Process.Faulted _ -> ());
+      trace t "stop %s" proc.Process.name
+    end
+    else begin
+      (match proc.Process.status with
+      | Process.Ready ->
+        Dispatch.enqueue t.dispatch ~process:proc.Process.index
+          ~priority:proc.Process.priority
+      | Process.Created | Process.Running | Process.Blocked_send _
+      | Process.Blocked_receive _ | Process.Sleeping | Process.Finished
+      | Process.Faulted _ -> ());
+      trace t "start %s" proc.Process.name
+    end;
+    notify_scheduler t proc
+  end
+
+let set_priority t access priority =
+  let proc = Process.state_of t.table access in
+  proc.Process.priority <- priority;
+  (* Re-sort the ready queue if the process is waiting in it. *)
+  if Dispatch.mem t.dispatch ~process:proc.Process.index then begin
+    Dispatch.remove t.dispatch ~process:proc.Process.index;
+    Dispatch.enqueue t.dispatch ~process:proc.Process.index ~priority
+  end
+
+let set_scheduler_port t access port =
+  let proc = Process.state_of t.table access in
+  proc.Process.scheduler_port <- Some (Access.index port)
+
+(* Bind the process to one processor (None lifts the binding).  The 432
+   realized processor partitioning with multiple dispatching ports; this is
+   the per-process equivalent in this model. *)
+let set_affinity t access affinity =
+  (match affinity with
+  | Some id when id < 0 || id >= Array.length t.processors ->
+    invalid_arg "Machine.set_affinity: no such processor"
+  | Some _ | None -> ());
+  let proc = Process.state_of t.table access in
+  proc.Process.affinity <- affinity
+
+(* GC root registration: explicit roots plus per-process shadow stacks. *)
+
+let add_root t access = t.gc_roots <- access :: t.gc_roots
+
+let remove_root t access =
+  t.gc_roots <- List.filter (fun a -> not (Access.equal a access)) t.gc_roots
+
+let roots t = t.gc_roots
+let all_processes t = t.processes
+
+(* ------------------------------------------------------------------ *)
+(* Syscalls performed by process bodies                                *)
+(* ------------------------------------------------------------------ *)
+
+let send (_ : t) ~port ~msg =
+  match Syscall.perform (Syscall.Send { port; msg }) with
+  | Syscall.R_unit -> ()
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+    assert false
+
+let receive (_ : t) ~port =
+  match Syscall.perform (Syscall.Receive { port }) with
+  | Syscall.R_msg m -> m
+  | Syscall.R_unit | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+    assert false
+
+let cond_send (_ : t) ~port ~msg =
+  match Syscall.perform (Syscall.Cond_send { port; msg }) with
+  | Syscall.R_accepted b -> b
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _ -> assert false
+
+let cond_receive (_ : t) ~port =
+  match Syscall.perform (Syscall.Cond_receive { port }) with
+  | Syscall.R_msg_option m -> m
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _ -> assert false
+
+let delay (_ : t) ~ns =
+  match Syscall.perform (Syscall.Delay ns) with
+  | Syscall.R_unit -> ()
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+    assert false
+
+let yield (_ : t) =
+  match Syscall.perform Syscall.Yield with
+  | Syscall.R_unit -> ()
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+    assert false
+
+let exit_process (_ : t) =
+  ignore (Syscall.perform Syscall.Exit);
+  assert false
+
+(* ------------------------------------------------------------------ *)
+(* The run loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let proc_of t index = Process.state_of_index t.table index
+
+(* Eligibility for dispatch onto [cpu]: in the mix, ready, and (when the
+   process carries a processor affinity) bound to this processor.  The 432
+   realized such partitioning with multiple dispatching ports; a per-process
+   binding is the equivalent observable behaviour in this model. *)
+let eligible_for_dispatch t ~cpu index =
+  let proc = proc_of t index in
+  (not proc.Process.stopped)
+  && proc.Process.status = Process.Ready
+  &&
+  match proc.Process.affinity with
+  | None -> true
+  | Some id -> id = cpu.Processor.id
+
+(* Deliver a message to a process blocked on receive, making it ready. *)
+let unblock_receiver t (proc : Process.t) msg =
+  proc.Process.pending <- Syscall.R_msg msg;
+  proc.Process.messages_received <- proc.Process.messages_received + 1;
+  Object_table.shade t.table (Access.index msg);
+  if proc.Process.stopped then proc.Process.status <- Process.Ready
+  else make_ready t proc
+
+(* A blocked sender's message has been accepted; make the sender ready. *)
+let unblock_sender t (proc : Process.t) =
+  proc.Process.pending <- Syscall.R_unit;
+  if proc.Process.stopped then proc.Process.status <- Process.Ready
+  else make_ready t proc
+
+(* Implement one syscall for the process running on [cpu].  Returns [true]
+   when the process remains current (result delivered at next step), [false]
+   when it was descheduled. *)
+let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
+  let tm = t.timings in
+  match op with
+  | Syscall.Yield ->
+    charge t tm.Timings.dispatch_ns;
+    proc.Process.pending <- Syscall.R_unit;
+    cpu.Processor.current <- None;
+    if proc.Process.stopped then proc.Process.status <- Process.Ready
+    else make_ready t proc;
+    false
+  | Syscall.Preempt ->
+    charge t tm.Timings.dispatch_ns;
+    proc.Process.pending <- Syscall.R_unit;
+    proc.Process.slice_used_ns <- 0;
+    proc.Process.preemptions <- proc.Process.preemptions + 1;
+    t.preemptions <- t.preemptions + 1;
+    cpu.Processor.current <- None;
+    if proc.Process.stopped then proc.Process.status <- Process.Ready
+    else make_ready t proc;
+    false
+  | Syscall.Exit ->
+    proc.Process.status <- Process.Finished;
+    proc.Process.code <- Process.Terminated;
+    cpu.Processor.current <- None;
+    if not proc.Process.daemon then
+      t.live_user_processes <- t.live_user_processes - 1;
+    false
+  | Syscall.Delay ns ->
+    if ns < 0 then invalid_arg "delay: negative";
+    proc.Process.pending <- Syscall.R_unit;
+    proc.Process.status <- Process.Sleeping;
+    proc.Process.wake_at <- cpu.Processor.clock_ns + ns;
+    cpu.Processor.current <- None;
+    false
+  | Syscall.Send { port; msg } ->
+    Port.check_send_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.send_ns;
+    p.Port.sends <- p.Port.sends + 1;
+    proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+    (match Port.pop_receiver p with
+    | Some r ->
+      (* Hand the message straight to the waiting receiver. *)
+      p.Port.receives <- p.Port.receives + 1;
+      unblock_receiver t (proc_of t r) msg;
+      proc.Process.pending <- Syscall.R_unit;
+      true
+    | None ->
+      if not (Port.is_full p) then begin
+        Object_table.shade t.table (Access.index msg);
+        Port.enqueue p ~msg ~priority:proc.Process.priority
+          ~now:cpu.Processor.clock_ns;
+        proc.Process.pending <- Syscall.R_unit;
+        true
+      end
+      else begin
+        (* Queue full: block the sender at the port (§4). *)
+        charge t tm.Timings.block_ns;
+        p.Port.send_blocks <- p.Port.send_blocks + 1;
+        proc.Process.blocks <- proc.Process.blocks + 1;
+        Object_table.shade t.table (Access.index msg);
+        Port.push_sender p ~sender:proc.Process.index ~msg
+          ~priority:proc.Process.priority;
+        proc.Process.status <- Process.Blocked_send p.Port.self;
+        cpu.Processor.current <- None;
+        false
+      end)
+  | Syscall.Receive { port } ->
+    Port.check_receive_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.receive_ns;
+    (match Port.dequeue p ~now:cpu.Processor.clock_ns with
+    | Some msg ->
+      p.Port.receives <- p.Port.receives + 1;
+      proc.Process.messages_received <- proc.Process.messages_received + 1;
+      (* Space opened: admit one blocked sender's message. *)
+      (match Port.pop_sender p with
+      | Some ws ->
+        Port.enqueue p ~msg:ws.Port.sender_msg ~priority:ws.Port.sender_priority
+          ~now:cpu.Processor.clock_ns;
+        unblock_sender t (proc_of t ws.Port.sender)
+      | None -> ());
+      proc.Process.pending <- Syscall.R_msg msg;
+      true
+    | None ->
+      (match Port.pop_sender p with
+      | Some ws ->
+        (* Rendezvous with a sender blocked on a zero-space queue. *)
+        p.Port.receives <- p.Port.receives + 1;
+        proc.Process.messages_received <- proc.Process.messages_received + 1;
+        unblock_sender t (proc_of t ws.Port.sender);
+        proc.Process.pending <- Syscall.R_msg ws.Port.sender_msg;
+        true
+      | None ->
+        charge t tm.Timings.block_ns;
+        p.Port.receive_blocks <- p.Port.receive_blocks + 1;
+        proc.Process.blocks <- proc.Process.blocks + 1;
+        Port.push_receiver p proc.Process.index;
+        proc.Process.status <- Process.Blocked_receive p.Port.self;
+        cpu.Processor.current <- None;
+        false))
+  | Syscall.Cond_send { port; msg } ->
+    Port.check_send_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.send_ns;
+    (match Port.pop_receiver p with
+    | Some r ->
+      p.Port.sends <- p.Port.sends + 1;
+      proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+      unblock_receiver t (proc_of t r) msg;
+      proc.Process.pending <- Syscall.R_accepted true;
+      true
+    | None ->
+      if not (Port.is_full p) then begin
+        p.Port.sends <- p.Port.sends + 1;
+        proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+        Object_table.shade t.table (Access.index msg);
+        Port.enqueue p ~msg ~priority:proc.Process.priority
+          ~now:cpu.Processor.clock_ns;
+        proc.Process.pending <- Syscall.R_accepted true;
+        true
+      end
+      else begin
+        proc.Process.pending <- Syscall.R_accepted false;
+        true
+      end)
+  | Syscall.Cond_receive { port } ->
+    Port.check_receive_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.receive_ns;
+    (match Port.dequeue p ~now:cpu.Processor.clock_ns with
+    | Some msg ->
+      p.Port.receives <- p.Port.receives + 1;
+      proc.Process.messages_received <- proc.Process.messages_received + 1;
+      (match Port.pop_sender p with
+      | Some ws ->
+        Port.enqueue p ~msg:ws.Port.sender_msg ~priority:ws.Port.sender_priority
+          ~now:cpu.Processor.clock_ns;
+        unblock_sender t (proc_of t ws.Port.sender)
+      | None -> ());
+      proc.Process.pending <- Syscall.R_msg_option (Some msg);
+      true
+    | None ->
+      (match Port.pop_sender p with
+      | Some ws ->
+        p.Port.receives <- p.Port.receives + 1;
+        unblock_sender t (proc_of t ws.Port.sender);
+        proc.Process.pending <- Syscall.R_msg_option (Some ws.Port.sender_msg);
+        true
+      | None ->
+        proc.Process.pending <- Syscall.R_msg_option None;
+        true))
+
+(* Record a fault in a user process; faults below system level 3 are fatal
+   to the whole machine (§7.3: such processes "are in general not permitted
+   to fault").  When a fault port is configured, the process object is sent
+   there so a supervisor can inspect the corpse — the hardware "sending
+   them back to software when various fault ... conditions arise" (§5). *)
+let record_fault t (proc : Process.t) cause =
+  t.faults <- (proc.Process.name, cause) :: t.faults;
+  proc.Process.status <- Process.Faulted cause;
+  proc.Process.code <- Process.Terminated;
+  if not proc.Process.daemon then
+    t.live_user_processes <- t.live_user_processes - 1;
+  if proc.Process.system_level < 3 then
+    raise
+      (Kernel_panic
+         (Printf.sprintf "process %s at system level %d faulted: %s"
+            proc.Process.name proc.Process.system_level
+            (Fault.to_string cause)));
+  match t.fault_port with
+  | None -> ()
+  | Some port_index -> (
+    match Port.state_of_index t.table port_index with
+    | p when not (Port.is_full p) ->
+      let corpse =
+        Access.make ~index:proc.Process.index ~rights:Rights.read_only
+      in
+      Port.enqueue p ~msg:corpse ~priority:proc.Process.priority ~now:(now t);
+      p.Port.sends <- p.Port.sends + 1;
+      (match Port.pop_receiver p with
+      | Some r ->
+        (match Port.dequeue p ~now:(now t) with
+        | Some msg ->
+          p.Port.receives <- p.Port.receives + 1;
+          unblock_receiver t (proc_of t r) msg
+        | None -> ())
+      | None -> ())
+    | _ -> ()
+    | exception Fault.Fault _ -> ())
+
+(* Execute one step of the process current on [cpu]. *)
+let step_process t (cpu : Processor.t) =
+  match cpu.Processor.current with
+  | None -> ()
+  | Some index ->
+    let proc = proc_of t index in
+    t.current <- Some cpu;
+    t.in_body <- true;
+    let outcome = Process.step proc in
+    t.in_body <- false;
+    t.current <- None;
+    (match outcome with
+    | Process.Completed ->
+      proc.Process.status <- Process.Finished;
+      cpu.Processor.current <- None;
+      if not proc.Process.daemon then
+        t.live_user_processes <- t.live_user_processes - 1;
+      trace t "process %s finished" proc.Process.name
+    | Process.Raised (Fault.Fault cause) ->
+      cpu.Processor.current <- None;
+      record_fault t proc cause
+    | Process.Raised e ->
+      cpu.Processor.current <- None;
+      record_fault t proc (Fault.Protocol (Printexc.to_string e))
+    | Process.Pending (op, k) -> (
+      proc.Process.code <- Process.Suspended k;
+      t.current <- Some cpu;
+      (* Faults detected while servicing the syscall (rights, types) are
+         the faulting process's own. *)
+      match handle_syscall t cpu proc op with
+      | still_current ->
+        t.current <- None;
+        if still_current then ()
+        else
+          trace t "process %s descheduled on %s" proc.Process.name
+            (Syscall.op_to_string op)
+      | exception Fault.Fault cause ->
+        t.current <- None;
+        cpu.Processor.current <- None;
+        record_fault t proc cause))
+
+(* Wake sleepers whose deadline has passed relative to [horizon]. *)
+let wake_sleepers t ~horizon =
+  List.iter
+    (fun (proc : Process.t) ->
+      if proc.Process.status = Process.Sleeping && proc.Process.wake_at <= horizon
+      then begin
+        if proc.Process.stopped then proc.Process.status <- Process.Ready
+        else make_ready t proc
+      end)
+    t.processes
+
+(* Earliest wake-up among sleeping processes, if any. *)
+let next_wake t =
+  List.fold_left
+    (fun acc (proc : Process.t) ->
+      if proc.Process.status = Process.Sleeping then
+        match acc with
+        | None -> Some proc.Process.wake_at
+        | Some w -> Some (min w proc.Process.wake_at)
+      else acc)
+    None t.processes
+
+let min_clock_processor t =
+  let best = ref t.processors.(0) in
+  Array.iter
+    (fun p ->
+      if
+        p.Processor.clock_ns < !best.Processor.clock_ns
+        || (p.Processor.clock_ns = !best.Processor.clock_ns
+            && p.Processor.id < !best.Processor.id)
+      then best := p)
+    t.processors;
+  !best
+
+(* Is there any process that could still make progress without external
+   input?  Daemons alone do not keep the machine running. *)
+let pending_user_work t =
+  List.exists
+    (fun (proc : Process.t) ->
+      (not proc.Process.daemon)
+      &&
+      match proc.Process.status with
+      | Process.Ready | Process.Running | Process.Sleeping | Process.Created ->
+        not proc.Process.stopped || proc.Process.status = Process.Running
+      | Process.Blocked_send _ | Process.Blocked_receive _ | Process.Finished
+      | Process.Faulted _ -> false)
+    t.processes
+
+let runnable_somewhere t =
+  Array.exists (fun p -> p.Processor.current <> None) t.processors
+  || List.exists
+       (fun (proc : Process.t) ->
+         proc.Process.status = Process.Ready
+         && Array.exists
+              (fun cpu -> eligible_for_dispatch t ~cpu proc.Process.index)
+              t.processors)
+       t.processes
+
+let run ?(max_ns = max_int) ?(max_steps = max_int) t =
+  t.halted <- false;
+  let steps = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr steps;
+    if !steps > max_steps then continue_ := false
+    else begin
+      let cpu = min_clock_processor t in
+      if cpu.Processor.clock_ns > max_ns then continue_ := false
+      else begin
+        wake_sleepers t ~horizon:cpu.Processor.clock_ns;
+        (match cpu.Processor.current with
+        | Some _ -> step_process t cpu
+        | None -> (
+          match
+            Dispatch.pop t.dispatch ~eligible:(eligible_for_dispatch t ~cpu)
+          with
+          | Some index ->
+            let proc = proc_of t index in
+            proc.Process.status <- Process.Running;
+            proc.Process.slice_used_ns <- 0;
+            proc.Process.dispatches <- proc.Process.dispatches + 1;
+            cpu.Processor.current <- Some index;
+            cpu.Processor.dispatches <- cpu.Processor.dispatches + 1;
+            t.current <- Some cpu;
+            charge t t.timings.Timings.dispatch_ns;
+            t.current <- None
+          | None -> (
+            (* Idle: advance this processor's clock to the next event
+               horizon — another processor's activity or a sleeper's wake
+               time.  Clocks of other busy processors may equal ours (we are
+               the minimum); stepping just past them lets them run first. *)
+            let candidates =
+              Array.fold_left
+                (fun acc p ->
+                  if p.Processor.id <> cpu.Processor.id
+                     && p.Processor.current <> None
+                  then (p.Processor.clock_ns + 1) :: acc
+                  else acc)
+                [] t.processors
+            in
+            let candidates =
+              match next_wake t with
+              | Some w -> w :: candidates
+              | None -> candidates
+            in
+            (* A ready process bound to another processor is that
+               processor's event, not ours: step past it so the owner gets
+               the next turn. *)
+            let candidates =
+              Array.fold_left
+                (fun acc cpu2 ->
+                  if
+                    cpu2.Processor.id <> cpu.Processor.id
+                    && List.exists
+                         (fun (proc : Process.t) ->
+                           proc.Process.status = Process.Ready
+                           && eligible_for_dispatch t ~cpu:cpu2
+                                proc.Process.index)
+                         t.processes
+                  then (cpu2.Processor.clock_ns + 1) :: acc
+                  else acc)
+                candidates t.processors
+            in
+            let future =
+              List.filter (fun c -> c > cpu.Processor.clock_ns) candidates
+            in
+            match future with
+            | [] ->
+              (* No event can ever reach this processor: the machine is
+                 drained (or every remaining process is blocked). *)
+              continue_ := false
+            | _ :: _ ->
+              let target = List.fold_left min max_int future in
+              (* Never idle past the caller's horizon: the bound check at
+                 the top of the loop must fire at the bound, not at some
+                 distant wake time. *)
+              let target =
+                if max_ns < max_int && target > max_ns then max_ns + 1
+                else target
+              in
+              cpu.Processor.idle_ns <-
+                cpu.Processor.idle_ns + (target - cpu.Processor.clock_ns);
+              cpu.Processor.clock_ns <- target)));
+        (* Halt when no user process can make progress any more. *)
+        if not (pending_user_work t) then
+          if not (runnable_somewhere t) then continue_ := false
+      end
+    end
+  done;
+  t.halted <- true;
+  let completed =
+    List.length
+      (List.filter
+         (fun (p : Process.t) -> p.Process.status = Process.Finished)
+         t.processes)
+  in
+  let faulted =
+    List.length
+      (List.filter
+         (fun (p : Process.t) ->
+           match p.Process.status with Process.Faulted _ -> true | _ -> false)
+         t.processes)
+  in
+  let deadlocked =
+    List.filter_map
+      (fun (p : Process.t) ->
+        match p.Process.status with
+        | Process.Blocked_send _ | Process.Blocked_receive _ ->
+          Some p.Process.name
+        | _ -> None)
+      t.processes
+  in
+  {
+    elapsed_ns = now t;
+    completed;
+    faulted;
+    deadlocked;
+    dispatches = Dispatch.dispatches_of t.dispatch;
+    preemptions = t.preemptions;
+  }
+
+(* Total busy time across processors: the "total processing power" metric of
+   the scaling experiment. *)
+let total_busy_ns t =
+  Array.fold_left (fun acc p -> acc + p.Processor.busy_ns) 0 t.processors
+
+let processor_utilizations t =
+  Array.map Processor.utilization t.processors

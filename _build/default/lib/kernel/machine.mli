@@ -1,0 +1,181 @@
+(** The simulated 432 system: shared memory, global object table, N general
+    data processors, and the hardware dispatching port.
+
+    The run loop is a deterministic discrete-event simulation.  Process
+    bodies are ordinary OCaml functions; they invoke the charged instruction
+    wrappers below for non-blocking work and the syscall wrappers
+    ({!send}, {!receive}, {!delay}, {!yield}) for potentially blocking
+    instructions, which suspend the process via an effect. *)
+
+open I432
+
+(** Raised when a process below system level 3 faults (paper §7.3). *)
+exception Kernel_panic of string
+
+type config = {
+  processors : int;
+  memory_bytes : int;
+  timings : Timings.t;
+  bus_alpha_per_mille : int;  (** bus contention per extra processor *)
+  global_heap_bytes : int;  (** size of the boot-time level-0 SRO *)
+  trace : bool;
+}
+
+val default_config : config
+
+type run_report = {
+  elapsed_ns : int;
+  completed : int;
+  faulted : int;
+  deadlocked : string list;
+  dispatches : int;
+  preemptions : int;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Accessors} *)
+
+val table : t -> Object_table.t
+val memory : t -> Memory.t
+val timings : t -> Timings.t
+val bus : t -> Bus.t
+
+(** The level-0 global heap every process can allocate from (paper §5). *)
+val global_sro : t -> Access.t
+
+val processor_count : t -> int
+val trace_lines : t -> string list
+val faults : t -> (string * Fault.cause) list
+
+(** Virtual time: the executing processor's clock, or the maximum clock when
+    called outside the run loop. *)
+val now : t -> int
+
+(** Charge virtual nanoseconds to the running processor (bus-adjusted).
+    No-op outside the run loop. *)
+val charge : t -> int -> unit
+
+(** {1 Charged instruction wrappers} *)
+
+val compute : t -> int -> unit
+val read_word : t -> Access.t -> offset:int -> int
+val write_word : t -> Access.t -> offset:int -> int -> unit
+val read_byte : t -> Access.t -> offset:int -> int
+val write_byte : t -> Access.t -> offset:int -> int -> unit
+val read_bytes : t -> Access.t -> offset:int -> len:int -> Bytes.t
+val write_bytes : t -> Access.t -> offset:int -> Bytes.t -> unit
+val load_access : t -> Access.t -> slot:int -> Access.t option
+val store_access : t -> Access.t -> slot:int -> Access.t option -> unit
+
+(** The create-object instruction: ~80 µs of virtual time. *)
+val allocate :
+  t ->
+  Access.t ->
+  data_length:int ->
+  access_length:int ->
+  otype:Obj_type.t ->
+  Access.t
+
+val allocate_generic :
+  t -> ?data_length:int -> ?access_length:int -> unit -> Access.t
+
+val release : t -> Access.t -> index:int -> unit
+
+(** Create a local heap (an SRO at the given lifetime level) carved from the
+    global heap's store. *)
+val create_local_sro : t -> level:int -> bytes:int -> Access.t
+
+(** Destroy a local heap, bulk-reclaiming every object it created.  Returns
+    the number of objects reclaimed. *)
+val destroy_sro : t -> Access.t -> int
+
+(** Inter-domain call: charges the ~65 µs domain switch (paper §2). *)
+val domain_call : t -> Access.t -> (unit -> 'a) -> 'a
+
+(** Ordinary activation within the current domain, for comparison. *)
+val intra_call : t -> (unit -> 'a) -> 'a
+
+(** Call [f] inside a fresh activation record whose lifetime level is one
+    greater than the caller's; the context object is passed in for
+    capability locals and destroyed on return.  Must be called from inside
+    a process body. *)
+val call_in_context : t -> ?slots:int -> (Access.t -> 'a) -> 'a
+
+(** The running process's current activation record, if any. *)
+val current_context : t -> Access.t option
+
+(** Route faulted processes' objects to a supervisor port. *)
+val set_fault_port : t -> Access.t -> unit
+
+(** {1 Ports} *)
+
+val create_port :
+  t ->
+  ?sro:Access.t option ->
+  capacity:int ->
+  discipline:Port.discipline ->
+  unit ->
+  Access.t
+
+(** (sends, receives, send_blocks, receive_blocks, max_depth,
+    mean_queue_wait_ns). *)
+val port_stats : t -> Access.t -> int * int * int * int * int * float
+
+(** {1 Processes} *)
+
+(** Create a process and place it in the dispatching mix.  [daemon]
+    processes do not keep the machine alive.  [system_level] is the iMAX
+    internal level (below 3, faulting panics the machine). *)
+val spawn :
+  t ->
+  ?priority:int ->
+  ?daemon:bool ->
+  ?system_level:int ->
+  ?name:string ->
+  ?sro:Access.t ->
+  (unit -> unit) ->
+  Access.t
+
+val process_state : t -> Access.t -> Process.t
+
+(** Kernel half of stop/start: flip the in-dispatching-mix bit and notify
+    the scheduler port.  The nested counts live in iMAX's process manager. *)
+val set_stopped : t -> Access.t -> bool -> unit
+
+val set_priority : t -> Access.t -> int -> unit
+val set_scheduler_port : t -> Access.t -> Access.t -> unit
+
+(** Bind a process to one processor ([None] lifts the binding) — the
+    observable equivalent of the 432's partitioned dispatching ports. *)
+val set_affinity : t -> Access.t -> int option -> unit
+
+(** {1 GC roots} *)
+
+val add_root : t -> Access.t -> unit
+val remove_root : t -> Access.t -> unit
+val roots : t -> Access.t list
+val all_processes : t -> Process.t list
+
+(** {1 Syscalls (usable only inside a process body)} *)
+
+val send : t -> port:Access.t -> msg:Access.t -> unit
+val receive : t -> port:Access.t -> Access.t
+val cond_send : t -> port:Access.t -> msg:Access.t -> bool
+val cond_receive : t -> port:Access.t -> Access.t option
+val delay : t -> ns:int -> unit
+val yield : t -> unit
+val exit_process : t -> 'a
+
+(** {1 Running} *)
+
+(** Run until no non-daemon process can make progress, or a bound is hit. *)
+val run : ?max_ns:int -> ?max_steps:int -> t -> run_report
+
+(** Sum of busy time across processors: the "total processing power"
+    delivered. *)
+val total_busy_ns : t -> int
+
+val processor_utilizations : t -> float array

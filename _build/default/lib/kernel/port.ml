@@ -1,0 +1,158 @@
+(* Communication port objects (paper §2, §4).
+
+   A port is "a queueing structure for interprocess communications" with a
+   bounded message queue and a queueing discipline.  Send and receive are
+   single hardware instructions; a full queue blocks the sender, an empty
+   one blocks the receiver.  Messages are arbitrary access descriptors.
+
+   Type rights on a port access: t1 = send right, t2 = receive right. *)
+
+open I432
+
+type discipline = Fifo | Priority
+
+type queued_message = {
+  msg : Access.t;
+  msg_priority : int;
+  seq : int;  (* FIFO tiebreak *)
+  enqueued_at : int;  (* virtual ns, for latency statistics *)
+}
+
+type waiting_sender = {
+  sender : int;  (* process object index *)
+  sender_msg : Access.t;
+  sender_priority : int;
+  sender_seq : int;
+}
+
+type t = {
+  self : int;
+  capacity : int;
+  discipline : discipline;
+  mutable queue : queued_message list;  (* kept in service order *)
+  mutable senders : waiting_sender list;  (* blocked senders, service order *)
+  mutable receivers : int list;  (* blocked receiver process indices, FIFO *)
+  mutable seq : int;
+  (* statistics *)
+  mutable sends : int;
+  mutable receives : int;
+  mutable send_blocks : int;
+  mutable receive_blocks : int;
+  mutable total_queue_wait_ns : int;
+  mutable max_depth : int;
+}
+
+type Object_table.payload += Port_state of t
+
+let state_of table access =
+  Segment.check_type table access Obj_type.Port;
+  let e = Object_table.entry_of_access table access in
+  match e.Object_table.payload with
+  | Some (Port_state p) -> p
+  | Some _ | None ->
+    Fault.raise_fault (Fault.Protocol "port object has no port state")
+
+let state_of_index table index =
+  let e = Object_table.lookup table index in
+  match e.Object_table.payload with
+  | Some (Port_state p) -> p
+  | Some _ | None ->
+    Fault.raise_fault (Fault.Protocol "port object has no port state")
+
+let check_send_right access =
+  if not (Rights.has_type_right (Access.rights access) Rights.t1) then
+    Fault.raise_fault
+      (Fault.Rights_violation { needed = "send (t1)"; held = Access.rights access })
+
+let check_receive_right access =
+  if not (Rights.has_type_right (Access.rights access) Rights.t2) then
+    Fault.raise_fault
+      (Fault.Rights_violation
+         { needed = "receive (t2)"; held = Access.rights access })
+
+(* Insert in service order: FIFO appends; Priority orders by descending
+   message priority, FIFO within a priority. *)
+let insert_message t qm =
+  match t.discipline with
+  | Fifo -> t.queue <- t.queue @ [ qm ]
+  | Priority ->
+    let rec go = function
+      | [] -> [ qm ]
+      | x :: rest ->
+        if
+          qm.msg_priority > x.msg_priority
+          || (qm.msg_priority = x.msg_priority && qm.seq < x.seq)
+        then qm :: x :: rest
+        else x :: go rest
+    in
+    t.queue <- go t.queue
+
+let insert_sender t ws =
+  match t.discipline with
+  | Fifo -> t.senders <- t.senders @ [ ws ]
+  | Priority ->
+    let rec go = function
+      | [] -> [ ws ]
+      | x :: rest ->
+        if
+          ws.sender_priority > x.sender_priority
+          || (ws.sender_priority = x.sender_priority && ws.sender_seq < x.sender_seq)
+        then ws :: x :: rest
+        else x :: go rest
+    in
+    t.senders <- go t.senders
+
+let queue_length t = List.length t.queue
+let is_full t = queue_length t >= t.capacity
+let is_empty t = t.queue = []
+let has_blocked_receiver t = t.receivers <> []
+let has_blocked_sender t = t.senders <> []
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- t.seq + 1;
+  s
+
+let enqueue t ~msg ~priority ~now =
+  if is_full t then invalid_arg "Port.enqueue: full";
+  insert_message t
+    { msg; msg_priority = priority; seq = next_seq t; enqueued_at = now };
+  let d = queue_length t in
+  if d > t.max_depth then t.max_depth <- d
+
+let dequeue t ~now =
+  match t.queue with
+  | [] -> None
+  | qm :: rest ->
+    t.queue <- rest;
+    (* Clamp: the receiver's processor clock can trail the sender's. *)
+    t.total_queue_wait_ns <-
+      t.total_queue_wait_ns + max 0 (now - qm.enqueued_at);
+    Some qm.msg
+
+let pop_receiver t =
+  match t.receivers with
+  | [] -> None
+  | r :: rest ->
+    t.receivers <- rest;
+    Some r
+
+let push_receiver t index = t.receivers <- t.receivers @ [ index ]
+
+let pop_sender t =
+  match t.senders with
+  | [] -> None
+  | s :: rest ->
+    t.senders <- rest;
+    Some s
+
+let push_sender t ~sender ~msg ~priority =
+  insert_sender t
+    { sender; sender_msg = msg; sender_priority = priority; sender_seq = next_seq t }
+
+(* Mean time a message spent queued, in ns. *)
+let mean_queue_wait_ns t =
+  if t.receives = 0 then 0.0
+  else float_of_int t.total_queue_wait_ns /. float_of_int t.receives
+
+let discipline_to_string = function Fifo -> "FIFO" | Priority -> "priority"

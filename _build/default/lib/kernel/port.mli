@@ -1,0 +1,71 @@
+(** Communication port objects: bounded message queues with a queueing
+    discipline.  Messages are access descriptors; a full queue blocks the
+    sender, an empty one the receiver.
+
+    Type rights on a port access: {!I432.Rights.t1} = send,
+    {!I432.Rights.t2} = receive.
+
+    This module holds the pure queue state; the blocking protocol lives in
+    the machine's syscall handler. *)
+
+open I432
+
+type discipline = Fifo | Priority
+
+type queued_message = {
+  msg : Access.t;
+  msg_priority : int;
+  seq : int;
+  enqueued_at : int;
+}
+
+type waiting_sender = {
+  sender : int;  (** process object index *)
+  sender_msg : Access.t;
+  sender_priority : int;
+  sender_seq : int;
+}
+
+type t = {
+  self : int;
+  capacity : int;
+  discipline : discipline;
+  mutable queue : queued_message list;
+  mutable senders : waiting_sender list;
+  mutable receivers : int list;
+  mutable seq : int;
+  mutable sends : int;
+  mutable receives : int;
+  mutable send_blocks : int;
+  mutable receive_blocks : int;
+  mutable total_queue_wait_ns : int;
+  mutable max_depth : int;
+}
+
+type Object_table.payload += Port_state of t
+
+val state_of : Object_table.t -> Access.t -> t
+val state_of_index : Object_table.t -> int -> t
+
+(** Raise [Fault Rights_violation] without the respective type right. *)
+val check_send_right : Access.t -> unit
+
+val check_receive_right : Access.t -> unit
+
+val queue_length : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+val has_blocked_receiver : t -> bool
+val has_blocked_sender : t -> bool
+
+(** Enqueue in service order (FIFO appends; Priority orders by descending
+    priority, FIFO within).  Raises [Invalid_argument] when full. *)
+val enqueue : t -> msg:Access.t -> priority:int -> now:int -> unit
+
+val dequeue : t -> now:int -> Access.t option
+val pop_receiver : t -> int option
+val push_receiver : t -> int -> unit
+val pop_sender : t -> waiting_sender option
+val push_sender : t -> sender:int -> msg:Access.t -> priority:int -> unit
+val mean_queue_wait_ns : t -> float
+val discipline_to_string : discipline -> string

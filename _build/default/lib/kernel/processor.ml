@@ -1,0 +1,38 @@
+(* Processor objects.
+
+   Each general data processor has its own virtual clock; the machine's run
+   loop always advances the processor with the smallest clock, which makes
+   the multiprocessor interleaving deterministic.  Ready processes are bound
+   to idle processors by the hardware dispatching algorithm (paper §2). *)
+
+open I432
+
+type t = {
+  id : int;
+  self : int;  (* object-table index of the processor object *)
+  mutable clock_ns : int;
+  mutable current : int option;  (* running process object index *)
+  mutable busy_ns : int;
+  mutable idle_ns : int;
+  mutable dispatches : int;
+}
+
+type Object_table.payload += Processor_state of t
+
+let make ~id ~self =
+  {
+    id;
+    self;
+    clock_ns = 0;
+    current = None;
+    busy_ns = 0;
+    idle_ns = 0;
+    dispatches = 0;
+  }
+
+let is_idle t = t.current = None
+
+(* Utilization over the life of the run. *)
+let utilization t =
+  let total = t.busy_ns + t.idle_ns in
+  if total = 0 then 0.0 else float_of_int t.busy_ns /. float_of_int total

@@ -1,0 +1,23 @@
+(** Processor objects: each general data processor carries a private
+    virtual clock; the run loop always advances the processor with the
+    smallest clock, making the multiprocessor interleaving deterministic. *)
+
+open I432
+
+type t = {
+  id : int;
+  self : int;  (** object-table index of the processor object *)
+  mutable clock_ns : int;
+  mutable current : int option;  (** running process object index *)
+  mutable busy_ns : int;
+  mutable idle_ns : int;
+  mutable dispatches : int;
+}
+
+type Object_table.payload += Processor_state of t
+
+val make : id:int -> self:int -> t
+val is_idle : t -> bool
+
+(** Busy fraction over the life of the run. *)
+val utilization : t -> float

@@ -1,0 +1,143 @@
+(* Machine introspection: a consistent summary of the whole system for
+   operator tooling and integration tests.
+
+   Note the deliberate contrast with §7.1 of the paper: *inside* the
+   capability system there is no central table of all processes, and a
+   module only ever reaches the objects it manages.  This module is the
+   simulator's debugging view from outside the protection boundary — the
+   equivalent of a logic analyzer on the real hardware, not an iMAX
+   service. *)
+
+open I432
+
+type process_line = {
+  p_name : string;
+  p_status : string;
+  p_priority : int;
+  p_cpu_ns : int;
+  p_dispatches : int;
+  p_preemptions : int;
+  p_messages : int * int;  (* sent, received *)
+}
+
+type processor_line = {
+  c_id : int;
+  c_clock_ns : int;
+  c_busy_ns : int;
+  c_idle_ns : int;
+  c_utilization : float;
+  c_dispatches : int;
+}
+
+type port_line = {
+  q_index : int;
+  q_capacity : int;
+  q_depth : int;
+  q_sends : int;
+  q_receives : int;
+  q_blocks : int * int;  (* send, receive *)
+}
+
+type t = {
+  now_ns : int;
+  processes : process_line list;
+  processors : processor_line list;
+  ports : port_line list;
+  objects_live : int;
+  table_capacity : int;
+  barrier_shades : int;
+  fault_count : int;
+}
+
+let capture machine =
+  let table = Machine.table machine in
+  let processes =
+    List.rev_map
+      (fun (p : Process.t) ->
+        {
+          p_name = p.Process.name;
+          p_status = Process.status_to_string p.Process.status;
+          p_priority = p.Process.priority;
+          p_cpu_ns = p.Process.cpu_ns;
+          p_dispatches = p.Process.dispatches;
+          p_preemptions = p.Process.preemptions;
+          p_messages = (p.Process.messages_sent, p.Process.messages_received);
+        })
+      (Machine.all_processes machine)
+  in
+  let ports = ref [] in
+  Object_table.iter_valid
+    (fun e ->
+      match e.Object_table.payload with
+      | Some (Port.Port_state p) ->
+        ports :=
+          {
+            q_index = e.Object_table.index;
+            q_capacity = p.Port.capacity;
+            q_depth = Port.queue_length p;
+            q_sends = p.Port.sends;
+            q_receives = p.Port.receives;
+            q_blocks = (p.Port.send_blocks, p.Port.receive_blocks);
+          }
+          :: !ports
+      | Some _ | None -> ())
+    table;
+  let processors = ref [] in
+  Object_table.iter_valid
+    (fun e ->
+      match e.Object_table.payload with
+      | Some (Processor.Processor_state c) ->
+        processors :=
+          {
+            c_id = c.Processor.id;
+            c_clock_ns = c.Processor.clock_ns;
+            c_busy_ns = c.Processor.busy_ns;
+            c_idle_ns = c.Processor.idle_ns;
+            c_utilization = Processor.utilization c;
+            c_dispatches = c.Processor.dispatches;
+          }
+          :: !processors
+      | Some _ | None -> ())
+    table;
+  {
+    now_ns = Machine.now machine;
+    processes;
+    processors = List.sort (fun a b -> compare a.c_id b.c_id) !processors;
+    ports = List.sort (fun a b -> compare a.q_index b.q_index) !ports;
+    objects_live = Object_table.count_valid table;
+    table_capacity = Object_table.capacity table;
+    barrier_shades = Object_table.barrier_shades table;
+    fault_count = List.length (Machine.faults machine);
+  }
+
+let total_cpu_ns t =
+  List.fold_left (fun acc p -> acc + p.p_cpu_ns) 0 t.processes
+
+let render t =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "machine at %.3f ms: %d live objects (table cap %d), %d faults\n"
+    (float_of_int t.now_ns /. 1e6)
+    t.objects_live t.table_capacity t.fault_count;
+  List.iter
+    (fun c ->
+      Printf.bprintf buf
+        "  cpu%d: clock %.3f ms, busy %.3f ms, util %.0f%%, %d dispatches\n"
+        c.c_id
+        (float_of_int c.c_clock_ns /. 1e6)
+        (float_of_int c.c_busy_ns /. 1e6)
+        (100.0 *. c.c_utilization) c.c_dispatches)
+    t.processors;
+  List.iter
+    (fun p ->
+      Printf.bprintf buf "  process %-16s %-12s prio %2d cpu %.3f ms msgs %d/%d\n"
+        p.p_name p.p_status p.p_priority
+        (float_of_int p.p_cpu_ns /. 1e6)
+        (fst p.p_messages) (snd p.p_messages))
+    t.processes;
+  List.iter
+    (fun q ->
+      Printf.bprintf buf "  port #%d depth %d/%d sends %d receives %d blocks %d/%d\n"
+        q.q_index q.q_depth q.q_capacity q.q_sends q.q_receives
+        (fst q.q_blocks) (snd q.q_blocks))
+    t.ports;
+  Buffer.contents buf

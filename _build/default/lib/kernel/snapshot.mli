@@ -1,0 +1,51 @@
+(** Machine introspection from outside the protection boundary.
+
+    A consistent summary of processes, processors, ports, and the object
+    table — the simulator's logic-analyzer view, deliberately not an iMAX
+    service (inside the capability system there is no central table of all
+    processes, §7.1). *)
+
+type process_line = {
+  p_name : string;
+  p_status : string;
+  p_priority : int;
+  p_cpu_ns : int;
+  p_dispatches : int;
+  p_preemptions : int;
+  p_messages : int * int;  (** sent, received *)
+}
+
+type processor_line = {
+  c_id : int;
+  c_clock_ns : int;
+  c_busy_ns : int;
+  c_idle_ns : int;
+  c_utilization : float;
+  c_dispatches : int;
+}
+
+type port_line = {
+  q_index : int;
+  q_capacity : int;
+  q_depth : int;
+  q_sends : int;
+  q_receives : int;
+  q_blocks : int * int;  (** send, receive *)
+}
+
+type t = {
+  now_ns : int;
+  processes : process_line list;
+  processors : processor_line list;
+  ports : port_line list;
+  objects_live : int;
+  table_capacity : int;
+  barrier_shades : int;
+  fault_count : int;
+}
+
+val capture : Machine.t -> t
+val total_cpu_ns : t -> int
+
+(** Multi-line human-readable rendering. *)
+val render : t -> string

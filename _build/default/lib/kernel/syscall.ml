@@ -1,0 +1,40 @@
+(* The kernel boundary of a simulated process.
+
+   Every potentially blocking 432 instruction is performed as an effect; the
+   machine's run loop handles it, charges virtual time, and either resumes
+   the process immediately or suspends it (saving the one-shot continuation
+   in the process object). *)
+
+open I432
+
+type op =
+  | Send of { port : Access.t; msg : Access.t }
+      (** blocks while the port's message queue is full *)
+  | Receive of { port : Access.t }  (** blocks while no message is available *)
+  | Cond_send of { port : Access.t; msg : Access.t }
+      (** never blocks; tells whether the message was accepted *)
+  | Cond_receive of { port : Access.t }  (** never blocks *)
+  | Delay of int  (** sleep for the given virtual nanoseconds *)
+  | Yield  (** surrender the processor, stay ready *)
+  | Preempt  (** involuntary yield injected at time-slice end *)
+  | Exit  (** voluntary termination *)
+
+type result =
+  | R_unit
+  | R_msg of Access.t
+  | R_accepted of bool
+  | R_msg_option of Access.t option
+
+type _ Effect.t += Syscall : op -> result Effect.t
+
+let perform op = Effect.perform (Syscall op)
+
+let op_to_string = function
+  | Send _ -> "send"
+  | Receive _ -> "receive"
+  | Cond_send _ -> "cond-send"
+  | Cond_receive _ -> "cond-receive"
+  | Delay ns -> Printf.sprintf "delay(%dns)" ns
+  | Yield -> "yield"
+  | Preempt -> "preempt"
+  | Exit -> "exit"

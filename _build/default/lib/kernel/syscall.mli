@@ -1,0 +1,33 @@
+(** The kernel boundary of a simulated process.
+
+    Every potentially blocking 432 instruction is performed as an effect;
+    the machine's run loop handles it, charges virtual time, and either
+    resumes the process or suspends it. *)
+
+open I432
+
+type op =
+  | Send of { port : Access.t; msg : Access.t }
+      (** blocks while the port's message queue is full *)
+  | Receive of { port : Access.t }  (** blocks while no message is available *)
+  | Cond_send of { port : Access.t; msg : Access.t }
+      (** never blocks; reports acceptance *)
+  | Cond_receive of { port : Access.t }  (** never blocks *)
+  | Delay of int  (** sleep for the given virtual nanoseconds *)
+  | Yield  (** surrender the processor, stay ready *)
+  | Preempt  (** involuntary yield injected at time-slice end *)
+  | Exit  (** voluntary termination *)
+
+type result =
+  | R_unit
+  | R_msg of Access.t
+  | R_accepted of bool
+  | R_msg_option of Access.t option
+
+type _ Effect.t += Syscall : op -> result Effect.t
+
+(** Perform one syscall; only meaningful inside a process body running
+    under the machine's handler. *)
+val perform : op -> result
+
+val op_to_string : op -> string

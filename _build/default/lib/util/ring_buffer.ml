@@ -1,0 +1,53 @@
+(* Fixed-capacity FIFO ring buffer.  Used for port message queues and
+   bounded traces, where capacity is part of the semantics (a full 432 port
+   blocks its sender). *)
+
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int; (* index of the oldest element *)
+  mutable length : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity";
+  { slots = Array.make capacity None; head = 0; length = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.length
+let is_empty t = t.length = 0
+let is_full t = t.length = Array.length t.slots
+
+let push t x =
+  if is_full t then invalid_arg "Ring_buffer.push: full";
+  let tail = (t.head + t.length) mod Array.length t.slots in
+  t.slots.(tail) <- Some x;
+  t.length <- t.length + 1
+
+let pop t =
+  if is_empty t then None
+  else begin
+    let x = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.slots;
+    t.length <- t.length - 1;
+    x
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.head)
+
+let iter f t =
+  for i = 0 to t.length - 1 do
+    match t.slots.((t.head + i) mod Array.length t.slots) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.length <- 0

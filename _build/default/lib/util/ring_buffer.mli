@@ -1,0 +1,25 @@
+(** Fixed-capacity FIFO ring buffer.
+
+    Capacity is part of the semantics: a full 432 communication port blocks
+    its sender, so the buffer refuses pushes when full rather than growing. *)
+
+type 'a t
+
+(** Raises [Invalid_argument] if capacity is not positive. *)
+val create : int -> 'a t
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+(** Raises [Invalid_argument] when full. *)
+val push : 'a t -> 'a -> unit
+
+(** [None] when empty. *)
+val pop : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

@@ -1,0 +1,72 @@
+(* Small statistics toolkit used by the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let sum = Array.fold_left ( +. ) 0.0 sorted in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 sorted
+    /. float_of_int (Stdlib.max 1 (n - 1))
+  in
+  {
+    count = n;
+    mean;
+    stddev = sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.50;
+    p90 = percentile sorted 0.90;
+    p99 = percentile sorted 0.99;
+  }
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+(* Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair. *)
+let jain_fairness xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.jain_fairness: empty";
+  let s = Array.fold_left ( +. ) 0.0 xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+
+let histogram ~buckets ~lo ~hi samples =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  Array.iter
+    (fun x ->
+      if x >= lo && x < hi then begin
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= buckets then buckets - 1 else b in
+        counts.(b) <- counts.(b) + 1
+      end)
+    samples;
+  counts

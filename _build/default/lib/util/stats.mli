@@ -1,0 +1,27 @@
+(** Descriptive statistics for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** [percentile sorted p] with [p] in [0, 1]; [sorted] must be sorted
+    ascending and non-empty. *)
+val percentile : float array -> float -> float
+
+(** Full summary of a non-empty sample array. *)
+val summarize : float array -> summary
+
+val mean : float array -> float
+
+(** Jain's fairness index in (0, 1]; 1.0 means all values equal. *)
+val jain_fairness : float array -> float
+
+(** Fixed-width histogram of values falling in [lo, hi). *)
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_arch Test_extensions Test_gc Test_imax Test_integration Test_kernel Test_units Test_util

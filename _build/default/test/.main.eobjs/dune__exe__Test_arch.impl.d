@@ -1,0 +1,1 @@
+test/test_arch.ml: Access Alcotest Bytes Fault I432 List Memory Obj_type Object_table QCheck2 QCheck_alcotest Rights Segment Sro Type_def

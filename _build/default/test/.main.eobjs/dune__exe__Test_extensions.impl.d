@@ -1,0 +1,1 @@
+test/test_extensions.ml: Access Ada_tasks Alcotest Fault I432 I432_kernel Imax Interpose Levels List Obj_type Object_table Option Printf Segment Sro System

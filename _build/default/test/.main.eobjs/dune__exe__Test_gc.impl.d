@@ -1,0 +1,1 @@
+test/test_gc.ml: Access Alcotest Array I432 I432_gc I432_kernel List Obj_type Object_table QCheck2 QCheck_alcotest Segment Type_def

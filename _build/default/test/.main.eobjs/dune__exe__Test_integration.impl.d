@@ -1,0 +1,1 @@
+test/test_integration.ml: Ada_tasks Alcotest Device_io I432 I432_gc I432_kernel Imax List Memory_manager Obj_type Option Printf Process_manager Scheduler String System Untyped_ports

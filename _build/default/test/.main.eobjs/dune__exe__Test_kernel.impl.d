@@ -1,0 +1,1 @@
+test/test_kernel.ml: Access Alcotest Array Fault I432 I432_kernel List Obj_type Object_table Printf QCheck2 QCheck_alcotest Rights Segment String Timings

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun I432_util List Printf Prng QCheck2 QCheck_alcotest Queue Ring_buffer Stats String Table

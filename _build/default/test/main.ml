@@ -1,0 +1,14 @@
+(* Aggregate test runner: one alcotest binary covering every library. *)
+
+let () =
+  Alcotest.run "imax432"
+    [
+      ("util", Test_util.suite);
+      ("arch", Test_arch.suite);
+      ("kernel", Test_kernel.suite);
+      ("gc", Test_gc.suite);
+      ("imax", Test_imax.suite);
+      ("extensions", Test_extensions.suite);
+      ("units", Test_units.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,836 @@
+(* Tests for the kernel: the run loop, processes, ports (blocking, rights,
+   disciplines), dispatching, time slicing, domain calls, local heaps, bus
+   contention, and determinism across runs. *)
+
+open I432
+module K = I432_kernel
+
+let mk ?(processors = 1) ?(alpha = 0) () =
+  K.Machine.create
+    ~config:
+      {
+        K.Machine.default_config with
+        K.Machine.processors;
+        bus_alpha_per_mille = alpha;
+      }
+    ()
+
+let run = K.Machine.run
+
+(* ---------------- Basic process execution ---------------- *)
+
+let test_single_process_runs () =
+  let m = mk () in
+  let hits = ref 0 in
+  let _ = K.Machine.spawn m ~name:"p" (fun () -> hits := 42) in
+  let r = run m in
+  Alcotest.(check int) "body ran" 42 !hits;
+  Alcotest.(check int) "completed" 1 r.K.Machine.completed
+
+let test_processes_accumulate_time () =
+  let m = mk () in
+  let p = K.Machine.spawn m ~name:"p" (fun () -> K.Machine.compute m 100) in
+  let _ = run m in
+  let st = K.Machine.process_state m p in
+  Alcotest.(check bool) "cpu time charged" true (st.K.Process.cpu_ns >= 100_000)
+
+let test_spawn_many () =
+  let m = mk () in
+  let n = ref 0 in
+  for i = 1 to 50 do
+    ignore
+      (K.Machine.spawn m ~name:(Printf.sprintf "p%d" i) (fun () -> incr n))
+  done;
+  let r = run m in
+  Alcotest.(check int) "all ran" 50 !n;
+  Alcotest.(check int) "all completed" 50 r.K.Machine.completed
+
+let test_priority_order_single_cpu () =
+  let m = mk () in
+  let order = ref [] in
+  let mk_proc name prio =
+    ignore
+      (K.Machine.spawn m ~name ~priority:prio (fun () ->
+           order := name :: !order))
+  in
+  mk_proc "low" 1;
+  mk_proc "high" 10;
+  mk_proc "mid" 5;
+  let _ = run m in
+  Alcotest.(check (list string)) "highest first" [ "high"; "mid"; "low" ]
+    (List.rev !order)
+
+let test_yield_interleaves () =
+  let m = mk () in
+  let log = ref [] in
+  let worker name () =
+    for i = 1 to 3 do
+      log := (name, i) :: !log;
+      K.Machine.yield m
+    done
+  in
+  ignore (K.Machine.spawn m ~name:"a" (worker "a"));
+  ignore (K.Machine.spawn m ~name:"b" (worker "b"));
+  let _ = run m in
+  let names = List.rev_map fst !log in
+  (* With equal priorities and yields, the two processes alternate. *)
+  Alcotest.(check (list string)) "alternation"
+    [ "a"; "b"; "a"; "b"; "a"; "b" ]
+    names
+
+let test_exit_process () =
+  let m = mk () in
+  let after = ref false in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         if true then K.Machine.exit_process m;
+         after := true));
+  let r = run m in
+  Alcotest.(check bool) "code after exit unreached" false !after;
+  Alcotest.(check int) "completed" 1 r.K.Machine.completed
+
+let test_delay_advances_clock () =
+  let m = mk () in
+  ignore (K.Machine.spawn m ~name:"p" (fun () -> K.Machine.delay m ~ns:5_000_000));
+  let r = run m in
+  Alcotest.(check bool) "elapsed >= delay" true
+    (r.K.Machine.elapsed_ns >= 5_000_000)
+
+let test_delays_order_events () =
+  let m = mk () in
+  let log = ref [] in
+  ignore
+    (K.Machine.spawn m ~name:"late" (fun () ->
+         K.Machine.delay m ~ns:2_000_000;
+         log := "late" :: !log));
+  ignore
+    (K.Machine.spawn m ~name:"early" (fun () ->
+         K.Machine.delay m ~ns:1_000_000;
+         log := "early" :: !log));
+  let _ = run m in
+  Alcotest.(check (list string)) "wake order" [ "early"; "late" ] (List.rev !log)
+
+let test_fault_recorded () =
+  let m = mk () in
+  let victim = K.Machine.allocate_generic m ~data_length:4 () in
+  ignore
+    (K.Machine.spawn m ~name:"bad" (fun () ->
+         ignore (K.Machine.read_word m victim ~offset:100)));
+  let r = run m in
+  Alcotest.(check int) "faulted" 1 r.K.Machine.faulted;
+  match K.Machine.faults m with
+  | [ ("bad", Fault.Bounds _) ] -> ()
+  | _ -> Alcotest.fail "expected one bounds fault from 'bad'"
+
+let test_fault_below_level3_panics () =
+  let m = mk () in
+  ignore
+    (K.Machine.spawn m ~name:"sys" ~system_level:2 (fun () ->
+         Fault.raise_fault (Fault.Protocol "boom")));
+  Alcotest.(check bool) "panics" true
+    (match run m with
+    | _ -> false
+    | exception K.Machine.Kernel_panic _ -> true)
+
+let test_fault_at_level4_does_not_panic () =
+  let m = mk () in
+  ignore
+    (K.Machine.spawn m ~name:"user" ~system_level:4 (fun () ->
+         Fault.raise_fault (Fault.Protocol "boom")));
+  let r = run m in
+  Alcotest.(check int) "contained" 1 r.K.Machine.faulted
+
+(* ---------------- Ports ---------------- *)
+
+let test_port_send_receive () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+  let got = ref (-1) in
+  let obj = K.Machine.allocate_generic m () in
+  ignore
+    (K.Machine.spawn m ~name:"sender" (fun () ->
+         K.Machine.write_word m obj ~offset:0 7;
+         K.Machine.send m ~port ~msg:obj));
+  ignore
+    (K.Machine.spawn m ~name:"receiver" (fun () ->
+         let msg = K.Machine.receive m ~port in
+         got := K.Machine.read_word m msg ~offset:0));
+  let _ = run m in
+  Alcotest.(check int) "payload" 7 !got
+
+let test_port_fifo_order () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:8 ~discipline:K.Port.Fifo () in
+  let order = ref [] in
+  ignore
+    (K.Machine.spawn m ~name:"sender" (fun () ->
+         for i = 1 to 5 do
+           let o = K.Machine.allocate_generic m () in
+           K.Machine.write_word m o ~offset:0 i;
+           K.Machine.send m ~port ~msg:o
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"receiver" (fun () ->
+         for _ = 1 to 5 do
+           let msg = K.Machine.receive m ~port in
+           order := K.Machine.read_word m msg ~offset:0 :: !order
+         done));
+  let _ = run m in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_port_priority_discipline () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:8 ~discipline:K.Port.Priority () in
+  let order = ref [] in
+  (* Three senders with different priorities enqueue before the receiver
+     starts (receiver has lowest priority so it runs last). *)
+  let send_with prio v =
+    ignore
+      (K.Machine.spawn m ~name:(Printf.sprintf "s%d" v) ~priority:prio
+         (fun () ->
+           let o = K.Machine.allocate_generic m () in
+           K.Machine.write_word m o ~offset:0 v;
+           K.Machine.send m ~port ~msg:o))
+  in
+  send_with 3 30;
+  send_with 9 90;
+  send_with 6 60;
+  ignore
+    (K.Machine.spawn m ~name:"receiver" ~priority:1 (fun () ->
+         for _ = 1 to 3 do
+           let msg = K.Machine.receive m ~port in
+           order := K.Machine.read_word m msg ~offset:0 :: !order
+         done));
+  let _ = run m in
+  Alcotest.(check (list int)) "highest priority first" [ 90; 60; 30 ]
+    (List.rev !order)
+
+let test_port_sender_blocks_when_full () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let sent = ref 0 in
+  ignore
+    (K.Machine.spawn m ~name:"sender" (fun () ->
+         for _ = 1 to 5 do
+           let o = K.Machine.allocate_generic m () in
+           K.Machine.send m ~port ~msg:o;
+           incr sent
+         done));
+  let _ = run m in
+  (* No receiver: the sender fills the queue (2) and blocks on the third. *)
+  Alcotest.(check int) "sent until full" 2 !sent;
+  let _, _, send_blocks, _, _, _ = K.Machine.port_stats m port in
+  Alcotest.(check int) "one blocking send" 1 send_blocks
+
+let test_port_blocked_sender_resumes () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  let sent = ref 0 and received = ref 0 in
+  ignore
+    (K.Machine.spawn m ~name:"sender" (fun () ->
+         for _ = 1 to 4 do
+           let o = K.Machine.allocate_generic m () in
+           K.Machine.send m ~port ~msg:o;
+           incr sent
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"receiver" (fun () ->
+         for _ = 1 to 4 do
+           let _ = K.Machine.receive m ~port in
+           incr received
+         done));
+  let r = run m in
+  Alcotest.(check int) "all sent" 4 !sent;
+  Alcotest.(check int) "all received" 4 !received;
+  Alcotest.(check (list string)) "no deadlock" [] r.K.Machine.deadlocked
+
+let test_port_receiver_blocks_then_wakes () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let got = ref false in
+  ignore
+    (K.Machine.spawn m ~name:"receiver" ~priority:10 (fun () ->
+         let _ = K.Machine.receive m ~port in
+         got := true));
+  ignore
+    (K.Machine.spawn m ~name:"sender" ~priority:1 (fun () ->
+         K.Machine.delay m ~ns:1_000_000;
+         let o = K.Machine.allocate_generic m () in
+         K.Machine.send m ~port ~msg:o));
+  let _ = run m in
+  Alcotest.(check bool) "receiver woke" true !got
+
+let test_port_send_requires_right () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let no_send = Access.without_type_right port Rights.t1 in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         let o = K.Machine.allocate_generic m () in
+         K.Machine.send m ~port:no_send ~msg:o));
+  let r = run m in
+  Alcotest.(check int) "rights fault" 1 r.K.Machine.faulted
+
+let test_port_receive_requires_right () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let no_recv = Access.without_type_right port Rights.t2 in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         ignore (K.Machine.receive m ~port:no_recv)));
+  let r = run m in
+  Alcotest.(check int) "rights fault" 1 r.K.Machine.faulted
+
+let test_port_wrong_object_type () =
+  let m = mk () in
+  let not_a_port = K.Machine.allocate_generic m () in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         let o = K.Machine.allocate_generic m () in
+         K.Machine.send m ~port:not_a_port ~msg:o));
+  let r = run m in
+  Alcotest.(check int) "type fault" 1 r.K.Machine.faulted
+
+let test_cond_send_on_full () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  let results = ref [] in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         for _ = 1 to 3 do
+           let o = K.Machine.allocate_generic m () in
+           results := K.Machine.cond_send m ~port ~msg:o :: !results
+         done));
+  let _ = run m in
+  Alcotest.(check (list bool)) "first accepted, rest refused"
+    [ true; false; false ] (List.rev !results)
+
+let test_cond_receive_on_empty () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  let got = ref (Some (Access.make ~index:0 ~rights:Rights.none)) in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         got := K.Machine.cond_receive m ~port));
+  let _ = run m in
+  Alcotest.(check bool) "none on empty" true (!got = None)
+
+let test_deadlock_detected () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  ignore
+    (K.Machine.spawn m ~name:"waiter" (fun () ->
+         ignore (K.Machine.receive m ~port)));
+  let r = run m in
+  Alcotest.(check (list string)) "reported" [ "waiter" ] r.K.Machine.deadlocked
+
+(* ---------------- Multiprocessor ---------------- *)
+
+let test_multiprocessor_parallel_speedup () =
+  let work machine () = K.Machine.compute machine 2000 in
+  let elapsed n =
+    let m = mk ~processors:n () in
+    for i = 1 to 8 do
+      ignore (K.Machine.spawn m ~name:(Printf.sprintf "w%d" i) (work m))
+    done;
+    (run m).K.Machine.elapsed_ns
+  in
+  let t1 = elapsed 1 in
+  let t4 = elapsed 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4 cpus faster (t1=%d t4=%d)" t1 t4)
+    true
+    (float_of_int t1 /. float_of_int t4 > 3.0)
+
+let test_multiprocessor_all_used () =
+  let m = mk ~processors:4 () in
+  for i = 1 to 8 do
+    ignore
+      (K.Machine.spawn m ~name:(Printf.sprintf "w%d" i) (fun () ->
+           K.Machine.compute m 1000))
+  done;
+  let _ = run m in
+  Array.iter
+    (fun u -> Alcotest.(check bool) "utilized" true (u > 0.0))
+    (K.Machine.processor_utilizations m)
+
+let test_bus_contention_slows () =
+  let m1 = mk ~processors:1 ~alpha:50 () in
+  let m8 = mk ~processors:8 ~alpha:50 () in
+  Alcotest.(check bool) "more cpus, more contention" true
+    (K.Bus.factor (K.Machine.bus m8) > K.Bus.factor (K.Machine.bus m1))
+  [@@warning "-a"]
+
+let test_determinism () =
+  let trial () =
+    let m = mk ~processors:3 () in
+    let port = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+    let total = ref 0 in
+    for i = 1 to 5 do
+      ignore
+        (K.Machine.spawn m ~name:(Printf.sprintf "s%d" i) (fun () ->
+             for j = 1 to 10 do
+               let o = K.Machine.allocate_generic m () in
+               K.Machine.write_word m o ~offset:0 (i * j);
+               K.Machine.send m ~port ~msg:o
+             done))
+    done;
+    ignore
+      (K.Machine.spawn m ~name:"r" (fun () ->
+           for _ = 1 to 50 do
+             let msg = K.Machine.receive m ~port in
+             total := (!total * 31) + K.Machine.read_word m msg ~offset:0
+           done));
+    let r = run m in
+    (!total, r.K.Machine.elapsed_ns)
+  in
+  let a = trial () in
+  let b = trial () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+(* ---------------- Time slice and preemption ---------------- *)
+
+let test_time_slice_preempts () =
+  let m = mk () in
+  let log = ref [] in
+  let hog name () =
+    for _ = 1 to 3 do
+      (* Each burst far exceeds the 10 ms default slice. *)
+      K.Machine.compute m 15_000;
+      log := name :: !log
+    done
+  in
+  ignore (K.Machine.spawn m ~name:"a" (hog "a"));
+  ignore (K.Machine.spawn m ~name:"b" (hog "b"));
+  let r = run m in
+  Alcotest.(check bool) "preemptions happened" true (r.K.Machine.preemptions > 0);
+  (* Preemption interleaves the two hogs rather than running a then b. *)
+  let seq = List.rev !log in
+  Alcotest.(check bool) "interleaved" true
+    (match seq with
+    | "a" :: rest -> List.exists (fun x -> x = "b") (List.filteri (fun i _ -> i < 3) rest)
+    | "b" :: rest -> List.exists (fun x -> x = "a") (List.filteri (fun i _ -> i < 3) rest)
+    | _ -> false)
+
+(* ---------------- Stop / start (kernel bit) ---------------- *)
+
+let test_stopped_process_does_not_run () =
+  let m = mk () in
+  let hits = ref 0 in
+  let p = K.Machine.spawn m ~name:"p" (fun () -> incr hits) in
+  K.Machine.set_stopped m p true;
+  let _ = run m in
+  Alcotest.(check int) "never ran" 0 !hits;
+  K.Machine.set_stopped m p false;
+  let _ = run m in
+  Alcotest.(check int) "ran after start" 1 !hits
+
+let test_stop_blocked_process_defers_wake () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  let got = ref false in
+  let receiver =
+    K.Machine.spawn m ~name:"receiver" (fun () ->
+        let _ = K.Machine.receive m ~port in
+        got := true)
+  in
+  ignore
+    (K.Machine.spawn m ~name:"sender" ~priority:1 (fun () ->
+         K.Machine.delay m ~ns:1_000;
+         let o = K.Machine.allocate_generic m () in
+         K.Machine.send m ~port ~msg:o));
+  (* Stop the receiver before its message arrives: delivery must not run
+     it. *)
+  K.Machine.set_stopped m receiver true;
+  let _ = run m in
+  Alcotest.(check bool) "stopped receiver did not run" false !got;
+  K.Machine.set_stopped m receiver false;
+  let _ = run m in
+  Alcotest.(check bool) "ran after start" true !got
+
+let test_scheduler_port_notified () =
+  let m = mk () in
+  let sched_port = K.Machine.create_port m ~capacity:8 ~discipline:K.Port.Fifo () in
+  let p = K.Machine.spawn m ~name:"p" (fun () -> K.Machine.compute m 1) in
+  K.Machine.set_scheduler_port m p sched_port;
+  K.Machine.set_stopped m p true;
+  K.Machine.set_stopped m p false;
+  let sends, _, _, _, _, _ = K.Machine.port_stats m sched_port in
+  Alcotest.(check int) "two mix transitions" 2 sends
+
+(* ---------------- Domains and local heaps ---------------- *)
+
+let test_domain_call_charges_65us () =
+  let m = mk () in
+  let sro = K.Machine.global_sro m in
+  let dom = K.Domain.create (K.Machine.table m) sro ~name:"pkg" in
+  let p =
+    K.Machine.spawn m ~name:"caller" (fun () ->
+        K.Machine.domain_call m dom (fun () -> ()))
+  in
+  let _ = run m in
+  let st = K.Machine.process_state m p in
+  let tm = K.Machine.timings m in
+  let expected =
+    tm.Timings.dispatch_ns + tm.Timings.domain_call_ns
+    + tm.Timings.domain_return_ns
+  in
+  Alcotest.(check int) "65us call + return charged" expected st.K.Process.cpu_ns
+
+let test_domain_call_nesting_depth () =
+  let m = mk () in
+  let sro = K.Machine.global_sro m in
+  let dom = K.Domain.create (K.Machine.table m) sro ~name:"pkg" in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         K.Machine.domain_call m dom (fun () ->
+             K.Machine.domain_call m dom (fun () -> ()))));
+  let _ = run m in
+  let d = K.Domain.state_of (K.Machine.table m) dom in
+  Alcotest.(check int) "two calls" 2 d.K.Domain.calls;
+  Alcotest.(check int) "max depth 2" 2 d.K.Domain.max_depth;
+  Alcotest.(check int) "balanced" 0 d.K.Domain.depth
+
+let test_domain_call_propagates_exception () =
+  let m = mk () in
+  let sro = K.Machine.global_sro m in
+  let dom = K.Domain.create (K.Machine.table m) sro ~name:"pkg" in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         K.Machine.domain_call m dom (fun () ->
+             Fault.raise_fault (Fault.Protocol "inner"))));
+  let _ = run m in
+  let d = K.Domain.state_of (K.Machine.table m) dom in
+  Alcotest.(check int) "return accounted despite raise" 1 d.K.Domain.returns
+
+let test_domain_private_environment () =
+  let m = mk () in
+  let sro = K.Machine.global_sro m in
+  let table = K.Machine.table m in
+  let dom = K.Domain.create table sro ~name:"pkg" in
+  let secret = K.Machine.allocate_generic m () in
+  K.Domain.set_private table dom ~slot:0 secret;
+  match K.Domain.get_private table dom ~slot:0 with
+  | Some got -> Alcotest.(check int) "kept" (Access.index secret) (Access.index got)
+  | None -> Alcotest.fail "missing private capability"
+
+let test_local_heap_lifecycle () =
+  let m = mk () in
+  let reclaimed = ref 0 in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         let local = K.Machine.create_local_sro m ~level:1 ~bytes:4096 in
+         let _a =
+           K.Machine.allocate m local ~data_length:64 ~access_length:0
+             ~otype:Obj_type.Generic
+         in
+         let _b =
+           K.Machine.allocate m local ~data_length:64 ~access_length:0
+             ~otype:Obj_type.Generic
+         in
+         reclaimed := K.Machine.destroy_sro m local));
+  let _ = run m in
+  Alcotest.(check int) "bulk reclaim" 2 !reclaimed
+
+let test_local_heap_level_confinement () =
+  let m = mk () in
+  let table = K.Machine.table m in
+  let faulted = ref false in
+  ignore
+    (K.Machine.spawn m ~name:"p" (fun () ->
+         let local = K.Machine.create_local_sro m ~level:1 ~bytes:4096 in
+         let local_obj =
+           K.Machine.allocate m local ~data_length:16 ~access_length:0
+             ~otype:Obj_type.Generic
+         in
+         let global_obj = K.Machine.allocate_generic m () in
+         (match Segment.store_access table global_obj ~slot:0 (Some local_obj) with
+         | () -> ()
+         | exception Fault.Fault (Fault.Level_violation _) -> faulted := true);
+         ignore (K.Machine.destroy_sro m local)));
+  let _ = run m in
+  Alcotest.(check bool) "escape prevented" true !faulted
+
+(* ---------------- Allocation cost ---------------- *)
+
+let test_allocation_charges_80us () =
+  let m = mk () in
+  let p =
+    K.Machine.spawn m ~name:"alloc" (fun () ->
+        ignore (K.Machine.allocate_generic m ()))
+  in
+  let _ = run m in
+  let st = K.Machine.process_state m p in
+  let tm = K.Machine.timings m in
+  Alcotest.(check int) "80us + dispatch"
+    (tm.Timings.dispatch_ns + tm.Timings.allocate_ns)
+    st.K.Process.cpu_ns
+
+(* ---------------- Run-loop edges ---------------- *)
+
+let test_boot_time_operations_are_free () =
+  (* Outside the run loop there is no executing processor: configuration
+     work is charged to nobody. *)
+  let m = mk () in
+  let _ = K.Machine.allocate_generic m () in
+  K.Machine.charge m 1_000_000;
+  Alcotest.(check int) "clock untouched" 0 (K.Machine.now m)
+
+let test_run_respects_max_steps () =
+  let m = mk () in
+  ignore
+    (K.Machine.spawn m ~name:"spinner" (fun () ->
+         while true do
+           K.Machine.yield m
+         done));
+  let r = K.Machine.run m ~max_steps:100 in
+  Alcotest.(check bool) "terminated by step bound" true
+    (r.K.Machine.completed = 0)
+
+let test_run_respects_max_ns () =
+  let m = mk () in
+  ignore
+    (K.Machine.spawn m ~name:"sleeper" (fun () ->
+         K.Machine.delay m ~ns:1_000_000_000));
+  let r = K.Machine.run m ~max_ns:2_000_000 in
+  Alcotest.(check bool) "halted near the bound" true
+    (r.K.Machine.elapsed_ns < 100_000_000)
+
+let test_empty_machine_runs () =
+  let m = mk () in
+  let r = K.Machine.run m in
+  Alcotest.(check int) "nothing completed" 0 r.K.Machine.completed;
+  Alcotest.(check int) "no time passed" 0 r.K.Machine.elapsed_ns
+
+let test_spawn_from_local_sro () =
+  (* Processes are created from an SRO like any object (§5). *)
+  let m = mk () in
+  let sro = K.Machine.create_local_sro m ~level:1 ~bytes:4096 in
+  let hits = ref 0 in
+  let p = K.Machine.spawn m ~name:"local" ~sro (fun () -> incr hits) in
+  let _ = run m in
+  Alcotest.(check int) "ran" 1 !hits;
+  let e = Object_table.entry_of_access (K.Machine.table m) p in
+  Alcotest.(check int) "process object at SRO's level" 1 e.Object_table.level
+
+let test_trace_records_lifecycle () =
+  let m =
+    K.Machine.create
+      ~config:{ K.Machine.default_config with K.Machine.trace = true }
+      ()
+  in
+  ignore (K.Machine.spawn m ~name:"traced" (fun () -> K.Machine.yield m));
+  let _ = run m in
+  let lines = K.Machine.trace_lines m in
+  let mentions sub line =
+    let n = String.length line and m' = String.length sub in
+    let rec go i = i + m' <= n && (String.sub line i m' = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "spawn traced" true
+    (List.exists (mentions "spawn traced") lines);
+  Alcotest.(check bool) "finish traced" true
+    (List.exists (mentions "finished") lines)
+
+let test_trace_disabled_by_default () =
+  let m = mk () in
+  ignore (K.Machine.spawn m ~name:"quiet" (fun () -> ()));
+  let _ = run m in
+  Alcotest.(check (list string)) "no trace" [] (K.Machine.trace_lines m)
+
+let test_obj_type_helpers () =
+  Alcotest.(check bool) "process is system" true (Obj_type.is_system Obj_type.Process);
+  Alcotest.(check bool) "generic is not" false (Obj_type.is_system Obj_type.Generic);
+  Alcotest.(check bool) "custom is not" false (Obj_type.is_system (Obj_type.Custom 3));
+  Alcotest.(check bool) "custom ids distinguish" false
+    (Obj_type.equal (Obj_type.Custom 1) (Obj_type.Custom 2));
+  Alcotest.(check string) "custom prints id" "custom(7)"
+    (Obj_type.to_string (Obj_type.Custom 7))
+
+(* ---------------- Processor affinity ---------------- *)
+
+let test_affinity_pins_process () =
+  let m = mk ~processors:2 () in
+  let p =
+    K.Machine.spawn m ~name:"pinned" (fun () -> K.Machine.compute m 500)
+  in
+  K.Machine.set_affinity m p (Some 1);
+  let _ = run m in
+  (* All the work landed on processor 1. *)
+  let utils = K.Machine.processor_utilizations m in
+  Alcotest.(check bool) "cpu1 busy" true (utils.(1) > 0.0);
+  let st = K.Machine.process_state m p in
+  Alcotest.(check bool) "completed" true (st.K.Process.status = K.Process.Finished)
+
+let test_affinity_partition () =
+  let m = mk ~processors:2 () in
+  let log = ref [] in
+  (* Two workers pinned to different processors interleave in virtual time
+     rather than serializing. *)
+  let spawn_pinned name cpu =
+    let p =
+      K.Machine.spawn m ~name (fun () ->
+          for _ = 1 to 3 do
+            K.Machine.compute m 100;
+            log := name :: !log;
+            K.Machine.yield m
+          done)
+    in
+    K.Machine.set_affinity m p (Some cpu)
+  in
+  spawn_pinned "a" 0;
+  spawn_pinned "b" 1;
+  let r = run m in
+  Alcotest.(check int) "both completed" 2 r.K.Machine.completed;
+  Alcotest.(check int) "six work items" 6 (List.length !log);
+  Alcotest.(check bool) "interleaved across processors" true
+    (match List.rev !log with
+    | first :: second :: _ -> first <> second
+    | _ -> false)
+
+let test_affinity_invalid_processor () =
+  let m = mk ~processors:2 () in
+  let p = K.Machine.spawn m ~name:"p" (fun () -> ()) in
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Machine.set_affinity: no such processor") (fun () ->
+      K.Machine.set_affinity m p (Some 5))
+
+let test_affinity_lift_rebalances () =
+  let m = mk ~processors:2 () in
+  let p =
+    K.Machine.spawn m ~name:"pinned" (fun () ->
+        for _ = 1 to 2 do
+          K.Machine.compute m 10;
+          K.Machine.yield m
+        done)
+  in
+  K.Machine.set_affinity m p (Some 0);
+  K.Machine.set_affinity m p None;
+  let r = run m in
+  Alcotest.(check int) "completed after lifting" 1 r.K.Machine.completed
+
+(* qcheck: random send/receive scripts over random port capacities preserve
+   messages — everything sent is received exactly once, in FIFO order. *)
+let prop_port_conservation =
+  QCheck2.Test.make ~name:"ports conserve messages (random scripts)" ~count:60
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 40))
+    (fun (capacity, count) ->
+      let m = mk () in
+      let port = K.Machine.create_port m ~capacity ~discipline:K.Port.Fifo () in
+      let received = ref [] in
+      ignore
+        (K.Machine.spawn m ~name:"s" (fun () ->
+             for i = 1 to count do
+               let o = K.Machine.allocate_generic m ~data_length:8 () in
+               K.Machine.write_word m o ~offset:0 i;
+               K.Machine.send m ~port ~msg:o
+             done));
+      ignore
+        (K.Machine.spawn m ~name:"r" (fun () ->
+             for _ = 1 to count do
+               let msg = K.Machine.receive m ~port in
+               received := K.Machine.read_word m msg ~offset:0 :: !received
+             done));
+      let r = run m in
+      r.K.Machine.deadlocked = []
+      && List.rev !received = List.init count (fun i -> i + 1))
+
+(* qcheck: N senders, M receivers, no message lost or duplicated. *)
+let prop_port_many_to_many =
+  QCheck2.Test.make ~name:"N:M port traffic conserves payload sum" ~count:40
+    QCheck2.Gen.(triple (int_range 1 4) (int_range 1 4) (int_range 1 20))
+    (fun (senders, receivers, per_sender) ->
+      let m = mk ~processors:2 () in
+      let port = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+      let total = senders * per_sender in
+      (* Distribute receives across receivers. *)
+      let base = total / receivers and extra = total mod receivers in
+      let received_sum = ref 0 and received_n = ref 0 in
+      for s = 1 to senders do
+        ignore
+          (K.Machine.spawn m ~name:(Printf.sprintf "s%d" s) (fun () ->
+               for i = 1 to per_sender do
+                 let o = K.Machine.allocate_generic m ~data_length:8 () in
+                 K.Machine.write_word m o ~offset:0 ((s * 1000) + i);
+                 K.Machine.send m ~port ~msg:o
+               done))
+      done;
+      for r = 1 to receivers do
+        let quota = base + if r <= extra then 1 else 0 in
+        ignore
+          (K.Machine.spawn m ~name:(Printf.sprintf "r%d" r) (fun () ->
+               for _ = 1 to quota do
+                 let msg = K.Machine.receive m ~port in
+                 received_sum := !received_sum + K.Machine.read_word m msg ~offset:0;
+                 incr received_n
+               done))
+      done;
+      let report = run m in
+      let expected_sum =
+        let s = ref 0 in
+        for snd = 1 to senders do
+          for i = 1 to per_sender do
+            s := !s + (snd * 1000) + i
+          done
+        done;
+        !s
+      in
+      report.K.Machine.deadlocked = []
+      && !received_n = total
+      && !received_sum = expected_sum)
+
+let suite =
+  [
+    ("single process runs", `Quick, test_single_process_runs);
+    ("processes accumulate time", `Quick, test_processes_accumulate_time);
+    ("spawn many", `Quick, test_spawn_many);
+    ("priority order single cpu", `Quick, test_priority_order_single_cpu);
+    ("yield interleaves", `Quick, test_yield_interleaves);
+    ("exit process", `Quick, test_exit_process);
+    ("delay advances clock", `Quick, test_delay_advances_clock);
+    ("delays order events", `Quick, test_delays_order_events);
+    ("fault recorded", `Quick, test_fault_recorded);
+    ("fault below level 3 panics", `Quick, test_fault_below_level3_panics);
+    ("fault at level 4 contained", `Quick, test_fault_at_level4_does_not_panic);
+    ("port send receive", `Quick, test_port_send_receive);
+    ("port fifo order", `Quick, test_port_fifo_order);
+    ("port priority discipline", `Quick, test_port_priority_discipline);
+    ("port sender blocks when full", `Quick, test_port_sender_blocks_when_full);
+    ("port blocked sender resumes", `Quick, test_port_blocked_sender_resumes);
+    ("port receiver blocks then wakes", `Quick, test_port_receiver_blocks_then_wakes);
+    ("port send requires right", `Quick, test_port_send_requires_right);
+    ("port receive requires right", `Quick, test_port_receive_requires_right);
+    ("port wrong object type", `Quick, test_port_wrong_object_type);
+    ("cond send on full", `Quick, test_cond_send_on_full);
+    ("cond receive on empty", `Quick, test_cond_receive_on_empty);
+    ("deadlock detected", `Quick, test_deadlock_detected);
+    ("multiprocessor parallel speedup", `Quick, test_multiprocessor_parallel_speedup);
+    ("multiprocessor all used", `Quick, test_multiprocessor_all_used);
+    ("bus contention slows", `Quick, test_bus_contention_slows);
+    ("determinism", `Quick, test_determinism);
+    ("time slice preempts", `Quick, test_time_slice_preempts);
+    ("stopped process does not run", `Quick, test_stopped_process_does_not_run);
+    ("stop blocked process defers wake", `Quick, test_stop_blocked_process_defers_wake);
+    ("scheduler port notified", `Quick, test_scheduler_port_notified);
+    ("domain call charges 65us", `Quick, test_domain_call_charges_65us);
+    ("domain call nesting depth", `Quick, test_domain_call_nesting_depth);
+    ("domain call propagates exception", `Quick, test_domain_call_propagates_exception);
+    ("domain private environment", `Quick, test_domain_private_environment);
+    ("local heap lifecycle", `Quick, test_local_heap_lifecycle);
+    ("local heap level confinement", `Quick, test_local_heap_level_confinement);
+    ("allocation charges 80us", `Quick, test_allocation_charges_80us);
+    ("boot-time operations are free", `Quick, test_boot_time_operations_are_free);
+    ("run respects max_steps", `Quick, test_run_respects_max_steps);
+    ("run respects max_ns", `Quick, test_run_respects_max_ns);
+    ("empty machine runs", `Quick, test_empty_machine_runs);
+    ("spawn from local sro", `Quick, test_spawn_from_local_sro);
+    ("trace records lifecycle", `Quick, test_trace_records_lifecycle);
+    ("trace disabled by default", `Quick, test_trace_disabled_by_default);
+    ("obj_type helpers", `Quick, test_obj_type_helpers);
+    ("affinity pins process", `Quick, test_affinity_pins_process);
+    ("affinity partition", `Quick, test_affinity_partition);
+    ("affinity invalid processor", `Quick, test_affinity_invalid_processor);
+    ("affinity lift rebalances", `Quick, test_affinity_lift_rebalances);
+    QCheck_alcotest.to_alcotest prop_port_conservation;
+    QCheck_alcotest.to_alcotest prop_port_many_to_many;
+  ]
