@@ -1,0 +1,124 @@
+(* Frozen copies of the seed's O(n) list-based hot-path structures, kept
+   only as the "before" side of the depth-sweep micro-bench (BENCH_micro
+   deltas).  Do not use these in the simulator: the live implementations
+   are Dispatch/Port/Sro on I432_util.{Pqueue,Ring_buffer,Free_store}.
+
+   Each module replicates the seed algorithm exactly, including its
+   incidental costs (e.g. the List.length executed on every dispatch
+   enqueue for max_ready tracking), so the deltas measure what actually
+   changed. *)
+
+module List_dispatch = struct
+  type entry = { process : int; priority : int; seq : int }
+
+  type t = {
+    mutable ready : entry list;  (* in service order *)
+    mutable seq : int;
+    mutable max_ready : int;
+  }
+
+  let create () = { ready = []; seq = 0; max_ready = 0 }
+
+  let enqueue t ~process ~priority =
+    let e = { process; priority; seq = t.seq } in
+    t.seq <- t.seq + 1;
+    let rec go = function
+      | [] -> [ e ]
+      | x :: rest ->
+        if e.priority > x.priority then e :: x :: rest else x :: go rest
+    in
+    t.ready <- go t.ready;
+    let n = List.length t.ready in
+    if n > t.max_ready then t.max_ready <- n
+
+  let pop t ~eligible =
+    let rec go acc = function
+      | [] -> None
+      | e :: rest ->
+        if eligible e.process then begin
+          t.ready <- List.rev_append acc rest;
+          Some e.process
+        end
+        else go (e :: acc) rest
+    in
+    go [] t.ready
+end
+
+module List_port = struct
+  (* Seed insert_message under the Priority discipline: sorted insert by
+     (priority desc, seq asc); dequeue takes the head. *)
+  type qm = { prio : int; qseq : int }
+
+  type t = {
+    mutable queue : qm list;
+    mutable seq : int;
+    mutable max_depth : int;
+  }
+
+  let create () = { queue = []; seq = 0; max_depth = 0 }
+
+  let enqueue t ~priority =
+    let qm = { prio = priority; qseq = t.seq } in
+    t.seq <- t.seq + 1;
+    let rec go = function
+      | [] -> [ qm ]
+      | x :: rest ->
+        if qm.prio > x.prio || (qm.prio = x.prio && qm.qseq < x.qseq) then
+          qm :: x :: rest
+        else x :: go rest
+    in
+    t.queue <- go t.queue;
+    let d = List.length t.queue in
+    if d > t.max_depth then t.max_depth <- d
+
+  let dequeue t =
+    match t.queue with
+    | [] -> None
+    | qm :: rest ->
+      t.queue <- rest;
+      Some qm.prio
+end
+
+module List_free_store = struct
+  (* Seed SRO free store: first-fit scan of a base-sorted region list,
+     coalescing insert on free. *)
+  type region = { base : int; length : int }
+
+  type t = { mutable free_regions : region list }
+
+  let create () = { free_regions = [] }
+
+  let take t size =
+    let rec go acc = function
+      | [] -> None
+      | r :: rest when r.length >= size ->
+        let remainder =
+          if r.length = size then rest
+          else { base = r.base + size; length = r.length - size } :: rest
+        in
+        t.free_regions <- List.rev_append acc remainder;
+        Some r.base
+      | r :: rest -> go (r :: acc) rest
+    in
+    go [] t.free_regions
+
+  let give t ~base ~length =
+    if length = 0 then ()
+    else begin
+      let rec insert = function
+        | [] -> [ { base; length } ]
+        | r :: rest ->
+          if base + length < r.base then { base; length } :: r :: rest
+          else if base + length = r.base then
+            { base; length = length + r.length } :: rest
+          else if r.base + r.length = base then
+            insert_after { base = r.base; length = r.length + length } rest
+          else r :: insert rest
+      and insert_after grown = function
+        | r :: rest when grown.base + grown.length = r.base ->
+          { grown with length = grown.length + r.length } :: rest
+        | rest -> grown :: rest
+      in
+      t.free_regions <- insert t.free_regions
+    end
+end

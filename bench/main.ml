@@ -1,12 +1,15 @@
 (* Benchmark entry point.
 
-     dune exec bench/main.exe            # every experiment + ablations
-     dune exec bench/main.exe e3         # one experiment
-     dune exec bench/main.exe ablations  # ablations only
-     dune exec bench/main.exe micro      # bechamel wall-clock micro-benches
+     dune exec bench/main.exe                     # every experiment + ablations
+     dune exec bench/main.exe e3                  # one experiment
+     dune exec bench/main.exe ablations           # ablations only
+     dune exec bench/main.exe micro               # bechamel wall-clock micro-benches
+     dune exec bench/main.exe micro -- --json     # + depth sweep, writes BENCH_micro.json
+     dune exec bench/main.exe micro -- --json --smoke   # short CI run (skips bechamel)
+     ... --out PATH                               # JSON destination (default BENCH_micro.json)
 
    Experiment ids and their paper sources are listed in DESIGN.md §4 and
-   EXPERIMENTS.md. *)
+   EXPERIMENTS.md; the JSON schema is documented in EXPERIMENTS.md. *)
 
 let run_named name =
   match List.assoc_opt name (List.map (fun (n, _, f) -> (n, f)) Experiments.all) with
@@ -32,8 +35,34 @@ let run_ablations () =
       print_newline ())
     Ablations.all
 
+let run_micro args =
+  let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
+  let out =
+    let rec go = function
+      | "--out" :: path :: _ -> path
+      | _ :: rest -> go rest
+      | [] -> "BENCH_micro.json"
+    in
+    go args
+  in
+  if not json then Micro.run ()
+  else begin
+    (* Smoke mode keeps the sweep (it is the asymptotic evidence) but
+       skips the slower bechamel estimates. *)
+    let estimates = if smoke then [] else Micro.collect () in
+    if estimates <> [] then Micro.print_estimates estimates;
+    let rows = Depth_sweep.run ~smoke in
+    Depth_sweep.print_summary rows;
+    let mode = if smoke then "smoke" else "full" in
+    Json_out.write_file ~path:out
+      (Depth_sweep.to_json ~bechamel:estimates ~mode rows);
+    Printf.printf "wrote %s\n" out
+  end
+
 let usage () =
-  print_endline "usage: main.exe [all|micro|ablations|<experiment-id>]";
+  print_endline
+    "usage: main.exe [all|micro [--json] [--smoke] [--out PATH]|ablations|<experiment-id>]";
   print_endline "experiments:";
   List.iter
     (fun (id, description, _) -> Printf.printf "  %-6s %s\n" id description)
@@ -43,14 +72,14 @@ let usage () =
     Ablations.all
 
 let () =
-  match Sys.argv with
-  | [| _ |] | [| _; "all" |] ->
+  match Array.to_list Sys.argv with
+  | [ _ ] | [ _; "all" ] ->
     print_endline "iMAX-432 reproduction benchmarks (virtual time at 8 MHz)";
     print_newline ();
     run_all_experiments ();
     run_ablations ();
     Micro.run ()
-  | [| _; "micro" |] -> Micro.run ()
-  | [| _; "ablations" |] -> run_ablations ()
-  | [| _; name |] -> if not (run_named name) then usage ()
+  | _ :: "micro" :: rest -> run_micro rest
+  | [ _; "ablations" ] -> run_ablations ()
+  | [ _; name ] -> if not (run_named name) then usage ()
   | _ -> usage ()

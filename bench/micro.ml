@@ -194,8 +194,9 @@ let benchmarks =
       test_stop_start;
     ]
 
-(* Run with a short quota and print ns/run estimates. *)
-let run () =
+(* Run with a short quota; [collect] returns (name, ns/run) estimates for
+   the JSON emitter, [run] prints them. *)
+let collect () =
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
   let raw = Benchmark.all cfg instances benchmarks in
@@ -204,10 +205,18 @@ let run () =
                    ~predictors:[| Measure.run |])
       (Instance.monotonic_clock) raw
   in
-  print_endline "Bechamel micro-benchmarks (host wall clock per simulated op):";
-  Hashtbl.iter
-    (fun name ols ->
+  Hashtbl.fold
+    (fun name ols acc ->
       match Bechamel.Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
-      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
-    results
+      | Some [ est ] -> (name, est) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort compare
+
+let print_estimates estimates =
+  print_endline "Bechamel micro-benchmarks (host wall clock per simulated op):";
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-28s %12.0f ns/run\n" name est)
+    estimates
+
+let run () = print_estimates (collect ())

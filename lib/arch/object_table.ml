@@ -36,8 +36,9 @@ type entry = {
 
 type t = {
   mutable entries : entry option array;
-  mutable free : int list;  (* recycled descriptor indices *)
+  mutable free : int list;  (* recycled descriptor indices (LIFO pool) *)
   mutable next : int;  (* high-water mark *)
+  mutable live : int;  (* valid entries, maintained incrementally *)
   mutable barrier_shades : int;  (* gray-bit settings performed (§8.1) *)
 }
 
@@ -47,6 +48,7 @@ let create ?(initial_capacity = 256) () =
     entries = Array.make initial_capacity None;
     free = [];
     next = 0;
+    live = 0;
     barrier_shades = 0;
   }
 
@@ -105,6 +107,7 @@ let allocate_entry t ~otype ~base ~data_length ~access_length ~level ~sro =
     }
   in
   t.entries.(index) <- Some e;
+  t.live <- t.live + 1;
   e
 
 let free_entry t index =
@@ -113,7 +116,8 @@ let free_entry t index =
   e.payload <- None;
   e.access_part <- [||];
   t.entries.(index) <- None;
-  t.free <- index :: t.free
+  t.free <- index :: t.free;
+  t.live <- t.live - 1
 
 (* The write barrier of the Dijkstra on-the-fly collector: the hardware sets
    the gray bit "whenever access descriptors are moved" (§8.1). *)
@@ -133,9 +137,6 @@ let iter_valid f t =
     (function Some e when e.valid -> f e | Some _ | None -> ())
     t.entries
 
-let count_valid t =
-  let n = ref 0 in
-  iter_valid (fun _ -> incr n) t;
-  !n
+let count_valid t = t.live
 
 let capacity t = Array.length t.entries

@@ -7,18 +7,25 @@
    whose objects can all be destroyed when the SRO is destroyed, because the
    level rule guarantees no reference has escaped.
 
-   The free store is a first-fit list of regions with coalescing on free.
+   The free store is first-fit with address-ordered coalescing on free,
+   held in {!I432_util.Free_store} — an augmented balanced tree whose fit
+   query returns exactly what a first-fit scan of a base-sorted list would,
+   in O(log regions) instead of O(regions).  Live-object tracking is an
+   O(1) index pool (intrusive list + handle table) instead of an O(n)
+   filtered list, so release cost no longer grows with heap population.
+
    The SRO itself is an object in the table (type Storage_resource), so
    access to it is capability-controlled: Rights.t1 on an SRO access is the
    allocate right. *)
 
-type region = { base : int; length : int }
+open I432_util
 
 type state = {
   self : int;  (* object-table index of this SRO *)
   sro_level : int;  (* level of objects created from this SRO *)
-  mutable free_regions : region list;  (* sorted by base *)
-  mutable allocated : int list;  (* table indices of live objects *)
+  free_store : Free_store.t;  (* free regions, address-ordered *)
+  allocated : int Dlist.t;  (* live object indices, newest first *)
+  alloc_nodes : (int, int Dlist.node) Hashtbl.t;  (* index -> list handle *)
   mutable children : int list;  (* child SROs carved from this store (§5) *)
   mutable live : bool;
   mutable alloc_count : int;
@@ -51,12 +58,15 @@ let create table ~level ~base ~length =
     Object_table.allocate_entry table ~otype:Obj_type.Storage_resource ~base:0
       ~data_length:0 ~access_length:8 ~level ~sro:(-1)
   in
+  let free_store = Free_store.create () in
+  Free_store.insert free_store ~base ~length;
   let s =
     {
       self = e.Object_table.index;
       sro_level = level;
-      free_regions = (if length > 0 then [ { base; length } ] else []);
-      allocated = [];
+      free_store;
+      allocated = Dlist.create ();
+      alloc_nodes = Hashtbl.create 64;
       children = [];
       live = true;
       alloc_count = 0;
@@ -69,48 +79,28 @@ let create table ~level ~base ~length =
 
 let check_live s = if not s.live then Fault.raise_fault Fault.Sro_destroyed
 
-let total_free s =
-  List.fold_left (fun acc r -> acc + r.length) 0 s.free_regions
+let total_free s = Free_store.total s.free_store
 
-(* First-fit carve from the free list. *)
+(* First-fit carve from the free store. *)
 let take_region s size =
-  let rec go acc = function
-    | [] ->
-      Fault.raise_fault
-        (Fault.Storage_exhausted { requested = size; available = total_free s })
-    | r :: rest when r.length >= size ->
-      let remainder =
-        if r.length = size then rest
-        else { base = r.base + size; length = r.length - size } :: rest
-      in
-      s.free_regions <- List.rev_append acc remainder;
-      r.base
-    | r :: rest -> go (r :: acc) rest
-  in
-  go [] s.free_regions
+  match Free_store.take_first_fit s.free_store ~size with
+  | Some base -> base
+  | None ->
+    Fault.raise_fault
+      (Fault.Storage_exhausted { requested = size; available = total_free s })
 
-(* Insert a region keeping the list sorted by base and coalescing with
-   adjacent neighbours. *)
-let give_region s ~base ~length =
-  if length = 0 then ()
-  else begin
-    let rec insert = function
-      | [] -> [ { base; length } ]
-      | r :: rest ->
-        if base + length < r.base then { base; length } :: r :: rest
-        else if base + length = r.base then
-          { base; length = length + r.length } :: rest
-        else if r.base + r.length = base then
-          match insert_after { base = r.base; length = r.length + length } rest with
-          | merged -> merged
-        else r :: insert rest
-    and insert_after grown = function
-      | r :: rest when grown.base + grown.length = r.base ->
-        { grown with length = grown.length + r.length } :: rest
-      | rest -> grown :: rest
-    in
-    s.free_regions <- insert s.free_regions
-  end
+(* Return a region to the store, coalescing with adjacent neighbours. *)
+let give_region s ~base ~length = Free_store.insert s.free_store ~base ~length
+
+let track_allocated s index =
+  Hashtbl.replace s.alloc_nodes index (Dlist.push_front s.allocated index)
+
+let untrack_allocated s index =
+  match Hashtbl.find_opt s.alloc_nodes index with
+  | Some node ->
+    Dlist.remove s.allocated node;
+    Hashtbl.remove s.alloc_nodes index
+  | None -> ()
 
 (* The create-object instruction: carve a data part from the free store and
    allocate a descriptor.  Takes ~80 us of virtual time, charged by the
@@ -126,7 +116,7 @@ let allocate table access ~data_length ~access_length ~otype =
     Object_table.allocate_entry table ~otype ~base ~data_length ~access_length
       ~level:s.sro_level ~sro:s.self
   in
-  s.allocated <- e.Object_table.index :: s.allocated;
+  track_allocated s e.Object_table.index;
   s.alloc_count <- s.alloc_count + 1;
   s.free_bytes <- s.free_bytes - data_length;
   Access.make ~index:e.Object_table.index ~rights:Rights.full
@@ -139,7 +129,7 @@ let release table ~sro_state:s ~index =
     Fault.raise_fault (Fault.Protocol "object released to foreign SRO");
   give_region s ~base:e.Object_table.base ~length:e.Object_table.data_length;
   s.free_bytes <- s.free_bytes + e.Object_table.data_length;
-  s.allocated <- List.filter (fun i -> i <> index) s.allocated;
+  untrack_allocated s index;
   s.destroy_count <- s.destroy_count + 1;
   Object_table.free_entry table index
 
@@ -168,11 +158,11 @@ let donate (_ : Object_table.t) ~sro_state:s ~base ~length =
 (* Carve a raw region from the free store without creating a descriptor
    (used by the swapper to find a frame for a segment being brought in). *)
 let carve (_ : Object_table.t) ~sro_state:s ~size =
-  match take_region s size with
-  | base ->
+  match Free_store.take_first_fit s.free_store ~size with
+  | Some base ->
     s.free_bytes <- s.free_bytes - size;
     Some base
-  | exception Fault.Fault (Fault.Storage_exhausted _) -> None
+  | None -> None
 
 (* Create a child SRO whose store is carved from this SRO's free regions —
    §5's "uniform tree structure encompassing both processes and storage
@@ -203,7 +193,9 @@ let rec destroy table access =
         else acc)
       0 s.children
   in
-  let victims = s.allocated in
+  (* Newest-first, matching descriptor recycling order of the cons-list
+     implementation this replaced. *)
+  let victims = Dlist.to_list s.allocated in
   List.iter
     (fun index ->
       if Object_table.is_valid table index then begin
@@ -214,7 +206,8 @@ let rec destroy table access =
       end)
     victims;
   let n = List.length victims in
-  s.allocated <- [];
+  Dlist.clear s.allocated;
+  Hashtbl.reset s.alloc_nodes;
   s.children <- [];
   s.live <- false;
   Object_table.free_entry table s.self;
@@ -226,16 +219,13 @@ let free_bytes table access = total_free (state_of table access)
 let level table access = (state_of table access).sro_level
 let alloc_count table access = (state_of table access).alloc_count
 let destroy_count table access = (state_of table access).destroy_count
-let live_objects table access = List.length (state_of table access).allocated
+let live_objects table access = Dlist.length (state_of table access).allocated
 let child_count table access = List.length (state_of table access).children
-let allocated_indices table access = (state_of table access).allocated
+let allocated_indices table access = Dlist.to_list (state_of table access).allocated
 let is_live table access = (state_of table access).live
 
 (* Largest single allocatable block (fragmentation indicator). *)
-let largest_free table access =
-  List.fold_left
-    (fun acc r -> max acc r.length)
-    0
-    (state_of table access).free_regions
+let largest_free table access = Free_store.largest (state_of table access).free_store
 
-let region_count table access = List.length (state_of table access).free_regions
+let region_count table access =
+  Free_store.region_count (state_of table access).free_store

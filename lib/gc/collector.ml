@@ -114,10 +114,12 @@ let scan_roots t =
     (fun e ->
       match e.Object_table.payload with
       | Some (I432_kernel.Port.Port_state p) ->
-        List.iter (fun qm -> shade t (Access.index qm.I432_kernel.Port.msg)) p.I432_kernel.Port.queue;
-        List.iter
+        I432_kernel.Port.iter_messages
+          (fun qm -> shade t (Access.index qm.I432_kernel.Port.msg))
+          p;
+        I432_kernel.Port.iter_senders
           (fun ws -> shade t (Access.index ws.I432_kernel.Port.sender_msg))
-          p.I432_kernel.Port.senders
+          p
       | Some _ | None -> ())
     table
 

@@ -321,21 +321,7 @@ let create_port t ?(sro = None) ~capacity ~discipline () =
   e.Object_table.payload <-
     Some
       (Port.Port_state
-         {
-           Port.self = e.Object_table.index;
-           capacity;
-           discipline;
-           queue = [];
-           senders = [];
-           receivers = [];
-           seq = 0;
-           sends = 0;
-           receives = 0;
-           send_blocks = 0;
-           receive_blocks = 0;
-           total_queue_wait_ns = 0;
-           max_depth = 0;
-         });
+         (Port.make ~self:e.Object_table.index ~capacity ~discipline));
   access
 
 let port_stats t access =

@@ -5,9 +5,19 @@
    single hardware instructions; a full queue blocks the sender, an empty
    one blocks the receiver.  Messages are arbitrary access descriptors.
 
-   Type rights on a port access: t1 = send right, t2 = receive right. *)
+   Type rights on a port access: t1 = send right, t2 = receive right.
+
+   Host-cost structures (service order is unchanged bit-for-bit):
+   - Fifo discipline: ring buffer for messages (capacity is part of the
+     port's semantics) and an O(1) queue for blocked senders — replacing
+     O(n) list appends;
+   - Priority discipline: pairing heaps keyed by (priority desc, seq asc)
+     for messages and blocked senders — replacing O(n) sorted inserts.
+   Queue depth is an O(1) counter either way, so the depth statistics no
+   longer cost a list traversal per operation. *)
 
 open I432
+open I432_util
 
 type discipline = Fifo | Priority
 
@@ -25,13 +35,21 @@ type waiting_sender = {
   sender_seq : int;
 }
 
+type messages =
+  | M_fifo of queued_message Ring_buffer.t
+  | M_prio of queued_message Pqueue.t
+
+type senders =
+  | S_fifo of waiting_sender Queue.t
+  | S_prio of waiting_sender Pqueue.t
+
 type t = {
   self : int;
   capacity : int;
   discipline : discipline;
-  mutable queue : queued_message list;  (* kept in service order *)
-  mutable senders : waiting_sender list;  (* blocked senders, service order *)
-  mutable receivers : int list;  (* blocked receiver process indices, FIFO *)
+  messages : messages;
+  senders : senders;  (* blocked senders, service order *)
+  receivers : int Queue.t;  (* blocked receiver process indices, FIFO *)
   mutable seq : int;
   (* statistics *)
   mutable sends : int;
@@ -43,6 +61,30 @@ type t = {
 }
 
 type Object_table.payload += Port_state of t
+
+let make ~self ~capacity ~discipline =
+  if capacity < 1 then invalid_arg "Port.make: capacity";
+  {
+    self;
+    capacity;
+    discipline;
+    messages =
+      (match discipline with
+      | Fifo -> M_fifo (Ring_buffer.create capacity)
+      | Priority -> M_prio (Pqueue.create ()));
+    senders =
+      (match discipline with
+      | Fifo -> S_fifo (Queue.create ())
+      | Priority -> S_prio (Pqueue.create ()));
+    receivers = Queue.create ();
+    seq = 0;
+    sends = 0;
+    receives = 0;
+    send_blocks = 0;
+    receive_blocks = 0;
+    total_queue_wait_ns = 0;
+    max_depth = 0;
+  }
 
 let state_of table access =
   Segment.check_type table access Obj_type.Port;
@@ -70,85 +112,77 @@ let check_receive_right access =
       (Fault.Rights_violation
          { needed = "receive (t2)"; held = Access.rights access })
 
-(* Insert in service order: FIFO appends; Priority orders by descending
-   message priority, FIFO within a priority. *)
-let insert_message t qm =
-  match t.discipline with
-  | Fifo -> t.queue <- t.queue @ [ qm ]
-  | Priority ->
-    let rec go = function
-      | [] -> [ qm ]
-      | x :: rest ->
-        if
-          qm.msg_priority > x.msg_priority
-          || (qm.msg_priority = x.msg_priority && qm.seq < x.seq)
-        then qm :: x :: rest
-        else x :: go rest
-    in
-    t.queue <- go t.queue
+let queue_length t =
+  match t.messages with
+  | M_fifo rb -> Ring_buffer.length rb
+  | M_prio q -> Pqueue.size q
 
-let insert_sender t ws =
-  match t.discipline with
-  | Fifo -> t.senders <- t.senders @ [ ws ]
-  | Priority ->
-    let rec go = function
-      | [] -> [ ws ]
-      | x :: rest ->
-        if
-          ws.sender_priority > x.sender_priority
-          || (ws.sender_priority = x.sender_priority && ws.sender_seq < x.sender_seq)
-        then ws :: x :: rest
-        else x :: go rest
-    in
-    t.senders <- go t.senders
-
-let queue_length t = List.length t.queue
 let is_full t = queue_length t >= t.capacity
-let is_empty t = t.queue = []
-let has_blocked_receiver t = t.receivers <> []
-let has_blocked_sender t = t.senders <> []
+let is_empty t = queue_length t = 0
+let has_blocked_receiver t = not (Queue.is_empty t.receivers)
+
+let has_blocked_sender t =
+  match t.senders with
+  | S_fifo q -> not (Queue.is_empty q)
+  | S_prio q -> not (Pqueue.is_empty q)
 
 let next_seq t =
   let s = t.seq in
   t.seq <- t.seq + 1;
   s
 
+(* Enqueue in service order: FIFO appends; Priority orders by descending
+   message priority, FIFO within a priority. *)
 let enqueue t ~msg ~priority ~now =
   if is_full t then invalid_arg "Port.enqueue: full";
-  insert_message t
-    { msg; msg_priority = priority; seq = next_seq t; enqueued_at = now };
+  let qm = { msg; msg_priority = priority; seq = next_seq t; enqueued_at = now } in
+  (match t.messages with
+  | M_fifo rb -> Ring_buffer.push rb qm
+  | M_prio q -> Pqueue.insert q ~priority:qm.msg_priority ~seq:qm.seq qm);
   let d = queue_length t in
   if d > t.max_depth then t.max_depth <- d
 
 let dequeue t ~now =
-  match t.queue with
-  | [] -> None
-  | qm :: rest ->
-    t.queue <- rest;
+  let front =
+    match t.messages with
+    | M_fifo rb -> Ring_buffer.pop rb
+    | M_prio q -> Pqueue.pop q
+  in
+  match front with
+  | None -> None
+  | Some qm ->
     (* Clamp: the receiver's processor clock can trail the sender's. *)
     t.total_queue_wait_ns <-
       t.total_queue_wait_ns + max 0 (now - qm.enqueued_at);
     Some qm.msg
 
-let pop_receiver t =
-  match t.receivers with
-  | [] -> None
-  | r :: rest ->
-    t.receivers <- rest;
-    Some r
-
-let push_receiver t index = t.receivers <- t.receivers @ [ index ]
+let pop_receiver t = Queue.take_opt t.receivers
+let push_receiver t index = Queue.push index t.receivers
 
 let pop_sender t =
   match t.senders with
-  | [] -> None
-  | s :: rest ->
-    t.senders <- rest;
-    Some s
+  | S_fifo q -> Queue.take_opt q
+  | S_prio q -> Pqueue.pop q
 
 let push_sender t ~sender ~msg ~priority =
-  insert_sender t
+  let ws =
     { sender; sender_msg = msg; sender_priority = priority; sender_seq = next_seq t }
+  in
+  match t.senders with
+  | S_fifo q -> Queue.push ws q
+  | S_prio q -> Pqueue.insert q ~priority:ws.sender_priority ~seq:ws.sender_seq ws
+
+(* Root-scan hooks for the collector: visit every queued message / blocked
+   sender once, in no particular order (shading is order-insensitive). *)
+let iter_messages f t =
+  match t.messages with
+  | M_fifo rb -> Ring_buffer.iter f rb
+  | M_prio q -> Pqueue.iter f q
+
+let iter_senders f t =
+  match t.senders with
+  | S_fifo q -> Queue.iter f q
+  | S_prio q -> Pqueue.iter f q
 
 (* Mean time a message spent queued, in ns. *)
 let mean_queue_wait_ns t =

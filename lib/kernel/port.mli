@@ -6,9 +6,12 @@
     {!I432.Rights.t2} = receive.
 
     This module holds the pure queue state; the blocking protocol lives in
-    the machine's syscall handler. *)
+    the machine's syscall handler.  The queues themselves are host-cost
+    structures (ring buffer / pairing heap per discipline) built by
+    {!make}; service order is identical to a sorted list. *)
 
 open I432
+open I432_util
 
 type discipline = Fifo | Priority
 
@@ -26,13 +29,21 @@ type waiting_sender = {
   sender_seq : int;
 }
 
+type messages =
+  | M_fifo of queued_message Ring_buffer.t
+  | M_prio of queued_message Pqueue.t
+
+type senders =
+  | S_fifo of waiting_sender Queue.t
+  | S_prio of waiting_sender Pqueue.t
+
 type t = {
   self : int;
   capacity : int;
   discipline : discipline;
-  mutable queue : queued_message list;
-  mutable senders : waiting_sender list;
-  mutable receivers : int list;
+  messages : messages;
+  senders : senders;
+  receivers : int Queue.t;
   mutable seq : int;
   mutable sends : int;
   mutable receives : int;
@@ -43,6 +54,10 @@ type t = {
 }
 
 type Object_table.payload += Port_state of t
+
+(** Fresh port state with empty queues matching [discipline].  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+val make : self:int -> capacity:int -> discipline:discipline -> t
 
 val state_of : Object_table.t -> Access.t -> t
 val state_of_index : Object_table.t -> int -> t
@@ -67,5 +82,13 @@ val pop_receiver : t -> int option
 val push_receiver : t -> int -> unit
 val pop_sender : t -> waiting_sender option
 val push_sender : t -> sender:int -> msg:Access.t -> priority:int -> unit
+
+(** Visit every queued message once, in unspecified order (collector root
+    scan; shading is order-insensitive). *)
+val iter_messages : (queued_message -> unit) -> t -> unit
+
+(** Visit every blocked sender once, in unspecified order. *)
+val iter_senders : (waiting_sender -> unit) -> t -> unit
+
 val mean_queue_wait_ns : t -> float
 val discipline_to_string : discipline -> string

@@ -1,0 +1,61 @@
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable active : bool;
+}
+
+type 'a t = {
+  mutable first : 'a node option;
+  mutable len : int;
+}
+
+let create () = { first = None; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push_front t v =
+  let n = { value = v; prev = None; next = t.first; active = true } in
+  (match t.first with Some f -> f.prev <- Some n | None -> ());
+  t.first <- Some n;
+  t.len <- t.len + 1;
+  n
+
+let remove t n =
+  if not n.active then invalid_arg "Dlist.remove: node already removed";
+  n.active <- false;
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> ());
+  n.prev <- None;
+  n.next <- None;
+  t.len <- t.len - 1
+
+let iter f t =
+  let cur = ref t.first in
+  while !cur <> None do
+    match !cur with
+    | Some n ->
+      f n.value;
+      cur := n.next
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  (* Deactivate so stale handles fail loudly instead of corrupting. *)
+  let cur = ref t.first in
+  while !cur <> None do
+    match !cur with
+    | Some n ->
+      n.active <- false;
+      cur := n.next
+    | None -> ()
+  done;
+  t.first <- None;
+  t.len <- 0

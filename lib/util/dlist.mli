@@ -1,0 +1,32 @@
+(** Mutable doubly-linked list with O(1) push, handle-based removal, and
+    length.
+
+    Replaces [int list] membership tracking whose removal was O(n): the
+    caller keeps the {!node} handle returned by {!push_front} (typically in
+    a hash table) and removes in O(1).  Iteration order is front-to-back,
+    i.e. newest-first under {!push_front} — the same order as a cons list
+    built by prepending, which downstream code (descriptor recycling order)
+    observes. *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+
+(** Prepend; the returned handle is valid until removed. *)
+val push_front : 'a t -> 'a -> 'a node
+
+(** O(1) unlink.  Raises [Invalid_argument] if the node was already
+    removed (double-remove is a caller bug worth surfacing). *)
+val remove : 'a t -> 'a node -> unit
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Front-to-back (newest-first). *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** Front-to-back (newest-first). *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "imax432"
     [
       ("util", Test_util.suite);
+      ("model", Test_model.suite);
       ("arch", Test_arch.suite);
       ("kernel", Test_kernel.suite);
       ("gc", Test_gc.suite);

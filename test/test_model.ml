@@ -1,0 +1,346 @@
+(* Model-based qcheck tests for the O(log n) hot-path structures.
+
+   Each property drives the live implementation and an inline reference
+   model (the seed's O(n) sorted-list algorithm) with the same random op
+   script and demands observational equality at every step.  This is the
+   evidence that swapping pairing heaps / fit trees under Dispatch, Port,
+   and Sro changed host cost only — service order, placement, and
+   statistics are bit-identical, which is what keeps every E1-E11
+   virtual-time number unchanged. *)
+
+open I432
+open I432_util
+module K = I432_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue vs a sorted-list priority queue                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_pqueue_matches_sorted_list =
+  QCheck2.Test.make ~name:"pqueue = sorted list (priority desc, seq asc)"
+    ~count:300
+    QCheck2.Gen.(list (pair bool (int_range 0 7)))
+    (fun script ->
+      let q = Pqueue.create () in
+      let model = ref [] in  (* (prio, seq, v) in service order *)
+      let seq = ref 0 in
+      let insert_model prio v =
+        let rec go = function
+          | [] -> [ (prio, !seq, v) ]
+          | ((p, s, _) as x) :: rest ->
+            if prio > p || (prio = p && !seq < s) then (prio, !seq, v) :: x :: rest
+            else x :: go rest
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun (is_insert, prio) ->
+          if is_insert then begin
+            Pqueue.insert q ~priority:prio ~seq:!seq !seq;
+            insert_model prio !seq;
+            incr seq;
+            Pqueue.size q = List.length !model
+          end
+          else
+            let expected =
+              match !model with
+              | [] -> None
+              | (_, _, v) :: rest ->
+                model := rest;
+                Some v
+            in
+            Pqueue.pop q = expected)
+        script
+      && Pqueue.to_sorted_list q = List.map (fun (_, _, v) -> v) !model)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch vs the seed's sorted-list ready queue                      *)
+(* ------------------------------------------------------------------ *)
+
+module Model_dispatch = struct
+  type entry = { process : int; priority : int; seq : int }
+  type t = { mutable ready : entry list; mutable seq : int }
+
+  let create () = { ready = []; seq = 0 }
+
+  let enqueue t ~process ~priority =
+    let e = { process; priority; seq = t.seq } in
+    t.seq <- t.seq + 1;
+    let rec go = function
+      | [] -> [ e ]
+      | x :: rest ->
+        if e.priority > x.priority then e :: x :: rest else x :: go rest
+    in
+    t.ready <- go t.ready
+
+  let pop t ~eligible =
+    let rec go acc = function
+      | [] -> None
+      | e :: rest ->
+        if eligible e.process then begin
+          t.ready <- List.rev_append acc rest;
+          Some e.process
+        end
+        else go (e :: acc) rest
+    in
+    go [] t.ready
+
+  let remove t ~process =
+    t.ready <- List.filter (fun e -> e.process <> process) t.ready
+
+  let mem t ~process = List.exists (fun e -> e.process = process) t.ready
+  let length t = List.length t.ready
+end
+
+type dispatch_op = D_enq of int * int | D_pop of int | D_rem of int
+
+let dispatch_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun p prio -> D_enq (p, prio)) (int_range 0 7) (int_range 0 5);
+        map (fun k -> D_pop k) (int_range 0 4);
+        map (fun p -> D_rem p) (int_range 0 7);
+      ])
+
+let prop_dispatch_matches_model =
+  QCheck2.Test.make ~name:"dispatch = seed sorted-list ready queue" ~count:300
+    QCheck2.Gen.(list dispatch_op_gen)
+    (fun script ->
+      let d = K.Dispatch.create () in
+      let m = Model_dispatch.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | D_enq (process, priority) ->
+            K.Dispatch.enqueue d ~process ~priority;
+            Model_dispatch.enqueue m ~process ~priority;
+            true
+          | D_pop k ->
+            (* k = 4 accepts everyone; otherwise processes congruent to k
+               mod 4 are ineligible and must keep their position. *)
+            let eligible p = k = 4 || p mod 4 <> k in
+            K.Dispatch.pop d ~eligible = Model_dispatch.pop m ~eligible
+          | D_rem process ->
+            K.Dispatch.remove d ~process;
+            Model_dispatch.remove m ~process;
+            true)
+          && K.Dispatch.length d = Model_dispatch.length m
+          && List.for_all
+               (fun p ->
+                 K.Dispatch.mem d ~process:p = Model_dispatch.mem m ~process:p)
+               [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* Port queues vs the seed's service-ordered message list              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_port_matches_model =
+  QCheck2.Test.make ~name:"port queue = seed service-ordered list (both disciplines)"
+    ~count:300
+    QCheck2.Gen.(pair bool (list (pair bool (int_range 0 5))))
+    (fun (priority_discipline, script) ->
+      let discipline = if priority_discipline then K.Port.Priority else K.Port.Fifo in
+      let p = K.Port.make ~self:0 ~capacity:8 ~discipline in
+      (* Model: list of (prio, seq, msg_index) in service order. *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let insert_model prio v =
+        match discipline with
+        | K.Port.Fifo -> model := !model @ [ (prio, !seq, v) ]
+        | K.Port.Priority ->
+          let rec go = function
+            | [] -> [ (prio, !seq, v) ]
+            | ((mp, ms, _) as x) :: rest ->
+              if prio > mp || (prio = mp && !seq < ms) then
+                (prio, !seq, v) :: x :: rest
+              else x :: go rest
+          in
+          model := go !model
+      in
+      let counter = ref 0 in
+      List.for_all
+        (fun (is_send, prio) ->
+          (if is_send then begin
+             if K.Port.is_full p then List.length !model = 8
+             else begin
+               let i = !counter in
+               incr counter;
+               K.Port.enqueue p ~msg:(Access.make ~index:i ~rights:Rights.full)
+                 ~priority:prio ~now:0;
+               insert_model prio i;
+               incr seq;
+               true
+             end
+           end
+           else
+             let got = Option.map Access.index (K.Port.dequeue p ~now:0) in
+             let expected =
+               match !model with
+               | [] -> None
+               | (_, _, v) :: rest ->
+                 model := rest;
+                 Some v
+             in
+             got = expected)
+          && K.Port.queue_length p = List.length !model
+          && K.Port.is_empty p = (!model = []))
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* Free_store vs the seed's first-fit region list                      *)
+(* ------------------------------------------------------------------ *)
+
+module Model_free_store = struct
+  type region = { base : int; length : int }
+
+  type t = { mutable free_regions : region list }
+
+  let create length = { free_regions = [ { base = 0; length } ] }
+
+  let take t size =
+    let rec go acc = function
+      | [] -> None
+      | r :: rest when r.length >= size ->
+        let remainder =
+          if r.length = size then rest
+          else { base = r.base + size; length = r.length - size } :: rest
+        in
+        t.free_regions <- List.rev_append acc remainder;
+        Some r.base
+      | r :: rest -> go (r :: acc) rest
+    in
+    go [] t.free_regions
+
+  let give t ~base ~length =
+    if length = 0 then ()
+    else begin
+      let rec insert = function
+        | [] -> [ { base; length } ]
+        | r :: rest ->
+          if base + length < r.base then { base; length } :: r :: rest
+          else if base + length = r.base then
+            { base; length = length + r.length } :: rest
+          else if r.base + r.length = base then
+            insert_after { base = r.base; length = r.length + length } rest
+          else r :: insert rest
+      and insert_after grown = function
+        | r :: rest when grown.base + grown.length = r.base ->
+          { grown with length = grown.length + r.length } :: rest
+        | rest -> grown :: rest
+      in
+      t.free_regions <- insert t.free_regions
+    end
+
+  let to_list t = List.map (fun r -> (r.base, r.length)) t.free_regions
+  let total t = List.fold_left (fun a r -> a + r.length) 0 t.free_regions
+  let largest t = List.fold_left (fun a r -> max a r.length) 0 t.free_regions
+end
+
+type store_op = F_alloc of int | F_free of int
+
+let store_op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> F_alloc s) (int_range 1 96);
+        map (fun i -> F_free i) (int_range 0 200);
+      ])
+
+let prop_free_store_matches_model =
+  QCheck2.Test.make
+    ~name:"fit-tree free store = seed first-fit region list" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 80) store_op_gen)
+    (fun script ->
+      let heap = 2048 in
+      let fs = Free_store.create () in
+      Free_store.insert fs ~base:0 ~length:heap;
+      let m = Model_free_store.create heap in
+      let live = ref [] in  (* (base, size) of outstanding carves *)
+      List.for_all
+        (fun op ->
+          (match op with
+          | F_alloc size ->
+            let got = Free_store.take_first_fit fs ~size in
+            let expected = Model_free_store.take m size in
+            (* Identical placement decisions, not just identical success. *)
+            got = expected
+            &&
+            (match got with
+            | Some base ->
+              live := (base, size) :: !live;
+              true
+            | None -> true)
+          | F_free i -> (
+            match !live with
+            | [] -> true
+            | _ ->
+              let n = List.length !live in
+              let base, size = List.nth !live (i mod n) in
+              live := List.filteri (fun j _ -> j <> i mod n) !live;
+              Free_store.insert fs ~base ~length:size;
+              Model_free_store.give m ~base ~length:size;
+              true))
+          && Free_store.to_list fs = Model_free_store.to_list m
+          && Free_store.total fs = Model_free_store.total m
+          && Free_store.largest fs = Model_free_store.largest m
+          && Free_store.region_count fs = List.length (Model_free_store.to_list m))
+        script)
+
+(* ------------------------------------------------------------------ *)
+(* SRO end-to-end: coalescing + E2's size-independence invariant       *)
+(* ------------------------------------------------------------------ *)
+
+(* Random alloc/release scripts against a real SRO: exhaustion must depend
+   only on whether a large-enough region exists (size-independence of the
+   fit), releasing everything must coalesce back to one region, and the
+   byte accounting must balance throughout. *)
+let prop_sro_coalescing_and_fit =
+  QCheck2.Test.make ~name:"SRO free store: coalescing + size-independent fit"
+    ~count:100
+    QCheck2.Gen.(list_size (int_range 1 60) (pair bool (int_range 1 128)))
+    (fun script ->
+      let table = Object_table.create () in
+      let total = 4096 in
+      let sro = Sro.create table ~level:0 ~base:0 ~length:total in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_alloc, size) ->
+          if is_alloc then (
+            match
+              Sro.allocate table sro ~data_length:size ~access_length:0
+                ~otype:Obj_type.Generic
+            with
+            | a -> live := (a, size) :: !live
+            | exception Fault.Fault (Fault.Storage_exhausted _) ->
+              (* Exhaustion is legitimate only when no region fits. *)
+              if Sro.largest_free table sro >= size then ok := false)
+          else
+            match !live with
+            | [] -> ()
+            | (a, _) :: rest ->
+              Sro.release_by_access table sro ~index:(Access.index a);
+              live := rest)
+        script;
+      let live_bytes = List.fold_left (fun acc (_, s) -> acc + s) 0 !live in
+      ok := !ok && Sro.free_bytes table sro = total - live_bytes;
+      (* Release everything: the store must coalesce to one full region. *)
+      List.iter
+        (fun (a, _) -> Sro.release_by_access table sro ~index:(Access.index a))
+        !live;
+      !ok
+      && Sro.free_bytes table sro = total
+      && Sro.region_count table sro = 1
+      && Sro.largest_free table sro = total
+      && Sro.live_objects table sro = 0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_pqueue_matches_sorted_list;
+    QCheck_alcotest.to_alcotest prop_dispatch_matches_model;
+    QCheck_alcotest.to_alcotest prop_port_matches_model;
+    QCheck_alcotest.to_alcotest prop_free_store_matches_model;
+    QCheck_alcotest.to_alcotest prop_sro_coalescing_and_fit;
+  ]

@@ -121,21 +121,7 @@ let test_dispatch_remove () =
 (* ---------------- Port queue ordering ---------------- *)
 
 let mk_port ?(capacity = 8) ?(discipline = K.Port.Fifo) () =
-  {
-    K.Port.self = 0;
-    capacity;
-    discipline;
-    queue = [];
-    senders = [];
-    receivers = [];
-    seq = 0;
-    sends = 0;
-    receives = 0;
-    send_blocks = 0;
-    receive_blocks = 0;
-    total_queue_wait_ns = 0;
-    max_depth = 0;
-  }
+  K.Port.make ~self:0 ~capacity ~discipline
 
 let msg i = Access.make ~index:i ~rights:Rights.full
 
