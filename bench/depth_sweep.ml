@@ -201,12 +201,16 @@ let deltas rows =
       ("sro-free-store", "fit-tree");
     ]
 
-let to_json ?(bechamel = []) ~mode rows =
+let to_json ?(bechamel = []) ?trace_overhead ~mode rows =
   let open Json_out in
   Obj
     [
       ("schema", Str "imax432-bench-micro/1");
       ("mode", Str mode);
+      ( "trace_overhead",
+        match trace_overhead with
+        | Some r -> Trace_overhead.to_json r
+        | None -> Null );
       ( "units",
         Obj
           [

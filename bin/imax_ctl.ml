@@ -10,6 +10,7 @@ open I432
 open Imax
 module K = I432_kernel
 module U = I432_util
+module Obs = I432_obs
 
 (* ---------------- shared flags ---------------- *)
 
@@ -208,6 +209,104 @@ let scenario_rendezvous config snapshot calls =
   maybe_snapshot snapshot m;
   if !final <> calls then exit 1
 
+(* Print-spooler workload: clients submit jobs to a spool port, a spooler
+   daemon forwards them to a slow printer behind a shallow port (so senders
+   block), clients sleep between submissions.  Exercises every traced seam:
+   spawn/dispatch/preempt, send/receive/block, sleep/wake, allocation. *)
+let run_spooler ~config ~clients ~jobs =
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let pm = System.process_manager sys in
+  let spool = Untyped_ports.create_port m ~message_count:8 () in
+  let printer = Untyped_ports.create_port m ~message_count:2 () in
+  let total = clients * jobs in
+  let printed = ref 0 in
+  let sum = ref 0 in
+  ignore
+    (Process_manager.create_process pm ~name:"spooler" (fun () ->
+         for _ = 1 to total do
+           let job = Untyped_ports.receive m ~prt:spool in
+           K.Machine.compute m 2;
+           Untyped_ports.send m ~prt:printer ~msg:job
+         done));
+  ignore
+    (Process_manager.create_process pm ~name:"printer" (fun () ->
+         for _ = 1 to total do
+           let job = Untyped_ports.receive m ~prt:printer in
+           K.Machine.compute m 10;
+           printed := !printed + 1;
+           sum := !sum + K.Machine.read_word m job ~offset:0
+         done));
+  for c = 1 to clients do
+    ignore
+      (Process_manager.create_process pm ~name:(Printf.sprintf "client%d" c)
+         (fun () ->
+           for j = 1 to jobs do
+             let job = K.Machine.allocate_generic m ~data_length:16 () in
+             K.Machine.write_word m job ~offset:0 ((c * 100) + j);
+             Untyped_ports.send m ~prt:spool ~msg:job;
+             K.Machine.delay m ~ns:50_000
+           done))
+  done;
+  (* A low-priority batch job whose compute bursts outrun the hardware time
+     slice, so the trace also shows involuntary preemption. *)
+  ignore
+    (Process_manager.create_process pm ~name:"batch" ~priority:4 (fun () ->
+         for _ = 1 to 2 do
+           K.Machine.compute m 12_000
+         done));
+  let report = System.run sys in
+  (m, report, !printed, !sum)
+
+let scenario_trace config snapshot clients jobs chrome_out dump legacy =
+  let config =
+    {
+      config with
+      System.trace_level =
+        (if legacy then Obs.Tracer.Events_and_legacy_lines
+         else Obs.Tracer.Events);
+    }
+  in
+  let m, report, printed, _sum = run_spooler ~config ~clients ~jobs in
+  let tracer = K.Machine.tracer m in
+  Printf.printf "spooler: %d clients x %d jobs, %d printed\n" clients jobs
+    printed;
+  Printf.printf "trace: %d events emitted, %d retained, %d dropped\n"
+    (Obs.Tracer.emitted tracer)
+    (Obs.Tracer.retained tracer)
+    (Obs.Tracer.dropped tracer);
+  print_report report;
+  if dump then
+    List.iter
+      (fun e -> print_endline (Obs.Event.to_string e))
+      (K.Machine.events m);
+  if legacy then List.iter print_endline (K.Machine.trace_lines m);
+  (match chrome_out with
+  | Some path ->
+    let json =
+      Obs.Export.chrome_trace
+        ~processors:(K.Machine.processor_count m)
+        (K.Machine.events m)
+    in
+    Obs.Jout.write_file ~path json;
+    Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  maybe_snapshot snapshot m
+
+let scenario_metrics config snapshot clients jobs json_out =
+  let config = { config with System.trace_level = Obs.Tracer.Events } in
+  let m, report, printed, _sum = run_spooler ~config ~clients ~jobs in
+  Printf.printf "spooler: %d clients x %d jobs, %d printed\n" clients jobs
+    printed;
+  print_report report;
+  print_string (Obs.Metrics.render (K.Machine.metrics m));
+  (match json_out with
+  | Some path ->
+    Obs.Jout.write_file ~path (Obs.Metrics.to_json (K.Machine.metrics m));
+    Printf.printf "metrics written to %s\n" path
+  | None -> ());
+  maybe_snapshot snapshot m
+
 (* ---------------- commands ---------------- *)
 
 let pipeline_cmd =
@@ -245,10 +344,54 @@ let rendezvous_cmd =
     (Cmd.info "rendezvous" ~doc:"Ada rendezvous implemented on 432 ports.")
     Term.(const scenario_rendezvous $ config_term $ snapshot $ calls)
 
+let clients_arg =
+  Arg.(value & opt int 3 & info [ "clients" ] ~docv:"N" ~doc:"Spooler clients.")
+
+let jobs_arg =
+  Arg.(value & opt int 5 & info [ "jobs" ] ~docv:"N" ~doc:"Jobs per client.")
+
+let trace_cmd =
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable).")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print every retained event.")
+  in
+  let legacy =
+    Arg.(
+      value & flag
+      & info [ "legacy" ]
+          ~doc:"Also render and print the legacy-format trace lines.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the spooler workload with event tracing enabled.")
+    Term.(
+      const scenario_trace $ config_term $ snapshot $ clients_arg $ jobs_arg
+      $ chrome $ dump $ legacy)
+
+let metrics_cmd =
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"Write the metrics registry as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run the spooler workload and dump the metrics registry.")
+    Term.(
+      const scenario_metrics $ config_term $ snapshot $ clients_arg $ jobs_arg
+      $ json)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
-    [ pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd ]
+    [ pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -26,6 +26,8 @@ type config = {
   gc_config : I432_gc.Collector.config;
   bus_alpha_per_mille : int;
   timings : I432.Timings.t;
+  trace_level : I432_obs.Tracer.level;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     gc_config = I432_gc.Collector.default_config;
     bus_alpha_per_mille = 20;
     timings = I432.Timings.default;
+    trace_level = I432_obs.Tracer.Off;
+    trace_capacity = I432_obs.Tracer.default_capacity;
   }
 
 (* A booted system: the machine plus the packages the configuration
@@ -66,7 +70,8 @@ let boot ?(config = default_config) () =
           timings = config.timings;
           bus_alpha_per_mille = config.bus_alpha_per_mille;
           global_heap_bytes = config.memory_bytes - 4096;
-          trace = false;
+          trace_level = config.trace_level;
+          trace_capacity = config.trace_capacity;
         }
       ()
   in

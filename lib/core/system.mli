@@ -20,6 +20,8 @@ type config = {
   gc_config : I432_gc.Collector.config;
   bus_alpha_per_mille : int;
   timings : Timings.t;
+  trace_level : I432_obs.Tracer.level;
+  trace_capacity : int;  (** event-ring slots per processor *)
 }
 
 val default_config : config

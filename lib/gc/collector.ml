@@ -215,7 +215,17 @@ let free_object t (e : Object_table.entry) =
 let cycle ?(step = fun () -> ()) t =
   let table = I432_kernel.Machine.table t.machine in
   let tm = I432_kernel.Machine.timings t.machine in
+  let metrics = I432_kernel.Machine.metrics t.machine in
+  (* Snapshot (in i432_kernel, a layer below us) reads the phase back from
+     this gauge: 0 = idle, 1 = mark, 2 = sweep. *)
+  let phase = I432_obs.Metrics.gauge metrics "gc.phase" in
+  let marked0 = t.stats.marked in
+  let swept0 = t.stats.swept in
+  let filtered0 = t.stats.filtered in
   let t0 = I432_kernel.Machine.now t.machine in
+  I432_obs.Metrics.set phase 1;
+  I432_kernel.Machine.emit_event t.machine ~name:"gc-daemon"
+    I432_obs.Event.Gc_mark_begin;
   (* Whiten the world. *)
   Object_table.iter_valid
     (fun e -> e.Object_table.color <- Object_table.White)
@@ -240,8 +250,13 @@ let cycle ?(step = fun () -> ()) t =
     else step ()
   done;
   t.stats.mark_ns <- t.stats.mark_ns + (I432_kernel.Machine.now t.machine - t0);
+  I432_kernel.Machine.emit_event t.machine ~name:"gc-daemon"
+    ~a:(t.stats.marked - marked0) I432_obs.Event.Gc_mark_end;
   (* Sweep: white collectable objects die (via filter when registered). *)
   let t1 = I432_kernel.Machine.now t.machine in
+  I432_obs.Metrics.set phase 2;
+  I432_kernel.Machine.emit_event t.machine ~name:"gc-daemon"
+    I432_obs.Event.Gc_sweep_begin;
   let victims = ref [] in
   Object_table.iter_valid
     (fun e ->
@@ -255,6 +270,20 @@ let cycle ?(step = fun () -> ()) t =
     !victims;
   t.stats.sweep_ns <- t.stats.sweep_ns + (I432_kernel.Machine.now t.machine - t1);
   t.stats.cycles <- t.stats.cycles + 1;
+  I432_kernel.Machine.emit_event t.machine ~name:"gc-daemon"
+    ~a:(t.stats.swept - swept0) ~b:(t.stats.filtered - filtered0)
+    I432_obs.Event.Gc_sweep_end;
+  I432_obs.Metrics.set phase 0;
+  I432_obs.Metrics.incr (I432_obs.Metrics.counter metrics "gc.cycles");
+  I432_obs.Metrics.incr
+    ~by:(t.stats.marked - marked0)
+    (I432_obs.Metrics.counter metrics "gc.marked");
+  I432_obs.Metrics.incr
+    ~by:(t.stats.swept - swept0)
+    (I432_obs.Metrics.counter metrics "gc.swept");
+  I432_obs.Metrics.incr
+    ~by:(t.stats.filtered - filtered0)
+    (I432_obs.Metrics.counter metrics "gc.filtered");
   List.length !victims
 
 (* The collector daemon body (paper: "implemented as a daemon process that

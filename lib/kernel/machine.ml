@@ -14,6 +14,7 @@
    assumes a single processor is running. *)
 
 open I432
+module Obs = I432_obs
 
 exception Kernel_panic of string
 
@@ -23,7 +24,8 @@ type config = {
   timings : Timings.t;
   bus_alpha_per_mille : int;
   global_heap_bytes : int;  (* size of the boot-time level-0 SRO *)
-  trace : bool;
+  trace_level : Obs.Tracer.level;
+  trace_capacity : int;  (* event-ring slots per processor *)
 }
 
 let default_config =
@@ -33,7 +35,8 @@ let default_config =
     timings = Timings.default;
     bus_alpha_per_mille = 20;
     global_heap_bytes = (1 lsl 22) - 4096;
-    trace = false;
+    trace_level = Obs.Tracer.Off;
+    trace_capacity = Obs.Tracer.default_capacity;
   }
 
 type run_report = {
@@ -43,6 +46,30 @@ type run_report = {
   deadlocked : string list;  (* names of processes still blocked at halt *)
   dispatches : int;
   preemptions : int;
+}
+
+(* Pre-resolved metrics instruments: the hot paths update bare mutable
+   fields; the registry is only walked on dump. *)
+type monitors = {
+  mon_charged_ns : Obs.Metrics.counter;
+  mon_spawns : Obs.Metrics.counter;
+  mon_dispatches : Obs.Metrics.counter;
+  mon_enqueues : Obs.Metrics.counter;
+  mon_preemptions : Obs.Metrics.counter;
+  mon_sends : Obs.Metrics.counter;
+  mon_receives : Obs.Metrics.counter;
+  mon_send_blocks : Obs.Metrics.counter;
+  mon_receive_blocks : Obs.Metrics.counter;
+  mon_allocates : Obs.Metrics.counter;
+  mon_releases : Obs.Metrics.counter;
+  mon_sro_creates : Obs.Metrics.counter;
+  mon_sro_destroys : Obs.Metrics.counter;
+  mon_domain_calls : Obs.Metrics.counter;
+  mon_faults : Obs.Metrics.counter;
+  mon_ready_len : Obs.Metrics.gauge;
+  mon_dispatch_latency : Obs.Metrics.histogram;
+  mon_port_wait : Obs.Metrics.histogram;
+  mon_alloc_size : Obs.Metrics.histogram;
 }
 
 type t = {
@@ -58,21 +85,47 @@ type t = {
   mutable processes : Process.t list;  (* every process ever created *)
   mutable live_user_processes : int;  (* non-daemon, non-terminal *)
   mutable gc_roots : Access.t list;
-  mutable trace_buf : string list;
-  trace_enabled : bool;
+  obs : Obs.Tracer.t;
+  metrics : Obs.Metrics.t;
+  mon : monitors;
   mutable preemptions : int;
   mutable faults : (string * Fault.cause) list;
   mutable fault_port : int option;  (* faulted processes are sent here *)
   mutable halted : bool;
 }
 
-let trace t fmt =
-  Printf.ksprintf
-    (fun s -> if t.trace_enabled then t.trace_buf <- s :: t.trace_buf)
-    fmt
+let make_monitors metrics =
+  {
+    mon_charged_ns = Obs.Metrics.counter metrics "machine.charged_ns";
+    mon_spawns = Obs.Metrics.counter metrics "proc.spawns";
+    mon_dispatches = Obs.Metrics.counter metrics "dispatch.dispatches";
+    mon_enqueues = Obs.Metrics.counter metrics "dispatch.enqueues";
+    mon_preemptions = Obs.Metrics.counter metrics "dispatch.preemptions";
+    mon_sends = Obs.Metrics.counter metrics "port.sends";
+    mon_receives = Obs.Metrics.counter metrics "port.receives";
+    mon_send_blocks = Obs.Metrics.counter metrics "port.send_blocks";
+    mon_receive_blocks = Obs.Metrics.counter metrics "port.receive_blocks";
+    mon_allocates = Obs.Metrics.counter metrics "sro.allocates";
+    mon_releases = Obs.Metrics.counter metrics "sro.releases";
+    mon_sro_creates = Obs.Metrics.counter metrics "sro.creates";
+    mon_sro_destroys = Obs.Metrics.counter metrics "sro.destroys";
+    mon_domain_calls = Obs.Metrics.counter metrics "domain.calls";
+    mon_faults = Obs.Metrics.counter metrics "machine.faults";
+    mon_ready_len = Obs.Metrics.gauge metrics "dispatch.ready_len";
+    mon_dispatch_latency =
+      Obs.Metrics.histogram metrics ~buckets:32 ~lo:0.0 ~hi:3.2e6
+        "dispatch.latency_ns";
+    mon_port_wait =
+      Obs.Metrics.histogram metrics ~buckets:32 ~lo:0.0 ~hi:3.2e6
+        "port.wait_ns";
+    mon_alloc_size =
+      Obs.Metrics.histogram metrics ~buckets:32 ~lo:0.0 ~hi:65536.0
+        "alloc.size_bytes";
+  }
 
 let create ?(config = default_config) () =
   if config.processors <= 0 then invalid_arg "Machine.create: processors";
+  let metrics = Obs.Metrics.create () in
   let table = Object_table.create () in
   let memory = Memory.create ~size_bytes:config.memory_bytes in
   let bus =
@@ -105,8 +158,11 @@ let create ?(config = default_config) () =
     processes = [];
     live_user_processes = 0;
     gc_roots = [];
-    trace_buf = [];
-    trace_enabled = config.trace;
+    obs =
+      Obs.Tracer.create ~capacity:config.trace_capacity
+        ~level:config.trace_level ~processors:config.processors ();
+    metrics;
+    mon = make_monitors metrics;
     preemptions = 0;
     faults = [];
     fault_port = None;
@@ -119,7 +175,13 @@ let timings t = t.timings
 let bus t = t.bus
 let global_sro t = t.global_sro
 let processor_count t = Array.length t.processors
-let trace_lines t = List.rev t.trace_buf
+let tracer t = t.obs
+let metrics t = t.metrics
+let events t = Obs.Tracer.events t.obs
+
+(* Compat shim: the seed's unstructured trace lines, rendered by the tracer
+   at emit time (byte-identical formats, unbounded). *)
+let trace_lines t = Obs.Tracer.legacy_lines t.obs
 let faults t = List.rev t.faults
 
 (* Virtual time now: the clock of the executing processor, or the max clock
@@ -130,6 +192,59 @@ let now t =
   | None ->
     Array.fold_left (fun acc p -> max acc p.Processor.clock_ns) 0 t.processors
 
+(* Record one structured event, stamped with the executing processor's id
+   and virtual clock (or -1 / max clock outside the run loop).  One field
+   read when tracing is off. *)
+let emit t ?name ?detail ?a ?b kind =
+  if Obs.Tracer.enabled t.obs then
+    match t.current with
+    | Some p ->
+      Obs.Tracer.emit t.obs ~ts_ns:p.Processor.clock_ns ~cpu:p.Processor.id
+        ?name ?detail ?a ?b kind
+    | None -> Obs.Tracer.emit t.obs ~ts_ns:(now t) ~cpu:(-1) ?name ?detail ?a ?b kind
+
+(* Same, on behalf of a known processor (the run loop clears [t.current]
+   before it settles a process's outcome). *)
+let emit_on t (cpu : Processor.t) ?name ?detail ?a ?b kind =
+  if Obs.Tracer.enabled t.obs then
+    Obs.Tracer.emit t.obs ~ts_ns:cpu.Processor.clock_ns ~cpu:cpu.Processor.id
+      ?name ?detail ?a ?b kind
+
+let emit_event = emit
+
+(* The hottest seams bypass [emit]'s option boxing, string interning, and
+   kind conversion: kind codes are computed once here, and each process's
+   name id is interned once at spawn ([Process.trace_name_id]). *)
+let k_ready = Obs.Event.kind_to_int Obs.Event.Ready
+let k_yield = Obs.Event.kind_to_int Obs.Event.Yield
+let k_preempt = Obs.Event.kind_to_int Obs.Event.Preempt
+let k_exit = Obs.Event.kind_to_int Obs.Event.Exit
+let k_sleep = Obs.Event.kind_to_int Obs.Event.Sleep
+let k_wake = Obs.Event.kind_to_int Obs.Event.Wake
+let k_send = Obs.Event.kind_to_int Obs.Event.Send
+let k_receive = Obs.Event.kind_to_int Obs.Event.Receive
+let k_block_send = Obs.Event.kind_to_int Obs.Event.Block_send
+let k_block_receive = Obs.Event.kind_to_int Obs.Event.Block_receive
+let k_allocate = Obs.Event.kind_to_int Obs.Event.Allocate
+let k_release = Obs.Event.kind_to_int Obs.Event.Release
+let k_dispatch = Obs.Event.kind_to_int Obs.Event.Dispatch
+let k_finish = Obs.Event.kind_to_int Obs.Event.Finish
+
+let emit_fast t ~name_id ~a ~b kind_code =
+  if Obs.Tracer.enabled t.obs then
+    match t.current with
+    | Some p ->
+      Obs.Tracer.emit_raw t.obs ~ts_ns:p.Processor.clock_ns
+        ~cpu:p.Processor.id ~kind_code ~name_id ~detail_id:0 ~a ~b
+    | None ->
+      Obs.Tracer.emit_raw t.obs ~ts_ns:(now t) ~cpu:(-1) ~kind_code ~name_id
+        ~detail_id:0 ~a ~b
+
+let emit_fast_on t (cpu : Processor.t) ~name_id ~a ~b kind_code =
+  if Obs.Tracer.enabled t.obs then
+    Obs.Tracer.emit_raw t.obs ~ts_ns:cpu.Processor.clock_ns
+      ~cpu:cpu.Processor.id ~kind_code ~name_id ~detail_id:0 ~a ~b
+
 (* Charge virtual time for an instruction to the running processor, with bus
    contention applied.  Outside the run loop (boot code) charges are free:
    configuration happens "before the machine starts". *)
@@ -138,6 +253,7 @@ let charge t ns =
   | None -> ()
   | Some p ->
     let eff = Bus.penalize t.bus ns in
+    Obs.Metrics.incr ~by:eff t.mon.mon_charged_ns;
     p.Processor.clock_ns <- p.Processor.clock_ns + eff;
     p.Processor.busy_ns <- p.Processor.busy_ns + eff;
     (match p.Processor.current with
@@ -197,14 +313,20 @@ let store_access t access ~slot v =
 (* The create-object instruction (§5): ~80 us. *)
 let allocate t sro ~data_length ~access_length ~otype =
   charge t t.timings.Timings.allocate_ns;
-  Sro.allocate t.table sro ~data_length ~access_length ~otype
+  let access = Sro.allocate t.table sro ~data_length ~access_length ~otype in
+  Obs.Metrics.incr t.mon.mon_allocates;
+  Obs.Metrics.observe t.mon.mon_alloc_size (float_of_int data_length);
+  emit_fast t ~name_id:0 ~a:(Access.index access) ~b:data_length k_allocate;
+  access
 
 let allocate_generic t ?(data_length = 64) ?(access_length = 4) () =
   allocate t t.global_sro ~data_length ~access_length ~otype:Obj_type.Generic
 
 let release t sro ~index =
   charge t t.timings.Timings.destroy_ns;
-  Sro.release_by_access t.table sro ~index
+  Sro.release_by_access t.table sro ~index;
+  Obs.Metrics.incr t.mon.mon_releases;
+  emit_fast t ~name_id:0 ~a:index ~b:0 k_release
 
 (* Local heaps (§5): an SRO created at the process's current call depth.
    Carved from the global heap's free store. *)
@@ -215,7 +337,11 @@ let create_local_sro t ~level ~bytes =
      does not apply). *)
   let s = Sro.state_of t.table t.global_sro in
   match Sro.carve t.table ~sro_state:s ~size:bytes with
-  | Some base -> Sro.create t.table ~level ~base ~length:bytes
+  | Some base ->
+    let sro = Sro.create t.table ~level ~base ~length:bytes in
+    Obs.Metrics.incr t.mon.mon_sro_creates;
+    emit t ~a:(Access.index sro) ~b:bytes Obs.Event.Sro_create;
+    sro
   | None ->
     Fault.raise_fault
       (Fault.Storage_exhausted
@@ -223,7 +349,11 @@ let create_local_sro t ~level ~bytes =
 
 let destroy_sro t sro =
   charge t t.timings.Timings.destroy_ns;
-  Sro.destroy t.table sro
+  let index = Access.index sro in
+  let reclaimed = Sro.destroy t.table sro in
+  Obs.Metrics.incr t.mon.mon_sro_destroys;
+  emit t ~a:index ~b:reclaimed Obs.Event.Sro_destroy;
+  reclaimed
 
 (* Domain transitions (§2): ~65 us per switch at 8 MHz. *)
 let domain_call t domain f =
@@ -232,9 +362,12 @@ let domain_call t domain f =
   d.Domain.calls <- d.Domain.calls + 1;
   d.Domain.depth <- d.Domain.depth + 1;
   if d.Domain.depth > d.Domain.max_depth then d.Domain.max_depth <- d.Domain.depth;
+  Obs.Metrics.incr t.mon.mon_domain_calls;
+  emit t ~detail:d.Domain.domain_name ~a:d.Domain.self Obs.Event.Domain_call;
   let finish () =
     d.Domain.depth <- d.Domain.depth - 1;
     d.Domain.returns <- d.Domain.returns + 1;
+    emit t ~detail:d.Domain.domain_name ~a:d.Domain.self Obs.Event.Domain_return;
     charge t t.timings.Timings.domain_return_ns
   in
   match f () with
@@ -339,8 +472,13 @@ let port_stats t access =
 
 let make_ready t (proc : Process.t) =
   proc.Process.status <- Process.Ready;
+  proc.Process.last_ready_ns <- now t;
   Dispatch.enqueue t.dispatch ~process:proc.Process.index
-    ~priority:proc.Process.priority
+    ~priority:proc.Process.priority;
+  Obs.Metrics.incr t.mon.mon_enqueues;
+  Obs.Metrics.set t.mon.mon_ready_len (Dispatch.length t.dispatch);
+  emit_fast t ~name_id:proc.Process.trace_name_id ~a:proc.Process.index ~b:0
+    k_ready
 
 (* Notify the scheduler port that [proc] entered or left the dispatching mix
    (§6.1).  Non-blocking: notifications overflowing the port are dropped. *)
@@ -376,6 +514,8 @@ let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
       wake_at = 0;
       cpu_ns = 0;
       slice_used_ns = 0;
+      last_ready_ns = 0;
+      trace_name_id = 0;
       system_level;
       affinity = None;
       scheduler_port = None;
@@ -389,11 +529,13 @@ let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
       messages_received = 0;
     }
   in
+  proc.Process.trace_name_id <- Obs.Tracer.string_id t.obs name;
   e.Object_table.payload <- Some (Process.Process_state proc);
   t.processes <- proc :: t.processes;
   if not daemon then t.live_user_processes <- t.live_user_processes + 1;
+  Obs.Metrics.incr t.mon.mon_spawns;
+  emit t ~name ~a:proc.Process.index Obs.Event.Spawn;
   make_ready t proc;
-  trace t "spawn %s as process %d" name proc.Process.index;
   access
 
 let process_state t access = Process.state_of t.table access
@@ -411,7 +553,7 @@ let set_stopped t access stopped =
       | Process.Created | Process.Running | Process.Blocked_send _
       | Process.Blocked_receive _ | Process.Sleeping | Process.Finished
       | Process.Faulted _ -> ());
-      trace t "stop %s" proc.Process.name
+      emit t ~name:proc.Process.name ~a:proc.Process.index Obs.Event.Stop
     end
     else begin
       (match proc.Process.status with
@@ -421,7 +563,7 @@ let set_stopped t access stopped =
       | Process.Created | Process.Running | Process.Blocked_send _
       | Process.Blocked_receive _ | Process.Sleeping | Process.Finished
       | Process.Faulted _ -> ());
-      trace t "start %s" proc.Process.name
+      emit t ~name:proc.Process.name ~a:proc.Process.index Obs.Event.Start
     end;
     notify_scheduler t proc
   end
@@ -543,6 +685,7 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
   match op with
   | Syscall.Yield ->
     charge t tm.Timings.dispatch_ns;
+    emit_fast t ~name_id:proc.Process.trace_name_id ~a:0 ~b:0 k_yield;
     proc.Process.pending <- Syscall.R_unit;
     cpu.Processor.current <- None;
     if proc.Process.stopped then proc.Process.status <- Process.Ready
@@ -554,6 +697,8 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     proc.Process.slice_used_ns <- 0;
     proc.Process.preemptions <- proc.Process.preemptions + 1;
     t.preemptions <- t.preemptions + 1;
+    Obs.Metrics.incr t.mon.mon_preemptions;
+    emit_fast t ~name_id:proc.Process.trace_name_id ~a:0 ~b:0 k_preempt;
     cpu.Processor.current <- None;
     if proc.Process.stopped then proc.Process.status <- Process.Ready
     else make_ready t proc;
@@ -561,12 +706,14 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
   | Syscall.Exit ->
     proc.Process.status <- Process.Finished;
     proc.Process.code <- Process.Terminated;
+    emit_fast t ~name_id:proc.Process.trace_name_id ~a:0 ~b:0 k_exit;
     cpu.Processor.current <- None;
     if not proc.Process.daemon then
       t.live_user_processes <- t.live_user_processes - 1;
     false
   | Syscall.Delay ns ->
     if ns < 0 then invalid_arg "delay: negative";
+    emit_fast t ~name_id:proc.Process.trace_name_id ~a:ns ~b:0 k_sleep;
     proc.Process.pending <- Syscall.R_unit;
     proc.Process.status <- Process.Sleeping;
     proc.Process.wake_at <- cpu.Processor.clock_ns + ns;
@@ -578,11 +725,18 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     charge t tm.Timings.send_ns;
     p.Port.sends <- p.Port.sends + 1;
     proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+    Obs.Metrics.incr t.mon.mon_sends;
+    emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+      ~b:(Access.index msg) k_send;
     (match Port.pop_receiver p with
     | Some r ->
       (* Hand the message straight to the waiting receiver. *)
       p.Port.receives <- p.Port.receives + 1;
-      unblock_receiver t (proc_of t r) msg;
+      let rproc = proc_of t r in
+      Obs.Metrics.incr t.mon.mon_receives;
+      emit_fast t ~name_id:rproc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
+      unblock_receiver t rproc msg;
       proc.Process.pending <- Syscall.R_unit;
       true
     | None ->
@@ -598,6 +752,9 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
         charge t tm.Timings.block_ns;
         p.Port.send_blocks <- p.Port.send_blocks + 1;
         proc.Process.blocks <- proc.Process.blocks + 1;
+        Obs.Metrics.incr t.mon.mon_send_blocks;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self ~b:0
+          k_block_send;
         Object_table.shade t.table (Access.index msg);
         Port.push_sender p ~sender:proc.Process.index ~msg
           ~priority:proc.Process.priority;
@@ -613,6 +770,11 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     | Some msg ->
       p.Port.receives <- p.Port.receives + 1;
       proc.Process.messages_received <- proc.Process.messages_received + 1;
+      Obs.Metrics.incr t.mon.mon_receives;
+      Obs.Metrics.observe t.mon.mon_port_wait
+        (float_of_int p.Port.last_wait_ns);
+      emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
       (* Space opened: admit one blocked sender's message. *)
       (match Port.pop_sender p with
       | Some ws ->
@@ -628,6 +790,9 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
         (* Rendezvous with a sender blocked on a zero-space queue. *)
         p.Port.receives <- p.Port.receives + 1;
         proc.Process.messages_received <- proc.Process.messages_received + 1;
+        Obs.Metrics.incr t.mon.mon_receives;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+          ~b:(Access.index ws.Port.sender_msg) k_receive;
         unblock_sender t (proc_of t ws.Port.sender);
         proc.Process.pending <- Syscall.R_msg ws.Port.sender_msg;
         true
@@ -635,6 +800,9 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
         charge t tm.Timings.block_ns;
         p.Port.receive_blocks <- p.Port.receive_blocks + 1;
         proc.Process.blocks <- proc.Process.blocks + 1;
+        Obs.Metrics.incr t.mon.mon_receive_blocks;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self ~b:0
+          k_block_receive;
         Port.push_receiver p proc.Process.index;
         proc.Process.status <- Process.Blocked_receive p.Port.self;
         cpu.Processor.current <- None;
@@ -647,13 +815,23 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     | Some r ->
       p.Port.sends <- p.Port.sends + 1;
       proc.Process.messages_sent <- proc.Process.messages_sent + 1;
-      unblock_receiver t (proc_of t r) msg;
+      Obs.Metrics.incr t.mon.mon_sends;
+      emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_send;
+      let rproc = proc_of t r in
+      Obs.Metrics.incr t.mon.mon_receives;
+      emit_fast t ~name_id:rproc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
+      unblock_receiver t rproc msg;
       proc.Process.pending <- Syscall.R_accepted true;
       true
     | None ->
       if not (Port.is_full p) then begin
         p.Port.sends <- p.Port.sends + 1;
         proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+        Obs.Metrics.incr t.mon.mon_sends;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+          ~b:(Access.index msg) k_send;
         Object_table.shade t.table (Access.index msg);
         Port.enqueue p ~msg ~priority:proc.Process.priority
           ~now:cpu.Processor.clock_ns;
@@ -672,6 +850,11 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     | Some msg ->
       p.Port.receives <- p.Port.receives + 1;
       proc.Process.messages_received <- proc.Process.messages_received + 1;
+      Obs.Metrics.incr t.mon.mon_receives;
+      Obs.Metrics.observe t.mon.mon_port_wait
+        (float_of_int p.Port.last_wait_ns);
+      emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
       (match Port.pop_sender p with
       | Some ws ->
         Port.enqueue p ~msg:ws.Port.sender_msg ~priority:ws.Port.sender_priority
@@ -684,6 +867,9 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
       (match Port.pop_sender p with
       | Some ws ->
         p.Port.receives <- p.Port.receives + 1;
+        Obs.Metrics.incr t.mon.mon_receives;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+          ~b:(Access.index ws.Port.sender_msg) k_receive;
         unblock_sender t (proc_of t ws.Port.sender);
         proc.Process.pending <- Syscall.R_msg_option (Some ws.Port.sender_msg);
         true
@@ -698,6 +884,9 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
    them back to software when various fault ... conditions arise" (§5). *)
 let record_fault t (proc : Process.t) cause =
   t.faults <- (proc.Process.name, cause) :: t.faults;
+  Obs.Metrics.incr t.mon.mon_faults;
+  emit t ~name:proc.Process.name ~detail:(Fault.to_string cause)
+    Obs.Event.Fault;
   proc.Process.status <- Process.Faulted cause;
   proc.Process.code <- Process.Terminated;
   if not proc.Process.daemon then
@@ -746,7 +935,7 @@ let step_process t (cpu : Processor.t) =
       cpu.Processor.current <- None;
       if not proc.Process.daemon then
         t.live_user_processes <- t.live_user_processes - 1;
-      trace t "process %s finished" proc.Process.name
+      emit_fast_on t cpu ~name_id:proc.Process.trace_name_id ~a:0 ~b:0 k_finish
     | Process.Raised (Fault.Fault cause) ->
       cpu.Processor.current <- None;
       record_fault t proc cause
@@ -763,8 +952,8 @@ let step_process t (cpu : Processor.t) =
         t.current <- None;
         if still_current then ()
         else
-          trace t "process %s descheduled on %s" proc.Process.name
-            (Syscall.op_to_string op)
+          emit_on t cpu ~name:proc.Process.name
+            ~detail:(Syscall.op_to_string op) Obs.Event.Deschedule
       | exception Fault.Fault cause ->
         t.current <- None;
         cpu.Processor.current <- None;
@@ -776,6 +965,7 @@ let wake_sleepers t ~horizon =
     (fun (proc : Process.t) ->
       if proc.Process.status = Process.Sleeping && proc.Process.wake_at <= horizon
       then begin
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:0 ~b:0 k_wake;
         if proc.Process.stopped then proc.Process.status <- Process.Ready
         else make_ready t proc
       end)
@@ -839,7 +1029,10 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
       let cpu = min_clock_processor t in
       if cpu.Processor.clock_ns > max_ns then continue_ := false
       else begin
+        (* Wake (and ready) events are stamped on the waking processor. *)
+        t.current <- Some cpu;
         wake_sleepers t ~horizon:cpu.Processor.clock_ns;
+        t.current <- None;
         (match cpu.Processor.current with
         | Some _ -> step_process t cpu
         | None -> (
@@ -853,6 +1046,13 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
             proc.Process.dispatches <- proc.Process.dispatches + 1;
             cpu.Processor.current <- Some index;
             cpu.Processor.dispatches <- cpu.Processor.dispatches + 1;
+            Obs.Metrics.incr t.mon.mon_dispatches;
+            Obs.Metrics.observe t.mon.mon_dispatch_latency
+              (float_of_int
+                 (max 0 (cpu.Processor.clock_ns - proc.Process.last_ready_ns)));
+            Obs.Metrics.set t.mon.mon_ready_len (Dispatch.length t.dispatch);
+            emit_fast_on t cpu ~name_id:proc.Process.trace_name_id
+              ~a:cpu.Processor.id ~b:0 k_dispatch;
             t.current <- Some cpu;
             charge t t.timings.Timings.dispatch_ns;
             t.current <- None

@@ -18,7 +18,8 @@ type config = {
   timings : Timings.t;
   bus_alpha_per_mille : int;  (** bus contention per extra processor *)
   global_heap_bytes : int;  (** size of the boot-time level-0 SRO *)
-  trace : bool;
+  trace_level : I432_obs.Tracer.level;
+  trace_capacity : int;  (** event-ring slots per processor *)
 }
 
 val default_config : config
@@ -47,7 +48,34 @@ val bus : t -> Bus.t
 val global_sro : t -> Access.t
 
 val processor_count : t -> int
+
+(** {1 Observability} *)
+
+(** The machine's event tracer (one bounded ring per processor). *)
+val tracer : t -> I432_obs.Tracer.t
+
+(** The machine's metrics registry (counters, gauges, histograms). *)
+val metrics : t -> I432_obs.Metrics.t
+
+(** All retained structured events, in emission order. *)
+val events : t -> I432_obs.Event.t list
+
+(** Record a custom event, stamped with the executing processor's id and
+    virtual clock.  No-op unless tracing is enabled. *)
+val emit_event :
+  t ->
+  ?name:string ->
+  ?detail:string ->
+  ?a:int ->
+  ?b:int ->
+  I432_obs.Event.kind ->
+  unit
+
+(** Deprecated compat shim: the seed's unstructured trace lines, rendered
+    byte-identically from structured events.  Empty unless the level is
+    [Events_and_legacy_lines]. *)
 val trace_lines : t -> string list
+
 val faults : t -> (string * Fault.cause) list
 
 (** Virtual time: the executing processor's clock, or the maximum clock when

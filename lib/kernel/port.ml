@@ -57,6 +57,7 @@ type t = {
   mutable send_blocks : int;
   mutable receive_blocks : int;
   mutable total_queue_wait_ns : int;
+  mutable last_wait_ns : int;  (* queue wait of the last dequeued message *)
   mutable max_depth : int;
 }
 
@@ -83,6 +84,7 @@ let make ~self ~capacity ~discipline =
     send_blocks = 0;
     receive_blocks = 0;
     total_queue_wait_ns = 0;
+    last_wait_ns = 0;
     max_depth = 0;
   }
 
@@ -152,8 +154,9 @@ let dequeue t ~now =
   | None -> None
   | Some qm ->
     (* Clamp: the receiver's processor clock can trail the sender's. *)
-    t.total_queue_wait_ns <-
-      t.total_queue_wait_ns + max 0 (now - qm.enqueued_at);
+    let wait = max 0 (now - qm.enqueued_at) in
+    t.total_queue_wait_ns <- t.total_queue_wait_ns + wait;
+    t.last_wait_ns <- wait;
     Some qm.msg
 
 let pop_receiver t = Queue.take_opt t.receivers

@@ -50,6 +50,7 @@ type t = {
   mutable send_blocks : int;
   mutable receive_blocks : int;
   mutable total_queue_wait_ns : int;
+  mutable last_wait_ns : int;  (** queue wait of the last dequeued message *)
   mutable max_depth : int;
 }
 

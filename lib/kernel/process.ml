@@ -47,6 +47,8 @@ type t = {
   mutable wake_at : int;  (* for Sleeping *)
   mutable cpu_ns : int;  (* total virtual time consumed *)
   mutable slice_used_ns : int;  (* since last dispatch *)
+  mutable last_ready_ns : int;  (* when the process last entered the mix *)
+  mutable trace_name_id : int;  (* the tracer's interned id for [name] *)
   mutable system_level : int;  (* iMAX internal level (§7.3); 4 = user *)
   mutable affinity : int option;  (* restrict dispatch to one processor *)
   mutable scheduler_port : int option;  (* notified on mix transitions *)

@@ -38,16 +38,41 @@ type port_line = {
   q_blocks : int * int;  (* send, receive *)
 }
 
+type sro_line = {
+  s_index : int;
+  s_level : int;
+  s_free_bytes : int;
+  s_largest_free : int;
+  s_region_count : int;
+  s_live_objects : int;
+}
+
 type t = {
   now_ns : int;
   processes : process_line list;
   processors : processor_line list;
   ports : port_line list;
+  sros : sro_line list;
   objects_live : int;
   table_capacity : int;
   barrier_shades : int;
   fault_count : int;
+  gc_phase : string;
+  events_emitted : int;
+  events_retained : int;
+  events_dropped : int;
 }
+
+(* The collector (a layer above this library) publishes its phase through
+   the machine's metrics registry; 0 = idle, 1 = mark, 2 = sweep. *)
+let gc_phase_of machine =
+  match I432_obs.Metrics.find_gauge (Machine.metrics machine) "gc.phase" with
+  | Some g -> (
+    match I432_obs.Metrics.gauge_value g with
+    | 1 -> "mark"
+    | 2 -> "sweep"
+    | _ -> "idle")
+  | None -> "idle"
 
 let capture machine =
   let table = Machine.table machine in
@@ -82,6 +107,26 @@ let capture machine =
           :: !ports
       | Some _ | None -> ())
     table;
+  let sros = ref [] in
+  Object_table.iter_valid
+    (fun e ->
+      match e.Object_table.payload with
+      | Some (Sro.Sro_state _) ->
+        let access =
+          Access.make ~index:e.Object_table.index ~rights:Rights.full
+        in
+        sros :=
+          {
+            s_index = e.Object_table.index;
+            s_level = Sro.level table access;
+            s_free_bytes = Sro.free_bytes table access;
+            s_largest_free = Sro.largest_free table access;
+            s_region_count = Sro.region_count table access;
+            s_live_objects = Sro.live_objects table access;
+          }
+          :: !sros
+      | Some _ | None -> ())
+    table;
   let processors = ref [] in
   Object_table.iter_valid
     (fun e ->
@@ -104,10 +149,15 @@ let capture machine =
     processes;
     processors = List.sort (fun a b -> compare a.c_id b.c_id) !processors;
     ports = List.sort (fun a b -> compare a.q_index b.q_index) !ports;
+    sros = List.sort (fun a b -> compare a.s_index b.s_index) !sros;
     objects_live = Object_table.count_valid table;
     table_capacity = Object_table.capacity table;
     barrier_shades = Object_table.barrier_shades table;
     fault_count = List.length (Machine.faults machine);
+    gc_phase = gc_phase_of machine;
+    events_emitted = I432_obs.Tracer.emitted (Machine.tracer machine);
+    events_retained = I432_obs.Tracer.retained (Machine.tracer machine);
+    events_dropped = I432_obs.Tracer.dropped (Machine.tracer machine);
   }
 
 let total_cpu_ns t =
@@ -118,6 +168,8 @@ let render t =
   Printf.bprintf buf "machine at %.3f ms: %d live objects (table cap %d), %d faults\n"
     (float_of_int t.now_ns /. 1e6)
     t.objects_live t.table_capacity t.fault_count;
+  Printf.bprintf buf "  gc %s; trace %d emitted, %d retained, %d dropped\n"
+    t.gc_phase t.events_emitted t.events_retained t.events_dropped;
   List.iter
     (fun c ->
       Printf.bprintf buf
@@ -140,4 +192,11 @@ let render t =
         q.q_index q.q_depth q.q_capacity q.q_sends q.q_receives
         (fst q.q_blocks) (snd q.q_blocks))
     t.ports;
+  List.iter
+    (fun s ->
+      Printf.bprintf buf
+        "  sro #%d level %d free %d B (largest %d B, %d regions) %d objects\n"
+        s.s_index s.s_level s.s_free_bytes s.s_largest_free s.s_region_count
+        s.s_live_objects)
+    t.sros;
   Buffer.contents buf

@@ -33,15 +33,29 @@ type port_line = {
   q_blocks : int * int;  (** send, receive *)
 }
 
+type sro_line = {
+  s_index : int;
+  s_level : int;
+  s_free_bytes : int;
+  s_largest_free : int;  (** largest single free region *)
+  s_region_count : int;  (** free-list fragmentation *)
+  s_live_objects : int;
+}
+
 type t = {
   now_ns : int;
   processes : process_line list;
   processors : processor_line list;
   ports : port_line list;
+  sros : sro_line list;
   objects_live : int;
   table_capacity : int;
   barrier_shades : int;
   fault_count : int;
+  gc_phase : string;  (** "idle", "mark" or "sweep" (metrics gauge) *)
+  events_emitted : int;
+  events_retained : int;
+  events_dropped : int;
 }
 
 val capture : Machine.t -> t

@@ -1,0 +1,173 @@
+(* Structured kernel events.
+
+   One record per observable kernel transition, stamped with the virtual
+   clock of the processor that caused it.  The shape is fixed — two strings
+   (interned process/domain names, shared with the kernel's own records, so
+   emitting an event never copies them) and two integer arguments whose
+   meaning depends on [kind] — so a trace is a flat, bounded-size stream
+   the exporters can walk without interpretation.
+
+   Virtual-time stamps make traces deterministic: two runs of the same
+   workload produce byte-identical event streams, because nothing in the
+   record depends on host wall-clock, allocation addresses, or hash order. *)
+
+type kind =
+  | Spawn  (* a=object index *)
+  | Exit
+  | Finish
+  | Fault  (* detail=cause *)
+  | Ready  (* process entered the dispatching mix *)
+  | Dispatch  (* a=processor id *)
+  | Preempt  (* time slice expired *)
+  | Yield
+  | Deschedule  (* detail=syscall that took the process off its cpu *)
+  | Block_send  (* a=port index *)
+  | Block_receive  (* a=port index *)
+  | Sleep  (* a=delay ns *)
+  | Wake
+  | Send  (* a=port index, b=message object index *)
+  | Receive  (* a=port index, b=message object index *)
+  | Allocate  (* a=object index, b=data length *)
+  | Release  (* a=object index *)
+  | Sro_create  (* a=SRO index, b=bytes *)
+  | Sro_destroy  (* a=SRO index, b=objects reclaimed *)
+  | Domain_call  (* detail=domain name, a=domain index *)
+  | Domain_return  (* detail=domain name, a=domain index *)
+  | Stop
+  | Start
+  | Gc_mark_begin
+  | Gc_mark_end  (* a=objects marked this cycle *)
+  | Gc_sweep_begin
+  | Gc_sweep_end  (* a=objects swept, b=objects filtered *)
+
+type t = {
+  seq : int;  (* global emission order, 0-based *)
+  ts_ns : int;  (* virtual time of the emitting processor *)
+  cpu : int;  (* processor id, -1 outside the run loop (boot/kernel) *)
+  kind : kind;
+  name : string;  (* process name, or "" *)
+  detail : string;  (* kind-specific: syscall, domain, fault cause *)
+  a : int;
+  b : int;
+}
+
+let kind_to_string = function
+  | Spawn -> "spawn"
+  | Exit -> "exit"
+  | Finish -> "finish"
+  | Fault -> "fault"
+  | Ready -> "ready"
+  | Dispatch -> "dispatch"
+  | Preempt -> "preempt"
+  | Yield -> "yield"
+  | Deschedule -> "deschedule"
+  | Block_send -> "block-send"
+  | Block_receive -> "block-receive"
+  | Sleep -> "sleep"
+  | Wake -> "wake"
+  | Send -> "send"
+  | Receive -> "receive"
+  | Allocate -> "allocate"
+  | Release -> "release"
+  | Sro_create -> "sro-create"
+  | Sro_destroy -> "sro-destroy"
+  | Domain_call -> "domain-call"
+  | Domain_return -> "domain-return"
+  | Stop -> "stop"
+  | Start -> "start"
+  | Gc_mark_begin -> "gc-mark-begin"
+  | Gc_mark_end -> "gc-mark-end"
+  | Gc_sweep_begin -> "gc-sweep-begin"
+  | Gc_sweep_end -> "gc-sweep-end"
+
+(* Dense integer codes, for storing kinds in the tracer's packed int
+   rings.  [kind_of_int] is the inverse on [0 .. 26]. *)
+let kind_to_int = function
+  | Spawn -> 0
+  | Exit -> 1
+  | Finish -> 2
+  | Fault -> 3
+  | Ready -> 4
+  | Dispatch -> 5
+  | Preempt -> 6
+  | Yield -> 7
+  | Deschedule -> 8
+  | Block_send -> 9
+  | Block_receive -> 10
+  | Sleep -> 11
+  | Wake -> 12
+  | Send -> 13
+  | Receive -> 14
+  | Allocate -> 15
+  | Release -> 16
+  | Sro_create -> 17
+  | Sro_destroy -> 18
+  | Domain_call -> 19
+  | Domain_return -> 20
+  | Stop -> 21
+  | Start -> 22
+  | Gc_mark_begin -> 23
+  | Gc_mark_end -> 24
+  | Gc_sweep_begin -> 25
+  | Gc_sweep_end -> 26
+
+let kind_of_int = function
+  | 0 -> Spawn
+  | 1 -> Exit
+  | 2 -> Finish
+  | 3 -> Fault
+  | 4 -> Ready
+  | 5 -> Dispatch
+  | 6 -> Preempt
+  | 7 -> Yield
+  | 8 -> Deschedule
+  | 9 -> Block_send
+  | 10 -> Block_receive
+  | 11 -> Sleep
+  | 12 -> Wake
+  | 13 -> Send
+  | 14 -> Receive
+  | 15 -> Allocate
+  | 16 -> Release
+  | 17 -> Sro_create
+  | 18 -> Sro_destroy
+  | 19 -> Domain_call
+  | 20 -> Domain_return
+  | 21 -> Stop
+  | 22 -> Start
+  | 23 -> Gc_mark_begin
+  | 24 -> Gc_mark_end
+  | 25 -> Gc_sweep_begin
+  | 26 -> Gc_sweep_end
+  | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
+
+(* Subsystem, used as the Chrome trace category. *)
+let category = function
+  | Spawn | Exit | Finish | Fault | Stop | Start -> "proc"
+  | Ready | Dispatch | Preempt | Yield | Deschedule | Sleep | Wake ->
+    "dispatch"
+  | Block_send | Block_receive | Send | Receive -> "port"
+  | Allocate | Release | Sro_create | Sro_destroy -> "sro"
+  | Domain_call | Domain_return -> "domain"
+  | Gc_mark_begin | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> "gc"
+
+let to_string e =
+  Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
+    e.ts_ns e.cpu (kind_to_string e.kind) e.name e.detail e.a e.b
+
+(* Compat shim: render the pre-structured-tracing trace line for the events
+   that used to produce one.  The formats are frozen — the seed emitted
+   exactly these five strings — so legacy consumers see byte-identical
+   output. *)
+let legacy_line e =
+  match e.kind with
+  | Spawn -> Some (Printf.sprintf "spawn %s as process %d" e.name e.a)
+  | Stop -> Some (Printf.sprintf "stop %s" e.name)
+  | Start -> Some (Printf.sprintf "start %s" e.name)
+  | Finish -> Some (Printf.sprintf "process %s finished" e.name)
+  | Deschedule ->
+    Some (Printf.sprintf "process %s descheduled on %s" e.name e.detail)
+  | Exit | Fault | Ready | Dispatch | Preempt | Yield | Block_send
+  | Block_receive | Sleep | Wake | Send | Receive | Allocate | Release
+  | Sro_create | Sro_destroy | Domain_call | Domain_return | Gc_mark_begin
+  | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> None

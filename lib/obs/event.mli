@@ -1,0 +1,60 @@
+(** Structured kernel events: fixed-shape records stamped with virtual
+    time, so two identical runs produce byte-identical streams. *)
+
+type kind =
+  | Spawn  (** a=object index *)
+  | Exit
+  | Finish
+  | Fault  (** detail=cause *)
+  | Ready  (** process entered the dispatching mix *)
+  | Dispatch  (** a=processor id *)
+  | Preempt
+  | Yield
+  | Deschedule  (** detail=the syscall that took the process off its cpu *)
+  | Block_send  (** a=port index *)
+  | Block_receive  (** a=port index *)
+  | Sleep  (** a=delay ns *)
+  | Wake
+  | Send  (** a=port index, b=message object index *)
+  | Receive  (** a=port index, b=message object index *)
+  | Allocate  (** a=object index, b=data length *)
+  | Release  (** a=object index *)
+  | Sro_create  (** a=SRO index, b=bytes *)
+  | Sro_destroy  (** a=SRO index, b=objects reclaimed *)
+  | Domain_call  (** detail=domain name, a=domain index *)
+  | Domain_return  (** detail=domain name, a=domain index *)
+  | Stop
+  | Start
+  | Gc_mark_begin
+  | Gc_mark_end  (** a=objects marked this cycle *)
+  | Gc_sweep_begin
+  | Gc_sweep_end  (** a=objects swept, b=objects filtered *)
+
+type t = {
+  seq : int;  (** global emission order, 0-based *)
+  ts_ns : int;  (** virtual time of the emitting processor *)
+  cpu : int;  (** processor id, -1 outside the run loop *)
+  kind : kind;
+  name : string;  (** process name, or "" *)
+  detail : string;  (** kind-specific: syscall, domain, fault cause *)
+  a : int;
+  b : int;
+}
+
+val kind_to_string : kind -> string
+
+(** Dense integer code of a kind (0-based), and its inverse.  Used by the
+    tracer's packed rings.  [kind_of_int] raises [Invalid_argument] outside
+    the valid range. *)
+val kind_to_int : kind -> int
+
+val kind_of_int : int -> kind
+
+(** Subsystem of the event: proc, dispatch, port, sro, domain or gc. *)
+val category : kind -> string
+
+val to_string : t -> string
+
+(** Compat shim: the seed's unstructured trace line for this event, for the
+    five kinds that used to produce one (byte-identical formats). *)
+val legacy_line : t -> string option

@@ -1,0 +1,181 @@
+(* Chrome trace-event exporter.
+
+   Renders an event stream as the Trace Event JSON format understood by
+   Perfetto and chrome://tracing:
+
+   - one track (tid) per processor, plus a "boot" track for events emitted
+     outside the run loop;
+   - duration slices ("B"/"E") covering each residency of a process on a
+     processor, opened at Dispatch and closed at the event that takes the
+     process off its cpu;
+   - instant events ("i") for the remaining kinds, categorized by
+     subsystem (proc/dispatch/port/sro/domain/gc);
+   - flow arrows ("s"/"f") from each port send to the receive that
+     consumed the same message, paired in FIFO order per (port, message)
+     so re-sent payloads get distinct arrows;
+   - async slices ("b"/"e") for the collector's mark and sweep phases,
+     which span yields and so cannot nest inside the per-cpu slices.
+
+   Timestamps are the simulator's virtual nanoseconds divided by 1000 (the
+   format counts microseconds), so traces of identical runs are identical
+   files. *)
+
+let us ns = float_of_int ns /. 1000.0
+
+let field_args (e : Event.t) =
+  let open Jout in
+  List.filter_map
+    (fun x -> x)
+    [
+      Some ("seq", Int e.Event.seq);
+      (if e.Event.name = "" then None else Some ("process", Str e.Event.name));
+      (if e.Event.detail = "" then None else Some ("detail", Str e.Event.detail));
+      (if e.Event.a = 0 then None else Some ("a", Int e.Event.a));
+      (if e.Event.b = 0 then None else Some ("b", Int e.Event.b));
+    ]
+
+let entry ?(extra = []) ?(args = []) ~name ~cat ~ph ~ts_ns ~tid () =
+  let open Jout in
+  Obj
+    ([
+       ("name", Str name);
+       ("cat", Str cat);
+       ("ph", Str ph);
+       ("ts", Float (us ts_ns));
+       ("pid", Int 0);
+       ("tid", Int tid);
+     ]
+    @ extra
+    @ if args = [] then [] else [ ("args", Obj args) ])
+
+let meta ~name ~tid ~value =
+  let open Jout in
+  Obj
+    [
+      ("name", Str name);
+      ("ph", Str "M");
+      ("pid", Int 0);
+      ("tid", Int tid);
+      ("args", Obj [ ("name", Str value) ]);
+    ]
+
+let chrome_trace ~processors events =
+  let out = ref [] in
+  (* (sort key ns, json); metadata sorts first. *)
+  let add ts_ns j = out := (ts_ns, j) :: !out in
+  let tid_of cpu = if cpu < 0 || cpu >= processors then processors else cpu in
+  add (-1) (meta ~name:"process_name" ~tid:0 ~value:"imax432");
+  for c = 0 to processors - 1 do
+    add (-1) (meta ~name:"thread_name" ~tid:c ~value:(Printf.sprintf "cpu%d" c))
+  done;
+  add (-1) (meta ~name:"thread_name" ~tid:processors ~value:"boot");
+  let open_slice = Array.make (processors + 1) None in
+  let max_ts = ref 0 in
+  let close ~tid ~ts_ns =
+    match open_slice.(tid) with
+    | None -> ()
+    | Some name ->
+      open_slice.(tid) <- None;
+      add ts_ns (entry ~name ~cat:"dispatch" ~ph:"E" ~ts_ns ~tid ())
+  in
+  (* Pending sends per (port, message), consumed FIFO by receives. *)
+  let pending : (int * int, (int * int) Queue.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let flow_seq = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      let tid = tid_of e.Event.cpu in
+      let ts_ns = e.Event.ts_ns in
+      if ts_ns > !max_ts then max_ts := ts_ns;
+      let instant ?(name = Event.kind_to_string e.Event.kind) () =
+        add ts_ns
+          (entry ~name ~cat:(Event.category e.Event.kind) ~ph:"i" ~ts_ns ~tid
+             ~extra:[ ("s", Jout.Str "t") ]
+             ~args:(field_args e) ())
+      in
+      match e.Event.kind with
+      | Event.Dispatch ->
+        close ~tid ~ts_ns;
+        open_slice.(tid) <- Some e.Event.name;
+        add ts_ns
+          (entry ~name:e.Event.name ~cat:"dispatch" ~ph:"B" ~ts_ns ~tid
+             ~args:(field_args e) ())
+      | Event.Deschedule | Event.Exit | Event.Finish -> close ~tid ~ts_ns
+      | Event.Yield | Event.Preempt | Event.Sleep | Event.Fault
+      | Event.Block_send | Event.Block_receive ->
+        instant ();
+        close ~tid ~ts_ns
+      | Event.Send ->
+        instant ();
+        let key = (e.Event.a, e.Event.b) in
+        let q =
+          match Hashtbl.find_opt pending key with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace pending key q;
+            q
+        in
+        Queue.push (ts_ns, tid) q
+      | Event.Receive ->
+        instant ();
+        (match Hashtbl.find_opt pending (e.Event.a, e.Event.b) with
+        | Some q when not (Queue.is_empty q) ->
+          let send_ts, send_tid = Queue.pop q in
+          let id = !flow_seq in
+          incr flow_seq;
+          add send_ts
+            (entry ~name:"msg" ~cat:"flow" ~ph:"s" ~ts_ns:send_ts ~tid:send_tid
+               ~extra:[ ("id", Jout.Int id) ]
+               ())
+          ;
+          add ts_ns
+            (entry ~name:"msg" ~cat:"flow" ~ph:"f" ~ts_ns ~tid
+               ~extra:[ ("id", Jout.Int id); ("bp", Jout.Str "e") ]
+               ())
+        | Some _ | None -> ())
+      | Event.Gc_mark_begin ->
+        add ts_ns
+          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"b" ~ts_ns ~tid
+             ~extra:[ ("id", Jout.Int 1) ]
+             ())
+      | Event.Gc_mark_end ->
+        add ts_ns
+          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"e" ~ts_ns ~tid
+             ~extra:[ ("id", Jout.Int 1) ]
+             ~args:(field_args e) ())
+      | Event.Gc_sweep_begin ->
+        add ts_ns
+          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"b" ~ts_ns ~tid
+             ~extra:[ ("id", Jout.Int 2) ]
+             ())
+      | Event.Gc_sweep_end ->
+        add ts_ns
+          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"e" ~ts_ns ~tid
+             ~extra:[ ("id", Jout.Int 2) ]
+             ~args:(field_args e) ())
+      | Event.Spawn | Event.Ready | Event.Wake | Event.Stop | Event.Start
+      | Event.Allocate | Event.Release | Event.Sro_create | Event.Sro_destroy
+      | Event.Domain_call | Event.Domain_return ->
+        instant ())
+    events;
+  (* Close slices still open at the end of the trace. *)
+  for tid = 0 to processors do
+    close ~tid ~ts_ns:!max_ts
+  done;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !out)
+  in
+  let open Jout in
+  Obj
+    [
+      ("traceEvents", Arr (List.map snd sorted));
+      ("displayTimeUnit", Str "ms");
+      ( "otherData",
+        Obj
+          [
+            ("schema", Str "imax432-trace/1");
+            ("clock", Str "virtual-ns (8 MHz 432 timings)");
+          ] );
+    ]

@@ -1,0 +1,11 @@
+(** Chrome trace-event JSON exporter (Perfetto / chrome://tracing).
+
+    One track per processor plus a "boot" track; per-dispatch duration
+    slices; instant events by subsystem; flow arrows from each port send
+    to the receive that consumed the same message; async slices for GC
+    mark/sweep phases.  Timestamps are virtual microseconds, so identical
+    runs export identical files. *)
+
+(** [chrome_trace ~processors events] renders events (in emission order,
+    as returned by {!Tracer.events}) to a complete trace JSON value. *)
+val chrome_trace : processors:int -> Event.t list -> Jout.t

@@ -1,0 +1,14 @@
+(** Minimal JSON value and emitter shared by the observability exporters
+    and the bench harness.  Non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write_file : path:string -> t -> unit

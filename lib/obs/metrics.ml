@@ -1,0 +1,125 @@
+(* Named metrics registry: counters, gauges, and Stats-backed histograms.
+
+   Instrumentation sites resolve their instrument once (at machine boot)
+   and then update a bare mutable field on the hot path — no hashing, no
+   allocation.  The registry exists for the cold paths: enumeration,
+   snapshotting, and the JSON dump.
+
+   Dumps are sorted by name, so two identical runs produce byte-identical
+   metrics JSON — the same determinism contract as the event tracer. *)
+
+open I432_util
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+type histogram = { m_name : string; m_hist : Stats.hist }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram t ?(buckets = 32) ?(lo = 0.0) ?(hi = 1.0e6) name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    let h = { m_name = name; m_hist = Stats.hist_create ~buckets ~lo ~hi () } in
+    Hashtbl.replace t.histograms name h;
+    h
+
+let observe h x = Stats.hist_observe h.m_hist x
+
+let find_counter t name = Hashtbl.find_opt t.counters name
+let find_gauge t name = Hashtbl.find_opt t.gauges name
+let find_histogram t name = Hashtbl.find_opt t.histograms name
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters t = List.map snd (sorted_bindings t.counters)
+let gauges t = List.map snd (sorted_bindings t.gauges)
+let histograms t = List.map snd (sorted_bindings t.histograms)
+
+let hist_json (h : Stats.hist) =
+  let open Jout in
+  Obj
+    [
+      ("lo", Float h.Stats.h_lo);
+      ("hi", Float h.Stats.h_hi);
+      ("count", Int h.Stats.h_count);
+      ("sum", Float h.Stats.h_sum);
+      ("mean", Float (Stats.hist_mean h));
+      ( "min",
+        if h.Stats.h_count = 0 then Null else Float h.Stats.h_min );
+      ( "max",
+        if h.Stats.h_count = 0 then Null else Float h.Stats.h_max );
+      ("underflow", Int h.Stats.h_underflow);
+      ("overflow", Int h.Stats.h_overflow);
+      ( "buckets",
+        Arr (Array.to_list (Array.map (fun c -> Int c) h.Stats.h_counts)) );
+    ]
+
+let to_json t =
+  let open Jout in
+  Obj
+    [
+      ("schema", Str "imax432-metrics/1");
+      ( "counters",
+        Obj (List.map (fun (k, c) -> (k, Int c.c_value)) (sorted_bindings t.counters)) );
+      ( "gauges",
+        Obj (List.map (fun (k, g) -> (k, Int g.g_value)) (sorted_bindings t.gauges)) );
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (k, h) -> (k, hist_json h.m_hist))
+             (sorted_bindings t.histograms)) );
+    ]
+
+(* Human-readable rendering for operator tooling. *)
+let render t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (k, c) -> Printf.bprintf buf "counter %-28s %d\n" k c.c_value)
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (k, g) -> Printf.bprintf buf "gauge   %-28s %d\n" k g.g_value)
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (k, h) ->
+      let s = h.m_hist in
+      Printf.bprintf buf
+        "hist    %-28s count %d mean %.1f under %d over %d\n" k
+        s.Stats.h_count (Stats.hist_mean s) s.Stats.h_underflow
+        s.Stats.h_overflow)
+    (sorted_bindings t.histograms);
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Named metrics registry: counters, gauges, and {!I432_util.Stats}-backed
+    histograms.
+
+    Instruments are resolved once (find-or-create by name) and updated
+    through bare mutable fields on the hot path.  Dumps are sorted by
+    name, so identical runs produce byte-identical JSON. *)
+
+open I432_util
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : int }
+type histogram = { m_name : string; m_hist : Stats.hist }
+
+type t
+
+val create : unit -> t
+
+(** Find-or-create by name. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+(** [buckets]/[lo]/[hi] apply only on first creation of the name. *)
+val histogram : t -> ?buckets:int -> ?lo:float -> ?hi:float -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val find_counter : t -> string -> counter option
+val find_gauge : t -> string -> gauge option
+val find_histogram : t -> string -> histogram option
+
+(** Sorted by name. *)
+val counters : t -> counter list
+
+val gauges : t -> gauge list
+val histograms : t -> histogram list
+
+(** Schema [imax432-metrics/1]: counters, gauges, histograms (with
+    underflow/overflow buckets), sorted by name. *)
+val to_json : t -> Jout.t
+
+(** Human-readable rendering for operator tooling. *)
+val render : t -> string

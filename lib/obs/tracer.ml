@@ -1,0 +1,295 @@
+(* The kernel event tracer.
+
+   One bounded ring of fixed-shape event records per processor (plus one
+   for boot-time/kernel events emitted outside the run loop), so tracing a
+   long run costs constant memory: when a ring fills, the oldest event on
+   that processor is dropped and a per-ring drop counter is incremented.
+
+   Each ring is one flat, preallocated [int array] holding eight ints per
+   event (seq, ts, cpu, a, b, kind code, interned name id, interned detail
+   id) rather than a ring of {!Event.t} records: the emit path is the
+   kernel's hottest seam and must stay within the bench's < 5% overhead
+   budget, which leaves no room for a record plus an option box per event.
+   Packing an event into eight adjacent ints makes emission eight
+   immediate stores into a single cache line — no allocation, no
+   {!caml_modify} write barriers, and no scatter across per-field arrays
+   whose lines the kernel's own working set would keep evicting.  The
+   string fields are interned to small ids; interning is one
+   physical-equality check in the common case, because call sites pass
+   the same physical string over and over (a process's name,
+   [op_to_string]'s literals), so a one-entry memo per field absorbs
+   almost every lookup.  {!Event.t} records are materialized only when a
+   reader asks for them.
+
+   At [Events_and_legacy_lines] the tracer also renders the seed's
+   unstructured trace lines through {!Event.legacy_line} as events are
+   emitted.  The lines live in an unbounded list (exactly like the string
+   tracer this replaces), so ring overflow never loses a legacy line and
+   the old [trace_lines] output stays byte-identical. *)
+
+type level = Off | Events | Events_and_legacy_lines
+
+let level_to_string = function
+  | Off -> "off"
+  | Events -> "events"
+  | Events_and_legacy_lines -> "events+legacy"
+
+(* Field offsets within a slot. *)
+let fields = 8
+
+type ring = {
+  r_data : int array;  (* capacity * [fields]: seq ts cpu a b kind name detail *)
+  r_cap : int;  (* slots; cached so the emit path never divides *)
+  mutable r_head : int;  (* slot index of the oldest event *)
+  mutable r_len : int;
+}
+
+let ring_create capacity =
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity";
+  {
+    r_data = Array.make (capacity * fields) 0;
+    r_cap = capacity;
+    r_head = 0;
+    r_len = 0;
+  }
+
+(* The intern pool.  Id 0 is always "".  [memo_s]/[memo_id] form a small
+   associative cache of recently interned strings; the hot path scans it
+   with physical comparisons ([==]) and falls back to the hashtable (a
+   content hash) only on a miss.  Eight entries cover the working set of
+   a trace — the names of the processes currently bouncing between the
+   processors plus the handful of syscall/domain literals — so the
+   fallback is rare even when consecutive events alternate names. *)
+let memo_slots = 8
+
+type interns = {
+  ids : (string, int) Hashtbl.t;
+  mutable pool : string array;  (* id -> string *)
+  mutable used : int;
+  memo_s : string array;
+  memo_id : int array;
+  mutable memo_next : int;  (* round-robin replacement cursor *)
+}
+
+type t = {
+  level : level;
+  rings : ring array;  (* index cpu+1; slot 0 = boot *)
+  dropped : int array;  (* per ring *)
+  strings : interns;
+  mutable emitted : int;  (* total events ever emitted (= next seq) *)
+  mutable legacy : string list;  (* newest first, like the seed's buffer *)
+}
+
+let interns_create () =
+  let ids = Hashtbl.create 64 in
+  Hashtbl.add ids "" 0;
+  {
+    ids;
+    pool = Array.make 64 "";
+    used = 1;
+    (* Every memo slot maps "" -> 0, which is correct, so lookups may
+       return any slot without an emptiness check. *)
+    memo_s = Array.make memo_slots "";
+    memo_id = Array.make memo_slots 0;
+    memo_next = 0;
+  }
+
+let intern_slow st s =
+  let id =
+    match Hashtbl.find_opt st.ids s with
+    | Some id -> id
+    | None ->
+      let id = st.used in
+      if id = Array.length st.pool then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit st.pool 0 bigger 0 id;
+        st.pool <- bigger
+      end;
+      st.pool.(id) <- s;
+      st.used <- id + 1;
+      Hashtbl.add st.ids s id;
+      id
+  in
+  st.memo_s.(st.memo_next) <- s;
+  st.memo_id.(st.memo_next) <- id;
+  st.memo_next <- (st.memo_next + 1) mod memo_slots;
+  id
+
+(* Unrolled 8-way scan: a handful of physical compares with no loop
+   counter, falling through to the hashtable. *)
+let intern st s =
+  let m = st.memo_s in
+  if Array.unsafe_get m 0 == s then Array.unsafe_get st.memo_id 0
+  else if Array.unsafe_get m 1 == s then Array.unsafe_get st.memo_id 1
+  else if Array.unsafe_get m 2 == s then Array.unsafe_get st.memo_id 2
+  else if Array.unsafe_get m 3 == s then Array.unsafe_get st.memo_id 3
+  else if Array.unsafe_get m 4 == s then Array.unsafe_get st.memo_id 4
+  else if Array.unsafe_get m 5 == s then Array.unsafe_get st.memo_id 5
+  else if Array.unsafe_get m 6 == s then Array.unsafe_get st.memo_id 6
+  else if Array.unsafe_get m 7 == s then Array.unsafe_get st.memo_id 7
+  else intern_slow st s
+
+let ring_event t r i =
+  let base = (r.r_head + i) mod r.r_cap * fields in
+  let d = r.r_data in
+  {
+    Event.seq = d.(base);
+    ts_ns = d.(base + 1);
+    cpu = d.(base + 2);
+    a = d.(base + 3);
+    b = d.(base + 4);
+    kind = Event.kind_of_int d.(base + 5);
+    name = t.strings.pool.(d.(base + 6));
+    detail = t.strings.pool.(d.(base + 7));
+  }
+
+let default_capacity = 16_384
+
+let create ?(capacity = default_capacity) ~level ~processors () =
+  if processors < 0 then invalid_arg "Tracer.create: processors";
+  if capacity <= 0 then invalid_arg "Tracer.create: capacity";
+  (* An Off tracer never stores an event, so its rings are one-slot
+     placeholders: the default configuration pays no ring memory. *)
+  let capacity = if level = Off then 1 else capacity in
+  {
+    level;
+    rings = Array.init (processors + 1) (fun _ -> ring_create capacity);
+    dropped = Array.make (processors + 1) 0;
+    strings = interns_create ();
+    emitted = 0;
+    legacy = [];
+  }
+
+let level t = t.level
+
+(* Pattern matches, not [=]/[<>]: polymorphic compare on the level is a C
+   call, which the per-event budget cannot afford. *)
+let enabled t = match t.level with Off -> false | _ -> true
+let capacity t = t.rings.(0).r_cap
+let processors t = Array.length t.rings - 1
+
+(* The one physical "" that omitted ?name/?detail default to, so the
+   common no-string case is a single pointer compare, not a memo scan. *)
+let no_string = ""
+
+(* The raw emit path: level check, slot accounting, eight immediate
+   stores.  No optional arguments, no strings — callers on the hottest
+   seams pre-intern their ids (a process's name id is interned once at
+   spawn) and pass kind codes they computed once at module init. *)
+let emit_raw t ~ts_ns ~cpu ~kind_code ~name_id ~detail_id ~a ~b =
+  match t.level with
+  | Off -> ()
+  | (Events | Events_and_legacy_lines) as lvl ->
+    let record_legacy = match lvl with
+      | Events_and_legacy_lines -> true
+      | _ -> false
+    in
+    let seq = t.emitted in
+    t.emitted <- seq + 1;
+    let idx =
+      let i = cpu + 1 in
+      if i < 0 || i >= Array.length t.rings then 0 else i
+    in
+    let r = t.rings.(idx) in
+    let cap = r.r_cap in
+    let slot =
+      if r.r_len = cap then begin
+        (* Full: the oldest event's slot is recycled for the newest. *)
+        let s = r.r_head in
+        r.r_head <- (if s + 1 = cap then 0 else s + 1);
+        t.dropped.(idx) <- t.dropped.(idx) + 1;
+        s
+      end
+      else begin
+        let s = r.r_head + r.r_len in
+        let s = if s >= cap then s - cap else s in
+        r.r_len <- r.r_len + 1;
+        s
+      end
+    in
+    (* [base .. base+7] < length by construction; unsafe stores keep the
+       eight writes — all into one slot, typically one cache line — free
+       of bounds checks on the hottest kernel seam. *)
+    let base = slot * fields in
+    let d = r.r_data in
+    Array.unsafe_set d base seq;
+    Array.unsafe_set d (base + 1) ts_ns;
+    Array.unsafe_set d (base + 2) cpu;
+    Array.unsafe_set d (base + 3) a;
+    Array.unsafe_set d (base + 4) b;
+    Array.unsafe_set d (base + 5) kind_code;
+    Array.unsafe_set d (base + 6) name_id;
+    Array.unsafe_set d (base + 7) detail_id;
+    if record_legacy then
+      match
+        Event.legacy_line
+          {
+            Event.seq;
+            ts_ns;
+            cpu;
+            kind = Event.kind_of_int kind_code;
+            name = t.strings.pool.(name_id);
+            detail = t.strings.pool.(detail_id);
+            a;
+            b;
+          }
+      with
+      | Some line -> t.legacy <- line :: t.legacy
+      | None -> ()
+
+let string_id t s =
+  match t.level with Off -> 0 | _ -> intern t.strings s
+
+let emit t ~ts_ns ~cpu ?(name = no_string) ?(detail = no_string) ?(a = 0)
+    ?(b = 0) kind =
+  match t.level with
+  | Off -> ()
+  | Events | Events_and_legacy_lines ->
+    let st = t.strings in
+    let name_id = if name == no_string then 0 else intern st name in
+    let detail_id = if detail == no_string then 0 else intern st detail in
+    emit_raw t ~ts_ns ~cpu
+      ~kind_code:(Event.kind_to_int kind)
+      ~name_id ~detail_id ~a ~b
+
+(* All retained events in emission order (seq ascending).  Each ring is
+   already seq-sorted, so this is a k-way merge. *)
+let events t =
+  let lists =
+    Array.to_list
+      (Array.map
+         (fun r -> List.init r.r_len (fun i -> ring_event t r i))
+         t.rings)
+  in
+  List.sort
+    (fun (x : Event.t) (y : Event.t) -> compare x.Event.seq y.Event.seq)
+    (List.concat lists)
+
+let retained t = Array.fold_left (fun acc r -> acc + r.r_len) 0 t.rings
+let emitted t = t.emitted
+let dropped t = Array.fold_left ( + ) 0 t.dropped
+
+let dropped_on t ~cpu =
+  let i = cpu + 1 in
+  if i < 0 || i >= Array.length t.dropped then 0 else t.dropped.(i)
+
+let legacy_lines t = List.rev t.legacy
+
+let clear t =
+  Array.iter
+    (fun r ->
+      r.r_head <- 0;
+      r.r_len <- 0)
+    t.rings;
+  Array.fill t.dropped 0 (Array.length t.dropped) 0;
+  (* Reset the intern pool so cleared traces do not pin old heap data. *)
+  let st = t.strings in
+  Hashtbl.reset st.ids;
+  Hashtbl.add st.ids "" 0;
+  st.pool <- Array.make 64 "";
+  st.used <- 1;
+  Array.fill st.memo_s 0 memo_slots "";
+  Array.fill st.memo_id 0 memo_slots 0;
+  st.memo_next <- 0;
+  t.emitted <- 0;
+  t.legacy <- []

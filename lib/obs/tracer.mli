@@ -1,0 +1,77 @@
+(** Structured kernel event tracer: one bounded ring of {!Event.t} records
+    per processor (plus one for boot-time events), drop-oldest on overflow
+    with a per-ring drop counter.
+
+    [Off] is free on the hot path (one field read); [Events] records
+    structured events only; [Events_and_legacy_lines] additionally renders
+    the seed's unstructured trace lines (byte-identical, unbounded, immune
+    to ring overflow) for legacy consumers. *)
+
+type level = Off | Events | Events_and_legacy_lines
+
+val level_to_string : level -> string
+
+type t
+
+val default_capacity : int
+
+(** [create ~level ~processors ()] sizes one ring of [capacity] events per
+    processor plus one for events emitted outside the run loop. *)
+val create : ?capacity:int -> level:level -> processors:int -> unit -> t
+
+val level : t -> level
+val enabled : t -> bool
+val capacity : t -> int
+val processors : t -> int
+
+(** Record one event.  No-op when the level is [Off].  [cpu] is the
+    emitting processor id, or -1 outside the run loop. *)
+val emit :
+  t ->
+  ts_ns:int ->
+  cpu:int ->
+  ?name:string ->
+  ?detail:string ->
+  ?a:int ->
+  ?b:int ->
+  Event.kind ->
+  unit
+
+(** Intern a string, returning its id for {!emit_raw} (0 when the level
+    is [Off], where ids are never consulted).  Id 0 is always "". *)
+val string_id : t -> string -> int
+
+(** The allocation- and lookup-free emit path for the kernel's hottest
+    seams: [kind_code] is {!Event.kind_to_int} of the kind (computed once
+    by the caller), [name_id]/[detail_id] come from {!string_id}.  No-op
+    when the level is [Off]. *)
+val emit_raw :
+  t ->
+  ts_ns:int ->
+  cpu:int ->
+  kind_code:int ->
+  name_id:int ->
+  detail_id:int ->
+  a:int ->
+  b:int ->
+  unit
+
+(** All retained events, in emission order. *)
+val events : t -> Event.t list
+
+(** Events currently held in the rings. *)
+val retained : t -> int
+
+(** Events ever emitted (retained + dropped). *)
+val emitted : t -> int
+
+(** Events dropped to ring overflow, total and per processor. *)
+val dropped : t -> int
+
+val dropped_on : t -> cpu:int -> int
+
+(** The seed-format trace lines, oldest first.  Empty unless the level is
+    [Events_and_legacy_lines]. *)
+val legacy_lines : t -> string list
+
+val clear : t -> unit

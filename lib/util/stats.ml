@@ -1,4 +1,5 @@
-(* Small statistics toolkit used by the benchmark harness. *)
+(* Small statistics toolkit used by the benchmark harness and the metrics
+   registry. *)
 
 type summary = {
   count : int;
@@ -57,16 +58,71 @@ let jain_fairness xs =
   let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
   if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
 
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A streaming fixed-width histogram over [lo, hi).  Out-of-range values
+   are not dropped: they land in the explicit underflow/overflow buckets,
+   so the bucket counts always account for every finite observation.  NaN
+   observations are ignored (they order with nothing). *)
+type hist = {
+  h_lo : float;
+  h_hi : float;
+  h_counts : int array;
+  mutable h_underflow : int;
+  mutable h_overflow : int;
+  mutable h_count : int;  (* finite observations, including under/overflow *)
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let hist_create ~buckets ~lo ~hi () =
+  if buckets <= 0 then invalid_arg "Stats.hist_create: buckets";
+  if not (hi > lo) then invalid_arg "Stats.hist_create: range";
+  {
+    h_lo = lo;
+    h_hi = hi;
+    h_counts = Array.make buckets 0;
+    h_underflow = 0;
+    h_overflow = 0;
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = infinity;
+    h_max = neg_infinity;
+  }
+
+let hist_observe h x =
+  if not (Float.is_nan x) then begin
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. x;
+    if x < h.h_min then h.h_min <- x;
+    if x > h.h_max then h.h_max <- x;
+    if x < h.h_lo then h.h_underflow <- h.h_underflow + 1
+    else if x >= h.h_hi then h.h_overflow <- h.h_overflow + 1
+    else begin
+      let buckets = Array.length h.h_counts in
+      let width = (h.h_hi -. h.h_lo) /. float_of_int buckets in
+      let b = int_of_float ((x -. h.h_lo) /. width) in
+      let b = if b >= buckets then buckets - 1 else if b < 0 then 0 else b in
+      h.h_counts.(b) <- h.h_counts.(b) + 1
+    end
+  end
+
+let hist_mean h =
+  if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+(* One-shot histogram of a sample array.  Underflow and overflow are
+   reported explicitly rather than silently dropped; [hi] itself counts as
+   overflow (the in-range interval is half-open).  NaNs are ignored. *)
+type histogram_counts = {
+  in_range : int array;
+  underflow : int;
+  overflow : int;
+}
+
 let histogram ~buckets ~lo ~hi samples =
-  if buckets <= 0 then invalid_arg "Stats.histogram: buckets";
-  let counts = Array.make buckets 0 in
-  let width = (hi -. lo) /. float_of_int buckets in
-  Array.iter
-    (fun x ->
-      if x >= lo && x < hi then begin
-        let b = int_of_float ((x -. lo) /. width) in
-        let b = if b >= buckets then buckets - 1 else b in
-        counts.(b) <- counts.(b) + 1
-      end)
-    samples;
-  counts
+  let h = hist_create ~buckets ~lo ~hi () in
+  Array.iter (hist_observe h) samples;
+  { in_range = h.h_counts; underflow = h.h_underflow; overflow = h.h_overflow }

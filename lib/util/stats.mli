@@ -1,4 +1,5 @@
-(** Descriptive statistics for the benchmark harness. *)
+(** Descriptive statistics for the benchmark harness and the metrics
+    registry. *)
 
 type summary = {
   count : int;
@@ -23,5 +24,41 @@ val mean : float array -> float
 (** Jain's fairness index in (0, 1]; 1.0 means all values equal. *)
 val jain_fairness : float array -> float
 
-(** Fixed-width histogram of values falling in [lo, hi). *)
-val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array
+(** {1 Histograms} *)
+
+(** A streaming fixed-width histogram over [lo, hi) with explicit
+    underflow/overflow buckets: no finite observation is ever silently
+    dropped.  NaN observations are ignored. *)
+type hist = {
+  h_lo : float;
+  h_hi : float;
+  h_counts : int array;
+  mutable h_underflow : int;  (** observations below [lo] *)
+  mutable h_overflow : int;  (** observations at or above [hi] *)
+  mutable h_count : int;  (** all finite observations *)
+  mutable h_sum : float;
+  mutable h_min : float;  (** [infinity] when empty *)
+  mutable h_max : float;  (** [neg_infinity] when empty *)
+}
+
+(** Raises [Invalid_argument] unless [buckets > 0] and [hi > lo]. *)
+val hist_create : buckets:int -> lo:float -> hi:float -> unit -> hist
+
+val hist_observe : hist -> float -> unit
+
+(** 0.0 when empty. *)
+val hist_mean : hist -> float
+
+(** Result of a one-shot {!histogram}: per-bucket counts over [lo, hi)
+    plus the out-of-range counts that were previously dropped silently. *)
+type histogram_counts = {
+  in_range : int array;
+  underflow : int;
+  overflow : int;
+}
+
+(** Fixed-width histogram of a sample array: values in [lo, hi) land in
+    [in_range], values below [lo] in [underflow], values at or above [hi]
+    in [overflow].  NaNs are ignored. *)
+val histogram :
+  buckets:int -> lo:float -> hi:float -> float array -> histogram_counts

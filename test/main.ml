@@ -6,6 +6,7 @@ let () =
       ("util", Test_util.suite);
       ("model", Test_model.suite);
       ("arch", Test_arch.suite);
+      ("obs", Test_obs.suite);
       ("kernel", Test_kernel.suite);
       ("gc", Test_gc.suite);
       ("imax", Test_imax.suite);

@@ -616,7 +616,11 @@ let test_spawn_from_local_sro () =
 let test_trace_records_lifecycle () =
   let m =
     K.Machine.create
-      ~config:{ K.Machine.default_config with K.Machine.trace = true }
+      ~config:
+        {
+          K.Machine.default_config with
+          K.Machine.trace_level = I432_obs.Tracer.Events_and_legacy_lines;
+        }
       ()
   in
   ignore (K.Machine.spawn m ~name:"traced" (fun () -> K.Machine.yield m));

@@ -1,0 +1,266 @@
+(* Tests for the observability layer: tracer rings (overflow, drop
+   accounting), the legacy trace-line compat shim (byte identity with the
+   seed's formats), cross-run determinism of events and metrics, the
+   Chrome trace exporter, the metrics registry, and the snapshot
+   extensions. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+
+let mk ?(processors = 1) ~level () =
+  K.Machine.create
+    ~config:
+      {
+        K.Machine.default_config with
+        K.Machine.processors;
+        trace_level = level;
+      }
+    ()
+
+let run m = K.Machine.run ~max_ns:2_000_000_000 ~max_steps:2_000_000 m
+
+(* A small deterministic two-processor workload touching every traced
+   subsystem: ports (send/receive/block), allocation, yields. *)
+let workload ?(processors = 2) ~level () =
+  let m = mk ~processors ~level () in
+  let port =
+    K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo ()
+  in
+  ignore
+    (K.Machine.spawn m ~name:"producer" (fun () ->
+         for i = 1 to 8 do
+           let msg = K.Machine.allocate_generic m ~data_length:16 () in
+           K.Machine.write_word m msg ~offset:0 i;
+           K.Machine.send m ~port ~msg
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"consumer" (fun () ->
+         for _ = 1 to 8 do
+           let msg = K.Machine.receive m ~port in
+           ignore (K.Machine.read_word m msg ~offset:0);
+           K.Machine.yield m
+         done));
+  let _ = run m in
+  m
+
+(* ---------------- Tracer rings ---------------- *)
+
+let test_ring_overflow () =
+  (* Capacity 4, 7 events: the ring keeps the newest 4 and counts the 3 it
+     recycled. *)
+  let t = Obs.Tracer.create ~capacity:4 ~level:Obs.Tracer.Events ~processors:1 () in
+  for i = 1 to 7 do
+    Obs.Tracer.emit t ~ts_ns:(i * 10) ~cpu:0 ~a:i Obs.Event.Yield
+  done;
+  Alcotest.(check int) "emitted" 7 (Obs.Tracer.emitted t);
+  Alcotest.(check int) "retained" 4 (Obs.Tracer.retained t);
+  Alcotest.(check int) "dropped" 3 (Obs.Tracer.dropped t);
+  Alcotest.(check int) "dropped on cpu 0" 3 (Obs.Tracer.dropped_on t ~cpu:0);
+  let events = Obs.Tracer.events t in
+  Alcotest.(check (list int)) "oldest three recycled" [ 3; 4; 5; 6 ]
+    (List.map (fun e -> e.Obs.Event.seq) events);
+  Alcotest.(check (list int)) "payloads survive" [ 4; 5; 6; 7 ]
+    (List.map (fun e -> e.Obs.Event.a) events)
+
+let test_rings_are_per_processor () =
+  let t = Obs.Tracer.create ~capacity:2 ~level:Obs.Tracer.Events ~processors:2 () in
+  (* Overflow cpu 0 only; cpu 1 and the boot ring (-1) are untouched. *)
+  for i = 1 to 5 do
+    Obs.Tracer.emit t ~ts_ns:i ~cpu:0 Obs.Event.Yield
+  done;
+  Obs.Tracer.emit t ~ts_ns:6 ~cpu:1 Obs.Event.Yield;
+  Obs.Tracer.emit t ~ts_ns:7 ~cpu:(-1) Obs.Event.Spawn;
+  Alcotest.(check int) "cpu 0 dropped" 3 (Obs.Tracer.dropped_on t ~cpu:0);
+  Alcotest.(check int) "cpu 1 kept all" 0 (Obs.Tracer.dropped_on t ~cpu:1);
+  Alcotest.(check int) "boot ring kept all" 0 (Obs.Tracer.dropped_on t ~cpu:(-1));
+  Alcotest.(check int) "retained across rings" 4 (Obs.Tracer.retained t)
+
+let test_off_level_is_inert () =
+  let t = Obs.Tracer.create ~level:Obs.Tracer.Off ~processors:1 () in
+  Obs.Tracer.emit t ~ts_ns:1 ~cpu:0 ~name:"ghost" Obs.Event.Spawn;
+  Alcotest.(check int) "nothing emitted" 0 (Obs.Tracer.emitted t);
+  Alcotest.(check int) "nothing retained" 0 (Obs.Tracer.retained t);
+  Alcotest.(check (list string)) "no legacy lines" [] (Obs.Tracer.legacy_lines t)
+
+let test_kind_codes_roundtrip () =
+  (* The packed rings store kinds as dense ints; the mapping must be a
+     bijection over the full range. *)
+  for i = 0 to 26 do
+    Alcotest.(check int) "roundtrip"
+      i
+      (Obs.Event.kind_to_int (Obs.Event.kind_of_int i))
+  done;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Event.kind_of_int: 27") (fun () ->
+      ignore (Obs.Event.kind_of_int 27))
+
+(* ---------------- Legacy compat shim ---------------- *)
+
+let test_legacy_lines_byte_identical () =
+  (* The shim must render the seed's exact strings from structured
+     events. *)
+  let m = mk ~level:Obs.Tracer.Events_and_legacy_lines () in
+  let p =
+    K.Machine.spawn m ~name:"traced" (fun () -> K.Machine.yield m)
+  in
+  let _ = run m in
+  let index = (K.Machine.process_state m p).K.Process.index in
+  let lines = K.Machine.trace_lines m in
+  let mem line = List.mem line lines in
+  Alcotest.(check bool) "seed spawn format" true
+    (mem (Printf.sprintf "spawn traced as process %d" index));
+  Alcotest.(check bool) "seed finish format" true
+    (mem "process traced finished");
+  (* Every legacy line is the rendering of some retained or shim-recorded
+     event, in event order. *)
+  let from_events =
+    List.filter_map Obs.Event.legacy_line (K.Machine.events m)
+  in
+  Alcotest.(check (list string)) "shim agrees with structured stream"
+    from_events lines
+
+let test_events_level_has_no_legacy_lines () =
+  let m = workload ~level:Obs.Tracer.Events () in
+  Alcotest.(check (list string)) "no lines at Events" []
+    (K.Machine.trace_lines m);
+  Alcotest.(check bool) "but events recorded" true
+    (K.Machine.events m <> [])
+
+let test_legacy_lines_survive_ring_overflow () =
+  (* The shim is unbounded: overflowing the event rings must not lose
+     lines, because legacy consumers expect the full history. *)
+  let t =
+    Obs.Tracer.create ~capacity:2
+      ~level:Obs.Tracer.Events_and_legacy_lines ~processors:1 ()
+  in
+  for i = 1 to 6 do
+    Obs.Tracer.emit t ~ts_ns:i ~cpu:0 ~name:"p" ~a:i Obs.Event.Spawn
+  done;
+  Alcotest.(check int) "rings overflowed" 4 (Obs.Tracer.dropped t);
+  Alcotest.(check int) "all lines kept" 6
+    (List.length (Obs.Tracer.legacy_lines t))
+
+(* ---------------- Determinism ---------------- *)
+
+let test_event_stream_determinism () =
+  let trace () =
+    let m = workload ~level:Obs.Tracer.Events () in
+    ( List.map Obs.Event.to_string (K.Machine.events m),
+      Obs.Jout.to_string (Obs.Metrics.to_json (K.Machine.metrics m)) )
+  in
+  let events_a, metrics_a = trace () in
+  let events_b, metrics_b = trace () in
+  Alcotest.(check bool) "stream is non-trivial" true
+    (List.length events_a > 20);
+  Alcotest.(check (list string)) "identical event streams" events_a events_b;
+  Alcotest.(check string) "identical metrics JSON" metrics_a metrics_b
+
+(* ---------------- Chrome trace export ---------------- *)
+
+let test_chrome_export_structure () =
+  let m = workload ~level:Obs.Tracer.Events () in
+  let events = K.Machine.events m in
+  let kinds =
+    List.sort_uniq compare (List.map (fun e -> e.Obs.Event.kind) events)
+  in
+  Alcotest.(check bool) "at least 5 event kinds observed" true
+    (List.length kinds >= 5);
+  let json = Obs.Export.chrome_trace ~processors:2 events in
+  let s = Obs.Jout.to_string json in
+  let contains sub =
+    let n = String.length s and m' = String.length sub in
+    let rec go i = i + m' <= n && (String.sub s i m' = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "top-level traceEvents array" true
+    (contains "\"traceEvents\"");
+  Alcotest.(check bool) "microsecond unit" true
+    (contains "\"displayTimeUnit\"");
+  Alcotest.(check bool) "per-processor track names" true
+    (contains "\"cpu0\"" && contains "\"cpu1\"" && contains "\"boot\"");
+  Alcotest.(check bool) "port flow arrows bind send to receive" true
+    (contains "\"ph\": \"s\"" && contains "\"ph\": \"f\"");
+  (* Identical runs must export identical files. *)
+  let m2 = workload ~level:Obs.Tracer.Events () in
+  let s2 =
+    Obs.Jout.to_string
+      (Obs.Export.chrome_trace ~processors:2 (K.Machine.events m2))
+  in
+  Alcotest.(check string) "export is deterministic" s s2
+
+(* ---------------- Metrics registry ---------------- *)
+
+let test_metrics_registry () =
+  let r = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter r "kernel.dispatches" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "find-or-create is stable" true
+    (Obs.Metrics.counter r "kernel.dispatches" == c);
+  let g = Obs.Metrics.gauge r "gc.phase" in
+  Obs.Metrics.set g 2;
+  Alcotest.(check int) "gauge" 2 (Obs.Metrics.gauge_value g);
+  let h = Obs.Metrics.histogram r ~buckets:4 ~lo:0.0 ~hi:8.0 "port.wait" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 3.0; 9.0; -1.0 ];
+  Alcotest.(check int) "histogram overflow bucket" 1
+    h.Obs.Metrics.m_hist.I432_util.Stats.h_overflow;
+  Alcotest.(check int) "histogram underflow bucket" 1
+    h.Obs.Metrics.m_hist.I432_util.Stats.h_underflow;
+  Alcotest.(check bool) "lookup misses are None" true
+    (Obs.Metrics.find_counter r "no.such" = None);
+  (* Dumps are sorted by name, so JSON is deterministic. *)
+  let names = List.map (fun c -> c.Obs.Metrics.c_name) (Obs.Metrics.counters r) in
+  Alcotest.(check (list string)) "sorted" (List.sort compare names) names
+
+let test_machine_metrics_populated () =
+  let m = workload ~level:Obs.Tracer.Events () in
+  let r = K.Machine.metrics m in
+  let counter name =
+    match Obs.Metrics.find_counter r name with
+    | Some c -> Obs.Metrics.counter_value c
+    | None -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check bool) "dispatches counted" true
+    (counter "dispatch.dispatches" > 0);
+  Alcotest.(check int) "sends counted" 8 (counter "port.sends");
+  Alcotest.(check int) "receives counted" 8 (counter "port.receives")
+
+(* ---------------- Snapshot extensions ---------------- *)
+
+let test_snapshot_observability_fields () =
+  let m = workload ~level:Obs.Tracer.Events () in
+  let snap = K.Snapshot.capture m in
+  Alcotest.(check string) "gc idle outside collections" "idle"
+    snap.K.Snapshot.gc_phase;
+  Alcotest.(check int) "emitted matches tracer"
+    (Obs.Tracer.emitted (K.Machine.tracer m))
+    snap.K.Snapshot.events_emitted;
+  Alcotest.(check bool) "events retained" true
+    (snap.K.Snapshot.events_retained > 0);
+  (match snap.K.Snapshot.sros with
+  | [] -> Alcotest.fail "expected at least the global SRO"
+  | sro :: _ ->
+    Alcotest.(check bool) "free-store stats present" true
+      (sro.K.Snapshot.s_free_bytes > 0 && sro.K.Snapshot.s_region_count > 0));
+  let rendered = K.Snapshot.render snap in
+  Alcotest.(check bool) "render mentions events" true
+    (String.length rendered > 0)
+
+let suite =
+  [
+    ("tracer: ring overflow", `Quick, test_ring_overflow);
+    ("tracer: per-processor rings", `Quick, test_rings_are_per_processor);
+    ("tracer: off level inert", `Quick, test_off_level_is_inert);
+    ("tracer: kind codes roundtrip", `Quick, test_kind_codes_roundtrip);
+    ("shim: byte-identical lines", `Quick, test_legacy_lines_byte_identical);
+    ("shim: silent at Events", `Quick, test_events_level_has_no_legacy_lines);
+    ( "shim: survives ring overflow",
+      `Quick,
+      test_legacy_lines_survive_ring_overflow );
+    ("determinism: events and metrics", `Quick, test_event_stream_determinism);
+    ("export: chrome trace", `Quick, test_chrome_export_structure);
+    ("metrics: registry", `Quick, test_metrics_registry);
+    ("metrics: machine instruments", `Quick, test_machine_metrics_populated);
+    ("snapshot: observability fields", `Quick, test_snapshot_observability_fields);
+  ]

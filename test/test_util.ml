@@ -115,7 +115,21 @@ let test_jain_all_zero () =
 
 let test_histogram () =
   let h = Stats.histogram ~buckets:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 1.6; 3.9; 4.5 |] in
-  Alcotest.(check (array int)) "bucket counts" [| 1; 2; 0; 1 |] h
+  Alcotest.(check (array int)) "bucket counts" [| 1; 2; 0; 1 |] h.Stats.in_range;
+  Alcotest.(check int) "no underflow" 0 h.Stats.underflow;
+  Alcotest.(check int) "4.5 overflows" 1 h.Stats.overflow
+
+let test_histogram_edges () =
+  (* Exactly-lo lands in the first bucket; exactly-hi overflows; NaN is
+     ignored entirely. *)
+  let h =
+    Stats.histogram ~buckets:2 ~lo:0.0 ~hi:2.0
+      [| 0.0; 2.0; -0.001; 1.999; Float.nan |]
+  in
+  Alcotest.(check (array int)) "lo inclusive, hi exclusive" [| 1; 1 |]
+    h.Stats.in_range;
+  Alcotest.(check int) "below lo underflows" 1 h.Stats.underflow;
+  Alcotest.(check int) "hi itself overflows" 1 h.Stats.overflow
 
 (* ---------------- Table ---------------- *)
 
@@ -243,6 +257,7 @@ let suite =
     ("jain skewed", `Quick, test_jain_skewed);
     ("jain all zero", `Quick, test_jain_all_zero);
     ("histogram", `Quick, test_histogram);
+    ("histogram edges", `Quick, test_histogram_edges);
     ("table renders", `Quick, test_table_renders);
     ("table ragged", `Quick, test_table_ragged);
     ("fmt us", `Quick, test_fmt_us);
