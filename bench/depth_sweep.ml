@@ -201,7 +201,7 @@ let deltas rows =
       ("sro-free-store", "fit-tree");
     ]
 
-let to_json ?(bechamel = []) ?trace_overhead ~mode rows =
+let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ~mode rows =
   let open Json_out in
   Obj
     [
@@ -210,6 +210,10 @@ let to_json ?(bechamel = []) ?trace_overhead ~mode rows =
       ( "trace_overhead",
         match trace_overhead with
         | Some r -> Trace_overhead.to_json r
+        | None -> Null );
+      ( "fi_overhead",
+        match fi_overhead with
+        | Some r -> Fi_overhead.to_json r
         | None -> Null );
       ( "units",
         Obj

@@ -1,0 +1,134 @@
+(* Host wall-clock cost of the recovery paths: the trace_overhead workload
+   built once on plain send/receive and once on the timed variants with
+   budgets generous enough that no timeout ever fires.  The ratio is the
+   per-operation price of deadline bookkeeping (timeout_at, the
+   timed-waiters gate, the run loop's deadline scan) on runs that never
+   need it — the inert-machinery half of DESIGN.md §8's "off by default"
+   claim, measured.
+
+   Virtual time differs marginally between the two runs (a timed
+   operation's result plumbing is the same cost in virtual time, but
+   blocked waits wake at deadlines); only host time is compared, with the
+   same paired-ratio discipline as Trace_overhead. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+
+let trials = 11
+let batch = 3
+let payload_words = 4
+let never_ns = 1_000_000_000  (* a second of virtual time: never fires *)
+
+let workload ~timed ~messages () =
+  let config =
+    {
+      K.Machine.default_config with
+      K.Machine.processors = 2;
+      trace_level = Obs.Tracer.Off;
+    }
+  in
+  let m = K.Machine.create ~config () in
+  let port = K.Machine.create_port m ~capacity:16 ~discipline:K.Port.Fifo () in
+  ignore
+    (K.Machine.spawn m ~name:"producer" (fun () ->
+         for i = 1 to messages do
+           let o = K.Machine.allocate_generic m ~data_length:16 () in
+           for w = 0 to payload_words - 1 do
+             K.Machine.write_word m o ~offset:w (i + w)
+           done;
+           if timed then
+             ignore (K.Machine.send_timeout m ~port ~msg:o ~timeout_ns:never_ns)
+           else K.Machine.send m ~port ~msg:o
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"consumer" (fun () ->
+         let sum = ref 0 in
+         for _ = 1 to messages do
+           let msg =
+             if timed then
+               match
+                 K.Machine.receive_timeout m ~port ~timeout_ns:never_ns
+               with
+               | Some msg -> msg
+               | None -> assert false
+             else K.Machine.receive m ~port
+           in
+           for w = 0 to payload_words - 1 do
+             sum := !sum + K.Machine.read_word m msg ~offset:w
+           done
+         done;
+         Sys.opaque_identity !sum |> ignore));
+  ignore
+    (K.Machine.spawn m ~name:"mixer" (fun () ->
+         for _ = 1 to messages / 10 do
+           K.Machine.compute m 3;
+           K.Machine.yield m
+         done));
+  ignore (K.Machine.run m)
+
+type result = {
+  messages : int;
+  plain_ns : float;  (* whole-run wall clock, plain send/receive *)
+  timed_ns : float;  (* same workload on the timed variants *)
+  overhead_pct : float;
+}
+
+let measure ~smoke () =
+  let messages = if smoke then 2_000 else 10_000 in
+  let once timed =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      workload ~timed ~messages ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+  in
+  ignore (once false);
+  ignore (once true);
+  let plain = ref infinity in
+  let timed = ref infinity in
+  (* Same harness discipline as Trace_overhead.measure: per-pair ratios,
+     ABBA alternation, a major collection before every sample, median of
+     the trials. *)
+  let sample is_timed =
+    Gc.full_major ();
+    let ns = once is_timed in
+    if is_timed then (if ns < !timed then timed := ns)
+    else if ns < !plain then plain := ns;
+    ns
+  in
+  let ratios =
+    Array.init trials (fun i ->
+        if i mod 2 = 0 then begin
+          let p = sample false in
+          let t = sample true in
+          t /. p
+        end
+        else begin
+          let t = sample true in
+          let p = sample false in
+          t /. p
+        end)
+  in
+  Array.sort compare ratios;
+  let median_ratio = ratios.(trials / 2) in
+  {
+    messages;
+    plain_ns = !plain;
+    timed_ns = !timed;
+    overhead_pct = 100.0 *. (median_ratio -. 1.0);
+  }
+
+let print_summary r =
+  Printf.printf
+    "Timed-op overhead (%d messages): plain %.2f ms, timed %.2f ms, %+.2f%%\n"
+    r.messages (r.plain_ns /. 1e6) (r.timed_ns /. 1e6) r.overhead_pct
+
+let to_json r =
+  let open Json_out in
+  Obj
+    [
+      ("messages", Int r.messages);
+      ("plain_ns", Float r.plain_ns);
+      ("timed_ns", Float r.timed_ns);
+      ("overhead_pct", Float r.overhead_pct);
+    ]

@@ -81,10 +81,12 @@ let run_micro args =
       in
       attempt 1 None
     in
+    let fi_overhead = Fi_overhead.measure ~smoke () in
+    Fi_overhead.print_summary fi_overhead;
     let mode = if smoke then "smoke" else "full" in
     Json_out.write_file ~path:out
-      (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead ~mode
-         rows);
+      (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead
+         ~fi_overhead ~mode rows);
     Printf.printf "wrote %s\n" out;
     if gate && not (Trace_overhead.check overhead) then begin
       Printf.printf "FAIL: trace overhead %.2f%% >= %.1f%% budget\n"

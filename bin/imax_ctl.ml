@@ -11,6 +11,7 @@ open Imax
 module K = I432_kernel
 module U = I432_util
 module Obs = I432_obs
+module Fi = I432_fi.Fi
 
 (* ---------------- shared flags ---------------- *)
 
@@ -307,6 +308,131 @@ let scenario_metrics config snapshot clients jobs json_out =
   | None -> ());
   maybe_snapshot snapshot m
 
+(* Chaos: the spooler workload hardened with timed operations, bounded
+   allocation retry, and supervised producers — run under a seeded fault
+   plan.  One processor hard-fault mid-run is the default; the system must
+   degrade to N-1 processors and still drain every surviving job. *)
+let run_chaos ~config ~seed ~clients ~jobs ~faults =
+  let config = { config with System.trace_level = Obs.Tracer.Events } in
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let pm = System.process_manager sys in
+  let spool = Untyped_ports.create_port m ~message_count:8 () in
+  let printer = Untyped_ports.create_port m ~message_count:2 () in
+  let horizon_ns = max 300_000 (jobs * 50_000) in
+  let plan =
+    Fi.random ~seed ~horizon_ns ~processors:config.System.processors
+      ~count:4 ~cpu_faults:faults
+  in
+  Fi.arm m plan;
+  let printed = ref 0 in
+  let dropped = ref 0 in
+  (* Stages drain until quiet rather than counting to a fixed total:
+     faulted producers may send fewer jobs, restarted ones more. *)
+  ignore
+    (Process_manager.create_process pm ~name:"spooler" (fun () ->
+         let quiet = ref 0 in
+         while !quiet < 3 do
+           match K.Machine.receive_timeout m ~port:spool ~timeout_ns:200_000 with
+           | Some job ->
+             quiet := 0;
+             K.Machine.compute m 2;
+             if
+               not
+                 (K.Machine.send_timeout m ~port:printer ~msg:job
+                    ~timeout_ns:200_000)
+             then incr dropped
+           | None -> incr quiet
+         done));
+  ignore
+    (Process_manager.create_process pm ~name:"printer" (fun () ->
+         let quiet = ref 0 in
+         while !quiet < 3 do
+           match
+             K.Machine.receive_timeout m ~port:printer ~timeout_ns:200_000
+           with
+           | Some job ->
+             quiet := 0;
+             K.Machine.compute m 10;
+             ignore (K.Machine.read_word m job ~offset:0);
+             incr printed
+           | None -> incr quiet
+         done));
+  for c = 1 to clients do
+    ignore
+      (Process_manager.create_supervised pm
+         ~name:(Printf.sprintf "prod%d" c)
+         (fun () ->
+           for j = 1 to jobs do
+             let job =
+               K.Machine.allocate_retry m (K.Machine.global_sro m)
+                 ~data_length:16 ~access_length:4 ~otype:Obj_type.Generic ()
+             in
+             K.Machine.write_word m job ~offset:0 ((c * 100) + j);
+             if not (K.Machine.send_timeout m ~port:spool ~msg:job
+                       ~timeout_ns:300_000)
+             then incr dropped;
+             K.Machine.delay m ~ns:30_000
+           done))
+  done;
+  let report = System.run sys in
+  (m, plan, report, !printed, !dropped)
+
+let chaos_event_kind (k : Obs.Event.kind) =
+  match k with
+  | Obs.Event.Fi_inject | Obs.Event.Cpu_offline | Obs.Event.Proc_requeued
+  | Obs.Event.Alloc_retry | Obs.Event.Timeout_fired | Obs.Event.Proc_restarted
+  | Obs.Event.Fault ->
+    true
+  | _ -> false
+
+let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
+  let run () = run_chaos ~config ~seed ~clients ~jobs ~faults in
+  let m, plan, report, printed, dropped = run () in
+  print_string (Fi.to_string plan);
+  Printf.printf "chaos: %d clients x %d jobs, %d printed, %d dropped\n" clients
+    jobs printed dropped;
+  Printf.printf "processors online at halt: %d/%d\n"
+    (K.Machine.online_processors m)
+    (K.Machine.processor_count m);
+  print_endline "recovery log:";
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      if chaos_event_kind e.Obs.Event.kind then
+        Printf.printf "  %s\n" (Obs.Event.to_string e))
+    (K.Machine.events m);
+  print_report report;
+  (match Fi.check_invariants m with
+  | [] -> print_endline "invariants: ok"
+  | violations ->
+    print_endline "invariants VIOLATED:";
+    List.iter (Printf.printf "  %s\n") violations;
+    exit 1);
+  (match chrome_out with
+  | Some path ->
+    let json =
+      Obs.Export.chrome_trace
+        ~processors:(K.Machine.processor_count m)
+        (K.Machine.events m)
+    in
+    Obs.Jout.write_file ~path json;
+    Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  maybe_snapshot snapshot m;
+  if check then begin
+    (* Same seed, fresh machine: the event streams must be identical. *)
+    let m2, _, _, printed2, dropped2 = run () in
+    let stream mach =
+      List.map Obs.Event.to_string (K.Machine.events mach)
+    in
+    if stream m <> stream m2 || printed <> printed2 || dropped <> dropped2
+    then begin
+      print_endline "determinism check FAILED: event streams differ";
+      exit 1
+    end
+    else print_endline "determinism check: identical event streams"
+  end
+
 (* ---------------- commands ---------------- *)
 
 let pipeline_cmd =
@@ -388,10 +514,47 @@ let metrics_cmd =
       const scenario_metrics $ config_term $ snapshot $ clients_arg $ jobs_arg
       $ json)
 
+let chaos_cmd =
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 1
+      & info [ "faults" ] ~docv:"N"
+          ~doc:"Processor hard-faults to inject (capped at processors - 1).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run with the same seed and fail unless the event streams \
+             are identical.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a timeout-tolerant spooler under a seeded fault-injection \
+          plan and check post-run invariants.")
+    Term.(
+      const scenario_chaos $ config_term $ snapshot $ seed $ clients_arg
+      $ jobs_arg $ faults $ chrome $ check)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
-    [ pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd; metrics_cmd ]
+    [
+      pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
+      metrics_cmd; chaos_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

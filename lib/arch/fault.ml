@@ -15,6 +15,8 @@ type cause =
   | Sro_destroyed
   | Segment_swapped_out of int
   | Protocol of string
+  | Transient of string
+  | Timeout of { waited_ns : int }
 
 exception Fault of cause
 
@@ -42,6 +44,9 @@ let to_string = function
   | Sro_destroyed -> "storage resource object already destroyed"
   | Segment_swapped_out i -> Printf.sprintf "segment %d is swapped out" i
   | Protocol msg -> "protocol: " ^ msg
+  | Transient msg -> "transient fault: " ^ msg
+  | Timeout { waited_ns } ->
+    Printf.sprintf "timeout after %d ns of virtual time" waited_ns
 
 let pp fmt c = Format.pp_print_string fmt (to_string c)
 

@@ -13,6 +13,11 @@ type cause =
   | Segment_swapped_out of int
       (** raised to drive the swapping memory manager (paper §6.2) *)
   | Protocol of string
+  | Transient of string
+      (** a non-reproducible instruction-level fault, e.g. injected by the
+          fault-injection layer; retrying the computation may succeed *)
+  | Timeout of { waited_ns : int }
+      (** a timed kernel operation exceeded its virtual-time budget *)
 
 exception Fault of cause
 

@@ -51,10 +51,11 @@ let may_fault level cause =
     | Fault.Protocol msg ->
       (* The "limited set of timeout faults". *)
       String.length msg >= 7 && String.sub msg 0 7 = "timeout"
+    | Fault.Timeout _ -> true
     | Fault.Rights_violation _ | Fault.Level_violation _
     | Fault.Type_mismatch _ | Fault.Bounds _ | Fault.Invalid_descriptor _
     | Fault.Null_access | Fault.Storage_exhausted _ | Fault.Sro_destroyed
-    | Fault.Segment_swapped_out _ -> false)
+    | Fault.Segment_swapped_out _ | Fault.Transient _ -> false)
 
 (* Is a communication from [src] to [dst] required to be asynchronous?
    The 2<->3 boundary is; everything else may be synchronous. *)

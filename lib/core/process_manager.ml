@@ -30,36 +30,44 @@ type node = {
   mutable live : bool;
 }
 
+(* Restart-on-fault supervision (DESIGN.md §8): when a supervised process
+   faults, the manager spawns a fresh incarnation of the same body after an
+   exponentially growing virtual-time backoff, until the restart budget is
+   spent.  This is iMAX's "sending them back to software" fault path closed
+   into a loop: the corpse still goes to the fault port; the computation
+   continues under a new process object. *)
+type restart_policy = {
+  max_restarts : int;  (* total restarts allowed over the body's lifetime *)
+  backoff_ns : int;  (* virtual-time delay before the first restart *)
+}
+
+let default_policy = { max_restarts = 3; backoff_ns = 1_000_000 }
+
+type supervision = {
+  policy : restart_policy;
+  sup_body : unit -> unit;
+  sup_name : string;
+  sup_priority : int;
+  sup_level : int;
+  sup_parent : int option;
+  mutable restarts : int;
+  mutable next_backoff_ns : int;
+  mutable incarnations : int list;  (* process indices, newest first *)
+}
+
 type t = {
   machine : K.Machine.t;
   mutable nodes : (int * node) list;  (* keyed by process object index *)
   recovery_port : Access.t;  (* destruction filter for process objects *)
   mutable recovered : int;
+  mutable supervised : supervision list;
+  restarts_ctr : I432_obs.Metrics.counter;
 }
-
-let create machine =
-  let recovery_port =
-    K.Machine.create_port machine ~capacity:256 ~discipline:K.Port.Fifo ()
-  in
-  I432_gc.Destruction_filter.register_process_filter recovery_port;
-  { machine; nodes = []; recovery_port; recovered = 0 }
 
 let find t index = List.assoc_opt index t.nodes
 
-let node_of_access t access =
-  match find t (Access.index access) with
-  | Some n -> n
-  | None -> Fault.raise_fault (Fault.Protocol "process not managed")
-
-(* Create a managed process, optionally as the child of another managed
-   process (the Ada task model: a process's lifetime nests in its
-   parent's). *)
-let create_process t ?parent ?(priority = 8) ?(system_level = 4) ~name body =
-  let access =
-    K.Machine.spawn t.machine ~priority ~system_level ~name body
-  in
+let register_node t ~access ~name ~parent_index =
   let index = Access.index access in
-  let parent_index = Option.map (fun a -> Access.index a) parent in
   (match parent_index with
   | Some pi -> (
     match find t pi with
@@ -77,7 +85,111 @@ let create_process t ?parent ?(priority = 8) ?(system_level = 4) ~name body =
     }
   in
   t.nodes <- (index, node) :: t.nodes;
+  node
+
+(* Fault hook: restart the supervised incarnation that just died, if its
+   budget allows.  Unsupervised processes are untouched. *)
+let handle_fault t (proc : K.Process.t) (_ : Fault.cause) =
+  match
+    List.find_opt
+      (fun s ->
+        match s.incarnations with i :: _ -> i = proc.K.Process.index | [] -> false)
+      t.supervised
+  with
+  | None -> ()
+  | Some s ->
+    if s.restarts < s.policy.max_restarts then begin
+      s.restarts <- s.restarts + 1;
+      (match find t proc.K.Process.index with
+      | Some n -> n.live <- false
+      | None -> ());
+      let access =
+        K.Machine.spawn t.machine ~priority:s.sup_priority
+          ~system_level:s.sup_level ~name:s.sup_name
+          ~start_after:s.next_backoff_ns s.sup_body
+      in
+      s.next_backoff_ns <- s.next_backoff_ns * 2;
+      s.incarnations <- Access.index access :: s.incarnations;
+      ignore (register_node t ~access ~name:s.sup_name ~parent_index:s.sup_parent);
+      I432_obs.Metrics.incr t.restarts_ctr;
+      K.Machine.emit_event t.machine ~name:s.sup_name ~a:(Access.index access)
+        ~b:s.restarts I432_obs.Event.Proc_restarted
+    end
+
+let create machine =
+  let recovery_port =
+    K.Machine.create_port machine ~capacity:256 ~discipline:K.Port.Fifo ()
+  in
+  I432_gc.Destruction_filter.register_process_filter recovery_port;
+  let t =
+    {
+      machine;
+      nodes = [];
+      recovery_port;
+      recovered = 0;
+      supervised = [];
+      restarts_ctr =
+        I432_obs.Metrics.counter (K.Machine.metrics machine) "proc.restarts";
+    }
+  in
+  K.Machine.set_fault_hook machine (Some (fun proc cause -> handle_fault t proc cause));
+  t
+
+let node_of_access t access =
+  match find t (Access.index access) with
+  | Some n -> n
+  | None -> Fault.raise_fault (Fault.Protocol "process not managed")
+
+(* Create a managed process, optionally as the child of another managed
+   process (the Ada task model: a process's lifetime nests in its
+   parent's). *)
+let create_process t ?parent ?(priority = 8) ?(system_level = 4) ~name body =
+  let access =
+    K.Machine.spawn t.machine ~priority ~system_level ~name body
+  in
+  let parent_index = Option.map (fun a -> Access.index a) parent in
+  ignore (register_node t ~access ~name ~parent_index);
   access
+
+(* Create a managed process with a restart-on-fault policy.  The returned
+   access names the first incarnation; {!current_incarnation} follows the
+   replacement chain after restarts. *)
+let create_supervised t ?parent ?(priority = 8) ?(system_level = 4)
+    ?(policy = default_policy) ~name body =
+  if policy.max_restarts < 0 || policy.backoff_ns < 0 then
+    invalid_arg "Process_manager.create_supervised: policy";
+  let access = create_process t ?parent ~priority ~system_level ~name body in
+  let parent_index = Option.map (fun a -> Access.index a) parent in
+  t.supervised <-
+    {
+      policy;
+      sup_body = body;
+      sup_name = name;
+      sup_priority = priority;
+      sup_level = system_level;
+      sup_parent = parent_index;
+      restarts = 0;
+      next_backoff_ns = policy.backoff_ns;
+      incarnations = [ Access.index access ];
+    }
+    :: t.supervised;
+  access
+
+let find_supervision t access =
+  let index = Access.index access in
+  List.find_opt (fun s -> List.mem index s.incarnations) t.supervised
+
+let restart_count t access =
+  match find_supervision t access with Some s -> s.restarts | None -> 0
+
+let current_incarnation t access =
+  match find_supervision t access with
+  | Some s -> (
+    match s.incarnations with
+    | i :: _ -> (
+      match find t i with Some n -> n.access | None -> access)
+    | [] -> access)
+  | None -> access
 
 (* Apply [f] over the whole tree rooted at [node], prefix order. *)
 let rec iter_tree t node f =

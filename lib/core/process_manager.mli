@@ -13,6 +13,16 @@ module K := I432_kernel
 type node
 type t
 
+(** Restart-on-fault supervision policy: a faulted supervised process is
+    respawned after [backoff_ns] of virtual time (doubled per restart),
+    at most [max_restarts] times over the body's lifetime. *)
+type restart_policy = { max_restarts : int; backoff_ns : int }
+
+(** 3 restarts, 1 ms initial backoff. *)
+val default_policy : restart_policy
+
+(** Creating a manager installs the machine's fault hook (see
+    {!K.Machine.set_fault_hook}); unsupervised processes are unaffected. *)
 val create : K.Machine.t -> t
 
 (** Create a managed process, optionally as the child of another managed
@@ -25,6 +35,29 @@ val create_process :
   name:string ->
   (unit -> unit) ->
   Access.t
+
+(** Create a managed process with a restart-on-fault policy: when any
+    incarnation faults, a fresh process running the same body is spawned
+    after the policy's (exponential, virtual-time) backoff, until the
+    budget is spent.  Each restart emits a [Proc_restarted] event and
+    bumps the ["proc.restarts"] counter. *)
+val create_supervised :
+  t ->
+  ?parent:Access.t ->
+  ?priority:int ->
+  ?system_level:int ->
+  ?policy:restart_policy ->
+  name:string ->
+  (unit -> unit) ->
+  Access.t
+
+(** Restarts consumed so far by the supervised body owning [access] (any
+    incarnation); 0 for unsupervised processes. *)
+val restart_count : t -> Access.t -> int
+
+(** The live incarnation of a supervised body ([access] may name any
+    earlier incarnation); [access] itself when unsupervised. *)
+val current_incarnation : t -> Access.t -> Access.t
 
 (** Stop the whole computation rooted at the process: every tree member's
     count is incremented; 0 -> 1 leaves the dispatching mix. *)

@@ -103,6 +103,11 @@ let boot ?(config = default_config) () =
     if config.run_gc_daemon then begin
       let c = I432_gc.Collector.create ~config:config.gc_config machine in
       ignore (I432_gc.Collector.spawn_daemon c);
+      (* A configured collector doubles as the kernel's reclaim hook: a
+         bounded allocation retry (Machine.allocate_retry) runs a
+         synchronous collection cycle between attempts. *)
+      K.Machine.set_reclaim_hook machine
+        (Some (fun () -> I432_gc.Collector.cycle c));
       Some c
     end
     else None

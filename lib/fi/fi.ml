@@ -1,0 +1,148 @@
+(* Deterministic fault injection plans (DESIGN.md §8).
+
+   A plan is data: a seed plus (virtual-time instant, injection) pairs.
+   Generation uses only the machine's own Prng, and arming only schedules
+   through Machine.schedule_injection, whose firing point in the run loop
+   is a deterministic function of virtual time — so a chaos run is
+   replayable bit-for-bit from (config, workload, seed). *)
+
+open I432
+open I432_util
+module K = I432_kernel
+
+type event = { at_ns : int; inj : K.Machine.injection }
+type plan = { seed : int; events : event list }
+
+let random ~seed ~horizon_ns ~processors ~count ~cpu_faults =
+  if processors < 1 then invalid_arg "Fi.random: processors";
+  if horizon_ns < 10 then invalid_arg "Fi.random: horizon_ns";
+  if count < 0 || cpu_faults < 0 then invalid_arg "Fi.random: counts";
+  let rng = Prng.create ~seed in
+  (* Keep the first tenth of the horizon quiet so the workload exists
+     before the first fault lands. *)
+  let lo = horizon_ns / 10 in
+  let instant () = lo + Prng.int rng (horizon_ns - lo) in
+  (* Hard faults hit distinct processors and spare at least one, so the
+     machine can always degrade to N-1 rather than dying. *)
+  let faults = min cpu_faults (processors - 1) in
+  let ids = Array.init processors (fun i -> i) in
+  Prng.shuffle rng ids;
+  let events = ref [] in
+  for i = 0 to faults - 1 do
+    events :=
+      { at_ns = instant (); inj = K.Machine.Inj_cpu_fault ids.(i) } :: !events
+  done;
+  for _ = 1 to count do
+    let inj =
+      match Prng.int rng 3 with
+      | 0 -> K.Machine.Inj_transient (Prng.int rng processors)
+      | 1 -> K.Machine.Inj_alloc_fault (1 + Prng.int rng 3)
+      | _ -> K.Machine.Inj_port_delay (1_000 * (1 + Prng.int rng 500))
+    in
+    events := { at_ns = instant (); inj } :: !events
+  done;
+  let events =
+    List.stable_sort (fun a b -> compare a.at_ns b.at_ns) (List.rev !events)
+  in
+  { seed; events }
+
+let arm machine plan =
+  List.iter
+    (fun e -> K.Machine.schedule_injection machine ~at_ns:e.at_ns e.inj)
+    plan.events
+
+let to_string plan =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "plan seed=%d (%d events)\n" plan.seed
+    (List.length plan.events);
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "  %9d ns  %s\n" e.at_ns
+        (K.Machine.injection_to_string e.inj))
+    plan.events;
+  Buffer.contents buf
+
+(* Post-run invariants.  Violations accumulate as messages; [] = intact. *)
+let check_invariants machine =
+  let bad = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> bad := m :: !bad) fmt in
+  let table = K.Machine.table machine in
+  let processes = K.Machine.all_processes machine in
+  (* 1. Once the run loop returns, nothing may still claim a processor. *)
+  List.iter
+    (fun (p : K.Process.t) ->
+      match p.K.Process.status with
+      | K.Process.Running ->
+        fail "process %s (#%d) still Running after halt" p.K.Process.name
+          p.K.Process.index
+      | _ -> ())
+    processes;
+  (* 2. The table's valid count must agree with an iter_valid walk. *)
+  let walked = ref 0 in
+  Object_table.iter_valid (fun _ -> incr walked) table;
+  let counted = Object_table.count_valid table in
+  if !walked <> counted then
+    fail "object table count_valid %d <> iter_valid walk %d" counted !walked;
+  (* 3/4. Port-queue consistency, both directions: blocked processes are
+     queued, queued waiters are blocked — a fired timeout must leave no
+     dangling entry behind. *)
+  let status_of = Hashtbl.create 64 in
+  List.iter
+    (fun (p : K.Process.t) ->
+      Hashtbl.replace status_of p.K.Process.index p.K.Process.status)
+    processes;
+  let ports = Hashtbl.create 16 in
+  Object_table.iter_valid
+    (fun e ->
+      match e.Object_table.payload with
+      | Some (K.Port.Port_state p) -> Hashtbl.replace ports p.K.Port.self p
+      | Some _ | None -> ())
+    table;
+  Hashtbl.iter
+    (fun self (p : K.Port.t) ->
+      if K.Port.queue_length p > p.K.Port.capacity then
+        fail "port #%d holds %d messages over capacity %d" self
+          (K.Port.queue_length p) p.K.Port.capacity;
+      Queue.iter
+        (fun r ->
+          match Hashtbl.find_opt status_of r with
+          | Some (K.Process.Blocked_receive q) when q = self -> ()
+          | _ -> fail "port #%d queues receiver #%d that is not blocked on it"
+                   self r)
+        p.K.Port.receivers;
+      K.Port.iter_senders
+        (fun (ws : K.Port.waiting_sender) ->
+          match Hashtbl.find_opt status_of ws.K.Port.sender with
+          | Some (K.Process.Blocked_send q) when q = self -> ()
+          | _ -> fail "port #%d queues sender #%d that is not blocked on it"
+                   self ws.K.Port.sender)
+        p)
+    ports;
+  let queued_receiver pi index =
+    match Hashtbl.find_opt ports pi with
+    | None -> false
+    | Some p -> Queue.fold (fun acc r -> acc || r = index) false p.K.Port.receivers
+  in
+  let queued_sender pi index =
+    match Hashtbl.find_opt ports pi with
+    | None -> false
+    | Some p ->
+      let found = ref false in
+      K.Port.iter_senders
+        (fun ws -> if ws.K.Port.sender = index then found := true)
+        p;
+      !found
+  in
+  List.iter
+    (fun (p : K.Process.t) ->
+      match p.K.Process.status with
+      | K.Process.Blocked_receive pi when not (queued_receiver pi p.K.Process.index)
+        ->
+        fail "process %s (#%d) Blocked_receive on port #%d but not queued"
+          p.K.Process.name p.K.Process.index pi
+      | K.Process.Blocked_send pi when not (queued_sender pi p.K.Process.index) ->
+        fail "process %s (#%d) Blocked_send on port #%d but not queued"
+          p.K.Process.name p.K.Process.index pi
+      | _ -> ())
+    processes;
+  List.rev !bad

@@ -1,0 +1,49 @@
+(** Deterministic fault injection (DESIGN.md §8).
+
+    A {e plan} is a seed plus a list of injections pinned to virtual-time
+    instants.  Arming a plan schedules every injection on the machine;
+    because injections fire from the run loop at deterministic points of
+    virtual time, any chaos run is replayable bit-for-bit from its seed.
+
+    Nothing here touches wall-clock time or global randomness: plans are
+    generated with {!I432_util.Prng} and applied through
+    {!I432_kernel.Machine.schedule_injection}. *)
+
+module K := I432_kernel
+
+type event = { at_ns : int; inj : K.Machine.injection }
+
+type plan = { seed : int; events : event list  (** sorted by [at_ns] *) }
+
+(** [random ~seed ~horizon_ns ~processors ~count ~cpu_faults] draws a plan
+    of [count] transient/allocation/port-delay injections plus at most
+    [cpu_faults] processor hard-faults, all at instants uniform in
+    [\[horizon_ns/10, horizon_ns)].  Hard-faulted processor ids are
+    distinct and capped at [processors - 1], so at least one GDP always
+    survives.  Same arguments, same plan.
+
+    Raises [Invalid_argument] if [processors < 1] or [horizon_ns < 10]. *)
+val random :
+  seed:int ->
+  horizon_ns:int ->
+  processors:int ->
+  count:int ->
+  cpu_faults:int ->
+  plan
+
+(** Schedule every event of the plan on the machine. *)
+val arm : K.Machine.t -> plan -> unit
+
+(** Human-readable one-line-per-event rendering. *)
+val to_string : plan -> string
+
+(** Post-run consistency check; each violated invariant yields one
+    message, so [\[\]] means the machine survived the plan intact:
+
+    - no process is still [Running] once the run loop has returned;
+    - the object table's valid-entry count matches an [iter_valid] walk;
+    - no port queue exceeds its capacity;
+    - every process blocked on a port appears in that port's waiting
+      queue, and every waiter recorded by a port is a process blocked on
+      that port (timed-out waits must leave no dangling queue entries). *)
+val check_invariants : K.Machine.t -> string list

@@ -48,6 +48,28 @@ type run_report = {
   preemptions : int;
 }
 
+(* Deterministic fault injection (DESIGN.md §8).  An injection is an action
+   scheduled at a virtual instant; the run loop fires every injection whose
+   time has come on the processor it is about to advance, so identical
+   plans replay identically.  All of this is off unless a plan is armed:
+   the legacy hot paths see one empty-list check per loop iteration. *)
+type injection =
+  | Inj_cpu_fault of int  (* hard-fault the GDP: it goes offline forever *)
+  | Inj_transient of int  (* next body instruction on this GDP faults *)
+  | Inj_alloc_fault of int  (* force the next n allocations to fail *)
+  | Inj_port_delay of int  (* extra ns charged at the next port syscall *)
+
+let injection_to_string = function
+  | Inj_cpu_fault id -> Printf.sprintf "cpu-fault(%d)" id
+  | Inj_transient id -> Printf.sprintf "transient(%d)" id
+  | Inj_alloc_fault n -> Printf.sprintf "alloc-fault(%d)" n
+  | Inj_port_delay ns -> Printf.sprintf "port-delay(%dns)" ns
+
+let injection_arg = function
+  | Inj_cpu_fault id | Inj_transient id -> id
+  | Inj_alloc_fault n -> n
+  | Inj_port_delay ns -> ns
+
 (* Pre-resolved metrics instruments: the hot paths update bare mutable
    fields; the registry is only walked on dump. *)
 type monitors = {
@@ -66,6 +88,11 @@ type monitors = {
   mon_sro_destroys : Obs.Metrics.counter;
   mon_domain_calls : Obs.Metrics.counter;
   mon_faults : Obs.Metrics.counter;
+  mon_injections : Obs.Metrics.counter;
+  mon_cpu_offline : Obs.Metrics.counter;
+  mon_requeues : Obs.Metrics.counter;
+  mon_alloc_retries : Obs.Metrics.counter;
+  mon_timeouts : Obs.Metrics.counter;
   mon_ready_len : Obs.Metrics.gauge;
   mon_dispatch_latency : Obs.Metrics.histogram;
   mon_port_wait : Obs.Metrics.histogram;
@@ -89,9 +116,18 @@ type t = {
   metrics : Obs.Metrics.t;
   mon : monitors;
   mutable preemptions : int;
-  mutable faults : (string * Fault.cause) list;
+  mutable faults : (string * Fault.cause) list;  (* newest first; see [faults] *)
   mutable fault_port : int option;  (* faulted processes are sent here *)
   mutable halted : bool;
+  (* Fault injection and recovery state.  All defaults leave every legacy
+     path untouched: empty plan, zero counters, no hooks. *)
+  mutable injections : (int * int * injection) list;  (* (at_ns, seq, _) sorted *)
+  mutable inj_seq : int;
+  mutable forced_alloc_faults : int;  (* armed by Inj_alloc_fault *)
+  mutable pending_port_delay_ns : int;  (* armed by Inj_port_delay *)
+  mutable timed_waiters : int;  (* processes blocked with a deadline *)
+  mutable reclaim_hook : (unit -> int) option;  (* allocate_retry's GC *)
+  mutable fault_hook : (Process.t -> Fault.cause -> unit) option;
 }
 
 let make_monitors metrics =
@@ -111,6 +147,11 @@ let make_monitors metrics =
     mon_sro_destroys = Obs.Metrics.counter metrics "sro.destroys";
     mon_domain_calls = Obs.Metrics.counter metrics "domain.calls";
     mon_faults = Obs.Metrics.counter metrics "machine.faults";
+    mon_injections = Obs.Metrics.counter metrics "fi.injections";
+    mon_cpu_offline = Obs.Metrics.counter metrics "fi.cpu_offline";
+    mon_requeues = Obs.Metrics.counter metrics "fi.requeues";
+    mon_alloc_retries = Obs.Metrics.counter metrics "sro.alloc_retries";
+    mon_timeouts = Obs.Metrics.counter metrics "port.timeouts";
     mon_ready_len = Obs.Metrics.gauge metrics "dispatch.ready_len";
     mon_dispatch_latency =
       Obs.Metrics.histogram metrics ~buckets:32 ~lo:0.0 ~hi:3.2e6
@@ -167,6 +208,13 @@ let create ?(config = default_config) () =
     faults = [];
     fault_port = None;
     halted = false;
+    injections = [];
+    inj_seq = 0;
+    forced_alloc_faults = 0;
+    pending_port_delay_ns = 0;
+    timed_waiters = 0;
+    reclaim_hook = None;
+    fault_hook = None;
   }
 
 let table t = t.table
@@ -182,7 +230,20 @@ let events t = Obs.Tracer.events t.obs
 (* Compat shim: the seed's unstructured trace lines, rendered by the tracer
    at emit time (byte-identical formats, unbounded). *)
 let trace_lines t = Obs.Tracer.legacy_lines t.obs
+
+(* Faults in emission order: the list is accumulated newest-first (O(1)
+   prepend on the fault path) and reversed here, so the first fault the
+   machine recorded is the first element.  This ordering is part of the
+   API contract and covered by a regression test. *)
 let faults t = List.rev t.faults
+
+let online_processors t =
+  Array.fold_left
+    (fun acc p -> if p.Processor.online then acc + 1 else acc)
+    0 t.processors
+
+let set_reclaim_hook t hook = t.reclaim_hook <- hook
+let set_fault_hook t hook = t.fault_hook <- hook
 
 (* Virtual time now: the clock of the executing processor, or the max clock
    when called from outside the run loop. *)
@@ -261,6 +322,13 @@ let charge t ns =
       let proc = Process.state_of_index t.table pi in
       proc.Process.cpu_ns <- proc.Process.cpu_ns + eff;
       proc.Process.slice_used_ns <- proc.Process.slice_used_ns + eff;
+      (* Injected transient instruction fault: unwinds as the running
+         process's own fault, from body context only (like the time-slice
+         check below, kernel-side charges must not unwind). *)
+      if t.in_body && p.Processor.transient_pending then begin
+        p.Processor.transient_pending <- false;
+        Fault.raise_fault (Fault.Transient "injected instruction fault")
+      end;
       (* Time-slice end (§5): when the slice expires while the body is
          executing, inject an involuntary yield at this instruction
          boundary.  Only from body context — kernel-side charges (dispatch,
@@ -313,6 +381,13 @@ let store_access t access ~slot v =
 (* The create-object instruction (§5): ~80 us. *)
 let allocate t sro ~data_length ~access_length ~otype =
   charge t t.timings.Timings.allocate_ns;
+  (* Injected storage exhaustion: only process-context allocations fault
+     (boot-time configuration is exempt). *)
+  if t.forced_alloc_faults > 0 && t.current <> None then begin
+    t.forced_alloc_faults <- t.forced_alloc_faults - 1;
+    Fault.raise_fault
+      (Fault.Storage_exhausted { requested = data_length; available = 0 })
+  end;
   let access = Sro.allocate t.table sro ~data_length ~access_length ~otype in
   Obs.Metrics.incr t.mon.mon_allocates;
   Obs.Metrics.observe t.mon.mon_alloc_size (float_of_int data_length);
@@ -355,9 +430,13 @@ let destroy_sro t sro =
   emit t ~a:index ~b:reclaimed Obs.Event.Sro_destroy;
   reclaimed
 
-(* Domain transitions (§2): ~65 us per switch at 8 MHz. *)
-let domain_call t domain f =
+(* Domain transitions (§2): ~65 us per switch at 8 MHz.  With [timeout_ns]
+   the call is supervised by a virtual-time watchdog: if the callee consumed
+   more than the budget, the (completed) call still raises [Fault.Timeout] —
+   the caller asked for a bounded operation and did not get one. *)
+let domain_call t ?timeout_ns domain f =
   let d = Domain.state_of t.table domain in
+  let started_at = now t in
   charge t t.timings.Timings.domain_call_ns;
   d.Domain.calls <- d.Domain.calls + 1;
   d.Domain.depth <- d.Domain.depth + 1;
@@ -371,9 +450,12 @@ let domain_call t domain f =
     charge t t.timings.Timings.domain_return_ns
   in
   match f () with
-  | v ->
+  | v -> (
     finish ();
-    v
+    match timeout_ns with
+    | Some limit when now t - started_at > limit ->
+      Fault.raise_fault (Fault.Timeout { waited_ns = now t - started_at })
+    | Some _ | None -> v)
   | exception e ->
     finish ();
     raise e
@@ -393,6 +475,34 @@ let running_process t =
     | Some pi -> Some (Process.state_of_index t.table pi)
     | None -> None)
   | None -> None
+
+(* Bounded retry around [allocate]: on [Storage_exhausted], run the
+   registered reclaim hook (a GC cycle, when the system wires one), back
+   off for [backoff_ns] of virtual time (doubling each attempt), and try
+   again.  Re-raises the last fault once the budget is spent. *)
+let allocate_retry t sro ?(max_retries = 4) ?(backoff_ns = 100_000)
+    ~data_length ~access_length ~otype () =
+  let rec go attempt backoff =
+    match allocate t sro ~data_length ~access_length ~otype with
+    | access -> access
+    | exception Fault.Fault (Fault.Storage_exhausted _ as cause) ->
+      if attempt > max_retries then Fault.raise_fault cause
+      else begin
+        Obs.Metrics.incr t.mon.mon_alloc_retries;
+        let name =
+          match running_process t with
+          | Some p -> p.Process.name
+          | None -> ""
+        in
+        emit t ~name ~a:attempt ~b:backoff Obs.Event.Alloc_retry;
+        (match t.reclaim_hook with
+        | Some reclaim -> ignore (reclaim ())
+        | None -> ());
+        charge t backoff;
+        go (attempt + 1) (backoff * 2)
+      end
+  in
+  go 1 backoff_ns
 
 (* Call [f] inside a fresh activation record (paper §2, §5): the context's
    level is one greater than the caller's, so capabilities for objects
@@ -494,7 +604,7 @@ let notify_scheduler t (proc : Process.t) =
     end
 
 let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
-    ?(name = "process") ?sro body =
+    ?(name = "process") ?sro ?start_after body =
   let sro = match sro with Some s -> s | None -> t.global_sro in
   let access =
     Sro.allocate t.table sro ~data_length:0 ~access_length:8
@@ -512,6 +622,7 @@ let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
       priority;
       pending = Syscall.R_unit;
       wake_at = 0;
+      timeout_at = None;
       cpu_ns = 0;
       slice_used_ns = 0;
       last_ready_ns = 0;
@@ -535,7 +646,14 @@ let spawn t ?(priority = 8) ?(daemon = false) ?(system_level = 4)
   if not daemon then t.live_user_processes <- t.live_user_processes + 1;
   Obs.Metrics.incr t.mon.mon_spawns;
   emit t ~name ~a:proc.Process.index Obs.Event.Spawn;
-  make_ready t proc;
+  (match start_after with
+  | None -> make_ready t proc
+  | Some ns ->
+    (* Delayed start (used by supervision backoff): park the fresh process
+       as a sleeper; the run loop readies it when the delay elapses. *)
+    if ns < 0 then invalid_arg "Machine.spawn: start_after";
+    proc.Process.status <- Process.Sleeping;
+    proc.Process.wake_at <- now t + ns);
   access
 
 let process_state t access = Process.state_of t.table access
@@ -628,6 +746,16 @@ let cond_receive (_ : t) ~port =
   | Syscall.R_msg_option m -> m
   | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _ -> assert false
 
+let send_timeout (_ : t) ~port ~msg ~timeout_ns =
+  match Syscall.perform (Syscall.Timed_send { port; msg; timeout_ns }) with
+  | Syscall.R_accepted b -> b
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _ -> assert false
+
+let receive_timeout (_ : t) ~port ~timeout_ns =
+  match Syscall.perform (Syscall.Timed_receive { port; timeout_ns }) with
+  | Syscall.R_msg_option m -> m
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _ -> assert false
+
 let delay (_ : t) ~ns =
   match Syscall.perform (Syscall.Delay ns) with
   | Syscall.R_unit -> ()
@@ -663,9 +791,16 @@ let eligible_for_dispatch t ~cpu index =
   | None -> true
   | Some id -> id = cpu.Processor.id
 
-(* Deliver a message to a process blocked on receive, making it ready. *)
+(* Deliver a message to a process blocked on receive, making it ready.
+   A receiver parked by a timed receive gets the option-shaped result its
+   wrapper expects; its deadline is disarmed. *)
 let unblock_receiver t (proc : Process.t) msg =
-  proc.Process.pending <- Syscall.R_msg msg;
+  (match proc.Process.timeout_at with
+  | Some _ ->
+    proc.Process.timeout_at <- None;
+    t.timed_waiters <- t.timed_waiters - 1;
+    proc.Process.pending <- Syscall.R_msg_option (Some msg)
+  | None -> proc.Process.pending <- Syscall.R_msg msg);
   proc.Process.messages_received <- proc.Process.messages_received + 1;
   Object_table.shade t.table (Access.index msg);
   if proc.Process.stopped then proc.Process.status <- Process.Ready
@@ -673,9 +808,23 @@ let unblock_receiver t (proc : Process.t) msg =
 
 (* A blocked sender's message has been accepted; make the sender ready. *)
 let unblock_sender t (proc : Process.t) =
-  proc.Process.pending <- Syscall.R_unit;
+  (match proc.Process.timeout_at with
+  | Some _ ->
+    proc.Process.timeout_at <- None;
+    t.timed_waiters <- t.timed_waiters - 1;
+    proc.Process.pending <- Syscall.R_accepted true
+  | None -> proc.Process.pending <- Syscall.R_unit);
   if proc.Process.stopped then proc.Process.status <- Process.Ready
   else make_ready t proc
+
+(* Injected port-delivery delay: charged once, at the next port syscall.
+   One int compare when no injection is armed. *)
+let consume_port_delay t =
+  if t.pending_port_delay_ns > 0 then begin
+    let d = t.pending_port_delay_ns in
+    t.pending_port_delay_ns <- 0;
+    charge t d
+  end
 
 (* Implement one syscall for the process running on [cpu].  Returns [true]
    when the process remains current (result delivered at next step), [false]
@@ -723,6 +872,7 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     Port.check_send_right port;
     let p = Port.state_of t.table port in
     charge t tm.Timings.send_ns;
+    consume_port_delay t;
     p.Port.sends <- p.Port.sends + 1;
     proc.Process.messages_sent <- proc.Process.messages_sent + 1;
     Obs.Metrics.incr t.mon.mon_sends;
@@ -766,6 +916,7 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
     Port.check_receive_right port;
     let p = Port.state_of t.table port in
     charge t tm.Timings.receive_ns;
+    consume_port_delay t;
     (match Port.dequeue p ~now:cpu.Processor.clock_ns with
     | Some msg ->
       p.Port.receives <- p.Port.receives + 1;
@@ -876,6 +1027,115 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
       | None ->
         proc.Process.pending <- Syscall.R_msg_option None;
         true))
+  | Syscall.Timed_send { port; msg; timeout_ns } ->
+    (* Like [Send], but with an armed deadline when the queue is full; a
+       zero budget degenerates to [Cond_send]'s immediate answer. *)
+    Port.check_send_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.send_ns;
+    consume_port_delay t;
+    (match Port.pop_receiver p with
+    | Some r ->
+      p.Port.sends <- p.Port.sends + 1;
+      proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+      Obs.Metrics.incr t.mon.mon_sends;
+      emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_send;
+      p.Port.receives <- p.Port.receives + 1;
+      let rproc = proc_of t r in
+      Obs.Metrics.incr t.mon.mon_receives;
+      emit_fast t ~name_id:rproc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
+      unblock_receiver t rproc msg;
+      proc.Process.pending <- Syscall.R_accepted true;
+      true
+    | None ->
+      if not (Port.is_full p) then begin
+        p.Port.sends <- p.Port.sends + 1;
+        proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+        Obs.Metrics.incr t.mon.mon_sends;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+          ~b:(Access.index msg) k_send;
+        Object_table.shade t.table (Access.index msg);
+        Port.enqueue p ~msg ~priority:proc.Process.priority
+          ~now:cpu.Processor.clock_ns;
+        proc.Process.pending <- Syscall.R_accepted true;
+        true
+      end
+      else if timeout_ns <= 0 then begin
+        proc.Process.pending <- Syscall.R_accepted false;
+        true
+      end
+      else begin
+        charge t tm.Timings.block_ns;
+        p.Port.send_blocks <- p.Port.send_blocks + 1;
+        proc.Process.blocks <- proc.Process.blocks + 1;
+        Obs.Metrics.incr t.mon.mon_send_blocks;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self ~b:0
+          k_block_send;
+        Object_table.shade t.table (Access.index msg);
+        Port.push_sender p ~sender:proc.Process.index ~msg
+          ~priority:proc.Process.priority;
+        proc.Process.status <- Process.Blocked_send p.Port.self;
+        proc.Process.timeout_at <- Some (cpu.Processor.clock_ns + timeout_ns);
+        t.timed_waiters <- t.timed_waiters + 1;
+        cpu.Processor.current <- None;
+        false
+      end)
+  | Syscall.Timed_receive { port; timeout_ns } ->
+    (* Like [Receive], but the wait is bounded: at the deadline the process
+       resumes with [None] and the port's receiver queue is repaired. *)
+    Port.check_receive_right port;
+    let p = Port.state_of t.table port in
+    charge t tm.Timings.receive_ns;
+    consume_port_delay t;
+    (match Port.dequeue p ~now:cpu.Processor.clock_ns with
+    | Some msg ->
+      p.Port.receives <- p.Port.receives + 1;
+      proc.Process.messages_received <- proc.Process.messages_received + 1;
+      Obs.Metrics.incr t.mon.mon_receives;
+      Obs.Metrics.observe t.mon.mon_port_wait
+        (float_of_int p.Port.last_wait_ns);
+      emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+        ~b:(Access.index msg) k_receive;
+      (match Port.pop_sender p with
+      | Some ws ->
+        Port.enqueue p ~msg:ws.Port.sender_msg ~priority:ws.Port.sender_priority
+          ~now:cpu.Processor.clock_ns;
+        unblock_sender t (proc_of t ws.Port.sender)
+      | None -> ());
+      proc.Process.pending <- Syscall.R_msg_option (Some msg);
+      true
+    | None -> (
+      match Port.pop_sender p with
+      | Some ws ->
+        p.Port.receives <- p.Port.receives + 1;
+        proc.Process.messages_received <- proc.Process.messages_received + 1;
+        Obs.Metrics.incr t.mon.mon_receives;
+        emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+          ~b:(Access.index ws.Port.sender_msg) k_receive;
+        unblock_sender t (proc_of t ws.Port.sender);
+        proc.Process.pending <- Syscall.R_msg_option (Some ws.Port.sender_msg);
+        true
+      | None ->
+        if timeout_ns <= 0 then begin
+          proc.Process.pending <- Syscall.R_msg_option None;
+          true
+        end
+        else begin
+          charge t tm.Timings.block_ns;
+          p.Port.receive_blocks <- p.Port.receive_blocks + 1;
+          proc.Process.blocks <- proc.Process.blocks + 1;
+          Obs.Metrics.incr t.mon.mon_receive_blocks;
+          emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self ~b:0
+            k_block_receive;
+          Port.push_receiver p proc.Process.index;
+          proc.Process.status <- Process.Blocked_receive p.Port.self;
+          proc.Process.timeout_at <- Some (cpu.Processor.clock_ns + timeout_ns);
+          t.timed_waiters <- t.timed_waiters + 1;
+          cpu.Processor.current <- None;
+          false
+        end))
 
 (* Record a fault in a user process; faults below system level 3 are fatal
    to the whole machine (§7.3: such processes "are in general not permitted
@@ -897,7 +1157,7 @@ let record_fault t (proc : Process.t) cause =
          (Printf.sprintf "process %s at system level %d faulted: %s"
             proc.Process.name proc.Process.system_level
             (Fault.to_string cause)));
-  match t.fault_port with
+  (match t.fault_port with
   | None -> ()
   | Some port_index -> (
     match Port.state_of_index t.table port_index with
@@ -916,7 +1176,10 @@ let record_fault t (proc : Process.t) cause =
         | None -> ())
       | None -> ())
     | _ -> ()
-    | exception Fault.Fault _ -> ())
+    | exception Fault.Fault _ -> ()));
+  (* Supervision hook (process manager restart policies): runs after the
+     corpse is routed, and only for faults the machine survives. *)
+  match t.fault_hook with None -> () | Some hook -> hook proc cause
 
 (* Execute one step of the process current on [cpu]. *)
 let step_process t (cpu : Processor.t) =
@@ -959,6 +1222,122 @@ let step_process t (cpu : Processor.t) =
         cpu.Processor.current <- None;
         record_fault t proc cause))
 
+(* ------------------------------------------------------------------ *)
+(* Processor failure and injection plans                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Hard-fault one GDP (paper §6: iMAX "adapts at system initialization to
+   the number of processors"; here the set also shrinks at run time).  The
+   processor goes offline forever; the process it was running — suspended
+   at an instruction boundary with its pending result intact — re-enters
+   the dispatching mix, and any processor bindings to the dead GDP are
+   lifted: a binding dies with its processor.  The system degrades to N−1
+   processors instead of panicking. *)
+let fail_processor t id =
+  if id < 0 || id >= Array.length t.processors then
+    invalid_arg "Machine.fail_processor: no such processor";
+  let cpu = t.processors.(id) in
+  if cpu.Processor.online then begin
+    cpu.Processor.online <- false;
+    Obs.Metrics.incr t.mon.mon_cpu_offline;
+    emit_on t cpu ~a:id Obs.Event.Cpu_offline;
+    (match cpu.Processor.current with
+    | Some pi ->
+      cpu.Processor.current <- None;
+      let proc = proc_of t pi in
+      proc.Process.slice_used_ns <- 0;
+      proc.Process.affinity <- None;
+      Obs.Metrics.incr t.mon.mon_requeues;
+      emit_on t cpu ~name:proc.Process.name ~a:pi ~b:id
+        Obs.Event.Proc_requeued;
+      if proc.Process.stopped then proc.Process.status <- Process.Ready
+      else make_ready t proc
+    | None -> ());
+    List.iter
+      (fun (proc : Process.t) ->
+        match proc.Process.affinity with
+        | Some a when a = id -> proc.Process.affinity <- None
+        | Some _ | None -> ())
+      t.processes
+  end
+
+let schedule_injection t ~at_ns inj =
+  if at_ns < 0 then invalid_arg "Machine.schedule_injection: at_ns";
+  let seq = t.inj_seq in
+  t.inj_seq <- seq + 1;
+  let entry = (at_ns, seq, inj) in
+  (* Sorted insert by (time, registration order): plans are small and
+     armed before the run, so O(n) insertion is irrelevant. *)
+  let rec ins = function
+    | [] -> [ entry ]
+    | ((a, s, _) as hd) :: tl ->
+      if at_ns < a || (at_ns = a && seq < s) then entry :: hd :: tl
+      else hd :: ins tl
+  in
+  t.injections <- ins t.injections
+
+let apply_injection t = function
+  | Inj_cpu_fault id ->
+    if id >= 0 && id < Array.length t.processors then fail_processor t id
+  | Inj_transient id ->
+    if id >= 0 && id < Array.length t.processors then
+      t.processors.(id).Processor.transient_pending <- true
+  | Inj_alloc_fault n -> t.forced_alloc_faults <- t.forced_alloc_faults + n
+  | Inj_port_delay ns ->
+    t.pending_port_delay_ns <- t.pending_port_delay_ns + ns
+
+(* Fire every injection whose instant has been reached by the processor
+   the run loop is about to advance.  Events are stamped on that
+   processor's clock, in (time, registration) order — deterministic. *)
+let fire_injections t (cpu : Processor.t) =
+  let rec go () =
+    match t.injections with
+    | (at, _, inj) :: rest when at <= cpu.Processor.clock_ns ->
+      t.injections <- rest;
+      t.current <- Some cpu;
+      Obs.Metrics.incr t.mon.mon_injections;
+      emit t
+        ~detail:(injection_to_string inj)
+        ~a:(injection_arg inj) Obs.Event.Fi_inject;
+      apply_injection t inj;
+      t.current <- None;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Fire expired deadlines of timed sends/receives: surgically remove the
+   process from the port's blocked queue, deliver the documented
+   give-up result, and re-enter the dispatching mix.  Only called when
+   [timed_waiters > 0]. *)
+let fire_timeouts t ~horizon =
+  List.iter
+    (fun (proc : Process.t) ->
+      match (proc.Process.timeout_at, proc.Process.status) with
+      | Some deadline, Process.Blocked_receive pi when deadline <= horizon ->
+        let p = Port.state_of_index t.table pi in
+        ignore (Port.remove_receiver p ~index:proc.Process.index);
+        proc.Process.timeout_at <- None;
+        t.timed_waiters <- t.timed_waiters - 1;
+        proc.Process.pending <- Syscall.R_msg_option None;
+        Obs.Metrics.incr t.mon.mon_timeouts;
+        emit t ~name:proc.Process.name ~a:pi ~b:1 Obs.Event.Timeout_fired;
+        if proc.Process.stopped then proc.Process.status <- Process.Ready
+        else make_ready t proc
+      | Some deadline, Process.Blocked_send pi when deadline <= horizon ->
+        let p = Port.state_of_index t.table pi in
+        (* The parked message is withdrawn with its sender. *)
+        ignore (Port.remove_sender p ~index:proc.Process.index);
+        proc.Process.timeout_at <- None;
+        t.timed_waiters <- t.timed_waiters - 1;
+        proc.Process.pending <- Syscall.R_accepted false;
+        Obs.Metrics.incr t.mon.mon_timeouts;
+        emit t ~name:proc.Process.name ~a:pi ~b:0 Obs.Event.Timeout_fired;
+        if proc.Process.stopped then proc.Process.status <- Process.Ready
+        else make_ready t proc
+      | _ -> ())
+    t.processes
+
 (* Wake sleepers whose deadline has passed relative to [horizon]. *)
 let wake_sleepers t ~horizon =
   List.iter
@@ -971,31 +1350,43 @@ let wake_sleepers t ~horizon =
       end)
     t.processes
 
-(* Earliest wake-up among sleeping processes, if any. *)
+(* Earliest future event among sleeping processes and armed deadlines of
+   timed waits, if any. *)
 let next_wake t =
   List.fold_left
     (fun acc (proc : Process.t) ->
-      if proc.Process.status = Process.Sleeping then
-        match acc with
-        | None -> Some proc.Process.wake_at
-        | Some w -> Some (min w proc.Process.wake_at)
-      else acc)
+      let candidate =
+        match proc.Process.status with
+        | Process.Sleeping -> Some proc.Process.wake_at
+        | Process.Blocked_send _ | Process.Blocked_receive _ ->
+          proc.Process.timeout_at
+        | Process.Created | Process.Ready | Process.Running | Process.Finished
+        | Process.Faulted _ -> None
+      in
+      match (candidate, acc) with
+      | None, acc -> acc
+      | Some w, None -> Some w
+      | Some w, Some a -> Some (min w a))
     None t.processes
 
+(* The online processor with the smallest clock (ties by id), or [None]
+   when every GDP has hard-faulted. *)
 let min_clock_processor t =
-  let best = ref t.processors.(0) in
-  Array.iter
-    (fun p ->
-      if
-        p.Processor.clock_ns < !best.Processor.clock_ns
-        || (p.Processor.clock_ns = !best.Processor.clock_ns
-            && p.Processor.id < !best.Processor.id)
-      then best := p)
-    t.processors;
-  !best
+  Array.fold_left
+    (fun acc p ->
+      if not p.Processor.online then acc
+      else
+        match acc with
+        | None -> Some p
+        | Some best ->
+          if p.Processor.clock_ns < best.Processor.clock_ns then Some p
+          else acc)
+    None t.processors
 
 (* Is there any process that could still make progress without external
-   input?  Daemons alone do not keep the machine running. *)
+   input?  Daemons alone do not keep the machine running.  A process
+   blocked with an armed deadline will resume at the latest when the
+   deadline fires, so it still counts. *)
 let pending_user_work t =
   List.exists
     (fun (proc : Process.t) ->
@@ -1004,17 +1395,22 @@ let pending_user_work t =
       match proc.Process.status with
       | Process.Ready | Process.Running | Process.Sleeping | Process.Created ->
         not proc.Process.stopped || proc.Process.status = Process.Running
-      | Process.Blocked_send _ | Process.Blocked_receive _ | Process.Finished
-      | Process.Faulted _ -> false)
+      | Process.Blocked_send _ | Process.Blocked_receive _ ->
+        proc.Process.timeout_at <> None
+      | Process.Finished | Process.Faulted _ -> false)
     t.processes
 
 let runnable_somewhere t =
-  Array.exists (fun p -> p.Processor.current <> None) t.processors
+  Array.exists
+    (fun p -> p.Processor.online && p.Processor.current <> None)
+    t.processors
   || List.exists
        (fun (proc : Process.t) ->
          proc.Process.status = Process.Ready
          && Array.exists
-              (fun cpu -> eligible_for_dispatch t ~cpu proc.Process.index)
+              (fun cpu ->
+                cpu.Processor.online
+                && eligible_for_dispatch t ~cpu proc.Process.index)
               t.processors)
        t.processes
 
@@ -1026,12 +1422,28 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
     incr steps;
     if !steps > max_steps then continue_ := false
     else begin
-      let cpu = min_clock_processor t in
+      match min_clock_processor t with
+      | None ->
+        (* Every GDP has hard-faulted: nothing can execute. *)
+        continue_ := false
+      | Some cpu ->
       if cpu.Processor.clock_ns > max_ns then continue_ := false
       else begin
+        (* Scheduled injections whose instant this processor has reached
+           fire first — one empty-list check when no plan is armed.  The
+           injection may take this very processor offline, in which case
+           the iteration ends here and the next-smallest clock runs. *)
+        if t.injections <> [] then fire_injections t cpu;
+        if not cpu.Processor.online then begin
+          if not (pending_user_work t) then
+            if not (runnable_somewhere t) then continue_ := false
+        end
+        else begin
         (* Wake (and ready) events are stamped on the waking processor. *)
         t.current <- Some cpu;
         wake_sleepers t ~horizon:cpu.Processor.clock_ns;
+        if t.timed_waiters > 0 then
+          fire_timeouts t ~horizon:cpu.Processor.clock_ns;
         t.current <- None;
         (match cpu.Processor.current with
         | Some _ -> step_process t cpu
@@ -1082,7 +1494,8 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
               Array.fold_left
                 (fun acc cpu2 ->
                   if
-                    cpu2.Processor.id <> cpu.Processor.id
+                    cpu2.Processor.online
+                    && cpu2.Processor.id <> cpu.Processor.id
                     && List.exists
                          (fun (proc : Process.t) ->
                            proc.Process.status = Process.Ready
@@ -1116,6 +1529,7 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
         (* Halt when no user process can make progress any more. *)
         if not (pending_user_work t) then
           if not (runnable_somewhere t) then continue_ := false
+        end
       end
     end
   done;

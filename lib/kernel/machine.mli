@@ -76,6 +76,9 @@ val emit_event :
     [Events_and_legacy_lines]. *)
 val trace_lines : t -> string list
 
+(** Every fault the machine recorded, in emission order: the first fault
+    recorded is the first element.  (Internally the list is accumulated
+    newest-first for O(1) prepends and reversed here.) *)
 val faults : t -> (string * Fault.cause) list
 
 (** Virtual time: the executing processor's clock, or the maximum clock when
@@ -120,8 +123,11 @@ val create_local_sro : t -> level:int -> bytes:int -> Access.t
     the number of objects reclaimed. *)
 val destroy_sro : t -> Access.t -> int
 
-(** Inter-domain call: charges the ~65 µs domain switch (paper §2). *)
-val domain_call : t -> Access.t -> (unit -> 'a) -> 'a
+(** Inter-domain call: charges the ~65 µs domain switch (paper §2).  With
+    [timeout_ns], a virtual-time watchdog: if the callee consumed more
+    than the budget, raises [Fault.Timeout] even though the call
+    completed. *)
+val domain_call : t -> ?timeout_ns:int -> Access.t -> (unit -> 'a) -> 'a
 
 (** Ordinary activation within the current domain, for comparison. *)
 val intra_call : t -> (unit -> 'a) -> 'a
@@ -164,6 +170,7 @@ val spawn :
   ?system_level:int ->
   ?name:string ->
   ?sro:Access.t ->
+  ?start_after:int ->
   (unit -> unit) ->
   Access.t
 
@@ -191,11 +198,78 @@ val all_processes : t -> Process.t list
 
 val send : t -> port:Access.t -> msg:Access.t -> unit
 val receive : t -> port:Access.t -> Access.t
+
+(** Like {!send}, but gives up once [timeout_ns] of virtual time has
+    passed with the queue still full; reports acceptance.  A budget of 0
+    behaves like {!cond_send}. *)
+val send_timeout : t -> port:Access.t -> msg:Access.t -> timeout_ns:int -> bool
+
+(** Like {!receive}, but returns [None] once [timeout_ns] of virtual time
+    has passed with no message available.  A budget of 0 behaves like
+    {!cond_receive}. *)
+val receive_timeout : t -> port:Access.t -> timeout_ns:int -> Access.t option
+
 val cond_send : t -> port:Access.t -> msg:Access.t -> bool
 val cond_receive : t -> port:Access.t -> Access.t option
 val delay : t -> ns:int -> unit
 val yield : t -> unit
 val exit_process : t -> 'a
+
+(** {1 Fault injection and recovery}
+
+    Deterministic chaos: an injection is an action scheduled at a virtual
+    instant; the run loop fires due injections on the processor it is
+    about to advance, so identical plans replay identically.  All of this
+    is inert unless a plan is armed — with no injections scheduled, every
+    run is byte-identical to one on a machine without the subsystem. *)
+
+type injection =
+  | Inj_cpu_fault of int
+      (** hard-fault the GDP with this id: it goes offline forever, its
+          running process is requeued, bindings to it are lifted *)
+  | Inj_transient of int
+      (** the next body instruction charged on this GDP raises a
+          [Fault.Transient] fault in the running process *)
+  | Inj_alloc_fault of int
+      (** force the next n process-context allocations to raise
+          [Fault.Storage_exhausted] *)
+  | Inj_port_delay of int
+      (** charge this many extra virtual ns at the next port syscall *)
+
+val injection_to_string : injection -> string
+
+(** Schedule [injection] to fire at virtual time [at_ns]. *)
+val schedule_injection : t -> at_ns:int -> injection -> unit
+
+(** Hard-fault a processor immediately (what [Inj_cpu_fault] fires).
+    Idempotent; raises [Invalid_argument] for an unknown id. *)
+val fail_processor : t -> int -> unit
+
+(** Number of processors still online. *)
+val online_processors : t -> int
+
+(** Bounded retry around {!allocate}: on [Storage_exhausted], run the
+    reclaim hook (if registered), charge [backoff_ns] of virtual time
+    (doubled per attempt, default 100 µs), and retry up to [max_retries]
+    times (default 4) before re-raising. *)
+val allocate_retry :
+  t ->
+  Access.t ->
+  ?max_retries:int ->
+  ?backoff_ns:int ->
+  data_length:int ->
+  access_length:int ->
+  otype:Obj_type.t ->
+  unit ->
+  Access.t
+
+(** Register the storage-reclaim hook {!allocate_retry} runs between
+    attempts (typically a GC cycle); returns objects reclaimed. *)
+val set_reclaim_hook : t -> (unit -> int) option -> unit
+
+(** Register a hook called after a fault is recorded in a process the
+    machine survives (supervision restart policies hang off this). *)
+val set_fault_hook : t -> (Process.t -> Fault.cause -> unit) option -> unit
 
 (** {1 Running} *)
 

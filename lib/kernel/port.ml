@@ -175,6 +175,53 @@ let push_sender t ~sender ~msg ~priority =
   | S_fifo q -> Queue.push ws q
   | S_prio q -> Pqueue.insert q ~priority:ws.sender_priority ~seq:ws.sender_seq ws
 
+(* Timeout support: surgically remove one parked process from a blocked
+   queue, preserving the service order of everyone else.  These rebuild the
+   queue (O(n)); they run only when a timeout actually fires, never on the
+   send/receive fast path. *)
+let remove_receiver t ~index =
+  let found = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun i -> if i = index && not !found then found := true else Queue.push i keep)
+    t.receivers;
+  if !found then (
+    Queue.clear t.receivers;
+    Queue.transfer keep t.receivers);
+  !found
+
+let remove_sender t ~index =
+  let found = ref None in
+  (match t.senders with
+  | S_fifo q ->
+    let keep = Queue.create () in
+    Queue.iter
+      (fun ws ->
+        if ws.sender = index && !found = None then found := Some ws
+        else Queue.push ws keep)
+      q;
+    if !found <> None then (
+      Queue.clear q;
+      Queue.transfer keep q)
+  | S_prio q ->
+    (* Drain and reinsert with the original (priority, seq) keys, so the
+       survivors keep their exact service order. *)
+    let keep = ref [] in
+    let rec drain () =
+      match Pqueue.pop q with
+      | None -> ()
+      | Some ws ->
+        if ws.sender = index && !found = None then found := Some ws
+        else keep := ws :: !keep;
+        drain ()
+    in
+    drain ();
+    List.iter
+      (fun ws ->
+        Pqueue.insert q ~priority:ws.sender_priority ~seq:ws.sender_seq ws)
+      !keep);
+  !found
+
 (* Root-scan hooks for the collector: visit every queued message / blocked
    sender once, in no particular order (shading is order-insensitive). *)
 let iter_messages f t =

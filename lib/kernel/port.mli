@@ -84,6 +84,16 @@ val push_receiver : t -> int -> unit
 val pop_sender : t -> waiting_sender option
 val push_sender : t -> sender:int -> msg:Access.t -> priority:int -> unit
 
+(** Remove one parked receiver process from the blocked queue, preserving
+    everyone else's service order; [true] iff it was found.  O(n); used
+    only when a timed receive expires. *)
+val remove_receiver : t -> index:int -> bool
+
+(** Remove one parked sender by process index, preserving service order of
+    the survivors; returns the removed entry.  O(n); used only when a
+    timed send expires. *)
+val remove_sender : t -> index:int -> waiting_sender option
+
 (** Visit every queued message once, in unspecified order (collector root
     scan; shading is order-insensitive). *)
 val iter_messages : (queued_message -> unit) -> t -> unit

@@ -37,6 +37,9 @@ type t = {
   mutable priority : int;
   mutable pending : Syscall.result;  (** delivered at next resume *)
   mutable wake_at : int;
+  mutable timeout_at : int option;
+      (** virtual-time deadline of the timed blocking operation the process
+          is currently parked on, if any *)
   mutable cpu_ns : int;
   mutable slice_used_ns : int;
   mutable last_ready_ns : int;  (** when the process last entered the mix *)

@@ -15,6 +15,8 @@ type t = {
   mutable busy_ns : int;
   mutable idle_ns : int;
   mutable dispatches : int;
+  mutable online : bool;  (* a hard-faulted GDP goes offline forever *)
+  mutable transient_pending : bool;  (* next charged instruction faults *)
 }
 
 type Object_table.payload += Processor_state of t
@@ -28,6 +30,8 @@ let make ~id ~self =
     busy_ns = 0;
     idle_ns = 0;
     dispatches = 0;
+    online = true;
+    transient_pending = false;
   }
 
 let is_idle t = t.current = None

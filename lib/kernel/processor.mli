@@ -12,6 +12,11 @@ type t = {
   mutable busy_ns : int;
   mutable idle_ns : int;
   mutable dispatches : int;
+  mutable online : bool;
+      (** [false] once the GDP has hard-faulted; it never dispatches again *)
+  mutable transient_pending : bool;
+      (** set by fault injection: the next instruction charged on this
+          processor raises a {!I432.Fault.Transient} fault *)
 }
 
 type Object_table.payload += Processor_state of t

@@ -27,6 +27,7 @@ type processor_line = {
   c_idle_ns : int;
   c_utilization : float;
   c_dispatches : int;
+  c_online : bool;
 }
 
 type port_line = {
@@ -140,6 +141,7 @@ let capture machine =
             c_idle_ns = c.Processor.idle_ns;
             c_utilization = Processor.utilization c;
             c_dispatches = c.Processor.dispatches;
+            c_online = c.Processor.online;
           }
           :: !processors
       | Some _ | None -> ())
@@ -172,12 +174,15 @@ let render t =
     t.gc_phase t.events_emitted t.events_retained t.events_dropped;
   List.iter
     (fun c ->
+      (* The " offline" suffix appears only after a hard fault, so renders
+         of healthy machines stay byte-identical to the seed. *)
       Printf.bprintf buf
-        "  cpu%d: clock %.3f ms, busy %.3f ms, util %.0f%%, %d dispatches\n"
+        "  cpu%d: clock %.3f ms, busy %.3f ms, util %.0f%%, %d dispatches%s\n"
         c.c_id
         (float_of_int c.c_clock_ns /. 1e6)
         (float_of_int c.c_busy_ns /. 1e6)
-        (100.0 *. c.c_utilization) c.c_dispatches)
+        (100.0 *. c.c_utilization) c.c_dispatches
+        (if c.c_online then "" else " offline"))
     t.processors;
   List.iter
     (fun p ->

@@ -22,6 +22,7 @@ type processor_line = {
   c_idle_ns : int;
   c_utilization : float;
   c_dispatches : int;
+  c_online : bool;
 }
 
 type port_line = {

@@ -17,6 +17,11 @@ type op =
   | Yield  (** surrender the processor, stay ready *)
   | Preempt  (** involuntary yield injected at time-slice end *)
   | Exit  (** voluntary termination *)
+  | Timed_send of { port : Access.t; msg : Access.t; timeout_ns : int }
+      (** like [Send], but gives up after [timeout_ns] of virtual time;
+          the result reports whether the message was accepted *)
+  | Timed_receive of { port : Access.t; timeout_ns : int }
+      (** like [Receive], but returns [None] at the deadline *)
 
 type result =
   | R_unit

@@ -39,6 +39,12 @@ type kind =
   | Gc_mark_end  (* a=objects marked this cycle *)
   | Gc_sweep_begin
   | Gc_sweep_end  (* a=objects swept, b=objects filtered *)
+  | Fi_inject  (* detail=injected action, a=kind-specific argument *)
+  | Cpu_offline  (* a=processor id *)
+  | Proc_requeued  (* a=process index, b=failed processor id *)
+  | Alloc_retry  (* a=attempt number, b=backoff ns *)
+  | Timeout_fired  (* a=port index, b=0 for send, 1 for receive *)
+  | Proc_restarted  (* a=new process index, b=restart count *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -79,9 +85,15 @@ let kind_to_string = function
   | Gc_mark_end -> "gc-mark-end"
   | Gc_sweep_begin -> "gc-sweep-begin"
   | Gc_sweep_end -> "gc-sweep-end"
+  | Fi_inject -> "fi-inject"
+  | Cpu_offline -> "cpu-offline"
+  | Proc_requeued -> "proc-requeued"
+  | Alloc_retry -> "alloc-retry"
+  | Timeout_fired -> "timeout-fired"
+  | Proc_restarted -> "proc-restarted"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
-   rings.  [kind_of_int] is the inverse on [0 .. 26]. *)
+   rings.  [kind_of_int] is the inverse on [0 .. 32]. *)
 let kind_to_int = function
   | Spawn -> 0
   | Exit -> 1
@@ -110,6 +122,12 @@ let kind_to_int = function
   | Gc_mark_end -> 24
   | Gc_sweep_begin -> 25
   | Gc_sweep_end -> 26
+  | Fi_inject -> 27
+  | Cpu_offline -> 28
+  | Proc_requeued -> 29
+  | Alloc_retry -> 30
+  | Timeout_fired -> 31
+  | Proc_restarted -> 32
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -139,17 +157,25 @@ let kind_of_int = function
   | 24 -> Gc_mark_end
   | 25 -> Gc_sweep_begin
   | 26 -> Gc_sweep_end
+  | 27 -> Fi_inject
+  | 28 -> Cpu_offline
+  | 29 -> Proc_requeued
+  | 30 -> Alloc_retry
+  | 31 -> Timeout_fired
+  | 32 -> Proc_restarted
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
 let category = function
-  | Spawn | Exit | Finish | Fault | Stop | Start -> "proc"
-  | Ready | Dispatch | Preempt | Yield | Deschedule | Sleep | Wake ->
+  | Spawn | Exit | Finish | Fault | Stop | Start | Proc_restarted -> "proc"
+  | Ready | Dispatch | Preempt | Yield | Deschedule | Sleep | Wake
+  | Cpu_offline | Proc_requeued ->
     "dispatch"
-  | Block_send | Block_receive | Send | Receive -> "port"
-  | Allocate | Release | Sro_create | Sro_destroy -> "sro"
+  | Block_send | Block_receive | Send | Receive | Timeout_fired -> "port"
+  | Allocate | Release | Sro_create | Sro_destroy | Alloc_retry -> "sro"
   | Domain_call | Domain_return -> "domain"
   | Gc_mark_begin | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> "gc"
+  | Fi_inject -> "fi"
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -170,4 +196,5 @@ let legacy_line e =
   | Exit | Fault | Ready | Dispatch | Preempt | Yield | Block_send
   | Block_receive | Sleep | Wake | Send | Receive | Allocate | Release
   | Sro_create | Sro_destroy | Domain_call | Domain_return | Gc_mark_begin
-  | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> None
+  | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end | Fi_inject | Cpu_offline
+  | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted -> None

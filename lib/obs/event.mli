@@ -29,6 +29,12 @@ type kind =
   | Gc_mark_end  (** a=objects marked this cycle *)
   | Gc_sweep_begin
   | Gc_sweep_end  (** a=objects swept, b=objects filtered *)
+  | Fi_inject  (** detail=injected action, a=kind-specific argument *)
+  | Cpu_offline  (** a=processor id *)
+  | Proc_requeued  (** a=process index, b=failed processor id *)
+  | Alloc_retry  (** a=attempt number, b=backoff ns *)
+  | Timeout_fired  (** a=port index, b=0 for send, 1 for receive *)
+  | Proc_restarted  (** a=new process index, b=restart count *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -50,7 +56,7 @@ val kind_to_int : kind -> int
 
 val kind_of_int : int -> kind
 
-(** Subsystem of the event: proc, dispatch, port, sro, domain or gc. *)
+(** Subsystem of the event: proc, dispatch, port, sro, domain, gc or fi. *)
 val category : kind -> string
 
 val to_string : t -> string

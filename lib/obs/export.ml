@@ -155,9 +155,16 @@ let chrome_trace ~processors events =
           (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"e" ~ts_ns ~tid
              ~extra:[ ("id", Jout.Int 2) ]
              ~args:(field_args e) ())
+      | Event.Cpu_offline ->
+        (* The processor is gone: mark the moment and close any residency
+           slice still open on its track. *)
+        instant ();
+        close ~tid ~ts_ns
       | Event.Spawn | Event.Ready | Event.Wake | Event.Stop | Event.Start
       | Event.Allocate | Event.Release | Event.Sro_create | Event.Sro_destroy
-      | Event.Domain_call | Event.Domain_return ->
+      | Event.Domain_call | Event.Domain_return | Event.Fi_inject
+      | Event.Proc_requeued | Event.Alloc_retry | Event.Timeout_fired
+      | Event.Proc_restarted ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)

@@ -11,6 +11,7 @@ let () =
       ("gc", Test_gc.suite);
       ("imax", Test_imax.suite);
       ("extensions", Test_extensions.suite);
+      ("fi", Test_fi.suite);
       ("units", Test_units.suite);
       ("integration", Test_integration.suite);
     ]
