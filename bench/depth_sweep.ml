@@ -201,7 +201,7 @@ let deltas rows =
       ("sro-free-store", "fit-tree");
     ]
 
-let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ~mode rows =
+let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ~mode rows =
   let open Json_out in
   Obj
     [
@@ -215,6 +215,8 @@ let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ~mode rows =
         match fi_overhead with
         | Some r -> Fi_overhead.to_json r
         | None -> Null );
+      ( "net_rtt",
+        match net_rtt with Some r -> Net_rtt.to_json r | None -> Null );
       ( "units",
         Obj
           [

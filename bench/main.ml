@@ -83,10 +83,12 @@ let run_micro args =
     in
     let fi_overhead = Fi_overhead.measure ~smoke () in
     Fi_overhead.print_summary fi_overhead;
+    let net_rtt = Net_rtt.measure ~smoke () in
+    Net_rtt.print_summary net_rtt;
     let mode = if smoke then "smoke" else "full" in
     Json_out.write_file ~path:out
       (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead
-         ~fi_overhead ~mode rows);
+         ~fi_overhead ~net_rtt ~mode rows);
     Printf.printf "wrote %s\n" out;
     if gate && not (Trace_overhead.check overhead) then begin
       Printf.printf "FAIL: trace overhead %.2f%% >= %.1f%% budget\n"

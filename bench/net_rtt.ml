@@ -1,0 +1,167 @@
+(* Round-trip cost of the virtual interconnect: the same ping-pong
+   workload built once on local ports (one machine) and once across a
+   two-node cluster (surrogate ports, wire marshalling, the NIC pump, and
+   link latency in between).  The host-time ratio is the per-round-trip
+   price of network transparency; the virtual-time figures show the
+   modelled latency is actually observable (a remote round trip costs two
+   one-way link traversals of virtual time, a local one costs none).
+
+   Same paired-ratio discipline as Trace_overhead / Fi_overhead: ABBA
+   alternation, a major collection before every sample, median of the
+   per-pair ratios. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+module Net = I432_net
+
+let trials = 11
+let batch = 3
+
+let config =
+  {
+    K.Machine.default_config with
+    K.Machine.processors = 1;
+    trace_level = Obs.Tracer.Off;
+  }
+
+(* One machine, two ports, [n] sequential round trips.  Returns virtual
+   elapsed ns. *)
+let local_workload ~n () =
+  let m = K.Machine.create ~config () in
+  let echo = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+  let reply = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+  ignore
+    (K.Machine.spawn m ~name:"server" (fun () ->
+         for _ = 1 to n do
+           let ping = K.Machine.receive m ~port:echo in
+           let pong = K.Machine.allocate_generic m ~data_length:8 () in
+           K.Machine.write_word m pong ~offset:0
+             (K.Machine.read_word m ping ~offset:0);
+           K.Machine.send m ~port:reply ~msg:pong
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"client" (fun () ->
+         let sum = ref 0 in
+         for i = 1 to n do
+           let ping = K.Machine.allocate_generic m ~data_length:8 () in
+           K.Machine.write_word m ping ~offset:0 i;
+           K.Machine.send m ~port:echo ~msg:ping;
+           let pong = K.Machine.receive m ~port:reply in
+           sum := !sum + K.Machine.read_word m pong ~offset:0
+         done;
+         Sys.opaque_identity !sum |> ignore));
+  ignore (K.Machine.run m);
+  K.Machine.now m
+
+(* The same shape split across two nodes: the echo port lives on the
+   server node, the reply port on the client node; each side talks to the
+   other through an imported surrogate. *)
+let remote_workload ~n () =
+  let cluster = Net.Cluster.create () in
+  let a, ma = Net.Cluster.boot_node cluster ~name:"client" ~config () in
+  let b, mb = Net.Cluster.boot_node cluster ~name:"server" ~config () in
+  ignore (Net.Cluster.connect cluster a b);
+  let echo = K.Machine.create_port mb ~capacity:4 ~discipline:K.Port.Fifo () in
+  let reply = K.Machine.create_port ma ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"echo" echo;
+  Net.Cluster.export cluster ~node:a ~name:"reply" reply;
+  let to_echo = Net.Cluster.import cluster ~node:a ~name:"echo" in
+  let to_reply = Net.Cluster.import cluster ~node:b ~name:"reply" in
+  ignore
+    (K.Machine.spawn mb ~name:"server" (fun () ->
+         for _ = 1 to n do
+           let ping = K.Machine.receive mb ~port:echo in
+           let pong = K.Machine.allocate_generic mb ~data_length:8 () in
+           K.Machine.write_word mb pong ~offset:0
+             (K.Machine.read_word mb ping ~offset:0);
+           K.Machine.send mb ~port:to_reply ~msg:pong
+         done));
+  ignore
+    (K.Machine.spawn ma ~name:"client" (fun () ->
+         let sum = ref 0 in
+         for i = 1 to n do
+           let ping = K.Machine.allocate_generic ma ~data_length:8 () in
+           K.Machine.write_word ma ping ~offset:0 i;
+           K.Machine.send ma ~port:to_echo ~msg:ping;
+           let pong = K.Machine.receive ma ~port:reply in
+           sum := !sum + K.Machine.read_word ma pong ~offset:0
+         done;
+         Sys.opaque_identity !sum |> ignore));
+  ignore (Net.Cluster.run cluster ());
+  K.Machine.now ma
+
+type result = {
+  roundtrips : int;
+  local_host_ns : float;  (* whole-run wall clock, one machine *)
+  remote_host_ns : float;  (* same workload across two nodes *)
+  ratio : float;  (* median paired remote/local host-time ratio *)
+  local_rtt_virtual_ns : float;  (* virtual ns per round trip *)
+  remote_rtt_virtual_ns : float;
+}
+
+let measure ~smoke () =
+  let n = if smoke then 100 else 400 in
+  let virt_local = ref 0 in
+  let virt_remote = ref 0 in
+  let once remote =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      if remote then virt_remote := remote_workload ~n ()
+      else virt_local := local_workload ~n ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+  in
+  ignore (once false);
+  ignore (once true);
+  let local = ref infinity in
+  let remote = ref infinity in
+  let sample is_remote =
+    Gc.full_major ();
+    let ns = once is_remote in
+    if is_remote then (if ns < !remote then remote := ns)
+    else if ns < !local then local := ns;
+    ns
+  in
+  let ratios =
+    Array.init trials (fun i ->
+        if i mod 2 = 0 then begin
+          let l = sample false in
+          let r = sample true in
+          r /. l
+        end
+        else begin
+          let r = sample true in
+          let l = sample false in
+          r /. l
+        end)
+  in
+  Array.sort compare ratios;
+  {
+    roundtrips = n;
+    local_host_ns = !local;
+    remote_host_ns = !remote;
+    ratio = ratios.(trials / 2);
+    local_rtt_virtual_ns = float_of_int !virt_local /. float_of_int n;
+    remote_rtt_virtual_ns = float_of_int !virt_remote /. float_of_int n;
+  }
+
+let print_summary r =
+  Printf.printf
+    "Net RTT (%d round trips): local %.2f ms, remote %.2f ms host (x%.2f); \
+     virtual RTT local %.0f ns, remote %.0f ns\n"
+    r.roundtrips
+    (r.local_host_ns /. 1e6)
+    (r.remote_host_ns /. 1e6)
+    r.ratio r.local_rtt_virtual_ns r.remote_rtt_virtual_ns
+
+let to_json r =
+  let open Json_out in
+  Obj
+    [
+      ("roundtrips", Int r.roundtrips);
+      ("local_host_ns", Float r.local_host_ns);
+      ("remote_host_ns", Float r.remote_host_ns);
+      ("host_ratio", Float r.ratio);
+      ("local_rtt_virtual_ns", Float r.local_rtt_virtual_ns);
+      ("remote_rtt_virtual_ns", Float r.remote_rtt_virtual_ns);
+    ]

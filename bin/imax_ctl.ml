@@ -12,6 +12,7 @@ module K = I432_kernel
 module U = I432_util
 module Obs = I432_obs
 module Fi = I432_fi.Fi
+module Net = I432_net
 
 (* ---------------- shared flags ---------------- *)
 
@@ -433,6 +434,116 @@ let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
     else print_endline "determinism check: identical event streams"
   end
 
+(* Net: the spooler split across a two-node cluster joined by the virtual
+   interconnect, optionally under a seeded link-fault plan.  Clients on
+   one node send composite jobs through an imported surrogate port; the
+   printshop node owns the real queue.  The printer drains until quiet so
+   a plan hostile enough to lose frames still halts cleanly. *)
+let run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
+    =
+  let cluster = Net.Cluster.create ~default_latency_ns:latency () in
+  let config =
+    {
+      K.Machine.default_config with
+      K.Machine.processors;
+      trace_level = Obs.Tracer.Events;
+    }
+  in
+  let node_a, ma = Net.Cluster.boot_node cluster ~name:"clients" ~config () in
+  let node_b, mb =
+    Net.Cluster.boot_node cluster ~name:"printshop" ~config ()
+  in
+  ignore (Net.Cluster.connect cluster node_a node_b);
+  let plan =
+    if link_faults > 0 || partitions > 0 then begin
+      let horizon_ns = max 2_000_000 (clients * jobs * 300_000) in
+      let p =
+        Fi.random_links ~seed ~horizon_ns ~links:1 ~count:link_faults
+          ~partitions
+      in
+      Net.Cluster.arm_links cluster p;
+      Some p
+    end
+    else None
+  in
+  let queue = K.Machine.create_port mb ~capacity:8 ~discipline:K.Port.Fifo () in
+  Net.Remote_port.export cluster ~node:node_b ~name:"printer"
+    ~mask:Rights.read_only queue;
+  let printed = ref [] in
+  ignore
+    (K.Machine.spawn mb ~name:"printer" (fun () ->
+         let quiet = ref 0 in
+         while !quiet < 3 do
+           match
+             K.Machine.receive_timeout mb ~port:queue ~timeout_ns:2_000_000
+           with
+           | Some job ->
+             quiet := 0;
+             let owner = K.Machine.read_word mb job ~offset:0 in
+             let seq = K.Machine.read_word mb job ~offset:4 in
+             K.Machine.compute mb 25;
+             printed := (owner, seq) :: !printed
+           | None -> incr quiet
+         done));
+  let surrogate =
+    Net.Remote_port.import cluster ~node:node_a ~name:"printer"
+  in
+  for u = 1 to clients do
+    ignore
+      (K.Machine.spawn ma
+         ~name:(Printf.sprintf "user%d" u)
+         (fun () ->
+           for j = 1 to jobs do
+             let job =
+               K.Machine.allocate_generic ma ~data_length:16 ()
+             in
+             K.Machine.write_word ma job ~offset:0 u;
+             K.Machine.write_word ma job ~offset:4 j;
+             K.Machine.compute ma 10;
+             K.Machine.send ma ~port:surrogate ~msg:job;
+             (* Spread traffic across the fault plan's horizon so armed
+                link faults actually meet frames in flight. *)
+             K.Machine.delay ma ~ns:400_000
+           done))
+  done;
+  let report = Net.Cluster.run cluster ~quantum_ns:200_000 () in
+  (cluster, plan, report, List.rev !printed, ma, mb)
+
+let scenario_net config seed clients jobs link_faults partitions latency
+    topology chrome_out check =
+  let processors = config.System.processors in
+  let run () =
+    run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
+  in
+  let cluster, plan, report, printed, ma, mb = run () in
+  (match plan with
+  | Some p -> print_string (Fi.link_plan_to_string p)
+  | None -> ());
+  Printf.printf "net: %d clients x %d jobs across 2 nodes, %d printed\n"
+    clients jobs (List.length printed);
+  print_string (Net.Cluster.report_to_string report);
+  if topology then print_string (Net.Cluster.topology cluster);
+  (match chrome_out with
+  | Some path ->
+    Obs.Jout.write_file ~path (Net.Cluster.chrome_trace cluster);
+    Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  if check then begin
+    (* Same seed, fresh cluster: printed output and every node's event
+       stream must be identical. *)
+    let _, _, report2, printed2, ma2, mb2 = run () in
+    let stream m = List.map Obs.Event.to_string (K.Machine.events m) in
+    if
+      printed <> printed2 || report <> report2
+      || stream ma <> stream ma2
+      || stream mb <> stream mb2
+    then begin
+      print_endline "determinism check FAILED: runs differ";
+      exit 1
+    end
+    else print_endline "determinism check: identical event streams on all nodes"
+  end
+
 (* ---------------- commands ---------------- *)
 
 let pipeline_cmd =
@@ -548,13 +659,67 @@ let chaos_cmd =
       const scenario_chaos $ config_term $ snapshot $ seed $ clients_arg
       $ jobs_arg $ faults $ chrome $ check)
 
+let net_cmd =
+  let seed =
+    Arg.(
+      value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Link-fault seed.")
+  in
+  let link_faults =
+    Arg.(
+      value & opt int 0
+      & info [ "link-faults" ] ~docv:"N"
+          ~doc:"Drop/duplicate/reorder bursts to draw into the plan.")
+  in
+  let partitions =
+    Arg.(
+      value & opt int 0
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:"Partition windows to draw into the plan.")
+  in
+  let latency =
+    Arg.(
+      value & opt int 250_000
+      & info [ "latency" ] ~docv:"NS" ~doc:"Per-hop link latency (virtual ns).")
+  in
+  let topology =
+    Arg.(
+      value & flag
+      & info [ "topology" ]
+          ~doc:"Dump nodes, links, channels, and exported names at exit.")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"PATH"
+          ~doc:
+            "Write a multi-process Chrome trace with cross-node frame flow \
+             arrows.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run with the same seed and fail unless printed output and \
+             every node's event stream are identical.")
+  in
+  Cmd.v
+    (Cmd.info "net"
+       ~doc:
+         "Run the spooler split across a two-node cluster over the virtual \
+          interconnect, optionally under a seeded link-fault plan.")
+    Term.(
+      const scenario_net $ config_term $ seed $ clients_arg $ jobs_arg
+      $ link_faults $ partitions $ latency $ topology $ chrome $ check)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
     [
       pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
-      metrics_cmd; chaos_cmd;
+      metrics_cmd; chaos_cmd; net_cmd;
     ]
 
 let () = exit (Cmd.eval main)

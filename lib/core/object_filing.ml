@@ -24,19 +24,27 @@ type filed = {
   access_length : int;
 }
 
-type filed_node = {
-  node_image : Bytes.t;
-  node_type : Obj_type.t;
-  node_access_length : int;
-  node_edges : (int * int) list;  (* slot -> serial of target node *)
+(* A wire node is one object of a captured composite: its data image, its
+   hardware type, and its outgoing access slots as (slot, target serial,
+   rights) triples.  The representation is machine-independent — serials
+   replace table indices — so a wire value can cross to another machine's
+   heap (the interconnect's marshalling format) as well as sit in the
+   filing store. *)
+type wire_node = {
+  w_image : Bytes.t;
+  w_type : Obj_type.t;
+  w_access_length : int;
+  w_edges : (int * int * Rights.t) list;  (* slot, target serial, rights *)
 }
 
-type filed_graph = { nodes : filed_node array }  (* serial 0 is the root *)
+(* serial 0 is the root; [w_root_rights] are the rights the presented root
+   descriptor carried (post-mask), restored on reconstruction. *)
+type wire = { w_root_rights : Rights.t; w_nodes : wire_node array }
 
 type t = {
   machine : K.Machine.t;
   files : (string, filed) Hashtbl.t;
-  graphs : (string, filed_graph) Hashtbl.t;
+  graphs : (string, wire) Hashtbl.t;
   mutable stores : int;
   mutable retrievals : int;
 }
@@ -109,14 +117,20 @@ let retrieve_as t ?sro ~key ~expected () =
    reachable from the root through access parts, plus the edge structure,
    so the graph (including cycles and sharing) is rebuilt isomorphic on
    retrieval.  This is the slice of the companion filing paper that this
-   paper's type-preservation claim needs for composite objects. *)
+   paper's type-preservation claim needs for composite objects.
+
+   The same capture/reconstruct pair doubles as the interconnect's wire
+   codec: capture on the sending node, reconstruct on the receiving one.
+   [mask] is intersected into every captured rights set — both the root's
+   and every edge's — so a descriptor crossing a machine boundary can
+   never arrive holding more authority than the exporter allowed. *)
 
 (* Serialize the reachable graph with a depth-first walk; serials are
-   assigned in discovery order so retrieval is deterministic. *)
-let store_graph t ~key root =
-  let table = K.Machine.table t.machine in
+   assigned in discovery order so reconstruction is deterministic. *)
+let capture machine ?(mask = Rights.full) root =
+  let table = K.Machine.table machine in
   let serial_of : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  let acc : (int * filed_node) list ref = ref [] in
+  let acc : (int * wire_node) list ref = ref [] in
   let count = ref 0 in
   let rec walk access =
     let e = Object_table.entry_of_access table access in
@@ -127,7 +141,7 @@ let store_graph t ~key root =
       incr count;
       Hashtbl.add serial_of e.Object_table.index serial;
       let image =
-        K.Machine.read_bytes t.machine access ~offset:0
+        K.Machine.read_bytes machine access ~offset:0
           ~len:e.Object_table.data_length
       in
       (* Reserve our slot in discovery order, then fill edges after the
@@ -136,66 +150,86 @@ let store_graph t ~key root =
       Array.iteri
         (fun slot stored ->
           match stored with
-          | Some child -> edges := (slot, walk child) :: !edges
+          | Some child ->
+            let rights = Rights.restrict (Access.rights child) mask in
+            edges := (slot, walk child, rights) :: !edges
           | None -> ())
         e.Object_table.access_part;
       acc :=
         ( serial,
           {
-            node_image = image;
-            node_type = e.Object_table.otype;
-            node_access_length = Array.length e.Object_table.access_part;
-            node_edges = List.rev !edges;
+            w_image = image;
+            w_type = e.Object_table.otype;
+            w_access_length = Array.length e.Object_table.access_part;
+            w_edges = List.rev !edges;
           } )
         :: !acc;
       serial
   in
   let root_serial = walk root in
   assert (root_serial = 0);
-  let nodes = Array.make !count (List.assoc 0 !acc) in
-  List.iter (fun (serial, node) -> nodes.(serial) <- node) !acc;
-  Hashtbl.replace t.graphs key { nodes };
-  t.stores <- t.stores + 1;
-  Array.length nodes
+  let w_nodes = Array.make !count (List.assoc 0 !acc) in
+  List.iter (fun (serial, node) -> w_nodes.(serial) <- node) !acc;
+  { w_root_rights = Rights.restrict (Access.rights root) mask; w_nodes }
 
-(* Rebuild a filed graph: allocate every node, restore images and types,
-   then wire the access parts.  Cycles work because allocation precedes
-   wiring. *)
+(* Rebuild a captured graph on [machine]'s heap: allocate every node,
+   restore images and types, then wire the access parts with the captured
+   (masked) rights.  Cycles work because allocation precedes wiring. *)
+let reconstruct machine ?sro wire =
+  let sro = match sro with Some s -> s | None -> K.Machine.global_sro machine in
+  let table = K.Machine.table machine in
+  let fresh =
+    Array.map
+      (fun node ->
+        let access =
+          K.Machine.allocate machine sro
+            ~data_length:(Bytes.length node.w_image)
+            ~access_length:node.w_access_length ~otype:Obj_type.Generic
+        in
+        if Bytes.length node.w_image > 0 then
+          K.Machine.write_bytes machine access ~offset:0 node.w_image;
+        (Object_table.entry_of_access table access).Object_table.otype <-
+          node.w_type;
+        access)
+      wire.w_nodes
+  in
+  Array.iteri
+    (fun serial node ->
+      List.iter
+        (fun (slot, target, rights) ->
+          Segment.store_access table fresh.(serial) ~slot
+            (Some (Access.restrict fresh.(target) rights)))
+        node.w_edges)
+    wire.w_nodes;
+  Access.restrict fresh.(0) wire.w_root_rights
+
+let wire_nodes wire = Array.length wire.w_nodes
+
+(* Deterministic size model for bandwidth accounting: a 16-byte header per
+   node, the data image, and 12 bytes per edge (slot + serial + rights). *)
+let wire_bytes wire =
+  Array.fold_left
+    (fun acc node ->
+      acc + 16 + Bytes.length node.w_image + (12 * List.length node.w_edges))
+    0 wire.w_nodes
+
+let store_graph t ~key root =
+  let wire = capture t.machine root in
+  Hashtbl.replace t.graphs key wire;
+  t.stores <- t.stores + 1;
+  wire_nodes wire
+
 let retrieve_graph t ?sro ~key () =
-  let sro = match sro with Some s -> s | None -> K.Machine.global_sro t.machine in
   match Hashtbl.find_opt t.graphs key with
   | None -> raise (Not_filed key)
-  | Some g ->
-    let table = K.Machine.table t.machine in
-    let fresh =
-      Array.map
-        (fun node ->
-          let access =
-            K.Machine.allocate t.machine sro
-              ~data_length:(Bytes.length node.node_image)
-              ~access_length:node.node_access_length ~otype:Obj_type.Generic
-          in
-          if Bytes.length node.node_image > 0 then
-            K.Machine.write_bytes t.machine access ~offset:0 node.node_image;
-          (Object_table.entry_of_access table access).Object_table.otype <-
-            node.node_type;
-          access)
-        g.nodes
-    in
-    Array.iteri
-      (fun serial node ->
-        List.iter
-          (fun (slot, target) ->
-            Segment.store_access table fresh.(serial) ~slot
-              (Some fresh.(target)))
-          node.node_edges)
-      g.nodes;
+  | Some wire ->
+    let root = reconstruct t.machine ?sro wire in
     t.retrievals <- t.retrievals + 1;
-    fresh.(0)
+    root
 
 let graph_size t ~key =
   match Hashtbl.find_opt t.graphs key with
-  | Some g -> Some (Array.length g.nodes)
+  | Some g -> Some (Array.length g.w_nodes)
   | None -> None
 
 let filed_type t ~key =

@@ -25,7 +25,36 @@ val retrieve : t -> ?sro:Access.t -> key:string -> unit -> Access.t
 val retrieve_as :
   t -> ?sro:Access.t -> key:string -> expected:Obj_type.t -> unit -> Access.t
 
-(** {1 Composite filing} *)
+(** {1 Composite filing and the wire codec}
+
+    [capture]/[reconstruct] serialize the reachable graph into a
+    machine-independent value and rebuild it isomorphic (same shapes,
+    types, data images, rights, sharing, and cycles) on any machine's
+    heap.  The filing store uses them locally; the virtual interconnect
+    uses them as its marshalling format, capturing on the sending node
+    and reconstructing on the receiving one. *)
+
+(** A captured composite: serial 0 is the root. *)
+type wire
+
+(** Capture everything reachable from the root through access parts.
+    [mask] (default {!I432.Rights.full}) is intersected into the root's
+    rights and every edge's rights, so an exported descriptor can never
+    arrive amplified.  Serials follow discovery order, so identical
+    graphs capture to identical wires. *)
+val capture : K.Machine.t -> ?mask:Rights.t -> Access.t -> wire
+
+(** Rebuild a captured graph on [machine]'s heap (allocated from [sro],
+    default that machine's global heap).  Returns the new root, carrying
+    the captured (masked) root rights. *)
+val reconstruct : K.Machine.t -> ?sro:Access.t -> wire -> Access.t
+
+(** Number of objects in the captured graph. *)
+val wire_nodes : wire -> int
+
+(** Deterministic serialized-size model (for link bandwidth accounting):
+    16 bytes per node header, the data image, 12 bytes per edge. *)
+val wire_bytes : wire -> int
 
 (** File everything reachable from the root through access parts.
     Returns the number of objects filed. *)

@@ -46,6 +46,71 @@ let random ~seed ~horizon_ns ~processors ~count ~cpu_faults =
   in
   { seed; events }
 
+(* Link faults: the same plan-is-data discipline, aimed at the virtual
+   interconnect (lib/net).  Fi stays net-agnostic — a link plan is pure
+   data; I432_net.Cluster.arm_links interprets it at transmit time, so a
+   faulted run replays bit-for-bit from (topology, workload, seed). *)
+
+type link_act =
+  | L_drop of int  (* lose the next n frames crossing the link *)
+  | L_dup of int  (* deliver the next n frames twice *)
+  | L_reorder of int  (* hold back the next n frames one extra hop each *)
+  | L_partition of int  (* sever the link for this many virtual ns *)
+
+type link_event = { l_at_ns : int; l_link : int; l_act : link_act }
+type link_plan = { l_seed : int; l_events : link_event list }
+
+let random_links ~seed ~horizon_ns ~links ~count ~partitions =
+  if links < 1 then invalid_arg "Fi.random_links: links";
+  if horizon_ns < 10 then invalid_arg "Fi.random_links: horizon_ns";
+  if count < 0 || partitions < 0 then invalid_arg "Fi.random_links: counts";
+  let rng = Prng.create ~seed in
+  (* Same quiet first tenth as [random]: let traffic exist before the
+     first fault lands. *)
+  let lo = horizon_ns / 10 in
+  let instant () = lo + Prng.int rng (horizon_ns - lo) in
+  let events = ref [] in
+  for _ = 1 to partitions do
+    (* Partitions last between 2% and 20% of the horizon. *)
+    let dur = (horizon_ns / 50) + Prng.int rng (horizon_ns * 9 / 50) in
+    events :=
+      { l_at_ns = instant (); l_link = Prng.int rng links;
+        l_act = L_partition dur }
+      :: !events
+  done;
+  for _ = 1 to count do
+    let l_act =
+      match Prng.int rng 3 with
+      | 0 -> L_drop (1 + Prng.int rng 3)
+      | 1 -> L_dup (1 + Prng.int rng 2)
+      | _ -> L_reorder (1 + Prng.int rng 3)
+    in
+    events := { l_at_ns = instant (); l_link = Prng.int rng links; l_act }
+              :: !events
+  done;
+  let l_events =
+    List.stable_sort (fun a b -> compare a.l_at_ns b.l_at_ns) (List.rev !events)
+  in
+  { l_seed = seed; l_events }
+
+let link_act_to_string = function
+  | L_drop n -> Printf.sprintf "drop %d frame%s" n (if n = 1 then "" else "s")
+  | L_dup n -> Printf.sprintf "duplicate %d frame%s" n (if n = 1 then "" else "s")
+  | L_reorder n ->
+    Printf.sprintf "reorder %d frame%s" n (if n = 1 then "" else "s")
+  | L_partition ns -> Printf.sprintf "partition for %d ns" ns
+
+let link_plan_to_string plan =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "link plan seed=%d (%d events)\n" plan.l_seed
+    (List.length plan.l_events);
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "  %9d ns  link %d: %s\n" e.l_at_ns e.l_link
+        (link_act_to_string e.l_act))
+    plan.l_events;
+  Buffer.contents buf
+
 let arm machine plan =
   List.iter
     (fun e -> K.Machine.schedule_injection machine ~at_ns:e.at_ns e.inj)

@@ -31,6 +31,46 @@ val random :
   cpu_faults:int ->
   plan
 
+(** {1 Link faults}
+
+    The same plan-is-data discipline, aimed at the virtual interconnect.
+    Fi stays net-agnostic: a link plan is pure data, interpreted at frame
+    transmit time by [I432_net.Cluster.arm_links], so a faulted cluster
+    run replays bit-for-bit from (topology, workload, seed). *)
+
+type link_act =
+  | L_drop of int  (** lose the next n frames crossing the link *)
+  | L_dup of int  (** deliver the next n frames twice *)
+  | L_reorder of int  (** hold back the next n frames one extra hop each *)
+  | L_partition of int  (** sever the link for this many virtual ns *)
+
+type link_event = { l_at_ns : int; l_link : int; l_act : link_act }
+
+type link_plan = {
+  l_seed : int;
+  l_events : link_event list;  (** sorted by [l_at_ns] *)
+}
+
+(** [random_links ~seed ~horizon_ns ~links ~count ~partitions] draws a
+    plan of [count] drop/duplicate/reorder bursts plus [partitions]
+    partition windows (each lasting 2–20% of the horizon), on links
+    uniform in [\[0, links)], at instants uniform in
+    [\[horizon_ns/10, horizon_ns)].  Same arguments, same plan.
+
+    Raises [Invalid_argument] if [links < 1] or [horizon_ns < 10]. *)
+val random_links :
+  seed:int ->
+  horizon_ns:int ->
+  links:int ->
+  count:int ->
+  partitions:int ->
+  link_plan
+
+val link_act_to_string : link_act -> string
+
+(** Human-readable one-line-per-event rendering. *)
+val link_plan_to_string : link_plan -> string
+
 (** Schedule every event of the plan on the machine. *)
 val arm : K.Machine.t -> plan -> unit
 

@@ -826,6 +826,90 @@ let consume_port_delay t =
     charge t d
   end
 
+(* ------------------------------------------------------------------ *)
+(* Interconnect hooks (lib/net)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* These three entry points are the whole kernel surface the virtual
+   interconnect needs: a node's NIC pump runs *between* run-loop slices
+   (t.current = None), draining surrogate ports into frames and landing
+   reconstructed messages in home ports.  Nothing here is reachable from a
+   machine without a cluster around it, so runs without one are untouched. *)
+
+(* Deliver [msg] into [port] from outside the run loop, waking a blocked
+   receiver exactly as a local send would.  [false] when the queue is full
+   (the NIC keeps the frame in its backlog and retries at the next pump). *)
+let deliver_external t ~port ~msg ~priority =
+  let p = Port.state_of t.table port in
+  if Port.is_full p then false
+  else begin
+    Object_table.shade t.table (Access.index msg);
+    Port.enqueue p ~msg ~priority ~now:(now t);
+    p.Port.sends <- p.Port.sends + 1;
+    Obs.Metrics.incr t.mon.mon_sends;
+    (match Port.pop_receiver p with
+    | Some r -> (
+      match Port.dequeue p ~now:(now t) with
+      | Some m ->
+        p.Port.receives <- p.Port.receives + 1;
+        Obs.Metrics.incr t.mon.mon_receives;
+        unblock_receiver t (proc_of t r) m
+      | None -> ())
+    | None -> ());
+    true
+  end
+
+(* Withdraw up to [max] queued messages from [port] in service order — the
+   NIC acting as the port's receiver.  Blocked senders are admitted (and
+   readied) as space opens, exactly as a local receive would admit them.
+   Returns [(msg, priority, enqueued_at)] per message. *)
+let drain_port t ?(max = max_int) ~port () =
+  let p = Port.state_of t.table port in
+  let acc = ref [] in
+  let count = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !count < max do
+    match Port.dequeue_entry p ~now:(now t) with
+    | Some qm ->
+      incr count;
+      p.Port.receives <- p.Port.receives + 1;
+      Obs.Metrics.incr t.mon.mon_receives;
+      (match Port.pop_sender p with
+      | Some ws ->
+        Port.enqueue p ~msg:ws.Port.sender_msg ~priority:ws.Port.sender_priority
+          ~now:(now t);
+        unblock_sender t (proc_of t ws.Port.sender)
+      | None -> ());
+      acc := (qm.Port.msg, qm.Port.msg_priority, qm.Port.enqueued_at) :: !acc
+    | None -> (
+      (* Rendezvous with a sender parked at a full (or zero-space) queue. *)
+      match Port.pop_sender p with
+      | Some ws ->
+        incr count;
+        p.Port.receives <- p.Port.receives + 1;
+        Obs.Metrics.incr t.mon.mon_receives;
+        unblock_sender t (proc_of t ws.Port.sender);
+        acc := (ws.Port.sender_msg, ws.Port.sender_priority, now t) :: !acc
+      | None -> continue_ := false)
+  done;
+  List.rev !acc
+
+(* Advance every *idle* processor's clock to [to_ns] (as idle time), so a
+   message delivered with a frame-arrival stamp cannot be consumed in its
+   own past.  Busy processors keep their own pace — the interconnect never
+   rewrites time a processor has already spent. *)
+let advance_idle_clocks t ~to_ns =
+  Array.iter
+    (fun (p : Processor.t) ->
+      if
+        p.Processor.online && p.Processor.current = None
+        && p.Processor.clock_ns < to_ns
+      then begin
+        p.Processor.idle_ns <- p.Processor.idle_ns + (to_ns - p.Processor.clock_ns);
+        p.Processor.clock_ns <- to_ns
+      end)
+    t.processors
+
 (* Implement one syscall for the process running on [cpu].  Returns [true]
    when the process remains current (result delivered at next step), [false]
    when it was descheduled. *)

@@ -215,6 +215,29 @@ val delay : t -> ns:int -> unit
 val yield : t -> unit
 val exit_process : t -> 'a
 
+(** {1 Interconnect hooks}
+
+    The kernel surface used by the virtual interconnect ({!I432_net}).  A
+    node's NIC pump runs between run-loop slices: it drains surrogate
+    ports into frames and lands reconstructed messages in home ports.
+    Unreachable without a cluster, so single-machine runs are unchanged. *)
+
+(** Deliver a message into a port from outside the run loop, waking a
+    blocked receiver exactly as a local send would.  [false] when the
+    queue is full. *)
+val deliver_external : t -> port:Access.t -> msg:Access.t -> priority:int -> bool
+
+(** Withdraw up to [max] queued messages in service order, admitting (and
+    readying) blocked senders as space opens.  Returns
+    [(msg, priority, enqueued_at)] per message. *)
+val drain_port :
+  t -> ?max:int -> port:Access.t -> unit -> (Access.t * int * int) list
+
+(** Advance every idle processor's clock to [to_ns] (as idle time), so a
+    delivered message cannot be consumed before its frame arrived.  Busy
+    processors are untouched. *)
+val advance_idle_clocks : t -> to_ns:int -> unit
+
 (** {1 Fault injection and recovery}
 
     Deterministic chaos: an injection is an action scheduled at a virtual

@@ -144,7 +144,10 @@ let enqueue t ~msg ~priority ~now =
   let d = queue_length t in
   if d > t.max_depth then t.max_depth <- d
 
-let dequeue t ~now =
+(* Like [dequeue], but keeps the queue record: the interconnect layer needs
+   the message's priority (preserved across the wire) and its enqueue time
+   (the virtual instant the frame departs). *)
+let dequeue_entry t ~now =
   let front =
     match t.messages with
     | M_fifo rb -> Ring_buffer.pop rb
@@ -157,7 +160,10 @@ let dequeue t ~now =
     let wait = max 0 (now - qm.enqueued_at) in
     t.total_queue_wait_ns <- t.total_queue_wait_ns + wait;
     t.last_wait_ns <- wait;
-    Some qm.msg
+    Some qm
+
+let dequeue t ~now =
+  match dequeue_entry t ~now with None -> None | Some qm -> Some qm.msg
 
 let pop_receiver t = Queue.take_opt t.receivers
 let push_receiver t index = Queue.push index t.receivers

@@ -79,6 +79,11 @@ val has_blocked_sender : t -> bool
 val enqueue : t -> msg:Access.t -> priority:int -> now:int -> unit
 
 val dequeue : t -> now:int -> Access.t option
+
+(** Like {!dequeue} but returns the whole queue record — the interconnect
+    layer preserves [msg_priority] across the wire and stamps the outgoing
+    frame with [enqueued_at]. *)
+val dequeue_entry : t -> now:int -> queued_message option
 val pop_receiver : t -> int option
 val push_receiver : t -> int -> unit
 val pop_sender : t -> waiting_sender option

@@ -1,0 +1,629 @@
+(* A deterministic cluster of machines joined by a virtual interconnect.
+
+   Each node is an independent Machine.t — its own object table, memory,
+   processors, and virtual clock.  The cluster advances them under one
+   global virtual clock with quantum-based horizon stepping: every round,
+   each machine runs until its clocks pass the shared horizon, then the
+   NIC pump moves frames.  The pump
+
+   - drains exported surrogate ports in service order (window-bounded, so
+     local senders feel backpressure by blocking on the surrogate),
+   - marshals each message with Object_filing's wire codec (types, seals,
+     sharing and cycles preserved; rights intersected with the export
+     mask, so a descriptor can never arrive amplified),
+   - transmits frames over links (latency + serialization delay; the
+     armed link-fault plan drops/duplicates/reorders/partitions them),
+   - delivers arrivals by reconstructing the graph on the destination
+     node's heap and landing it in the home port, waking blocked
+     receivers exactly as a local send would.
+
+   Reliability is NIC-level ARQ: per-channel sequence numbers, an ack on
+   first receipt, a per-channel dup filter (re-acked, never
+   re-delivered), and bounded retransmission with a doubling RTO — so
+   every message is delivered at most once despite drops and duplicates,
+   and a partitioned channel eventually counts its frames lost rather
+   than hanging the pump.  Loss recovery can deliver a later sequence
+   number before an earlier one's retransmission lands; restoring
+   application order across a lossy link is the application's business
+   (on a clean link, delivery follows send order).
+
+   Everything is keyed on virtual time and explicit sequence numbers:
+   same topology + same workload + same fault seed => byte-identical
+   event streams on every node.  A machine that never joins a cluster is
+   untouched — no counters registered, no events emitted. *)
+
+open I432
+module K = I432_kernel
+module Obs = I432_obs
+module U = I432_util
+module Fi = I432_fi.Fi
+module Filing = Imax.Object_filing
+
+type node = {
+  id : int;
+  node_name : string;
+  machine : K.Machine.t;
+  (* Registered only when the node joins, so non-cluster machines keep a
+     byte-identical metrics dump. *)
+  m_frames_tx : Obs.Metrics.counter;
+  m_frames_rx : Obs.Metrics.counter;
+  m_remote_sends : Obs.Metrics.counter;
+  m_remote_delivers : Obs.Metrics.counter;
+  m_retransmits : Obs.Metrics.counter;
+  m_frames_lost : Obs.Metrics.counter;
+}
+
+type pending = {
+  p_frame : Frame.t;
+  mutable p_next_retx : int;  (* virtual instant of the next retransmit *)
+  mutable p_tries : int;  (* retransmissions so far *)
+}
+
+(* One import: a surrogate port on [ch_src] standing for [ch_name], whose
+   home is [ch_home] on node [ch_dst], joined by [ch_link]. *)
+type channel = {
+  ch_id : int;
+  ch_name : string;
+  ch_src : int;  (* importing node *)
+  ch_dst : int;  (* home node *)
+  ch_link : Link.t;
+  ch_surrogate : Access.t;  (* full-rights AD the NIC drains through *)
+  ch_surrogate_ad : Access.t;  (* send-only AD handed to importers *)
+  ch_home : Access.t;
+  ch_mask : Rights.t;
+  mutable ch_next_seq : int;
+  ch_unacked : (int, pending) Hashtbl.t;  (* seq -> retransmission state *)
+  mutable ch_unacked_n : int;
+  ch_seen : (int, unit) Hashtbl.t;  (* destination-side dup filter *)
+  ch_backlog : (Frame.t * Access.t) Queue.t;
+      (* arrived (and acked) but home port was full; each msg is rooted on
+         the destination machine until delivered *)
+}
+
+type t = {
+  ns : Name_service.t;
+  window : int;  (* max unacked data frames per channel *)
+  max_retries : int;
+  default_latency_ns : int;
+  default_ns_per_byte : int;
+  mutable nodes : node array;
+  mutable links : Link.t list;  (* in id order *)
+  mutable channels : channel list;  (* in import order *)
+  in_flight : (int * Frame.t) U.Pqueue.t;  (* keyed (-arrival, uid) *)
+  mutable uid : int;
+  mutable link_events : Fi.link_event list;  (* pending, sorted by l_at_ns *)
+  (* cluster-wide statistics *)
+  mutable frames_sent : int;  (* data frames, first transmissions *)
+  mutable frames_delivered : int;
+  mutable frames_lost : int;  (* gave up after max_retries *)
+  mutable retransmits : int;
+  mutable acks_sent : int;
+  mutable dup_drops : int;
+}
+
+let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
+    ?(default_ns_per_byte = 10) () =
+  if window < 1 then invalid_arg "Cluster.create: window";
+  if max_retries < 0 then invalid_arg "Cluster.create: max_retries";
+  {
+    ns = Name_service.create ();
+    window;
+    max_retries;
+    default_latency_ns;
+    default_ns_per_byte;
+    nodes = [||];
+    links = [];
+    channels = [];
+    in_flight = U.Pqueue.create ();
+    uid = 0;
+    link_events = [];
+    frames_sent = 0;
+    frames_delivered = 0;
+    frames_lost = 0;
+    retransmits = 0;
+    acks_sent = 0;
+    dup_drops = 0;
+  }
+
+let node_count t = Array.length t.nodes
+
+let node_of t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Cluster: unknown node %d" id);
+  t.nodes.(id)
+
+let machine t id = (node_of t id).machine
+let node_name t id = (node_of t id).node_name
+let name_service t = t.ns
+
+let add_node t ~name machine =
+  let id = Array.length t.nodes in
+  let metrics = K.Machine.metrics machine in
+  let c n = Obs.Metrics.counter metrics n in
+  let node =
+    {
+      id;
+      node_name = name;
+      machine;
+      m_frames_tx = c "net.frames_tx";
+      m_frames_rx = c "net.frames_rx";
+      m_remote_sends = c "net.remote_sends";
+      m_remote_delivers = c "net.remote_delivers";
+      m_retransmits = c "net.retransmits";
+      m_frames_lost = c "net.frames_lost";
+    }
+  in
+  t.nodes <- Array.append t.nodes [| node |];
+  id
+
+let boot_node t ~name ?config () =
+  let machine = K.Machine.create ?config () in
+  let id = add_node t ~name machine in
+  (id, machine)
+
+let connect t ?latency_ns ?ns_per_byte a b =
+  if a = b then invalid_arg "Cluster.connect: self-link";
+  ignore (node_of t a);
+  ignore (node_of t b);
+  let latency_ns =
+    match latency_ns with Some l -> l | None -> t.default_latency_ns
+  in
+  let ns_per_byte =
+    match ns_per_byte with Some c -> c | None -> t.default_ns_per_byte
+  in
+  let id = List.length t.links in
+  let link = Link.make ~id ~node_a:a ~node_b:b ~latency_ns ~ns_per_byte in
+  t.links <- t.links @ [ link ];
+  link
+
+let links t = t.links
+
+let link_between t a b =
+  List.find_opt (fun l -> Link.connects l a b) t.links
+
+let link_by_id t id = List.find_opt (fun (l : Link.t) -> l.Link.id = id) t.links
+
+let arm_links t (plan : Fi.link_plan) =
+  t.link_events <-
+    List.stable_sort
+      (fun (a : Fi.link_event) b -> compare a.Fi.l_at_ns b.Fi.l_at_ns)
+      (t.link_events @ plan.Fi.l_events)
+
+(* ------------------------------------------------------------------ *)
+(* Export / import                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let export t ~node ~name ?(mask = Rights.full) ?capacity port =
+  let n = node_of t node in
+  K.Port.check_send_right port;
+  let state = K.Port.state_of (K.Machine.table n.machine) port in
+  let capacity =
+    match capacity with Some c -> c | None -> state.K.Port.capacity
+  in
+  Name_service.publish t.ns
+    {
+      Name_service.e_name = name;
+      e_node = node;
+      e_port = port;
+      e_mask = mask;
+      e_capacity = capacity;
+    }
+
+exception Not_exported of string
+exception No_route of string
+
+(* The send-only rights importers get: receiving from a surrogate would
+   race the NIC drain, so the t2 right stays behind. *)
+let surrogate_rights = Rights.remove_type_right Rights.full Rights.t2
+
+let import t ~node ~name =
+  match Name_service.lookup t.ns name with
+  | None -> raise (Not_exported name)
+  | Some e ->
+    if e.Name_service.e_node = node then
+      (* Importing on the home node: the name resolves to the home port
+         itself, send-only like any surrogate AD. *)
+      Access.restrict e.Name_service.e_port surrogate_rights
+    else (
+      match
+        List.find_opt
+          (fun ch -> ch.ch_src = node && String.equal ch.ch_name name)
+          t.channels
+      with
+      | Some ch -> ch.ch_surrogate_ad
+      | None ->
+        let link =
+          match link_between t node e.Name_service.e_node with
+          | Some l -> l
+          | None ->
+            raise
+              (No_route
+                 (Printf.sprintf "%s: no link node%d <-> node%d" name node
+                    e.Name_service.e_node))
+        in
+        let importer = node_of t node in
+        let home = node_of t e.Name_service.e_node in
+        let discipline =
+          (K.Port.state_of (K.Machine.table home.machine)
+             e.Name_service.e_port)
+            .K.Port.discipline
+        in
+        let surrogate =
+          K.Machine.create_port importer.machine
+            ~capacity:e.Name_service.e_capacity ~discipline ()
+        in
+        let ch =
+          {
+            ch_id = List.length t.channels;
+            ch_name = name;
+            ch_src = node;
+            ch_dst = e.Name_service.e_node;
+            ch_link = link;
+            ch_surrogate = surrogate;
+            ch_surrogate_ad = Access.restrict surrogate surrogate_rights;
+            ch_home = e.Name_service.e_port;
+            ch_mask = e.Name_service.e_mask;
+            ch_next_seq = 0;
+            ch_unacked = Hashtbl.create 16;
+            ch_unacked_n = 0;
+            ch_seen = Hashtbl.create 64;
+            ch_backlog = Queue.create ();
+          }
+        in
+        t.channels <- t.channels @ [ ch ];
+        ch.ch_surrogate_ad)
+
+let channels t = t.channels
+
+let channel_by_id t id =
+  match List.find_opt (fun ch -> ch.ch_id = id) t.channels with
+  | Some ch -> ch
+  | None -> invalid_arg (Printf.sprintf "Cluster: unknown channel %d" id)
+
+(* ------------------------------------------------------------------ *)
+(* The NIC pump                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let emit node ~ts_ns ?name ?detail ?a ?b kind =
+  let tr = K.Machine.tracer node.machine in
+  if Obs.Tracer.enabled tr then
+    Obs.Tracer.emit tr ~ts_ns ~cpu:(-1) ?name ?detail ?a ?b kind
+
+let fresh_uid t =
+  let u = t.uid in
+  t.uid <- t.uid + 1;
+  u
+
+(* Retransmission timeout: four one-way trips of this frame, doubled per
+   retry by the caller. *)
+let rto link size_bytes =
+  4 * (link.Link.latency_ns + (size_bytes * link.Link.ns_per_byte) + 1)
+
+(* Put a frame on the wire no earlier than [now]; returns the departure
+   instant.  Lost copies still cost a Frame_tx (the NIC did transmit). *)
+let send_frame t (frame : Frame.t) ~now =
+  let src = node_of t frame.Frame.src in
+  let ch = channel_by_id t frame.Frame.channel in
+  let depart, arrivals =
+    Link.transmit ch.ch_link ~now ~src:frame.Frame.src
+      ~size_bytes:frame.Frame.size_bytes
+  in
+  emit src ~ts_ns:depart ~name:frame.Frame.port_name
+    ~detail:(Frame.kind_to_string frame.Frame.kind)
+    ~a:frame.Frame.seq ~b:frame.Frame.dst Obs.Event.Frame_tx;
+  Obs.Metrics.incr src.m_frames_tx;
+  List.iter
+    (fun arrival ->
+      U.Pqueue.insert t.in_flight ~priority:(-arrival) ~seq:frame.Frame.uid
+        (arrival, frame))
+    arrivals;
+  depart
+
+let send_ack t ch (data : Frame.t) ~now =
+  let ack =
+    {
+      Frame.uid = fresh_uid t;
+      kind = Frame.Ack;
+      src = ch.ch_dst;
+      dst = ch.ch_src;
+      channel = ch.ch_id;
+      seq = data.Frame.seq;
+      port_name = ch.ch_name;
+      priority = 0;
+      size_bytes = Frame.ack_bytes;
+    }
+  in
+  t.acks_sent <- t.acks_sent + 1;
+  ignore (send_frame t ack ~now)
+
+(* Drain a surrogate into data frames, at most window - unacked of them.
+   Each drained message is marshalled immediately: the frame owns a wire
+   image, not a live descriptor, so the source object can be mutated or
+   collected afterwards without affecting the bytes in flight. *)
+let drain_channel t ch =
+  let budget = t.window - ch.ch_unacked_n in
+  if budget > 0 then begin
+    let src = node_of t ch.ch_src in
+    let drained =
+      K.Machine.drain_port src.machine ~max:budget ~port:ch.ch_surrogate ()
+    in
+    List.iter
+      (fun (msg, priority, enqueued_at) ->
+        let wire = Filing.capture src.machine ~mask:ch.ch_mask msg in
+        let seq = ch.ch_next_seq in
+        ch.ch_next_seq <- ch.ch_next_seq + 1;
+        let frame =
+          {
+            Frame.uid = fresh_uid t;
+            kind = Frame.Data wire;
+            src = ch.ch_src;
+            dst = ch.ch_dst;
+            channel = ch.ch_id;
+            seq;
+            port_name = ch.ch_name;
+            priority;
+            size_bytes = Filing.wire_bytes wire;
+          }
+        in
+        emit src ~ts_ns:enqueued_at ~name:ch.ch_name ~a:ch.ch_id ~b:seq
+          Obs.Event.Remote_send;
+        Obs.Metrics.incr src.m_remote_sends;
+        t.frames_sent <- t.frames_sent + 1;
+        let pend = { p_frame = frame; p_next_retx = 0; p_tries = 0 } in
+        Hashtbl.replace ch.ch_unacked seq pend;
+        ch.ch_unacked_n <- ch.ch_unacked_n + 1;
+        let depart = send_frame t frame ~now:enqueued_at in
+        pend.p_next_retx <- depart + rto ch.ch_link frame.Frame.size_bytes)
+      drained
+  end
+
+(* Retransmit every unacked frame whose timer expired; give up (and count
+   the frame lost) after [max_retries].  Scans are sorted by sequence
+   number so the order never depends on hash-table iteration. *)
+let retransmit_due t ~horizon =
+  List.iter
+    (fun ch ->
+      let due =
+        Hashtbl.fold
+          (fun seq p acc -> if p.p_next_retx <= horizon then (seq, p) :: acc else acc)
+          ch.ch_unacked []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      let src = node_of t ch.ch_src in
+      List.iter
+        (fun (seq, p) ->
+          if p.p_tries >= t.max_retries then begin
+            Hashtbl.remove ch.ch_unacked seq;
+            ch.ch_unacked_n <- ch.ch_unacked_n - 1;
+            t.frames_lost <- t.frames_lost + 1;
+            Obs.Metrics.incr src.m_frames_lost
+          end
+          else begin
+            p.p_tries <- p.p_tries + 1;
+            t.retransmits <- t.retransmits + 1;
+            Obs.Metrics.incr src.m_retransmits;
+            let depart = send_frame t p.p_frame ~now:p.p_next_retx in
+            p.p_next_retx <-
+              depart
+              + (rto ch.ch_link p.p_frame.Frame.size_bytes lsl p.p_tries)
+          end)
+        due)
+    t.channels
+
+let deliver_home t dst ch (frame : Frame.t) msg ~now =
+  if
+    K.Machine.deliver_external dst.machine ~port:ch.ch_home ~msg
+      ~priority:frame.Frame.priority
+  then begin
+    emit dst ~ts_ns:now ~name:ch.ch_name ~a:ch.ch_id ~b:frame.Frame.seq
+      Obs.Event.Remote_deliver;
+    Obs.Metrics.incr dst.m_remote_delivers;
+    t.frames_delivered <- t.frames_delivered + 1;
+    true
+  end
+  else false
+
+let handle_arrival t (frame : Frame.t) ~arrival =
+  let dst = node_of t frame.Frame.dst in
+  let ch = channel_by_id t frame.Frame.channel in
+  Link.note_rx ch.ch_link;
+  emit dst ~ts_ns:arrival ~name:frame.Frame.port_name
+    ~detail:(Frame.kind_to_string frame.Frame.kind)
+    ~a:frame.Frame.seq ~b:frame.Frame.src Obs.Event.Frame_rx;
+  Obs.Metrics.incr dst.m_frames_rx;
+  match frame.Frame.kind with
+  | Frame.Ack -> (
+    match Hashtbl.find_opt ch.ch_unacked frame.Frame.seq with
+    | Some _ ->
+      Hashtbl.remove ch.ch_unacked frame.Frame.seq;
+      ch.ch_unacked_n <- ch.ch_unacked_n - 1
+    | None -> () (* already acked (dup ack) or given up on *))
+  | Frame.Data wire ->
+    if Hashtbl.mem ch.ch_seen frame.Frame.seq then begin
+      (* Duplicate: re-ack (the first ack may have been lost), never
+         re-deliver. *)
+      t.dup_drops <- t.dup_drops + 1;
+      send_ack t ch frame ~now:arrival
+    end
+    else begin
+      Hashtbl.replace ch.ch_seen frame.Frame.seq ();
+      send_ack t ch frame ~now:arrival;
+      (* Idle clocks catch up to the frame first, so a blocked receiver
+         cannot consume a message before it arrived. *)
+      K.Machine.advance_idle_clocks dst.machine ~to_ns:arrival;
+      let msg = Filing.reconstruct dst.machine wire in
+      if not (deliver_home t dst ch frame msg ~now:arrival) then begin
+        (* Home port full: the frame is acked (it did arrive); park the
+           reconstructed message, rooted so a collection on the
+           destination node cannot reclaim it before delivery. *)
+        K.Machine.add_root dst.machine msg;
+        Queue.push (frame, msg) ch.ch_backlog
+      end
+    end
+
+let deliver_due t ~horizon =
+  let rec go () =
+    match U.Pqueue.peek t.in_flight with
+    | Some (arrival, _) when arrival <= horizon ->
+      (match U.Pqueue.pop t.in_flight with
+      | Some (arrival, frame) -> handle_arrival t frame ~arrival
+      | None -> ());
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+(* Backlogged messages retry in arrival order once receivers have made
+   space; delivery is stamped with the destination's current clock (the
+   instant the port actually accepted it). *)
+let retry_backlogs t =
+  List.iter
+    (fun ch ->
+      let dst = node_of t ch.ch_dst in
+      let continue_ = ref true in
+      while !continue_ && not (Queue.is_empty ch.ch_backlog) do
+        let frame, msg = Queue.peek ch.ch_backlog in
+        if deliver_home t dst ch frame msg ~now:(K.Machine.now dst.machine)
+        then begin
+          ignore (Queue.pop ch.ch_backlog);
+          K.Machine.remove_root dst.machine msg
+        end
+        else continue_ := false
+      done)
+    t.channels
+
+let activate_link_faults t ~horizon =
+  let rec go = function
+    | (e : Fi.link_event) :: rest when e.Fi.l_at_ns <= horizon ->
+      (match link_by_id t e.Fi.l_link with
+      | Some l -> Link.apply l ~at:e.Fi.l_at_ns e.Fi.l_act
+      | None -> ());
+      go rest
+    | rest -> t.link_events <- rest
+  in
+  go t.link_events
+
+(* ------------------------------------------------------------------ *)
+(* Running                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  rounds : int;
+  horizon_ns : int;
+  frames_sent : int;
+  frames_delivered : int;
+  frames_lost : int;
+  retransmits : int;
+  acks : int;
+  dup_drops : int;
+}
+
+let frames_in_flight t = U.Pqueue.size t.in_flight
+
+let total_unacked t =
+  List.fold_left (fun acc ch -> acc + ch.ch_unacked_n) 0 t.channels
+
+let total_backlog t =
+  List.fold_left (fun acc ch -> acc + Queue.length ch.ch_backlog) 0 t.channels
+
+let stats_snapshot (t : t) =
+  ( t.frames_sent,
+    t.frames_delivered,
+    t.frames_lost,
+    t.retransmits,
+    t.acks_sent,
+    t.dup_drops )
+
+let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
+  if quantum_ns < 1 then invalid_arg "Cluster.run: quantum_ns";
+  let rounds = ref 0 in
+  let horizon =
+    ref
+      (Array.fold_left
+         (fun acc n -> max acc (K.Machine.now n.machine))
+         0 t.nodes)
+  in
+  let continue_ = ref (Array.length t.nodes > 0) in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    horizon := !horizon + quantum_ns;
+    let nows_before =
+      Array.map (fun n -> K.Machine.now n.machine) t.nodes
+    in
+    let stats_before = stats_snapshot t in
+    activate_link_faults t ~horizon:!horizon;
+    Array.iter
+      (fun n -> ignore (K.Machine.run ~max_ns:!horizon n.machine))
+      t.nodes;
+    (* Receivers just ran: retry parked messages before draining new
+       traffic, so a channel's home-port order follows its seq order. *)
+    retry_backlogs t;
+    List.iter (fun ch -> drain_channel t ch) t.channels;
+    retransmit_due t ~horizon:!horizon;
+    deliver_due t ~horizon:!horizon;
+    let clock_moved = ref false in
+    Array.iteri
+      (fun i n ->
+        if K.Machine.now n.machine <> nows_before.(i) then clock_moved := true)
+      t.nodes;
+    let moved = stats_before <> stats_snapshot t || !clock_moved
+    and pending =
+      frames_in_flight t > 0 || total_unacked t > 0 || total_backlog t > 0
+    in
+    if not (moved || pending) then continue_ := false
+  done;
+  {
+    rounds = !rounds;
+    horizon_ns = !horizon;
+    frames_sent = t.frames_sent;
+    frames_delivered = t.frames_delivered;
+    frames_lost = t.frames_lost;
+    retransmits = t.retransmits;
+    acks = t.acks_sent;
+    dup_drops = t.dup_drops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let topology t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "cluster: %d node(s), %d link(s), %d channel(s)\n"
+    (Array.length t.nodes) (List.length t.links) (List.length t.channels);
+  Array.iter
+    (fun n ->
+      Printf.bprintf buf "  node %d %-12s %d processor(s)\n" n.id n.node_name
+        (K.Machine.processor_count n.machine))
+    t.nodes;
+  List.iter (fun l -> Printf.bprintf buf "  %s\n" (Link.to_string l)) t.links;
+  List.iter
+    (fun ch ->
+      Printf.bprintf buf
+        "  channel %d '%s': node%d -> node%d (link %d) next_seq=%d unacked=%d \
+         backlog=%d\n"
+        ch.ch_id ch.ch_name ch.ch_src ch.ch_dst ch.ch_link.Link.id
+        ch.ch_next_seq ch.ch_unacked_n
+        (Queue.length ch.ch_backlog))
+    t.channels;
+  List.iter
+    (fun name -> Printf.bprintf buf "  name '%s' exported\n" name)
+    (Name_service.names t.ns);
+  Buffer.contents buf
+
+let chrome_trace t =
+  Obs.Export.chrome_trace_cluster
+    (Array.to_list
+       (Array.map
+          (fun n ->
+            ( n.node_name,
+              K.Machine.processor_count n.machine,
+              K.Machine.events n.machine ))
+          t.nodes))
+
+let report_to_string r =
+  Printf.sprintf
+    "rounds=%d horizon=%dns sent=%d delivered=%d lost=%d retx=%d acks=%d \
+     dups=%d\n"
+    r.rounds r.horizon_ns r.frames_sent r.frames_delivered r.frames_lost
+    r.retransmits r.acks r.dup_drops

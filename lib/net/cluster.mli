@@ -1,0 +1,139 @@
+(** A deterministic cluster of independent machines joined by a virtual
+    interconnect.
+
+    Member machines advance under one global virtual clock with
+    quantum-based horizon stepping; between slices the NIC pump drains
+    exported surrogate ports, marshals messages with
+    {!Imax.Object_filing}'s wire codec (rights intersected with the
+    export mask), moves frames over {!Link}s (latency, serialization
+    delay, armed faults), and lands reconstructed messages in home ports,
+    waking blocked receivers exactly as a local send would.
+
+    Reliability is NIC-level ARQ: per-channel sequence numbers, acks on
+    first receipt, a dup filter (duplicates are re-acked, never
+    re-delivered), and bounded retransmission with a doubling RTO.
+
+    Same topology + same workload + same fault seed => byte-identical
+    event streams on every node.  A machine that never joins a cluster is
+    untouched: no counters registered, no events emitted. *)
+
+open I432
+module K := I432_kernel
+module Fi := I432_fi.Fi
+
+type node = private {
+  id : int;
+  node_name : string;
+  machine : K.Machine.t;
+  m_frames_tx : I432_obs.Metrics.counter;
+  m_frames_rx : I432_obs.Metrics.counter;
+  m_remote_sends : I432_obs.Metrics.counter;
+  m_remote_delivers : I432_obs.Metrics.counter;
+  m_retransmits : I432_obs.Metrics.counter;
+  m_frames_lost : I432_obs.Metrics.counter;
+}
+
+type pending
+
+(** One import: a surrogate port on [ch_src] standing for the exported
+    name whose home port lives on [ch_dst]. *)
+type channel = private {
+  ch_id : int;
+  ch_name : string;
+  ch_src : int;
+  ch_dst : int;
+  ch_link : Link.t;
+  ch_surrogate : Access.t;
+  ch_surrogate_ad : Access.t;
+  ch_home : Access.t;
+  ch_mask : Rights.t;
+  mutable ch_next_seq : int;
+  ch_unacked : (int, pending) Hashtbl.t;
+  mutable ch_unacked_n : int;
+  ch_seen : (int, unit) Hashtbl.t;
+  ch_backlog : (Frame.t * Access.t) Queue.t;
+}
+
+type t
+
+(** [window] bounds unacked data frames per channel (backpressure: local
+    senders block on the surrogate once the window and its queue fill);
+    [max_retries] bounds retransmissions before a frame counts as lost. *)
+val create :
+  ?window:int ->
+  ?max_retries:int ->
+  ?default_latency_ns:int ->
+  ?default_ns_per_byte:int ->
+  unit ->
+  t
+
+(** Join an existing machine; returns its node id.  Registers the node's
+    net counters in its metrics registry. *)
+val add_node : t -> name:string -> K.Machine.t -> int
+
+(** Create a machine and join it. *)
+val boot_node : t -> name:string -> ?config:K.Machine.config -> unit -> int * K.Machine.t
+
+(** Link two nodes.  Raises [Invalid_argument] on a self-link or unknown
+    node. *)
+val connect : t -> ?latency_ns:int -> ?ns_per_byte:int -> int -> int -> Link.t
+
+val node_count : t -> int
+val machine : t -> int -> K.Machine.t
+val node_name : t -> int -> string
+val name_service : t -> Name_service.t
+val links : t -> Link.t list
+val link_by_id : t -> int -> Link.t option
+val channels : t -> channel list
+
+(** Arm a link-fault plan: each event applies to its link the first round
+    whose horizon reaches [l_at_ns].  Cumulative with earlier plans. *)
+val arm_links : t -> Fi.link_plan -> unit
+
+exception Not_exported of string
+exception No_route of string
+
+(** Publish [port] (which must carry the send right) cluster-wide under
+    [name].  [mask] is intersected into every marshalled rights set —
+    root and edges — so no descriptor arrives amplified.  [capacity]
+    defaults to the home port's.  Raises
+    {!Name_service.Already_exported} on a duplicate name. *)
+val export :
+  t -> node:int -> name:string -> ?mask:Rights.t -> ?capacity:int -> Access.t -> unit
+
+(** Resolve [name] on [node]: installs (or reuses) a local surrogate port
+    and returns a send-only descriptor to it, so the existing [send] /
+    [send_timeout] / [cond_send] syscalls work unchanged against the
+    remote endpoint.  On the home node the name resolves to the home port
+    itself (send-only).  Raises {!Not_exported} or {!No_route}. *)
+val import : t -> node:int -> name:string -> Access.t
+
+type report = {
+  rounds : int;
+  horizon_ns : int;
+  frames_sent : int;  (** data frames, first transmissions *)
+  frames_delivered : int;  (** data frames landed in home ports *)
+  frames_lost : int;  (** gave up after [max_retries] *)
+  retransmits : int;
+  acks : int;
+  dup_drops : int;
+}
+
+(** Advance the cluster until every machine is quiescent and no frame is
+    in flight, unacked, or backlogged (or [max_rounds] elapses).  Each
+    round steps every machine [quantum_ns] of virtual time, then pumps
+    the interconnect. *)
+val run : t -> ?quantum_ns:int -> ?max_rounds:int -> unit -> report
+
+val frames_in_flight : t -> int
+val total_unacked : t -> int
+val total_backlog : t -> int
+
+(** Human-readable nodes / links / channels / names dump. *)
+val topology : t -> string
+
+(** Multi-pid Chrome trace of every node's event stream, with cross-node
+    frame flow arrows ({!I432_obs.Export.chrome_trace_cluster}). *)
+val chrome_trace : t -> I432_obs.Jout.t
+
+val report_to_string : report -> string

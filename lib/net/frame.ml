@@ -1,0 +1,34 @@
+(* Interconnect frames.
+
+   A frame is the unit the virtual interconnect moves between nodes: either
+   a marshalled message graph (captured with Object_filing's wire codec on
+   the sending node, reconstructed on the receiving one) or a NIC-level
+   acknowledgement.  Frames carry no live capabilities — an Access.t is
+   meaningful only within one machine's object table — which is exactly why
+   the wire codec exists. *)
+
+type kind =
+  | Data of Imax.Object_filing.wire  (* a marshalled message graph *)
+  | Ack  (* NIC-level acknowledgement of [seq] on [channel] *)
+
+type t = {
+  uid : int;  (* cluster-unique, in creation order (tiebreak for arrivals) *)
+  kind : kind;
+  src : int;  (* sending node id *)
+  dst : int;  (* destination node id *)
+  channel : int;  (* import channel the frame belongs to *)
+  seq : int;  (* per-channel sequence number ([Ack] acknowledges it) *)
+  port_name : string;  (* exported port name, for tracing *)
+  priority : int;  (* message priority, preserved across the wire *)
+  size_bytes : int;  (* serialized size, for link bandwidth accounting *)
+}
+
+(* Fixed modelled size of an acknowledgement frame. *)
+let ack_bytes = 16
+
+let kind_to_string = function Data _ -> "data" | Ack -> "ack"
+
+let to_string f =
+  Printf.sprintf "frame#%d %s %s ch=%d seq=%d %d->%d (%dB)" f.uid
+    (kind_to_string f.kind) f.port_name f.channel f.seq f.src f.dst
+    f.size_bytes

@@ -1,0 +1,28 @@
+(** Interconnect frames: a marshalled message graph or a NIC-level ack.
+
+    Frames carry no live capabilities — an [Access.t] only means something
+    within one machine's object table — so message payloads cross as
+    {!Imax.Object_filing.wire} values, captured on the sending node and
+    reconstructed on the receiving one. *)
+
+type kind =
+  | Data of Imax.Object_filing.wire  (** a marshalled message graph *)
+  | Ack  (** NIC-level acknowledgement of [seq] on [channel] *)
+
+type t = {
+  uid : int;  (** cluster-unique, in creation order *)
+  kind : kind;
+  src : int;  (** sending node id *)
+  dst : int;  (** destination node id *)
+  channel : int;  (** import channel the frame belongs to *)
+  seq : int;  (** per-channel sequence number ([Ack] acknowledges it) *)
+  port_name : string;  (** exported port name, for tracing *)
+  priority : int;  (** message priority, preserved across the wire *)
+  size_bytes : int;  (** serialized size, for bandwidth accounting *)
+}
+
+(** Fixed modelled size of an acknowledgement frame (bytes). *)
+val ack_bytes : int
+
+val kind_to_string : kind -> string
+val to_string : t -> string

@@ -1,0 +1,36 @@
+(* Cluster-wide port names.
+
+   The name service is deliberately primitive: a flat table from exported
+   name to (home node, home port, rights mask, queue capacity).  It is
+   cluster metadata, not an object in any node's heap — resolving a name
+   never costs virtual time.  Entries are kept sorted by name so every
+   enumeration is deterministic. *)
+
+open I432
+
+type entry = {
+  e_name : string;
+  e_node : int;  (* home node id *)
+  e_port : Access.t;  (* the home port, on the home node's machine *)
+  e_mask : Rights.t;  (* intersected into every marshalled rights set *)
+  e_capacity : int;  (* surrogate queue capacity on importing nodes *)
+}
+
+type t = { mutable entries : entry list }  (* sorted by e_name *)
+
+let create () = { entries = [] }
+
+let lookup t name =
+  List.find_opt (fun e -> String.equal e.e_name name) t.entries
+
+exception Already_exported of string
+
+let publish t entry =
+  if lookup t entry.e_name <> None then raise (Already_exported entry.e_name);
+  t.entries <-
+    List.sort
+      (fun a b -> String.compare a.e_name b.e_name)
+      (entry :: t.entries)
+
+let names t = List.map (fun e -> e.e_name) t.entries
+let count t = List.length t.entries

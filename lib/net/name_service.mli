@@ -1,0 +1,29 @@
+(** Cluster-wide port names: a flat, deterministic registry from exported
+    name to (home node, home port, rights mask, queue capacity).  Cluster
+    metadata, not a heap object — resolution costs no virtual time. *)
+
+open I432
+
+type entry = {
+  e_name : string;
+  e_node : int;  (** home node id *)
+  e_port : Access.t;  (** the home port, on the home node's machine *)
+  e_mask : Rights.t;  (** intersected into every marshalled rights set *)
+  e_capacity : int;  (** surrogate queue capacity on importing nodes *)
+}
+
+type t
+
+exception Already_exported of string
+
+val create : unit -> t
+
+(** Raises {!Already_exported} on a duplicate name. *)
+val publish : t -> entry -> unit
+
+val lookup : t -> string -> entry option
+
+(** Exported names, sorted. *)
+val names : t -> string list
+
+val count : t -> int

@@ -1,0 +1,31 @@
+(* Network-transparent ports (the paper's port model stretched across a
+   cluster).
+
+   Exporting gives a port a cluster-wide name; importing installs a local
+   *surrogate* port on the importing node and hands back a send-only
+   descriptor to it.  Local processes use the ordinary send /
+   send_timeout / cond_send syscalls against the surrogate — blocking,
+   timeouts, and priority ordering all behave exactly as against a local
+   port — while the NIC pump drains it and moves the messages to the home
+   port on the owning node.
+
+   What is deliberately NOT transparent (DESIGN.md §9): receiving from a
+   surrogate (the t2 right stays behind — service order of a remote queue
+   is the home node's business), level/lifetime rules (a marshalled graph
+   is reconstructed at the destination's global-heap level; lifetime
+   containment stops at the node boundary), and object identity (the
+   destination sees an isomorphic copy, not the sender's object). *)
+
+type t = Cluster.t
+
+exception Not_exported = Cluster.Not_exported
+exception No_route = Cluster.No_route
+
+let export = Cluster.export
+let import = Cluster.import
+let names cluster = Name_service.names (Cluster.name_service cluster)
+
+let resolve cluster name =
+  match Name_service.lookup (Cluster.name_service cluster) name with
+  | None -> None
+  | Some e -> Some (e.Name_service.e_node, e.Name_service.e_capacity)

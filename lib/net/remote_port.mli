@@ -1,0 +1,29 @@
+(** Network-transparent ports: exportable cluster-wide names, local
+    surrogate ports on importing nodes.
+
+    Importing installs a local surrogate and returns a send-only
+    descriptor, so the existing [send] / [send_timeout] / [cond_send]
+    syscalls work unchanged against remote endpoints.  Not transparent by
+    design: receive (t2 stays home), level/lifetime rules (stop at the
+    node boundary), and object identity (destinations get isomorphic
+    copies). *)
+
+open I432
+
+type t = Cluster.t
+
+exception Not_exported of string
+exception No_route of string
+
+(** See {!Cluster.export}. *)
+val export :
+  t -> node:int -> name:string -> ?mask:Rights.t -> ?capacity:int -> Access.t -> unit
+
+(** See {!Cluster.import}. *)
+val import : t -> node:int -> name:string -> Access.t
+
+(** Exported names, sorted. *)
+val names : t -> string list
+
+(** [(home node, surrogate capacity)] for an exported name. *)
+val resolve : t -> string -> (int * int) option

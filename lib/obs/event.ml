@@ -45,6 +45,10 @@ type kind =
   | Alloc_retry  (* a=attempt number, b=backoff ns *)
   | Timeout_fired  (* a=port index, b=0 for send, 1 for receive *)
   | Proc_restarted  (* a=new process index, b=restart count *)
+  | Remote_send  (* name=port name, a=channel id, b=frame seq *)
+  | Remote_deliver  (* name=port name, a=channel id, b=frame seq *)
+  | Frame_tx  (* name=port name, detail=frame kind, a=frame seq, b=dst node *)
+  | Frame_rx  (* name=port name, detail=frame kind, a=frame seq, b=src node *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -91,9 +95,13 @@ let kind_to_string = function
   | Alloc_retry -> "alloc-retry"
   | Timeout_fired -> "timeout-fired"
   | Proc_restarted -> "proc-restarted"
+  | Remote_send -> "remote-send"
+  | Remote_deliver -> "remote-deliver"
+  | Frame_tx -> "frame-tx"
+  | Frame_rx -> "frame-rx"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
-   rings.  [kind_of_int] is the inverse on [0 .. 32]. *)
+   rings.  [kind_of_int] is the inverse on [0 .. 36]. *)
 let kind_to_int = function
   | Spawn -> 0
   | Exit -> 1
@@ -128,6 +136,10 @@ let kind_to_int = function
   | Alloc_retry -> 30
   | Timeout_fired -> 31
   | Proc_restarted -> 32
+  | Remote_send -> 33
+  | Remote_deliver -> 34
+  | Frame_tx -> 35
+  | Frame_rx -> 36
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -163,6 +175,10 @@ let kind_of_int = function
   | 30 -> Alloc_retry
   | 31 -> Timeout_fired
   | 32 -> Proc_restarted
+  | 33 -> Remote_send
+  | 34 -> Remote_deliver
+  | 35 -> Frame_tx
+  | 36 -> Frame_rx
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -176,6 +192,7 @@ let category = function
   | Domain_call | Domain_return -> "domain"
   | Gc_mark_begin | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> "gc"
   | Fi_inject -> "fi"
+  | Remote_send | Remote_deliver | Frame_tx | Frame_rx -> "net"
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -197,4 +214,5 @@ let legacy_line e =
   | Block_receive | Sleep | Wake | Send | Receive | Allocate | Release
   | Sro_create | Sro_destroy | Domain_call | Domain_return | Gc_mark_begin
   | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end | Fi_inject | Cpu_offline
-  | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted -> None
+  | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted
+  | Remote_send | Remote_deliver | Frame_tx | Frame_rx -> None

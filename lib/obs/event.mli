@@ -35,6 +35,10 @@ type kind =
   | Alloc_retry  (** a=attempt number, b=backoff ns *)
   | Timeout_fired  (** a=port index, b=0 for send, 1 for receive *)
   | Proc_restarted  (** a=new process index, b=restart count *)
+  | Remote_send  (** name=port name, a=channel id, b=frame seq *)
+  | Remote_deliver  (** name=port name, a=channel id, b=frame seq *)
+  | Frame_tx  (** name=port name, detail=frame kind, a=frame seq, b=dst node *)
+  | Frame_rx  (** name=port name, detail=frame kind, a=frame seq, b=src node *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -56,7 +60,8 @@ val kind_to_int : kind -> int
 
 val kind_of_int : int -> kind
 
-(** Subsystem of the event: proc, dispatch, port, sro, domain, gc or fi. *)
+(** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi or
+    net. *)
 val category : kind -> string
 
 val to_string : t -> string

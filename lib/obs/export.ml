@@ -9,12 +9,16 @@
      processor, opened at Dispatch and closed at the event that takes the
      process off its cpu;
    - instant events ("i") for the remaining kinds, categorized by
-     subsystem (proc/dispatch/port/sro/domain/gc);
+     subsystem (proc/dispatch/port/sro/domain/gc/net);
    - flow arrows ("s"/"f") from each port send to the receive that
      consumed the same message, paired in FIFO order per (port, message)
      so re-sent payloads get distinct arrows;
    - async slices ("b"/"e") for the collector's mark and sweep phases,
      which span yields and so cannot nest inside the per-cpu slices.
+
+   A cluster trace ({!chrome_trace_cluster}) renders one pid per node with
+   the same per-node treatment, plus cross-node flow arrows pairing each
+   frame transmission with the frame arrival on the peer node.
 
    Timestamps are the simulator's virtual nanoseconds divided by 1000 (the
    format counts microseconds), so traces of identical runs are identical
@@ -34,7 +38,7 @@ let field_args (e : Event.t) =
       (if e.Event.b = 0 then None else Some ("b", Int e.Event.b));
     ]
 
-let entry ?(extra = []) ?(args = []) ~name ~cat ~ph ~ts_ns ~tid () =
+let entry ?(extra = []) ?(args = []) ?(pid = 0) ~name ~cat ~ph ~ts_ns ~tid () =
   let open Jout in
   Obj
     ([
@@ -42,33 +46,28 @@ let entry ?(extra = []) ?(args = []) ~name ~cat ~ph ~ts_ns ~tid () =
        ("cat", Str cat);
        ("ph", Str ph);
        ("ts", Float (us ts_ns));
-       ("pid", Int 0);
+       ("pid", Int pid);
        ("tid", Int tid);
      ]
     @ extra
     @ if args = [] then [] else [ ("args", Obj args) ])
 
-let meta ~name ~tid ~value =
+let meta ?(pid = 0) ~name ~tid ~value () =
   let open Jout in
   Obj
     [
       ("name", Str name);
       ("ph", Str "M");
-      ("pid", Int 0);
+      ("pid", Int pid);
       ("tid", Int tid);
       ("args", Obj [ ("name", Str value) ]);
     ]
 
-let chrome_trace ~processors events =
-  let out = ref [] in
-  (* (sort key ns, json); metadata sorts first. *)
-  let add ts_ns j = out := (ts_ns, j) :: !out in
+(* Walk one node's event stream, emitting its slices, instants, per-node
+   flow arrows and GC async slices through [add].  [flow_seq] is shared
+   across nodes so flow ids stay globally unique in a cluster trace. *)
+let walk_stream ~pid ~processors ~add ~flow_seq events =
   let tid_of cpu = if cpu < 0 || cpu >= processors then processors else cpu in
-  add (-1) (meta ~name:"process_name" ~tid:0 ~value:"imax432");
-  for c = 0 to processors - 1 do
-    add (-1) (meta ~name:"thread_name" ~tid:c ~value:(Printf.sprintf "cpu%d" c))
-  done;
-  add (-1) (meta ~name:"thread_name" ~tid:processors ~value:"boot");
   let open_slice = Array.make (processors + 1) None in
   let max_ts = ref 0 in
   let close ~tid ~ts_ns =
@@ -76,13 +75,12 @@ let chrome_trace ~processors events =
     | None -> ()
     | Some name ->
       open_slice.(tid) <- None;
-      add ts_ns (entry ~name ~cat:"dispatch" ~ph:"E" ~ts_ns ~tid ())
+      add ts_ns (entry ~name ~cat:"dispatch" ~ph:"E" ~ts_ns ~tid ~pid ())
   in
   (* Pending sends per (port, message), consumed FIFO by receives. *)
   let pending : (int * int, (int * int) Queue.t) Hashtbl.t =
     Hashtbl.create 64
   in
-  let flow_seq = ref 0 in
   List.iter
     (fun (e : Event.t) ->
       let tid = tid_of e.Event.cpu in
@@ -91,6 +89,7 @@ let chrome_trace ~processors events =
       let instant ?(name = Event.kind_to_string e.Event.kind) () =
         add ts_ns
           (entry ~name ~cat:(Event.category e.Event.kind) ~ph:"i" ~ts_ns ~tid
+             ~pid
              ~extra:[ ("s", Jout.Str "t") ]
              ~args:(field_args e) ())
       in
@@ -99,7 +98,7 @@ let chrome_trace ~processors events =
         close ~tid ~ts_ns;
         open_slice.(tid) <- Some e.Event.name;
         add ts_ns
-          (entry ~name:e.Event.name ~cat:"dispatch" ~ph:"B" ~ts_ns ~tid
+          (entry ~name:e.Event.name ~cat:"dispatch" ~ph:"B" ~ts_ns ~tid ~pid
              ~args:(field_args e) ())
       | Event.Deschedule | Event.Exit | Event.Finish -> close ~tid ~ts_ns
       | Event.Yield | Event.Preempt | Event.Sleep | Event.Fault
@@ -127,32 +126,33 @@ let chrome_trace ~processors events =
           incr flow_seq;
           add send_ts
             (entry ~name:"msg" ~cat:"flow" ~ph:"s" ~ts_ns:send_ts ~tid:send_tid
+               ~pid
                ~extra:[ ("id", Jout.Int id) ]
                ())
           ;
           add ts_ns
-            (entry ~name:"msg" ~cat:"flow" ~ph:"f" ~ts_ns ~tid
+            (entry ~name:"msg" ~cat:"flow" ~ph:"f" ~ts_ns ~tid ~pid
                ~extra:[ ("id", Jout.Int id); ("bp", Jout.Str "e") ]
                ())
         | Some _ | None -> ())
       | Event.Gc_mark_begin ->
         add ts_ns
-          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"b" ~ts_ns ~tid
+          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"b" ~ts_ns ~tid ~pid
              ~extra:[ ("id", Jout.Int 1) ]
              ())
       | Event.Gc_mark_end ->
         add ts_ns
-          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"e" ~ts_ns ~tid
+          (entry ~name:"gc-mark" ~cat:"gc" ~ph:"e" ~ts_ns ~tid ~pid
              ~extra:[ ("id", Jout.Int 1) ]
              ~args:(field_args e) ())
       | Event.Gc_sweep_begin ->
         add ts_ns
-          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"b" ~ts_ns ~tid
+          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"b" ~ts_ns ~tid ~pid
              ~extra:[ ("id", Jout.Int 2) ]
              ())
       | Event.Gc_sweep_end ->
         add ts_ns
-          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"e" ~ts_ns ~tid
+          (entry ~name:"gc-sweep" ~cat:"gc" ~ph:"e" ~ts_ns ~tid ~pid
              ~extra:[ ("id", Jout.Int 2) ]
              ~args:(field_args e) ())
       | Event.Cpu_offline ->
@@ -164,16 +164,16 @@ let chrome_trace ~processors events =
       | Event.Allocate | Event.Release | Event.Sro_create | Event.Sro_destroy
       | Event.Domain_call | Event.Domain_return | Event.Fi_inject
       | Event.Proc_requeued | Event.Alloc_retry | Event.Timeout_fired
-      | Event.Proc_restarted ->
+      | Event.Proc_restarted | Event.Remote_send | Event.Remote_deliver
+      | Event.Frame_tx | Event.Frame_rx ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)
   for tid = 0 to processors do
     close ~tid ~ts_ns:!max_ts
-  done;
-  let sorted =
-    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !out)
-  in
+  done
+
+let wrap sorted =
   let open Jout in
   Obj
     [
@@ -186,3 +186,112 @@ let chrome_trace ~processors events =
             ("clock", Str "virtual-ns (8 MHz 432 timings)");
           ] );
     ]
+
+let sort_entries out =
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev out)
+
+let chrome_trace ~processors events =
+  let out = ref [] in
+  (* (sort key ns, json); metadata sorts first. *)
+  let add ts_ns j = out := (ts_ns, j) :: !out in
+  add (-1) (meta ~name:"process_name" ~tid:0 ~value:"imax432" ());
+  for c = 0 to processors - 1 do
+    add (-1)
+      (meta ~name:"thread_name" ~tid:c ~value:(Printf.sprintf "cpu%d" c) ())
+  done;
+  add (-1) (meta ~name:"thread_name" ~tid:processors ~value:"boot" ());
+  let flow_seq = ref 0 in
+  walk_stream ~pid:0 ~processors ~add ~flow_seq events;
+  wrap (sort_entries !out)
+
+(* Cluster trace: one pid per node (in list order), each rendered exactly
+   like a single-machine trace, plus cross-node flow arrows pairing every
+   frame transmission ([Frame_tx], b = destination node) with the arrival
+   that consumed it ([Frame_rx], b = source node) — retransmissions and
+   duplicated deliveries pair FIFO per (port name, src, dst, seq, kind). *)
+let chrome_trace_cluster nodes =
+  let out = ref [] in
+  let add ts_ns j = out := (ts_ns, j) :: !out in
+  List.iteri
+    (fun pid (name, processors, _) ->
+      add (-1)
+        (meta ~pid ~name:"process_name" ~tid:0
+           ~value:(Printf.sprintf "node%d %s" pid name)
+           ());
+      for c = 0 to processors - 1 do
+        add (-1)
+          (meta ~pid ~name:"thread_name" ~tid:c
+             ~value:(Printf.sprintf "cpu%d" c)
+             ())
+      done;
+      add (-1) (meta ~pid ~name:"thread_name" ~tid:processors ~value:"boot" ()))
+    nodes;
+  let flow_seq = ref 0 in
+  List.iteri
+    (fun pid (_, processors, events) ->
+      walk_stream ~pid ~processors ~add ~flow_seq events)
+    nodes;
+  (* Cross-node frame arrows: collect transmissions, then consume them with
+     arrivals in virtual-time order. *)
+  let tx : (string * int * int * int * string, (int * int * int) Queue.t)
+      Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iteri
+    (fun pid (_, processors, events) ->
+      let tid_of cpu = if cpu < 0 || cpu >= processors then processors else cpu in
+      List.iter
+        (fun (e : Event.t) ->
+          match e.Event.kind with
+          | Event.Frame_tx ->
+            let key = (e.Event.name, pid, e.Event.b, e.Event.a, e.Event.detail) in
+            let q =
+              match Hashtbl.find_opt tx key with
+              | Some q -> q
+              | None ->
+                let q = Queue.create () in
+                Hashtbl.replace tx key q;
+                q
+            in
+            Queue.push (e.Event.ts_ns, pid, tid_of e.Event.cpu) q
+          | _ -> ())
+        events)
+    nodes;
+  let rx = ref [] in
+  List.iteri
+    (fun pid (_, processors, events) ->
+      let tid_of cpu = if cpu < 0 || cpu >= processors then processors else cpu in
+      List.iter
+        (fun (e : Event.t) ->
+          match e.Event.kind with
+          | Event.Frame_rx ->
+            rx :=
+              ( e.Event.ts_ns,
+                e.Event.seq,
+                (e.Event.name, e.Event.b, pid, e.Event.a, e.Event.detail),
+                pid,
+                tid_of e.Event.cpu )
+              :: !rx
+          | _ -> ())
+        events)
+    nodes;
+  let rx = List.sort compare (List.rev !rx) in
+  List.iter
+    (fun (ts_ns, _, key, pid, tid) ->
+      match Hashtbl.find_opt tx key with
+      | Some q when not (Queue.is_empty q) ->
+        let send_ts, send_pid, send_tid = Queue.pop q in
+        let id = !flow_seq in
+        incr flow_seq;
+        add send_ts
+          (entry ~name:"frame" ~cat:"net" ~ph:"s" ~ts_ns:send_ts ~tid:send_tid
+             ~pid:send_pid
+             ~extra:[ ("id", Jout.Int id) ]
+             ());
+        add ts_ns
+          (entry ~name:"frame" ~cat:"net" ~ph:"f" ~ts_ns ~tid ~pid
+             ~extra:[ ("id", Jout.Int id); ("bp", Jout.Str "e") ]
+             ())
+      | Some _ | None -> ())
+    rx;
+  wrap (sort_entries !out)

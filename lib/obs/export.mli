@@ -9,3 +9,9 @@
 (** [chrome_trace ~processors events] renders events (in emission order,
     as returned by {!Tracer.events}) to a complete trace JSON value. *)
 val chrome_trace : processors:int -> Event.t list -> Jout.t
+
+(** [chrome_trace_cluster nodes] renders a multi-node trace: one pid per
+    [(name, processors, events)] element (in list order), each laid out
+    exactly like {!chrome_trace}, plus cross-node flow arrows pairing each
+    frame transmission with its arrival on the peer node. *)
+val chrome_trace_cluster : (string * int * Event.t list) list -> Jout.t

@@ -12,6 +12,7 @@ let () =
       ("imax", Test_imax.suite);
       ("extensions", Test_extensions.suite);
       ("fi", Test_fi.suite);
+      ("net", Test_net.suite);
       ("units", Test_units.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,484 @@
+(* The virtual interconnect: wire codec, kernel hooks, cluster delivery,
+   link faults, and determinism. *)
+
+open I432
+module K = I432_kernel
+module Obs = I432_obs
+module Fi = I432_fi.Fi
+module Net = I432_net
+module Filing = Imax.Object_filing
+
+let mk ?(processors = 1) ?(trace = false) () =
+  K.Machine.create
+    ~config:
+      {
+        K.Machine.default_config with
+        processors;
+        trace_level = (if trace then Obs.Tracer.Events else Obs.Tracer.Off);
+      }
+    ()
+
+let alloc m ?(data_length = 16) ?(access_length = 0) () =
+  K.Machine.allocate_generic m ~data_length ~access_length ()
+
+(* ---------------- Wire codec ---------------- *)
+
+(* A shared, cyclic graph survives capture/reconstruct across machines:
+   root -> a, root -> b, a -> shared, b -> shared, shared -> root. *)
+let test_wire_cycle_and_sharing () =
+  let src = mk () and dst = mk () in
+  let root = alloc src ~access_length:2 () in
+  let a = alloc src ~access_length:1 () in
+  let b = alloc src ~access_length:1 () in
+  let shared = alloc src ~access_length:1 () in
+  K.Machine.write_word src root ~offset:0 1;
+  K.Machine.write_word src a ~offset:0 2;
+  K.Machine.write_word src b ~offset:0 3;
+  K.Machine.write_word src shared ~offset:0 4;
+  K.Machine.store_access src root ~slot:0 (Some a);
+  K.Machine.store_access src root ~slot:1 (Some b);
+  K.Machine.store_access src a ~slot:0 (Some shared);
+  K.Machine.store_access src b ~slot:0 (Some shared);
+  K.Machine.store_access src shared ~slot:0 (Some root);
+  let wire = Filing.capture src root in
+  Alcotest.(check int) "four nodes" 4 (Filing.wire_nodes wire);
+  let root' = Filing.reconstruct dst wire in
+  let word o = K.Machine.read_word dst o ~offset:0 in
+  Alcotest.(check int) "root data" 1 (word root');
+  let a' = Option.get (K.Machine.load_access dst root' ~slot:0) in
+  let b' = Option.get (K.Machine.load_access dst root' ~slot:1) in
+  Alcotest.(check int) "a data" 2 (word a');
+  Alcotest.(check int) "b data" 3 (word b');
+  let sa = Option.get (K.Machine.load_access dst a' ~slot:0) in
+  let sb = Option.get (K.Machine.load_access dst b' ~slot:0) in
+  Alcotest.(check int) "sharing preserved" (Access.index sa) (Access.index sb);
+  Alcotest.(check int) "shared data" 4 (word sa);
+  let back = Option.get (K.Machine.load_access dst sa ~slot:0) in
+  Alcotest.(check int) "cycle closes at root" (Access.index root')
+    (Access.index back);
+  (* It's a copy: fresh indices on the destination's table. *)
+  Alcotest.(check bool) "fresh identity" false
+    (Access.index root = Access.index root'
+    && K.Machine.table src == K.Machine.table dst)
+
+let test_wire_rights_mask () =
+  let src = mk () and dst = mk () in
+  let root = alloc src ~access_length:1 () in
+  let child = alloc src () in
+  K.Machine.write_word src child ~offset:0 77;
+  K.Machine.store_access src root ~slot:0 (Some child);
+  let wire = Filing.capture src ~mask:Rights.read_only root in
+  let root' = Filing.reconstruct dst wire in
+  Alcotest.(check bool) "root write stripped" false
+    (Rights.has_write (Access.rights root'));
+  Alcotest.(check bool) "root read kept" true
+    (Rights.has_read (Access.rights root'));
+  let child' = Option.get (K.Machine.load_access dst root' ~slot:0) in
+  Alcotest.(check bool) "edge write stripped" false
+    (Rights.has_write (Access.rights child'));
+  Alcotest.(check bool) "edge never amplifies" true
+    (Rights.subset ~of_:(Access.rights child) (Access.rights child'));
+  Alcotest.(check int) "data still crossed" 77
+    (K.Machine.read_word dst child' ~offset:0)
+
+let test_wire_sealed_instance () =
+  let src = mk () and dst = mk () in
+  let table = K.Machine.table src in
+  let sro = K.Machine.global_sro src in
+  let td = Type_def.create table sro ~name:"mailbox" in
+  let inst =
+    Type_def.create_instance table td sro ~data_length:8 ~access_length:0
+  in
+  let root = alloc src ~access_length:1 () in
+  K.Machine.store_access src root ~slot:0 (Some inst);
+  let wire = Filing.capture src root in
+  let root' = Filing.reconstruct dst wire in
+  let inst' = Option.get (K.Machine.load_access dst root' ~slot:0) in
+  let e = Object_table.entry_of_access table inst in
+  let e' = Object_table.entry_of_access (K.Machine.table dst) inst' in
+  Alcotest.(check bool) "seal crossed intact" true
+    (e.Object_table.otype = e'.Object_table.otype);
+  Alcotest.(check bool) "still a sealed custom type" true
+    (match e'.Object_table.otype with Obj_type.Custom _ -> true | _ -> false)
+
+(* qcheck: random DAG-with-back-edges graphs reconstruct isomorphic — same
+   canonical (discovery-order) walk on both machines. *)
+let canonical_walk m root =
+  let table = K.Machine.table m in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let count = ref 0 in
+  let rec go access =
+    let idx = Access.index access in
+    match Hashtbl.find_opt seen idx with
+    | Some serial -> out := `Ref serial :: !out
+    | None ->
+      let serial = !count in
+      incr count;
+      Hashtbl.add seen idx serial;
+      let e = Object_table.entry_of_access table access in
+      out :=
+        `Node
+          ( serial,
+            K.Machine.read_bytes m access ~offset:0
+              ~len:e.Object_table.data_length,
+            Access.rights access )
+        :: !out;
+      Array.iter
+        (function Some child -> go child | None -> out := `Hole :: !out)
+        e.Object_table.access_part
+  in
+  go root;
+  List.rev !out
+
+let prop_wire_isomorphic =
+  QCheck2.Test.make ~name:"wire codec reconstructs isomorphic graphs"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 1000000))
+    (fun (n, salt) ->
+      let src = mk () and dst = mk () in
+      let objs =
+        Array.init n (fun i ->
+            let o = alloc src ~data_length:8 ~access_length:3 () in
+            K.Machine.write_word src o ~offset:0 ((salt * 31) + i);
+            o)
+      in
+      (* Deterministic pseudo-random edges from the salt, including back
+         edges (cycles) and sharing. *)
+      let state = ref (salt + (n * 7919) + 1) in
+      let next bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      Array.iteri
+        (fun i o ->
+          for slot = 0 to 2 do
+            if next 3 > 0 then
+              K.Machine.store_access src o ~slot (Some objs.(next n))
+            else ignore i
+          done)
+        objs;
+      let wire = Filing.capture src objs.(0) in
+      let root' = Filing.reconstruct dst wire in
+      canonical_walk src objs.(0) = canonical_walk dst root')
+
+(* ---------------- Kernel interconnect hooks ---------------- *)
+
+let test_deliver_external_wakes_receiver () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let got = ref (-1) in
+  ignore
+    (K.Machine.spawn m ~name:"rx" (fun () ->
+         let msg = K.Machine.receive m ~port in
+         got := K.Machine.read_word m msg ~offset:0));
+  (* Park the receiver first. *)
+  ignore (K.Machine.run m);
+  Alcotest.(check int) "still blocked" (-1) !got;
+  let msg = alloc m () in
+  K.Machine.write_word m msg ~offset:0 42;
+  Alcotest.(check bool) "accepted" true
+    (K.Machine.deliver_external m ~port ~msg ~priority:0);
+  ignore (K.Machine.run m);
+  Alcotest.(check int) "woken with the message" 42 !got
+
+let test_deliver_external_full_port () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  Alcotest.(check bool) "first fits" true
+    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0);
+  Alcotest.(check bool) "second refused" false
+    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0)
+
+let test_drain_port_admits_blocked_senders () =
+  let m = mk () in
+  let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
+  for i = 1 to 3 do
+    ignore
+      (K.Machine.spawn m ~name:(Printf.sprintf "tx%d" i) (fun () ->
+           let msg = alloc m () in
+           K.Machine.write_word m msg ~offset:0 i;
+           K.Machine.send m ~port ~msg))
+  done;
+  (* One message queued, two senders blocked. *)
+  ignore (K.Machine.run m);
+  let drained = K.Machine.drain_port m ~max:2 ~port () in
+  Alcotest.(check int) "bounded drain" 2 (List.length drained);
+  (* The drain admitted a blocked sender into the freed slots; draining
+     again (after letting it run) yields the rest in order. *)
+  ignore (K.Machine.run m);
+  let rest = K.Machine.drain_port m ~port () in
+  let payloads =
+    List.map (fun (msg, _, _) -> K.Machine.read_word m msg ~offset:0)
+      (drained @ rest)
+  in
+  Alcotest.(check (list int)) "service order survives" [ 1; 2; 3 ] payloads
+
+(* ---------------- Cluster delivery ---------------- *)
+
+let two_nodes ?(trace = false) ?window ?max_retries () =
+  let cluster = Net.Cluster.create ?window ?max_retries () in
+  let config =
+    {
+      K.Machine.default_config with
+      processors = 1;
+      trace_level = (if trace then Obs.Tracer.Events else Obs.Tracer.Off);
+    }
+  in
+  let a, ma = Net.Cluster.boot_node cluster ~name:"a" ~config () in
+  let b, mb = Net.Cluster.boot_node cluster ~name:"b" ~config () in
+  let link = Net.Cluster.connect cluster a b in
+  (cluster, (a, ma), (b, mb), link)
+
+(* Wire a [count]-message producer on node a and a consumer on node b
+   through an exported port named "chan"; returns the consumer's payload
+   list (in delivery order) after the cluster runs. *)
+let ping_scenario ?(count = 5) ?(capacity = 4) (cluster, (a, ma), (b, mb), _link)
+    =
+  let home = K.Machine.create_port mb ~capacity ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"chan" home;
+  let got = ref [] in
+  ignore
+    (K.Machine.spawn mb ~name:"consumer" (fun () ->
+         for _ = 1 to count do
+           let msg = K.Machine.receive mb ~port:home in
+           got := K.Machine.read_word mb msg ~offset:0 :: !got
+         done));
+  let surrogate = Net.Cluster.import cluster ~node:a ~name:"chan" in
+  ignore
+    (K.Machine.spawn ma ~name:"producer" (fun () ->
+         for i = 1 to count do
+           let msg = alloc ma () in
+           K.Machine.write_word ma msg ~offset:0 (i * 10);
+           K.Machine.send ma ~port:surrogate ~msg
+         done));
+  let report = Net.Cluster.run cluster () in
+  (report, List.rev !got)
+
+let test_two_node_delivery () =
+  let report, got = ping_scenario (two_nodes ()) in
+  Alcotest.(check (list int)) "payloads in order" [ 10; 20; 30; 40; 50 ] got;
+  Alcotest.(check int) "all delivered" 5 report.Net.Cluster.frames_delivered;
+  Alcotest.(check int) "nothing lost" 0 report.Net.Cluster.frames_lost;
+  Alcotest.(check int) "acks flowed back" 5 report.Net.Cluster.acks
+
+let test_remote_latency_observable () =
+  (* The consumer cannot see a message before frame latency has elapsed:
+     the destination's clock at halt covers at least one one-way trip. *)
+  let ((_, (_, _), (_, mb), link) as nodes) = two_nodes () in
+  let _report, got = ping_scenario ~count:1 nodes in
+  Alcotest.(check (list int)) "delivered" [ 10 ] got;
+  Alcotest.(check bool) "consumer saw the link latency" true
+    (K.Machine.now mb >= link.Net.Link.latency_ns)
+
+let test_drop_retransmit () =
+  let ((cluster, _, _, _) as nodes) = two_nodes () in
+  let plan =
+    {
+      Fi.l_seed = 0;
+      l_events = [ { Fi.l_at_ns = 0; l_link = 0; l_act = Fi.L_drop 2 } ];
+    }
+  in
+  Net.Cluster.arm_links cluster plan;
+  let report, got = ping_scenario nodes in
+  Alcotest.(check int) "every message still arrives" 5 (List.length got);
+  Alcotest.(check int) "delivered exactly once each" 5
+    report.Net.Cluster.frames_delivered;
+  Alcotest.(check bool) "recovery retransmitted" true
+    (report.Net.Cluster.retransmits >= 2);
+  Alcotest.(check int) "nothing permanently lost" 0
+    report.Net.Cluster.frames_lost
+
+let test_dup_detection () =
+  let ((cluster, _, _, _) as nodes) = two_nodes () in
+  let plan =
+    {
+      Fi.l_seed = 0;
+      l_events = [ { Fi.l_at_ns = 0; l_link = 0; l_act = Fi.L_dup 3 } ];
+    }
+  in
+  Net.Cluster.arm_links cluster plan;
+  let report, got = ping_scenario nodes in
+  Alcotest.(check (list int)) "no double delivery" [ 10; 20; 30; 40; 50 ] got;
+  Alcotest.(check bool) "duplicates were filtered" true
+    (report.Net.Cluster.dup_drops >= 1)
+
+let test_partition_heal () =
+  let ((cluster, _, _, link) as nodes) = two_nodes () in
+  (* Sever the link for 2 ms starting immediately; traffic starts inside
+     the window and must all get through after the heal. *)
+  let plan =
+    {
+      Fi.l_seed = 0;
+      l_events = [ { Fi.l_at_ns = 0; l_link = 0; l_act = Fi.L_partition 2_000_000 } ];
+    }
+  in
+  Net.Cluster.arm_links cluster plan;
+  let report, got = ping_scenario nodes in
+  Alcotest.(check int) "all messages after heal" 5 (List.length got);
+  Alcotest.(check int) "exactly once" 5 report.Net.Cluster.frames_delivered;
+  Alcotest.(check bool) "partition dropped frames" true (link.Net.Link.dropped > 0);
+  Alcotest.(check int) "none abandoned" 0 report.Net.Cluster.frames_lost
+
+let test_partition_forever_counts_lost () =
+  let ((cluster, _, _, _) as nodes) = two_nodes ~max_retries:2 () in
+  let plan =
+    {
+      Fi.l_seed = 0;
+      l_events =
+        [ { Fi.l_at_ns = 0; l_link = 0; l_act = Fi.L_partition max_int } ];
+    }
+  in
+  Net.Cluster.arm_links cluster plan;
+  let report, got = ping_scenario ~count:2 nodes in
+  Alcotest.(check (list int)) "nothing delivered" [] got;
+  Alcotest.(check int) "both given up on" 2 report.Net.Cluster.frames_lost
+
+let test_window_backpressure () =
+  (* Window 2, surrogate capacity 2, 12 messages: senders must block and
+     be re-admitted repeatedly; everything still arrives in order. *)
+  let report, got =
+    ping_scenario ~count:12 ~capacity:2 (two_nodes ~window:2 ())
+  in
+  Alcotest.(check int) "all delivered" 12 (List.length got);
+  Alcotest.(check (list int)) "in order"
+    (List.init 12 (fun i -> (i + 1) * 10))
+    got;
+  Alcotest.(check int) "frames match" 12 report.Net.Cluster.frames_delivered
+
+let test_determinism_under_faults () =
+  let run_once () =
+    let ((cluster, ((_, ma)), ((_, mb)), _) as nodes) = two_nodes ~trace:true () in
+    let plan = Fi.random_links ~seed:11 ~horizon_ns:5_000_000 ~links:1 ~count:6 ~partitions:1 in
+    Net.Cluster.arm_links cluster plan;
+    let report, got = ping_scenario ~count:8 nodes in
+    ( report,
+      got,
+      List.map Obs.Event.to_string (K.Machine.events ma),
+      List.map Obs.Event.to_string (K.Machine.events mb) )
+  in
+  let r1, got1, ea1, eb1 = run_once () in
+  let r2, got2, ea2, eb2 = run_once () in
+  Alcotest.(check bool) "same report" true (r1 = r2);
+  Alcotest.(check (list int)) "same payload order" got1 got2;
+  Alcotest.(check (list string)) "node a stream byte-identical" ea1 ea2;
+  Alcotest.(check (list string)) "node b stream byte-identical" eb1 eb2
+
+(* ---------------- Names, rights, routing ---------------- *)
+
+let test_name_service_errors () =
+  let cluster, (a, _ma), (b, mb), _ = two_nodes () in
+  let home = K.Machine.create_port mb ~capacity:2 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"svc" home;
+  Alcotest.check_raises "duplicate export"
+    (Net.Name_service.Already_exported "svc") (fun () ->
+      Net.Cluster.export cluster ~node:b ~name:"svc" home);
+  Alcotest.check_raises "unknown import" (Net.Cluster.Not_exported "nope")
+    (fun () -> ignore (Net.Cluster.import cluster ~node:a ~name:"nope"));
+  let c, _mc = Net.Cluster.boot_node cluster ~name:"c" () in
+  (* c has no link to b. *)
+  (try
+     ignore (Net.Cluster.import cluster ~node:c ~name:"svc");
+     Alcotest.fail "expected No_route"
+   with Net.Cluster.No_route _ -> ());
+  Alcotest.(check (list string)) "names sorted" [ "svc" ]
+    (Net.Remote_port.names cluster);
+  Alcotest.(check (option (pair int int))) "resolve" (Some (b, 2))
+    (Net.Remote_port.resolve cluster "svc");
+  ignore a
+
+let test_surrogate_is_send_only () =
+  let cluster, (a, ma), (b, mb), _ = two_nodes () in
+  let home = K.Machine.create_port mb ~capacity:2 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"svc" home;
+  let surrogate = Net.Cluster.import cluster ~node:a ~name:"svc" in
+  Alcotest.(check bool) "send right kept" true
+    (Rights.has_type_right (Access.rights surrogate) Rights.t1);
+  Alcotest.(check bool) "receive right withheld" false
+    (Rights.has_type_right (Access.rights surrogate) Rights.t2);
+  (* A local process trying to receive from the surrogate faults: the
+     kernel routes the rights violation to the process's fault state. *)
+  let thief =
+    K.Machine.spawn ma ~name:"thief" (fun () ->
+        ignore (K.Machine.receive ma ~port:surrogate))
+  in
+  ignore (Net.Cluster.run cluster ());
+  let faulted =
+    match (K.Machine.process_state ma thief).K.Process.status with
+    | K.Process.Faulted (Fault.Rights_violation _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "receive denied" true faulted;
+  ignore b
+
+let test_import_on_home_node () =
+  let cluster, (_a, _ma), (b, mb), _ = two_nodes () in
+  let home = K.Machine.create_port mb ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"svc" home;
+  let local = Net.Cluster.import cluster ~node:b ~name:"svc" in
+  let got = ref 0 in
+  ignore
+    (K.Machine.spawn mb ~name:"rx" (fun () ->
+         got := K.Machine.read_word mb (K.Machine.receive mb ~port:home) ~offset:0));
+  ignore
+    (K.Machine.spawn mb ~name:"tx" (fun () ->
+         let msg = alloc mb () in
+         K.Machine.write_word mb msg ~offset:0 9;
+         K.Machine.send mb ~port:local ~msg));
+  let report = Net.Cluster.run cluster () in
+  Alcotest.(check int) "local resolution short-circuits" 9 !got;
+  Alcotest.(check int) "no frames crossed" 0 report.Net.Cluster.frames_sent
+
+let test_link_plan_deterministic () =
+  let p1 = Fi.random_links ~seed:5 ~horizon_ns:1_000_000 ~links:3 ~count:8 ~partitions:2 in
+  let p2 = Fi.random_links ~seed:5 ~horizon_ns:1_000_000 ~links:3 ~count:8 ~partitions:2 in
+  Alcotest.(check string) "same seed, same plan" (Fi.link_plan_to_string p1)
+    (Fi.link_plan_to_string p2);
+  let sorted = List.for_all2
+      (fun (a : Fi.link_event) b -> a.Fi.l_at_ns <= b.Fi.l_at_ns)
+      (List.filteri (fun i _ -> i < List.length p1.Fi.l_events - 1) p1.Fi.l_events)
+      (List.tl p1.Fi.l_events)
+  in
+  Alcotest.(check bool) "sorted by instant" true sorted;
+  let p3 = Fi.random_links ~seed:6 ~horizon_ns:1_000_000 ~links:3 ~count:8 ~partitions:2 in
+  Alcotest.(check bool) "different seed, different plan" true
+    (Fi.link_plan_to_string p1 <> Fi.link_plan_to_string p3)
+
+let suite =
+  [
+    Alcotest.test_case "wire: cycle and sharing cross nodes" `Quick
+      test_wire_cycle_and_sharing;
+    Alcotest.test_case "wire: export mask caps rights" `Quick
+      test_wire_rights_mask;
+    Alcotest.test_case "wire: sealed instance keeps its type" `Quick
+      test_wire_sealed_instance;
+    QCheck_alcotest.to_alcotest prop_wire_isomorphic;
+    Alcotest.test_case "hook: deliver_external wakes receiver" `Quick
+      test_deliver_external_wakes_receiver;
+    Alcotest.test_case "hook: deliver_external refuses when full" `Quick
+      test_deliver_external_full_port;
+    Alcotest.test_case "hook: drain_port admits blocked senders" `Quick
+      test_drain_port_admits_blocked_senders;
+    Alcotest.test_case "cluster: two-node delivery in order" `Quick
+      test_two_node_delivery;
+    Alcotest.test_case "cluster: latency is observable" `Quick
+      test_remote_latency_observable;
+    Alcotest.test_case "cluster: drops recovered by retransmit" `Quick
+      test_drop_retransmit;
+    Alcotest.test_case "cluster: duplicates filtered" `Quick test_dup_detection;
+    Alcotest.test_case "cluster: partition heals" `Quick test_partition_heal;
+    Alcotest.test_case "cluster: permanent partition counts lost" `Quick
+      test_partition_forever_counts_lost;
+    Alcotest.test_case "cluster: window backpressure" `Quick
+      test_window_backpressure;
+    Alcotest.test_case "cluster: same seed, same streams" `Quick
+      test_determinism_under_faults;
+    Alcotest.test_case "names: errors and resolution" `Quick
+      test_name_service_errors;
+    Alcotest.test_case "rights: surrogate is send-only" `Quick
+      test_surrogate_is_send_only;
+    Alcotest.test_case "names: import on home node" `Quick
+      test_import_on_home_node;
+    Alcotest.test_case "fi: link plans are deterministic" `Quick
+      test_link_plan_deterministic;
+  ]
