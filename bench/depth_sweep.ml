@@ -201,7 +201,8 @@ let deltas rows =
       ("sro-free-store", "fit-tree");
     ]
 
-let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ~mode rows =
+let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ?store_tp
+    ~mode rows =
   let open Json_out in
   Obj
     [
@@ -217,6 +218,10 @@ let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ~mode rows =
         | None -> Null );
       ( "net_rtt",
         match net_rtt with Some r -> Net_rtt.to_json r | None -> Null );
+      ( "store_tp",
+        match store_tp with Some r -> Store_tp.to_json_tp r | None -> Null );
+      ( "ckpt_rt",
+        match store_tp with Some r -> Store_tp.to_json_ckpt r | None -> Null );
       ( "units",
         Obj
           [

@@ -85,10 +85,12 @@ let run_micro args =
     Fi_overhead.print_summary fi_overhead;
     let net_rtt = Net_rtt.measure ~smoke () in
     Net_rtt.print_summary net_rtt;
+    let store_tp = Store_tp.measure ~smoke () in
+    Store_tp.print_summary store_tp;
     let mode = if smoke then "smoke" else "full" in
     Json_out.write_file ~path:out
       (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead
-         ~fi_overhead ~net_rtt ~mode rows);
+         ~fi_overhead ~net_rtt ~store_tp ~mode rows);
     Printf.printf "wrote %s\n" out;
     if gate && not (Trace_overhead.check overhead) then begin
       Printf.printf "FAIL: trace overhead %.2f%% >= %.1f%% budget\n"

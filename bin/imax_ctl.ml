@@ -13,6 +13,23 @@ module U = I432_util
 module Obs = I432_obs
 module Fi = I432_fi.Fi
 module Net = I432_net
+module St = I432_store.Store
+module Ckpt = I432_store.Checkpoint
+
+(* ---------------- exit codes ----------------
+
+   Every scenario failure — a wrong payload sum, a violated invariant, a
+   determinism or restore check that does not hold — exits through [die]:
+   message on stderr, exit code 1.  Cmdliner keeps its own codes for bad
+   invocations (124) and internal errors (125), so scripts can tell a
+   failed check from a mistyped flag. *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline msg;
+      exit 1)
+    fmt
 
 (* ---------------- shared flags ---------------- *)
 
@@ -68,6 +85,18 @@ let config processors memory_manager scheduling gc_daemon =
 let config_term =
   Term.(const config $ processors $ memory_manager $ scheduling $ gc_daemon)
 
+(* The same flag means the same thing in every subcommand: trace, chaos,
+   net, store, and checkpoint all build --seed/--chrome/--check from these
+   three constructors instead of redeclaring them. *)
+
+let seed_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"N" ~doc)
+
+let chrome_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"PATH" ~doc)
+
+let check_arg ~doc = Arg.(value & flag & info [ "check" ] ~doc)
+
 let print_report (r : K.Machine.run_report) =
   Printf.printf "elapsed: %.3f ms (virtual, 8 MHz)\n"
     (float_of_int r.K.Machine.elapsed_ns /. 1e6);
@@ -117,7 +146,9 @@ let scenario_pipeline config snapshot stages messages =
     messages stages !sum;
   print_report report;
   maybe_snapshot snapshot m;
-  if !sum <> messages * (messages + 1) / 2 then exit 1
+  if !sum <> messages * (messages + 1) / 2 then
+    die "pipeline: payload sum %d, expected %d" !sum
+      (messages * (messages + 1) / 2)
 
 (* Allocation churn with or without the GC daemon. *)
 let scenario_churn config snapshot rounds =
@@ -209,7 +240,8 @@ let scenario_rendezvous config snapshot calls =
   Printf.printf "rendezvous: %d entry calls, final value %d\n" calls !final;
   print_report report;
   maybe_snapshot snapshot m;
-  if !final <> calls then exit 1
+  if !final <> calls then
+    die "rendezvous: final value %d, expected %d" !final calls
 
 (* Print-spooler workload: clients submit jobs to a spool port, a spooler
    daemon forwards them to a slow printer behind a shallow port (so senders
@@ -408,7 +440,7 @@ let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
   | violations ->
     print_endline "invariants VIOLATED:";
     List.iter (Printf.printf "  %s\n") violations;
-    exit 1);
+    die "chaos: %d invariant violations" (List.length violations));
   (match chrome_out with
   | Some path ->
     let json =
@@ -427,10 +459,7 @@ let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
       List.map Obs.Event.to_string (K.Machine.events mach)
     in
     if stream m <> stream m2 || printed <> printed2 || dropped <> dropped2
-    then begin
-      print_endline "determinism check FAILED: event streams differ";
-      exit 1
-    end
+    then die "determinism check FAILED: event streams differ"
     else print_endline "determinism check: identical event streams"
   end
 
@@ -537,12 +566,239 @@ let scenario_net config seed clients jobs link_faults partitions latency
       printed <> printed2 || report <> report2
       || stream ma <> stream ma2
       || stream mb <> stream mb2
-    then begin
-      print_endline "determinism check FAILED: runs differ";
-      exit 1
-    end
+    then die "determinism check FAILED: runs differ"
     else print_endline "determinism check: identical event streams on all nodes"
   end
+
+(* Store: file composite graphs (sharing and a cycle included) into a
+   fresh journal, tombstone a third, optionally compact, and — with
+   --check — close, reopen, and verify every surviving graph reconstructs
+   isomorphically on a fresh machine. *)
+let fresh_journal path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".tmp" ]
+
+let scenario_store config path graphs compact_flag check =
+  let config = { config with System.trace_level = Obs.Tracer.Events } in
+  let sys = System.boot ~config () in
+  let m = System.machine sys in
+  let table = K.Machine.table m in
+  fresh_journal path;
+  let store = St.open_ path in
+  St.attach store m;
+  let shared = K.Machine.allocate_generic m ~data_length:8 () in
+  K.Machine.write_word m shared ~offset:0 432;
+  let key i = Printf.sprintf "g%03d" i in
+  let filed = ref 0 in
+  for i = 0 to graphs - 1 do
+    let root =
+      K.Machine.allocate_generic m ~data_length:16 ~access_length:3 ()
+    in
+    K.Machine.write_word m root ~offset:0 i;
+    Segment.store_access table root ~slot:0 (Some shared);
+    Segment.store_access table root ~slot:1 (Some root);
+    filed := !filed + St.store_graph store m ~key:(key i) root
+  done;
+  for i = 0 to graphs - 1 do
+    if i mod 3 = 0 then St.delete store ~key:(key i)
+  done;
+  let reclaimed = if compact_flag then St.compact store else 0 in
+  Printf.printf "store: %d graphs filed (%d objects), %d live after tombstones\n"
+    graphs !filed (St.count store);
+  let appends, syncs, compactions, written, freed = St.stats store in
+  Printf.printf
+    "journal: %d appends, %d syncs, %d compactions, %d bytes written, %d \
+     reclaimed\n"
+    appends syncs compactions written freed;
+  if compact_flag then
+    Printf.printf "compaction reclaimed %d bytes (file now %d live records)\n"
+      reclaimed (St.count store);
+  St.close store;
+  if check then begin
+    let store2 = St.open_ path in
+    let sys2 = System.boot ~config () in
+    let m2 = System.machine sys2 in
+    let verified =
+      List.fold_left
+        (fun acc key ->
+          let stored =
+            match St.get_wire store2 ~key with
+            | Some w -> w
+            | None -> die "store check: %S lost its wire image" key
+          in
+          let root = St.retrieve_graph store2 m2 ~key () in
+          let rebuilt = Object_filing.capture m2 root in
+          if not (Object_filing.wire_equal stored rebuilt) then
+            die "store check: %S not isomorphic after reopen" key;
+          acc + 1)
+        0 (St.keys store2)
+    in
+    St.close store2;
+    Printf.printf "store check: %d graphs verified across close/reopen\n"
+      verified
+  end
+
+(* Checkpoint: run a deterministic spooler workload, kill it at a chosen
+   virtual-time instant (or a cluster at a round boundary), checkpoint,
+   re-boot + replay + resume, and — with --check — fail unless the resumed
+   event stream is bit-identical to an uninterrupted run's. *)
+
+let kconfig processors =
+  {
+    K.Machine.default_config with
+    K.Machine.processors;
+    trace_level = Obs.Tracer.Events;
+  }
+
+let boot_spool_machine ~processors ~clients ~jobs () =
+  let m = K.Machine.create ~config:(kconfig processors) () in
+  let spool = K.Machine.create_port m ~capacity:8 ~discipline:K.Port.Fifo () in
+  let printer =
+    K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo ()
+  in
+  let total = clients * jobs in
+  ignore
+    (K.Machine.spawn m ~name:"spooler" (fun () ->
+         for _ = 1 to total do
+           let job = K.Machine.receive m ~port:spool in
+           K.Machine.compute m 2;
+           K.Machine.send m ~port:printer ~msg:job
+         done));
+  ignore
+    (K.Machine.spawn m ~name:"printer" (fun () ->
+         for _ = 1 to total do
+           let job = K.Machine.receive m ~port:printer in
+           K.Machine.compute m 10;
+           ignore (K.Machine.read_word m job ~offset:0)
+         done));
+  for c = 1 to clients do
+    ignore
+      (K.Machine.spawn m
+         ~name:(Printf.sprintf "client%d" c)
+         (fun () ->
+           for j = 1 to jobs do
+             let job = K.Machine.allocate_generic m ~data_length:16 () in
+             K.Machine.write_word m job ~offset:0 ((c * 100) + j);
+             K.Machine.send m ~port:spool ~msg:job;
+             K.Machine.delay m ~ns:50_000
+           done))
+  done;
+  m
+
+let boot_spool_cluster ~processors ~clients ~jobs () =
+  let cluster = Net.Cluster.create () in
+  let config = kconfig processors in
+  let node_a, ma = Net.Cluster.boot_node cluster ~name:"clients" ~config () in
+  let node_b, mb =
+    Net.Cluster.boot_node cluster ~name:"printshop" ~config ()
+  in
+  ignore (Net.Cluster.connect cluster node_a node_b);
+  let queue = K.Machine.create_port mb ~capacity:8 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:node_b ~name:"printer" queue;
+  let total = clients * jobs in
+  ignore
+    (K.Machine.spawn mb ~name:"printer" (fun () ->
+         for _ = 1 to total do
+           let job = K.Machine.receive mb ~port:queue in
+           K.Machine.compute mb 25;
+           ignore (K.Machine.read_word mb job ~offset:0)
+         done));
+  let surrogate =
+    Net.Cluster.import cluster ~node:node_a ~name:"printer"
+  in
+  for u = 1 to clients do
+    ignore
+      (K.Machine.spawn ma
+         ~name:(Printf.sprintf "user%d" u)
+         (fun () ->
+           for j = 1 to jobs do
+             let job = K.Machine.allocate_generic ma ~data_length:16 () in
+             K.Machine.write_word ma job ~offset:0 ((u * 100) + j);
+             K.Machine.send ma ~port:surrogate ~msg:job;
+             K.Machine.delay ma ~ns:100_000
+           done))
+  done;
+  cluster
+
+let stream m = List.map Obs.Event.to_string (K.Machine.events m)
+
+let checkpoint_single ~processors ~clients ~jobs ~path ~kill_ns ~check =
+  let boot = boot_spool_machine ~processors ~clients ~jobs in
+  let straight = boot () in
+  ignore (K.Machine.run straight);
+  let victim = boot () in
+  ignore (K.Machine.run ~max_ns:kill_ns victim);
+  fresh_journal path;
+  let store = St.open_ path in
+  let r =
+    Ckpt.save store ~key:"machine" ~bound:(Ckpt.Virtual_ns kill_ns) victim
+  in
+  let image_bytes =
+    List.fold_left (fun a (_, i) -> a + String.length i) 0 r.Ckpt.c_nodes
+  in
+  Printf.printf
+    "checkpoint: killed at %d virtual ns (machine clock %d ns), image %d \
+     bytes, filed under \"machine\"\n"
+    kill_ns r.Ckpt.c_now_ns image_bytes;
+  (* The victim is dropped here: the only way back is through the store. *)
+  let resumed = Ckpt.restore store ~key:"machine" ~boot in
+  ignore (K.Machine.run resumed);
+  Printf.printf "restore: replayed to the kill point and resumed to %d ns\n"
+    (K.Machine.now resumed);
+  St.close store;
+  if check then
+    if stream straight = stream resumed then
+      Printf.printf
+        "kill/restore check: resumed stream identical to the straight run \
+         (%d events)\n"
+        (List.length (stream straight))
+    else die "kill/restore check FAILED: resumed event stream diverges"
+
+let checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
+    ~check =
+  let boot = boot_spool_cluster ~processors ~clients ~jobs in
+  let straight = boot () in
+  ignore (Net.Cluster.run straight ~quantum_ns ());
+  let victim = boot () in
+  ignore (Net.Cluster.run victim ~quantum_ns ~max_rounds:rounds ());
+  fresh_journal path;
+  let store = St.open_ path in
+  let r =
+    Ckpt.save_cluster store ~key:"cluster" ~rounds ~quantum_ns victim
+  in
+  Printf.printf
+    "checkpoint: killed the cluster after %d rounds of %d ns, %d node \
+     images filed under \"cluster\"\n"
+    rounds quantum_ns
+    (List.length r.Ckpt.c_nodes);
+  let resumed = Ckpt.restore_cluster store ~key:"cluster" ~boot in
+  ignore (Net.Cluster.run resumed ~quantum_ns ());
+  print_endline "restore: replayed the recorded rounds and resumed to halt";
+  St.close store;
+  if check then
+    for i = 0 to Net.Cluster.node_count straight - 1 do
+      let name = Net.Cluster.node_name straight i in
+      if
+        stream (Net.Cluster.machine straight i)
+        = stream (Net.Cluster.machine resumed i)
+      then
+        Printf.printf
+          "kill/restore check: node %S stream identical to the straight run \
+           (%d events)\n"
+          name
+          (List.length (stream (Net.Cluster.machine straight i)))
+      else
+        die "kill/restore check FAILED: node %S event stream diverges" name
+    done
+
+let scenario_checkpoint config path kill_ns rounds quantum_ns cluster clients
+    jobs check =
+  let processors = config.System.processors in
+  if cluster then
+    checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
+      ~check
+  else checkpoint_single ~processors ~clients ~jobs ~path ~kill_ns ~check
 
 (* ---------------- commands ---------------- *)
 
@@ -589,11 +845,7 @@ let jobs_arg =
 
 let trace_cmd =
   let chrome =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "chrome" ] ~docv:"PATH"
-          ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable).")
+    chrome_arg ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable)."
   in
   let dump =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print every retained event.")
@@ -626,9 +878,7 @@ let metrics_cmd =
       $ json)
 
 let chaos_cmd =
-  let seed =
-    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed.")
-  in
+  let seed = seed_arg ~default:7 ~doc:"Fault-plan seed." in
   let faults =
     Arg.(
       value & opt int 1
@@ -636,19 +886,13 @@ let chaos_cmd =
           ~doc:"Processor hard-faults to inject (capped at processors - 1).")
   in
   let chrome =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "chrome" ] ~docv:"PATH"
-          ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable).")
+    chrome_arg ~doc:"Write a Chrome trace-event JSON file (Perfetto-loadable)."
   in
   let check =
-    Arg.(
-      value & flag
-      & info [ "check" ]
-          ~doc:
-            "Re-run with the same seed and fail unless the event streams \
-             are identical.")
+    check_arg
+      ~doc:
+        "Re-run with the same seed and fail unless the event streams are \
+         identical."
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -660,10 +904,7 @@ let chaos_cmd =
       $ jobs_arg $ faults $ chrome $ check)
 
 let net_cmd =
-  let seed =
-    Arg.(
-      value & opt int 11 & info [ "seed" ] ~docv:"N" ~doc:"Link-fault seed.")
-  in
+  let seed = seed_arg ~default:11 ~doc:"Link-fault seed." in
   let link_faults =
     Arg.(
       value & opt int 0
@@ -688,21 +929,16 @@ let net_cmd =
           ~doc:"Dump nodes, links, channels, and exported names at exit.")
   in
   let chrome =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "chrome" ] ~docv:"PATH"
-          ~doc:
-            "Write a multi-process Chrome trace with cross-node frame flow \
-             arrows.")
+    chrome_arg
+      ~doc:
+        "Write a multi-process Chrome trace with cross-node frame flow \
+         arrows."
   in
   let check =
-    Arg.(
-      value & flag
-      & info [ "check" ]
-          ~doc:
-            "Re-run with the same seed and fail unless printed output and \
-             every node's event stream are identical.")
+    check_arg
+      ~doc:
+        "Re-run with the same seed and fail unless printed output and every \
+         node's event stream are identical."
   in
   Cmd.v
     (Cmd.info "net"
@@ -713,13 +949,89 @@ let net_cmd =
       const scenario_net $ config_term $ seed $ clients_arg $ jobs_arg
       $ link_faults $ partitions $ latency $ topology $ chrome $ check)
 
+let path_arg ~default =
+  Arg.(
+    value & opt string default
+    & info [ "path" ] ~docv:"PATH"
+        ~doc:"Journal file (recreated; PATH.tmp is the compaction scratch).")
+
+let store_cmd =
+  let graphs =
+    Arg.(
+      value & opt int 24
+      & info [ "graphs" ] ~docv:"N" ~doc:"Composite graphs to file.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ] ~doc:"Compact the journal after tombstoning.")
+  in
+  let check =
+    check_arg
+      ~doc:
+        "Close, reopen, and fail unless every surviving graph reconstructs \
+         isomorphically on a fresh machine."
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "File object graphs into the persistent store's journal, tombstone \
+          some, and verify recovery across close/reopen.")
+    Term.(
+      const scenario_store $ config_term $ path_arg ~default:"imax_store.journal"
+      $ graphs $ compact $ check)
+
+let checkpoint_cmd =
+  let kill_ns =
+    Arg.(
+      value & opt int 200_000
+      & info [ "kill-ns" ] ~docv:"NS"
+          ~doc:"Kill the single-machine run at this virtual-time instant.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 4
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"With --cluster: kill after this many interconnect rounds.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 100_000
+      & info [ "quantum" ] ~docv:"NS"
+          ~doc:"With --cluster: interconnect round quantum (virtual ns).")
+  in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Checkpoint a two-node cluster at a round boundary instead of a \
+             single machine.")
+  in
+  let check =
+    check_arg
+      ~doc:
+        "Fail unless the killed-and-restored run's event stream is \
+         bit-identical to an uninterrupted run's."
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Kill a deterministic run at a chosen instant, checkpoint it into \
+          the store, then restore by replay and resume — provably \
+          bit-identical to a run that was never killed.")
+    Term.(
+      const scenario_checkpoint $ config_term
+      $ path_arg ~default:"imax_ckpt.journal"
+      $ kill_ns $ rounds $ quantum $ cluster $ clients_arg $ jobs_arg $ check)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
     [
       pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
-      metrics_cmd; chaos_cmd; net_cmd;
+      metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd;
     ]
 
 let () = exit (Cmd.eval main)

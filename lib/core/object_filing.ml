@@ -205,6 +205,160 @@ let reconstruct machine ?sro wire =
 
 let wire_nodes wire = Array.length wire.w_nodes
 
+(* ------------------------------------------------------------------ *)
+(* Binary wire codec                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The persistent encoding of a wire value, used by the filing store's
+   journal (lib/store).  Deterministic: the same wire always encodes to
+   the same bytes, because capture assigns serials in discovery order and
+   every field below is written in a fixed order.  Little-endian 32-bit
+   lengths; one version byte so the format can evolve without silently
+   misreading old journals. *)
+
+exception Corrupt_wire of string
+
+let wire_format_version = 1
+
+let rights_to_byte (r : Rights.t) =
+  (if r.Rights.read then 1 else 0)
+  lor (if r.Rights.write then 2 else 0)
+  lor (r.Rights.type_rights lsl 2)
+
+let rights_of_byte b =
+  {
+    Rights.read = b land 1 <> 0;
+    write = b land 2 <> 0;
+    type_rights = (b lsr 2) land 7;
+  }
+
+let otype_tag = function
+  | Obj_type.Generic -> 0
+  | Obj_type.Processor -> 1
+  | Obj_type.Process -> 2
+  | Obj_type.Port -> 3
+  | Obj_type.Dispatching_port -> 4
+  | Obj_type.Storage_resource -> 5
+  | Obj_type.Domain -> 6
+  | Obj_type.Context -> 7
+  | Obj_type.Type_definition -> 8
+  | Obj_type.Custom _ -> 9
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let encode_wire wire =
+  let buf = Buffer.create 256 in
+  Buffer.add_char buf (Char.chr wire_format_version);
+  Buffer.add_char buf (Char.chr (rights_to_byte wire.w_root_rights));
+  put_u32 buf (Array.length wire.w_nodes);
+  Array.iter
+    (fun node ->
+      Buffer.add_char buf (Char.chr (otype_tag node.w_type));
+      (match node.w_type with
+      | Obj_type.Custom id -> put_u32 buf id
+      | _ -> ());
+      put_u32 buf (Bytes.length node.w_image);
+      Buffer.add_bytes buf node.w_image;
+      put_u32 buf node.w_access_length;
+      put_u32 buf (List.length node.w_edges);
+      List.iter
+        (fun (slot, target, rights) ->
+          put_u32 buf slot;
+          put_u32 buf target;
+          Buffer.add_char buf (Char.chr (rights_to_byte rights)))
+        node.w_edges)
+    wire.w_nodes;
+  Buffer.to_bytes buf
+
+let decode_wire bytes =
+  let pos = ref 0 in
+  let len = Bytes.length bytes in
+  let need n what =
+    if !pos + n > len then
+      raise (Corrupt_wire (Printf.sprintf "truncated %s at offset %d" what !pos))
+  in
+  let u8 what =
+    need 1 what;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let u32 what =
+    need 4 what;
+    let b i = Char.code (Bytes.get bytes (!pos + i)) in
+    let v = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+    pos := !pos + 4;
+    if v < 0 then raise (Corrupt_wire (Printf.sprintf "negative %s" what));
+    v
+  in
+  let version = u8 "version" in
+  if version <> wire_format_version then
+    raise (Corrupt_wire (Printf.sprintf "unknown wire version %d" version));
+  let root_rights = rights_of_byte (u8 "root rights") in
+  let count = u32 "node count" in
+  (* Each node costs at least 10 bytes on the wire; an impossible count
+     cannot force a huge allocation from a short buffer. *)
+  if count > len then raise (Corrupt_wire "node count exceeds buffer");
+  let nodes =
+    Array.init count (fun _ ->
+        let tag = u8 "type tag" in
+        let w_type =
+          match tag with
+          | 0 -> Obj_type.Generic
+          | 1 -> Obj_type.Processor
+          | 2 -> Obj_type.Process
+          | 3 -> Obj_type.Port
+          | 4 -> Obj_type.Dispatching_port
+          | 5 -> Obj_type.Storage_resource
+          | 6 -> Obj_type.Domain
+          | 7 -> Obj_type.Context
+          | 8 -> Obj_type.Type_definition
+          | 9 -> Obj_type.Custom (u32 "custom type id")
+          | n -> raise (Corrupt_wire (Printf.sprintf "unknown type tag %d" n))
+        in
+        let image_len = u32 "image length" in
+        need image_len "image";
+        let w_image = Bytes.sub bytes !pos image_len in
+        pos := !pos + image_len;
+        let w_access_length = u32 "access length" in
+        let edge_count = u32 "edge count" in
+        if edge_count > len then raise (Corrupt_wire "edge count exceeds buffer");
+        let edges = ref [] in
+        for _ = 1 to edge_count do
+          let slot = u32 "edge slot" in
+          let target = u32 "edge target" in
+          let rights = rights_of_byte (u8 "edge rights") in
+          if target >= count then
+            raise (Corrupt_wire (Printf.sprintf "edge target %d out of range" target));
+          if slot >= w_access_length then
+            raise (Corrupt_wire (Printf.sprintf "edge slot %d out of range" slot));
+          edges := (slot, target, rights) :: !edges
+        done;
+        { w_image; w_type; w_access_length; w_edges = List.rev !edges })
+  in
+  if !pos <> len then raise (Corrupt_wire "trailing bytes after last node");
+  if count = 0 then raise (Corrupt_wire "empty wire has no root");
+  { w_root_rights = root_rights; w_nodes = nodes }
+
+let wire_equal a b =
+  Rights.equal a.w_root_rights b.w_root_rights
+  && Array.length a.w_nodes = Array.length b.w_nodes
+  && Array.for_all2
+       (fun na nb ->
+         Bytes.equal na.w_image nb.w_image
+         && Obj_type.equal na.w_type nb.w_type
+         && na.w_access_length = nb.w_access_length
+         && List.length na.w_edges = List.length nb.w_edges
+         && List.for_all2
+              (fun (s1, t1, r1) (s2, t2, r2) ->
+                s1 = s2 && t1 = t2 && Rights.equal r1 r2)
+              na.w_edges nb.w_edges)
+       a.w_nodes b.w_nodes
+
 (* Deterministic size model for bandwidth accounting: a 16-byte header per
    node, the data image, and 12 bytes per edge (slot + serial + rights). *)
 let wire_bytes wire =

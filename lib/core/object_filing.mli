@@ -56,6 +56,24 @@ val wire_nodes : wire -> int
     16 bytes per node header, the data image, 12 bytes per edge. *)
 val wire_bytes : wire -> int
 
+(** {1 Binary wire codec}
+
+    The persistent encoding used by the filing store's journal
+    (lib/store).  [encode_wire] is deterministic — the same wire always
+    yields the same bytes — so same-seed runs journal identical records.
+    [decode_wire] validates everything (version, type tags, edge targets
+    and slots, exact length) and raises {!Corrupt_wire} rather than
+    returning a malformed graph. *)
+
+exception Corrupt_wire of string
+
+val encode_wire : wire -> Bytes.t
+val decode_wire : Bytes.t -> wire
+
+(** Structural equality of captured graphs (serials, types, images,
+    access lengths, edges, rights — everything the codec round-trips). *)
+val wire_equal : wire -> wire -> bool
+
 (** File everything reachable from the root through access parts.
     Returns the number of objects filed. *)
 val store_graph : t -> key:string -> Access.t -> int

@@ -1370,6 +1370,14 @@ let apply_injection t = function
   | Inj_port_delay ns ->
     t.pending_port_delay_ns <- t.pending_port_delay_ns + ns
 
+(* The not-yet-fired part of an armed plan, in firing order.  The
+   checkpoint facility folds this (and the armed one-shot counters) into
+   the machine's state image so a restored run faces the same remaining
+   chaos as the original. *)
+let pending_injections t = List.map (fun (at, _, inj) -> (at, inj)) t.injections
+let armed_alloc_faults t = t.forced_alloc_faults
+let armed_port_delay_ns t = t.pending_port_delay_ns
+
 (* Fire every injection whose instant has been reached by the processor
    the run loop is about to advance.  Events are stamped on that
    processor's clock, in (time, registration) order — deterministic. *)

@@ -264,6 +264,15 @@ val injection_to_string : injection -> string
 (** Schedule [injection] to fire at virtual time [at_ns]. *)
 val schedule_injection : t -> at_ns:int -> injection -> unit
 
+(** The not-yet-fired injections, in firing order, plus the armed one-shot
+    counters ([Inj_alloc_fault]/[Inj_port_delay] that fired but have not
+    been consumed).  Folded into checkpoint state images so a restored
+    run faces the same remaining chaos. *)
+val pending_injections : t -> (int * injection) list
+
+val armed_alloc_faults : t -> int
+val armed_port_delay_ns : t -> int
+
 (** Hard-fault a processor immediately (what [Inj_cpu_fault] fires).
     Idempotent; raises [Invalid_argument] for an unknown id. *)
 val fail_processor : t -> int -> unit

@@ -165,6 +165,145 @@ let capture machine =
 let total_cpu_ns t =
   List.fold_left (fun acc p -> acc + p.p_cpu_ns) 0 t.processes
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic full-state image (checkpoint verification)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything below iterates in index order (the table's iter_valid) or
+   queue service order, never hash order, so two machines that replayed
+   the same history render byte-identical images.  The image is textual
+   on purpose: a mismatch diff names the divergent object instead of
+   reducing to "digests differ". *)
+
+let rights_str (r : Rights.t) =
+  Printf.sprintf "%c%c%d"
+    (if r.Rights.read then 'r' else '-')
+    (if r.Rights.write then 'w' else '-')
+    r.Rights.type_rights
+
+let access_str a =
+  Printf.sprintf "%d:%s" (Access.index a) (rights_str (Access.rights a))
+
+let state_image machine =
+  let table = Machine.table machine in
+  let mem = Machine.memory machine in
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "state-image/1 now=%d online=%d\n" (Machine.now machine)
+    (Machine.online_processors machine);
+  Object_table.iter_valid
+    (fun e ->
+      Printf.bprintf buf "obj %d type=%s len=%d alen=%d level=%d sro=%d%s\n"
+        e.Object_table.index
+        (Obj_type.to_string e.Object_table.otype)
+        e.Object_table.data_length
+        (Array.length e.Object_table.access_part)
+        e.Object_table.level e.Object_table.sro
+        (if e.Object_table.swapped_out then " swapped" else "");
+      if e.Object_table.data_length > 0 then begin
+        let img =
+          Memory.blit_to_bytes mem ~src_addr:e.Object_table.base
+            ~len:e.Object_table.data_length
+        in
+        Buffer.add_string buf " data=";
+        Bytes.iter (fun c -> Printf.bprintf buf "%02x" (Char.code c)) img;
+        Buffer.add_char buf '\n'
+      end;
+      Array.iteri
+        (fun slot a ->
+          match a with
+          | None -> ()
+          | Some a -> Printf.bprintf buf " ad %d -> %s\n" slot (access_str a))
+        e.Object_table.access_part;
+      match e.Object_table.payload with
+      | Some (Port.Port_state p) ->
+        Printf.bprintf buf
+          " port %s cap=%d seq=%d sends=%d recvs=%d blocks=%d/%d maxd=%d \
+           wait=%d\n"
+          (Port.discipline_to_string p.Port.discipline)
+          p.Port.capacity p.Port.seq p.Port.sends p.Port.receives
+          p.Port.send_blocks p.Port.receive_blocks p.Port.max_depth
+          p.Port.total_queue_wait_ns;
+        Port.iter_messages
+          (fun m ->
+            Printf.bprintf buf " msg %s prio=%d seq=%d at=%d\n"
+              (access_str m.Port.msg) m.Port.msg_priority m.Port.seq
+              m.Port.enqueued_at)
+          p;
+        Port.iter_senders
+          (fun s ->
+            Printf.bprintf buf " sender %d msg=%s prio=%d seq=%d\n"
+              s.Port.sender
+              (access_str s.Port.sender_msg)
+              s.Port.sender_priority s.Port.sender_seq)
+          p;
+        Queue.iter (Printf.bprintf buf " receiver %d\n") p.Port.receivers
+      | Some (Process.Process_state p) ->
+        Printf.bprintf buf
+          " process %s status=%s%s prio=%d wake=%d tmo=%s cpu=%d slice=%d \
+           ready=%d lvl=%d aff=%s sched=%s depth=%d disp=%d pre=%d blk=%d \
+           msgs=%d/%d roots=%d ctxs=%d\n"
+          p.Process.name
+          (Process.status_to_string p.Process.status)
+          (if p.Process.stopped then " stopped" else "")
+          p.Process.priority p.Process.wake_at
+          (match p.Process.timeout_at with
+          | None -> "-"
+          | Some t -> string_of_int t)
+          p.Process.cpu_ns p.Process.slice_used_ns p.Process.last_ready_ns
+          p.Process.system_level
+          (match p.Process.affinity with
+          | None -> "-"
+          | Some c -> string_of_int c)
+          (match p.Process.scheduler_port with
+          | None -> "-"
+          | Some i -> string_of_int i)
+          p.Process.call_depth p.Process.dispatches p.Process.preemptions
+          p.Process.blocks p.Process.messages_sent p.Process.messages_received
+          (List.length p.Process.local_roots)
+          (List.length p.Process.contexts)
+      | Some (Processor.Processor_state c) ->
+        Printf.bprintf buf
+          " cpu %d clock=%d busy=%d idle=%d disp=%d%s%s cur=%s\n"
+          c.Processor.id c.Processor.clock_ns c.Processor.busy_ns
+          c.Processor.idle_ns c.Processor.dispatches
+          (if c.Processor.online then "" else " offline")
+          (if c.Processor.transient_pending then " transient" else "")
+          (match c.Processor.current with
+          | None -> "-"
+          | Some i -> string_of_int i)
+      | Some (Sro.Sro_state _) ->
+        let access =
+          Access.make ~index:e.Object_table.index ~rights:Rights.full
+        in
+        Printf.bprintf buf " sro level=%d free=%d largest=%d regions=%d live=%d\n"
+          (Sro.level table access)
+          (Sro.free_bytes table access)
+          (Sro.largest_free table access)
+          (Sro.region_count table access)
+          (Sro.live_objects table access)
+      | Some _ | None -> ())
+    table;
+  List.iter
+    (fun (name, cause) ->
+      Printf.bprintf buf "fault %s %s\n" name (Fault.to_string cause))
+    (Machine.faults machine);
+  List.iter
+    (fun (at, inj) ->
+      Printf.bprintf buf "injection %d %s\n" at
+        (Machine.injection_to_string inj))
+    (Machine.pending_injections machine);
+  if Machine.armed_alloc_faults machine > 0 then
+    Printf.bprintf buf "armed alloc-faults=%d\n"
+      (Machine.armed_alloc_faults machine);
+  if Machine.armed_port_delay_ns machine > 0 then
+    Printf.bprintf buf "armed port-delay=%d\n"
+      (Machine.armed_port_delay_ns machine);
+  Printf.bprintf buf "trace emitted=%d retained=%d dropped=%d\n"
+    (I432_obs.Tracer.emitted (Machine.tracer machine))
+    (I432_obs.Tracer.retained (Machine.tracer machine))
+    (I432_obs.Tracer.dropped (Machine.tracer machine));
+  Buffer.contents buf
+
 let render t =
   let buf = Buffer.create 512 in
   Printf.bprintf buf "machine at %.3f ms: %d live objects (table cap %d), %d faults\n"

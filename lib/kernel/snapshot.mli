@@ -64,3 +64,17 @@ val total_cpu_ns : t -> int
 
 (** Multi-line human-readable rendering. *)
 val render : t -> string
+
+(** Full deterministic machine image, for checkpoint verification.
+
+    Every piece of kernel state that shapes future execution, rendered in
+    a fixed order: per-object descriptors with hex data images and access
+    parts, port queues in service order, process records (dispatching
+    parameters, statistics, park state), processor clocks, SRO free-store
+    shapes, recorded faults, pending injections with armed one-shot
+    counters, and trace totals.  Two machines that replayed the same
+    history render byte-identical images, so comparing images proves a
+    restore reproduced the killed run's state exactly.  OCaml coroutine
+    continuations are the one thing a textual image cannot carry — which
+    is precisely why checkpoint/restore is replay-based (DESIGN.md §10). *)
+val state_image : Machine.t -> string

@@ -92,6 +92,12 @@ type t = {
   in_flight : (int * Frame.t) U.Pqueue.t;  (* keyed (-arrival, uid) *)
   mutable uid : int;
   mutable link_events : Fi.link_event list;  (* pending, sorted by l_at_ns *)
+  mutable cur_horizon : int;
+      (* last horizon reached by [run].  Persisted so a resumed run
+         continues the same quantum grid: without it, a kill at a round
+         boundary would restart the grid from the max node clock and the
+         resumed run's idle-clock advancement would diverge from a
+         straight run's. *)
   (* cluster-wide statistics *)
   mutable frames_sent : int;  (* data frames, first transmissions *)
   mutable frames_delivered : int;
@@ -117,6 +123,7 @@ let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
     in_flight = U.Pqueue.create ();
     uid = 0;
     link_events = [];
+    cur_horizon = 0;
     frames_sent = 0;
     frames_delivered = 0;
     frames_lost = 0;
@@ -537,11 +544,18 @@ let stats_snapshot (t : t) =
 let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
   if quantum_ns < 1 then invalid_arg "Cluster.run: quantum_ns";
   let rounds = ref 0 in
+  (* First call: the grid starts at the highest node clock (nodes may
+     have been stepped before the cluster ever ran).  Resumed call: the
+     grid continues from the persisted horizon — NOT from the clocks,
+     which legitimately overshoot a round's horizon when a processor is
+     busy straight through it. *)
   let horizon =
     ref
-      (Array.fold_left
-         (fun acc n -> max acc (K.Machine.now n.machine))
-         0 t.nodes)
+      (if t.cur_horizon > 0 then t.cur_horizon
+       else
+         Array.fold_left
+           (fun acc n -> max acc (K.Machine.now n.machine))
+           0 t.nodes)
   in
   let continue_ = ref (Array.length t.nodes > 0) in
   while !continue_ && !rounds < max_rounds do
@@ -572,6 +586,7 @@ let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
     in
     if not (moved || pending) then continue_ := false
   done;
+  t.cur_horizon <- !horizon;
   {
     rounds = !rounds;
     horizon_ns = !horizon;

@@ -122,7 +122,12 @@ type report = {
 (** Advance the cluster until every machine is quiescent and no frame is
     in flight, unacked, or backlogged (or [max_rounds] elapses).  Each
     round steps every machine [quantum_ns] of virtual time, then pumps
-    the interconnect. *)
+    the interconnect.
+
+    Resumable: the quantum grid persists across calls, so
+    [run ~max_rounds:k] followed by [run ()] (with the same [quantum_ns])
+    is equivalent to one uninterrupted [run ()] — the property cluster
+    checkpoints rely on. *)
 val run : t -> ?quantum_ns:int -> ?max_rounds:int -> unit -> report
 
 val frames_in_flight : t -> int

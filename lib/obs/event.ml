@@ -49,6 +49,11 @@ type kind =
   | Remote_deliver  (* name=port name, a=channel id, b=frame seq *)
   | Frame_tx  (* name=port name, detail=frame kind, a=frame seq, b=dst node *)
   | Frame_rx  (* name=port name, detail=frame kind, a=frame seq, b=src node *)
+  | Journal_append  (* name=key, detail=record kind, a=offset, b=bytes *)
+  | Journal_sync  (* a=records since last barrier, b=journal length *)
+  | Store_compact  (* a=live records kept, b=bytes reclaimed *)
+  | Ckpt_save  (* name=key, a=state image bytes, b=virtual time ns *)
+  | Ckpt_restore  (* name=key, a=state image bytes, b=virtual time ns *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -99,9 +104,14 @@ let kind_to_string = function
   | Remote_deliver -> "remote-deliver"
   | Frame_tx -> "frame-tx"
   | Frame_rx -> "frame-rx"
+  | Journal_append -> "journal-append"
+  | Journal_sync -> "journal-sync"
+  | Store_compact -> "store-compact"
+  | Ckpt_save -> "ckpt-save"
+  | Ckpt_restore -> "ckpt-restore"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
-   rings.  [kind_of_int] is the inverse on [0 .. 36]. *)
+   rings.  [kind_of_int] is the inverse on [0 .. 41]. *)
 let kind_to_int = function
   | Spawn -> 0
   | Exit -> 1
@@ -140,6 +150,11 @@ let kind_to_int = function
   | Remote_deliver -> 34
   | Frame_tx -> 35
   | Frame_rx -> 36
+  | Journal_append -> 37
+  | Journal_sync -> 38
+  | Store_compact -> 39
+  | Ckpt_save -> 40
+  | Ckpt_restore -> 41
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -179,6 +194,11 @@ let kind_of_int = function
   | 34 -> Remote_deliver
   | 35 -> Frame_tx
   | 36 -> Frame_rx
+  | 37 -> Journal_append
+  | 38 -> Journal_sync
+  | 39 -> Store_compact
+  | 40 -> Ckpt_save
+  | 41 -> Ckpt_restore
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -193,6 +213,9 @@ let category = function
   | Gc_mark_begin | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> "gc"
   | Fi_inject -> "fi"
   | Remote_send | Remote_deliver | Frame_tx | Frame_rx -> "net"
+  | Journal_append | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore
+    ->
+    "store"
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -215,4 +238,5 @@ let legacy_line e =
   | Sro_create | Sro_destroy | Domain_call | Domain_return | Gc_mark_begin
   | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end | Fi_inject | Cpu_offline
   | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted
-  | Remote_send | Remote_deliver | Frame_tx | Frame_rx -> None
+  | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Journal_append
+  | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore -> None

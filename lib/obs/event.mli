@@ -39,6 +39,11 @@ type kind =
   | Remote_deliver  (** name=port name, a=channel id, b=frame seq *)
   | Frame_tx  (** name=port name, detail=frame kind, a=frame seq, b=dst node *)
   | Frame_rx  (** name=port name, detail=frame kind, a=frame seq, b=src node *)
+  | Journal_append  (** name=key, detail=record kind, a=offset, b=bytes *)
+  | Journal_sync  (** a=records since last barrier, b=journal length *)
+  | Store_compact  (** a=live records kept, b=bytes reclaimed *)
+  | Ckpt_save  (** name=key, a=state image bytes, b=virtual time ns *)
+  | Ckpt_restore  (** name=key, a=state image bytes, b=virtual time ns *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -60,8 +65,8 @@ val kind_to_int : kind -> int
 
 val kind_of_int : int -> kind
 
-(** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi or
-    net. *)
+(** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi,
+    net or store. *)
 val category : kind -> string
 
 val to_string : t -> string

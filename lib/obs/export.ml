@@ -165,7 +165,9 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
       | Event.Domain_call | Event.Domain_return | Event.Fi_inject
       | Event.Proc_requeued | Event.Alloc_retry | Event.Timeout_fired
       | Event.Proc_restarted | Event.Remote_send | Event.Remote_deliver
-      | Event.Frame_tx | Event.Frame_rx ->
+      | Event.Frame_tx | Event.Frame_rx | Event.Journal_append
+      | Event.Journal_sync | Event.Store_compact | Event.Ckpt_save
+      | Event.Ckpt_restore ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)

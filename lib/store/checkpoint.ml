@@ -1,0 +1,255 @@
+(* Checkpoint/restore by deterministic replay.  See the .mli for why no
+   closure is ever serialized: the record is (kill bound, state image),
+   and restore = re-boot + replay + byte-for-byte image verification. *)
+
+module K = I432_kernel
+module Net = I432_net
+module Obs = I432_obs
+module Filing = Imax.Object_filing
+
+type bound =
+  | Steps of int
+  | Virtual_ns of int
+  | Rounds of { rounds : int; quantum_ns : int }
+
+type record = {
+  c_key : string;
+  c_bound : bound;
+  c_now_ns : int;
+  c_nodes : (string * string) list;
+}
+
+exception Restore_mismatch of string
+
+(* ------------------------------------------------------------------ *)
+(* Record codec (little-endian, length-prefixed)                       *)
+(* ------------------------------------------------------------------ *)
+
+let put_i64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let encode r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '\001';
+  let tag, value, quantum =
+    match r.c_bound with
+    | Steps n -> (0, n, 0)
+    | Virtual_ns n -> (1, n, 0)
+    | Rounds { rounds; quantum_ns } -> (2, rounds, quantum_ns)
+  in
+  Buffer.add_char buf (Char.chr tag);
+  put_i64 buf value;
+  put_i64 buf quantum;
+  put_i64 buf r.c_now_ns;
+  put_i64 buf (List.length r.c_nodes);
+  List.iter
+    (fun (name, image) ->
+      put_i64 buf (String.length name);
+      Buffer.add_string buf name;
+      put_i64 buf (String.length image);
+      Buffer.add_string buf image)
+    r.c_nodes;
+  Buffer.to_bytes buf
+
+let decode ~key bytes =
+  let pos = ref 0 in
+  let len = Bytes.length bytes in
+  let corrupt what =
+    raise (Restore_mismatch (Printf.sprintf "corrupt checkpoint record: %s" what))
+  in
+  let u8 what =
+    if !pos >= len then corrupt what;
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let i64 what =
+    if !pos + 8 > len then corrupt what;
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.get bytes (!pos + i))
+    done;
+    pos := !pos + 8;
+    if !v < 0 then corrupt what;
+    !v
+  in
+  let str what =
+    let n = i64 what in
+    if !pos + n > len then corrupt what;
+    let s = Bytes.sub_string bytes !pos n in
+    pos := !pos + n;
+    s
+  in
+  if u8 "version" <> 1 then corrupt "version";
+  let tag = u8 "bound tag" in
+  let value = i64 "bound value" in
+  let quantum = i64 "quantum" in
+  let bound =
+    match tag with
+    | 0 -> Steps value
+    | 1 -> Virtual_ns value
+    | 2 -> Rounds { rounds = value; quantum_ns = quantum }
+    | _ -> corrupt "bound tag"
+  in
+  let now_ns = i64 "now" in
+  let node_count = i64 "node count" in
+  let nodes =
+    List.init node_count (fun _ ->
+        let name = str "node name" in
+        let image = str "node image" in
+        (name, image))
+  in
+  { c_key = key; c_bound = bound; c_now_ns = now_ns; c_nodes = nodes }
+
+(* ------------------------------------------------------------------ *)
+(* Observability (routed through the store's attached machine)         *)
+(* ------------------------------------------------------------------ *)
+
+let emit store kind r =
+  match Store.attached_machine store with
+  | None -> ()
+  | Some machine ->
+    let bytes =
+      List.fold_left (fun acc (_, img) -> acc + String.length img) 0 r.c_nodes
+    in
+    Obs.Metrics.incr
+      (Obs.Metrics.counter (K.Machine.metrics machine)
+         (match kind with
+         | Obs.Event.Ckpt_restore -> "store.ckpt_restores"
+         | _ -> "store.ckpt_saves"));
+    K.Machine.emit_event machine ~name:r.c_key ~a:bytes ~b:r.c_now_ns kind
+
+(* ------------------------------------------------------------------ *)
+(* Save                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let save_record store r =
+  Store.put_blob store ~now_ns:r.c_now_ns ~key:r.c_key (encode r);
+  Store.sync store;
+  emit store Obs.Event.Ckpt_save r;
+  r
+
+let save store ~key ~bound machine =
+  (match bound with
+  | Rounds _ -> invalid_arg "Checkpoint.save: Rounds bounds a cluster"
+  | Steps _ | Virtual_ns _ -> ());
+  save_record store
+    {
+      c_key = key;
+      c_bound = bound;
+      c_now_ns = K.Machine.now machine;
+      c_nodes = [ ("", K.Snapshot.state_image machine) ];
+    }
+
+let save_cluster store ~key ~rounds ~quantum_ns cluster =
+  let nodes =
+    List.init (Net.Cluster.node_count cluster) (fun i ->
+        ( Net.Cluster.node_name cluster i,
+          K.Snapshot.state_image (Net.Cluster.machine cluster i) ))
+  in
+  let now_ns =
+    List.fold_left
+      (fun acc i -> max acc (K.Machine.now (Net.Cluster.machine cluster i)))
+      0
+      (List.init (Net.Cluster.node_count cluster) Fun.id)
+  in
+  save_record store
+    {
+      c_key = key;
+      c_bound = Rounds { rounds; quantum_ns };
+      c_now_ns = now_ns;
+      c_nodes = nodes;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Restore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load store ~key =
+  match Store.get_blob store ~key with
+  | Some payload -> Some (decode ~key payload)
+  | None -> None
+
+let require store ~key =
+  match load store ~key with
+  | Some r -> r
+  | None -> raise (Filing.Not_filed key)
+
+(* First line where the replayed image diverges from the stored one —
+   a mismatch should name the divergent object, not just fail. *)
+let first_divergence ~stored ~replayed =
+  let a = String.split_on_char '\n' stored
+  and b = String.split_on_char '\n' replayed in
+  let rec go i = function
+    | x :: xs, y :: ys ->
+      if String.equal x y then go (i + 1) (xs, ys)
+      else Printf.sprintf "line %d: stored %S, replayed %S" i x y
+    | x :: _, [] -> Printf.sprintf "line %d: stored %S, replayed image ends" i x
+    | [], y :: _ -> Printf.sprintf "line %d: stored image ends, replayed %S" i y
+    | [], [] -> "images equal"
+  in
+  go 1 (a, b)
+
+let verify_node ~key ~name ~stored machine =
+  let replayed = K.Snapshot.state_image machine in
+  if not (String.equal stored replayed) then
+    raise
+      (Restore_mismatch
+         (Printf.sprintf "checkpoint %S%s: %s" key
+            (if name = "" then "" else Printf.sprintf " node %S" name)
+            (first_divergence ~stored ~replayed)))
+
+let restore store ~key ~boot =
+  let r = require store ~key in
+  let stored =
+    match r.c_nodes with
+    | [ ("", image) ] -> image
+    | _ ->
+      raise
+        (Restore_mismatch
+           (Printf.sprintf "checkpoint %S holds a cluster; use restore_cluster"
+              key))
+  in
+  let machine = boot () in
+  (match r.c_bound with
+  | Steps n -> ignore (K.Machine.run ~max_steps:n machine)
+  | Virtual_ns n -> ignore (K.Machine.run ~max_ns:n machine)
+  | Rounds _ -> assert false);
+  verify_node ~key ~name:"" ~stored machine;
+  emit store Obs.Event.Ckpt_restore r;
+  machine
+
+let restore_cluster store ~key ~boot =
+  let r = require store ~key in
+  let rounds, quantum_ns =
+    match r.c_bound with
+    | Rounds { rounds; quantum_ns } -> (rounds, quantum_ns)
+    | Steps _ | Virtual_ns _ ->
+      raise
+        (Restore_mismatch
+           (Printf.sprintf "checkpoint %S holds a single machine; use restore"
+              key))
+  in
+  let cluster = boot () in
+  if rounds > 0 then
+    ignore (Net.Cluster.run cluster ~quantum_ns ~max_rounds:rounds ());
+  if Net.Cluster.node_count cluster <> List.length r.c_nodes then
+    raise
+      (Restore_mismatch
+         (Printf.sprintf "checkpoint %S: %d nodes stored, boot built %d" key
+            (List.length r.c_nodes)
+            (Net.Cluster.node_count cluster)));
+  List.iteri
+    (fun i (name, stored) ->
+      let booted = Net.Cluster.node_name cluster i in
+      if not (String.equal name booted) then
+        raise
+          (Restore_mismatch
+             (Printf.sprintf "checkpoint %S: node %d is %S, boot built %S" key
+                i name booted));
+      verify_node ~key ~name ~stored (Net.Cluster.machine cluster i))
+    r.c_nodes;
+  emit store Obs.Event.Ckpt_restore r;
+  cluster

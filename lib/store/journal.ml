@@ -1,0 +1,165 @@
+(* Append-only journal: framed records, CRC-32 integrity, commit markers,
+   torn-tail truncation on open.  See the .mli for the frame layout. *)
+
+open I432_util
+
+let magic = 0x4C4A3031 (* "10JL" little-endian: version 1, journal *)
+let commit_marker = 0xC5
+let header_bytes = 13 (* magic + kind + key_len + payload_len *)
+let trailer_bytes = 5 (* crc + commit marker *)
+
+type record = {
+  r_offset : int;
+  r_kind : int;
+  r_key : string;
+  r_payload : Bytes.t;
+}
+
+type t = {
+  j_path : string;
+  fd : Unix.file_descr;
+  mutable end_off : int;  (* committed length = next append offset *)
+  mutable unsynced : int;  (* appends since the last fsync *)
+  mutable closed : bool;
+}
+
+let path t = t.j_path
+let size t = t.end_off
+let unsynced t = t.unsynced
+
+let framed_size ~key ~payload =
+  header_bytes + String.length key + Bytes.length payload + trailer_bytes
+
+(* Little-endian u32 helpers over Bytes. *)
+let put_u32 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set b (off + 3) (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let frame ~kind ~key ~payload =
+  if kind < 0 || kind > 0xff then invalid_arg "Journal.append: kind";
+  let key_len = String.length key in
+  let payload_len = Bytes.length payload in
+  let total = header_bytes + key_len + payload_len + trailer_bytes in
+  let b = Bytes.create total in
+  put_u32 b 0 magic;
+  Bytes.set b 4 (Char.chr kind);
+  put_u32 b 5 key_len;
+  put_u32 b 9 payload_len;
+  Bytes.blit_string key 0 b header_bytes key_len;
+  Bytes.blit payload 0 b (header_bytes + key_len) payload_len;
+  let crc_pos = header_bytes + key_len + payload_len in
+  let crc = Crc32.bytes ~pos:4 ~len:(crc_pos - 4) b in
+  put_u32 b crc_pos (Int32.to_int crc land 0xFFFFFFFF);
+  Bytes.set b (crc_pos + 4) (Char.chr commit_marker);
+  b
+
+(* Parse the record starting at [off] in [buf].  [None] when the bytes
+   from [off] do not hold one complete committed record — incomplete
+   header, impossible lengths, truncated body, CRC mismatch, or missing
+   commit marker all look the same to recovery: the journal ends here. *)
+let parse buf off limit =
+  if off + header_bytes + trailer_bytes > limit then None
+  else if get_u32 buf off <> magic then None
+  else
+    let kind = Char.code (Bytes.get buf (off + 4)) in
+    let key_len = get_u32 buf (off + 5) in
+    let payload_len = get_u32 buf (off + 9) in
+    if key_len < 0 || payload_len < 0 then None
+    else
+      let body_end = off + header_bytes + key_len + payload_len in
+      if body_end + trailer_bytes > limit then None
+      else
+        let stored_crc = get_u32 buf body_end land 0xFFFFFFFF in
+        let crc =
+          Int32.to_int (Crc32.bytes ~pos:(off + 4) ~len:(body_end - off - 4) buf)
+          land 0xFFFFFFFF
+        in
+        if stored_crc <> crc then None
+        else if Char.code (Bytes.get buf (body_end + 4)) <> commit_marker then
+          None
+        else
+          Some
+            ( {
+                r_offset = off;
+                r_kind = kind;
+                r_key = Bytes.sub_string buf (off + header_bytes) key_len;
+                r_payload =
+                  Bytes.sub buf (off + header_bytes + key_len) payload_len;
+              },
+              body_end + trailer_bytes )
+
+let read_all fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off < len then
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | n -> go (off + n)
+    else off
+  in
+  let got = go 0 in
+  if got = len then buf else Bytes.sub buf 0 got
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off < len then go (off + Unix.single_write fd buf off (len - off))
+  in
+  go 0
+
+let open_ path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let file_len = (Unix.fstat fd).Unix.st_size in
+  let buf = read_all fd file_len in
+  let limit = Bytes.length buf in
+  let rec scan off acc =
+    match parse buf off limit with
+    | Some (r, next) -> scan next (r :: acc)
+    | None -> (off, List.rev acc)
+  in
+  let committed, records = scan 0 [] in
+  (* Discard the torn tail, if any, so appends resume on a clean
+     boundary. *)
+  if committed < file_len then Unix.ftruncate fd committed;
+  ignore (Unix.lseek fd committed Unix.SEEK_SET);
+  ({ j_path = path; fd; end_off = committed; unsynced = 0; closed = false },
+   records)
+
+let append t ~kind ~key ~payload =
+  if t.closed then invalid_arg "Journal.append: closed";
+  let b = frame ~kind ~key ~payload in
+  let off = t.end_off in
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  write_all t.fd b;
+  t.end_off <- off + Bytes.length b;
+  t.unsynced <- t.unsynced + 1;
+  off
+
+let read_at t off =
+  if off < 0 || off >= t.end_off then invalid_arg "Journal.read_at: offset";
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let buf = read_all t.fd (t.end_off - off) in
+  ignore (Unix.lseek t.fd t.end_off Unix.SEEK_SET);
+  match parse buf 0 (Bytes.length buf) with
+  | Some (r, _) -> { r with r_offset = off }
+  | None -> invalid_arg "Journal.read_at: no committed record at offset"
+
+let sync t =
+  if (not t.closed) && t.unsynced > 0 then begin
+    Unix.fsync t.fd;
+    t.unsynced <- 0
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end

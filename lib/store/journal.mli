@@ -1,0 +1,60 @@
+(** Append-only record journal with per-record CRCs and commit markers.
+
+    The filing store's durability layer (DESIGN.md §10).  A record is
+    framed as
+
+    {v magic | kind | key_len | payload_len | key | payload | crc | commit v}
+
+    where the CRC covers everything between the magic and itself, and the
+    final commit byte is written last — a record is committed iff its
+    frame is complete, checksums, and carries the marker.
+
+    Recovery ([open_] on an existing file) scans from the start and
+    truncates the file at the first incomplete, corrupt, or uncommitted
+    record: a crash mid-append can only tear the tail, so the surviving
+    prefix is exactly the committed records.  No recovery error escapes
+    [open_]; a torn tail is silently discarded, never surfaced as data.
+
+    Offsets returned by [append] are stable until [Store] compaction
+    rewrites the file.  All I/O is plain [Unix] file operations; [sync]
+    is a real [fsync] barrier. *)
+
+type t
+
+type record = {
+  r_offset : int;  (** file offset of the record's magic *)
+  r_kind : int;  (** caller-defined tag, 0..255 *)
+  r_key : string;
+  r_payload : Bytes.t;
+}
+
+(** Open (creating if absent) and recover the journal at [path].
+    Returns the journal and the committed records, in append order. *)
+val open_ : string -> t * record list
+
+val path : t -> string
+
+(** Committed length in bytes (the next append offset). *)
+val size : t -> int
+
+(** Number of records appended since the last {!sync} barrier. *)
+val unsynced : t -> int
+
+(** Append one record; returns its offset.  The frame (commit marker
+    included) reaches the OS before [append] returns, but is not
+    [fsync]ed — call {!sync} for a durability barrier.  Raises
+    [Invalid_argument] if [kind] is outside 0..255. *)
+val append : t -> kind:int -> key:string -> payload:Bytes.t -> int
+
+(** Read the committed record at [offset] (as returned by {!append} or
+    recovery).  Raises [Invalid_argument] on an offset that does not
+    hold a committed record. *)
+val read_at : t -> int -> record
+
+(** fsync the file.  No-op if nothing was appended since the last call. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** Size in bytes a record with this key and payload occupies on disk. *)
+val framed_size : key:string -> payload:Bytes.t -> int

@@ -1,0 +1,253 @@
+(* Log-structured filing store: journal + in-memory directory +
+   virtual-time compaction.  See the .mli for the contract. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+module Filing = Imax.Object_filing
+
+(* Journal record kinds. *)
+let kind_graph = 1
+let kind_delete = 2
+let kind_blob = 3
+
+let kind_name = function
+  | 1 -> "graph"
+  | 2 -> "delete"
+  | 3 -> "blob"
+  | n -> string_of_int n
+
+type dir_entry = { d_offset : int; d_kind : int; d_size : int }
+
+type mon = {
+  mon_machine : K.Machine.t;
+  mon_appends : Obs.Metrics.counter;
+  mon_syncs : Obs.Metrics.counter;
+  mon_compactions : Obs.Metrics.counter;
+  mon_bytes : Obs.Metrics.counter;
+}
+
+type t = {
+  mutable journal : Journal.t;
+  dir : (string, dir_entry) Hashtbl.t;
+  sync_every : int;
+  compact_interval_ns : int;
+  min_garbage_bytes : int;
+  mutable garbage : int;  (* reclaimable bytes in the journal *)
+  mutable next_compact_ns : int;  (* virtual instant of the next check *)
+  mutable mon : mon option;
+  (* lifetime statistics (survive compaction) *)
+  mutable st_appends : int;
+  mutable st_syncs : int;
+  mutable st_compactions : int;
+  mutable st_bytes_written : int;
+  mutable st_bytes_reclaimed : int;
+}
+
+let path t = Journal.path t.journal
+let garbage_bytes t = t.garbage
+let count t = Hashtbl.length t.dir
+let mem t ~key = Hashtbl.mem t.dir key
+
+let keys t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.dir [])
+
+let stats t =
+  ( t.st_appends,
+    t.st_syncs,
+    t.st_compactions,
+    t.st_bytes_written,
+    t.st_bytes_reclaimed )
+
+let attached_machine t =
+  match t.mon with None -> None | Some m -> Some m.mon_machine
+
+(* Replay the committed records into a directory, accumulating the bytes
+   made garbage by supersedes and deletes. *)
+let build_dir records dir =
+  let garbage = ref 0 in
+  List.iter
+    (fun (r : Journal.record) ->
+      let size = Journal.framed_size ~key:r.Journal.r_key ~payload:r.Journal.r_payload in
+      let old_size =
+        match Hashtbl.find_opt dir r.Journal.r_key with
+        | Some e -> e.d_size
+        | None -> 0
+      in
+      if r.Journal.r_kind = kind_delete then begin
+        Hashtbl.remove dir r.Journal.r_key;
+        (* The tombstone itself is garbage too, once applied. *)
+        garbage := !garbage + old_size + size
+      end
+      else begin
+        Hashtbl.replace dir r.Journal.r_key
+          { d_offset = r.Journal.r_offset; d_kind = r.Journal.r_kind; d_size = size };
+        garbage := !garbage + old_size
+      end)
+    records;
+  !garbage
+
+let open_ ?(sync_every = 8) ?(compact_interval_ns = 10_000_000)
+    ?(min_garbage_bytes = 4096) path =
+  if sync_every < 1 then invalid_arg "Store.open_: sync_every";
+  if compact_interval_ns < 1 then invalid_arg "Store.open_: compact_interval_ns";
+  let journal, records = Journal.open_ path in
+  let dir = Hashtbl.create 64 in
+  let garbage = build_dir records dir in
+  {
+    journal;
+    dir;
+    sync_every;
+    compact_interval_ns;
+    min_garbage_bytes;
+    garbage;
+    next_compact_ns = compact_interval_ns;
+    mon = None;
+    st_appends = 0;
+    st_syncs = 0;
+    st_compactions = 0;
+    st_bytes_written = 0;
+    st_bytes_reclaimed = 0;
+  }
+
+let attach t machine =
+  let metrics = K.Machine.metrics machine in
+  t.mon <-
+    Some
+      {
+        mon_machine = machine;
+        mon_appends = Obs.Metrics.counter metrics "store.journal_appends";
+        mon_syncs = Obs.Metrics.counter metrics "store.journal_syncs";
+        mon_compactions = Obs.Metrics.counter metrics "store.compactions";
+        mon_bytes = Obs.Metrics.counter metrics "store.bytes_written";
+      }
+
+let emit t ?name ?detail ?a ?b kind =
+  match t.mon with
+  | None -> ()
+  | Some m -> K.Machine.emit_event m.mon_machine ?name ?detail ?a ?b kind
+
+let sync t =
+  let pending = Journal.unsynced t.journal in
+  if pending > 0 then begin
+    Journal.sync t.journal;
+    t.st_syncs <- t.st_syncs + 1;
+    (match t.mon with Some m -> Obs.Metrics.incr m.mon_syncs | None -> ());
+    emit t ~a:pending ~b:(Journal.size t.journal) Obs.Event.Journal_sync
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compaction                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compact t =
+  let old_size = Journal.size t.journal in
+  let tmp = path t ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let fresh, _ = Journal.open_ tmp in
+  (* Rewrite live records in key order: compaction output is a pure
+     function of the directory, so two stores with the same contents
+     compact to identical files. *)
+  let live =
+    List.map
+      (fun key ->
+        let e = Hashtbl.find t.dir key in
+        let r = Journal.read_at t.journal e.d_offset in
+        (key, e.d_kind, r.Journal.r_payload))
+      (keys t)
+  in
+  List.iter
+    (fun (key, kind, payload) ->
+      ignore (Journal.append fresh ~kind ~key ~payload))
+    live;
+  Journal.sync fresh;
+  Journal.close fresh;
+  Journal.close t.journal;
+  Sys.rename tmp (path t);
+  let journal, records = Journal.open_ (path t) in
+  t.journal <- journal;
+  Hashtbl.reset t.dir;
+  t.garbage <- build_dir records t.dir;
+  let reclaimed = old_size - Journal.size t.journal in
+  t.st_compactions <- t.st_compactions + 1;
+  t.st_bytes_reclaimed <- t.st_bytes_reclaimed + reclaimed;
+  (match t.mon with Some m -> Obs.Metrics.incr m.mon_compactions | None -> ());
+  emit t ~a:(List.length live) ~b:reclaimed Obs.Event.Store_compact;
+  reclaimed
+
+(* Compaction clock: at most one compaction per virtual-time interval,
+   and only when enough garbage has accumulated to pay for the rewrite. *)
+let advance_clock t now_ns =
+  if now_ns >= t.next_compact_ns then begin
+    t.next_compact_ns <-
+      ((now_ns / t.compact_interval_ns) + 1) * t.compact_interval_ns;
+    if t.garbage >= t.min_garbage_bytes then ignore (compact t)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let append t ~kind ~key ~payload =
+  let size = Journal.framed_size ~key ~payload in
+  let old_size =
+    match Hashtbl.find_opt t.dir key with Some e -> e.d_size | None -> 0
+  in
+  let off = Journal.append t.journal ~kind ~key ~payload in
+  if kind = kind_delete then begin
+    Hashtbl.remove t.dir key;
+    t.garbage <- t.garbage + old_size + size
+  end
+  else begin
+    Hashtbl.replace t.dir key { d_offset = off; d_kind = kind; d_size = size };
+    t.garbage <- t.garbage + old_size
+  end;
+  t.st_appends <- t.st_appends + 1;
+  t.st_bytes_written <- t.st_bytes_written + size;
+  (match t.mon with
+  | Some m ->
+    Obs.Metrics.incr m.mon_appends;
+    Obs.Metrics.incr ~by:size m.mon_bytes
+  | None -> ());
+  emit t ~name:key ~detail:(kind_name kind) ~a:off ~b:size
+    Obs.Event.Journal_append;
+  if Journal.unsynced t.journal >= t.sync_every then sync t
+
+let store_graph t machine ~key ?mask root =
+  let wire =
+    match mask with
+    | Some mask -> Filing.capture machine ~mask root
+    | None -> Filing.capture machine root
+  in
+  append t ~kind:kind_graph ~key ~payload:(Filing.encode_wire wire);
+  advance_clock t (K.Machine.now machine);
+  Filing.wire_nodes wire
+
+let find_kind t ~key kind =
+  match Hashtbl.find_opt t.dir key with
+  | Some e when e.d_kind = kind ->
+    Some (Journal.read_at t.journal e.d_offset).Journal.r_payload
+  | Some _ | None -> None
+
+let get_wire t ~key =
+  match find_kind t ~key kind_graph with
+  | Some payload -> Some (Filing.decode_wire payload)
+  | None -> None
+
+let retrieve_graph t machine ?sro ~key () =
+  match get_wire t ~key with
+  | Some wire -> Filing.reconstruct machine ?sro wire
+  | None -> raise (Filing.Not_filed key)
+
+let delete t ~key =
+  if Hashtbl.mem t.dir key then
+    append t ~kind:kind_delete ~key ~payload:Bytes.empty
+
+let put_blob t ?now_ns ~key payload =
+  append t ~kind:kind_blob ~key ~payload;
+  match now_ns with Some now -> advance_clock t now | None -> ()
+
+let get_blob t ~key = find_kind t ~key kind_blob
+
+let close t =
+  sync t;
+  Journal.close t.journal

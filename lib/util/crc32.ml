@@ -1,0 +1,36 @@
+(* CRC-32 (IEEE), table-driven, one byte at a time.  The reflected
+   polynomial 0xEDB88320 with init/final xor 0xFFFFFFFF — the same
+   parameters as zlib's crc32, so journal files are checkable with
+   standard tools. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFFl
+let finalize crc = Int32.logxor crc 0xFFFFFFFFl
+
+let update crc buf pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Crc32.update";
+  let t = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get buf i) in
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int byte)) 0xFFl) in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  !c
+
+let bytes ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  finalize (update init buf pos len)
+
+let string ?pos ?len s = bytes ?pos ?len (Bytes.unsafe_of_string s)

@@ -13,6 +13,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("fi", Test_fi.suite);
       ("net", Test_net.suite);
+      ("store", Test_store.suite);
       ("units", Test_units.suite);
       ("integration", Test_integration.suite);
     ]

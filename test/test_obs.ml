@@ -85,14 +85,14 @@ let test_off_level_is_inert () =
 let test_kind_codes_roundtrip () =
   (* The packed rings store kinds as dense ints; the mapping must be a
      bijection over the full range. *)
-  for i = 0 to 36 do
+  for i = 0 to 41 do
     Alcotest.(check int) "roundtrip"
       i
       (Obs.Event.kind_to_int (Obs.Event.kind_of_int i))
   done;
   Alcotest.check_raises "out of range"
-    (Invalid_argument "Event.kind_of_int: 37") (fun () ->
-      ignore (Obs.Event.kind_of_int 37))
+    (Invalid_argument "Event.kind_of_int: 42") (fun () ->
+      ignore (Obs.Event.kind_of_int 42))
 
 (* ---------------- Legacy compat shim ---------------- *)
 

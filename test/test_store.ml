@@ -1,0 +1,638 @@
+(* The filing store: journal recovery (crash-point sweep), store/retrieve
+   fidelity, virtual-time compaction, and checkpoint/restore by
+   deterministic replay — single machine and cluster. *)
+
+open I432
+module K = I432_kernel
+module Obs = I432_obs
+module Fi = I432_fi.Fi
+module Net = I432_net
+module Filing = Imax.Object_filing
+module Journal = I432_store.Journal
+module Store = I432_store.Store
+module Checkpoint = I432_store.Checkpoint
+
+let mk ?(processors = 1) ?(trace = false) () =
+  K.Machine.create
+    ~config:
+      {
+        K.Machine.default_config with
+        processors;
+        trace_level = (if trace then Obs.Tracer.Events else Obs.Tracer.Off);
+      }
+    ()
+
+let alloc m ?(data_length = 16) ?(access_length = 0) () =
+  K.Machine.allocate_generic m ~data_length ~access_length ()
+
+(* Tests run in dune's sandbox cwd; journals land there and are removed
+   afterwards, so reruns never see a stale file. *)
+let temp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "test_store_%d_%d.journal" (Unix.getpid ()) !n
+
+let with_store ?sync_every ?compact_interval_ns ?min_garbage_bytes f =
+  let path = temp_path () in
+  let store = Store.open_ ?sync_every ?compact_interval_ns ?min_garbage_bytes path in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.close store;
+      if Sys.file_exists path then Sys.remove path;
+      if Sys.file_exists (path ^ ".tmp") then Sys.remove (path ^ ".tmp"))
+    (fun () -> f path store)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = really_input_string ic len in
+  close_in ic;
+  b
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* ---------------- Journal ---------------- *)
+
+let test_journal_roundtrip () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let j, recovered = Journal.open_ path in
+      Alcotest.(check int) "fresh journal is empty" 0 (List.length recovered);
+      let o1 = Journal.append j ~kind:1 ~key:"alpha" ~payload:(Bytes.of_string "one") in
+      let o2 = Journal.append j ~kind:2 ~key:"beta" ~payload:Bytes.empty in
+      let o3 = Journal.append j ~kind:3 ~key:"" ~payload:(Bytes.make 300 'x') in
+      Journal.sync j;
+      let r = Journal.read_at j o2 in
+      Alcotest.(check string) "read_at key" "beta" r.Journal.r_key;
+      Alcotest.(check int) "read_at kind" 2 r.Journal.r_kind;
+      Journal.close j;
+      let j2, recovered = Journal.open_ path in
+      Alcotest.(check int) "all three recovered" 3 (List.length recovered);
+      let offs = List.map (fun r -> r.Journal.r_offset) recovered in
+      Alcotest.(check (list int)) "offsets stable" [ o1; o2; o3 ] offs;
+      let last = List.nth recovered 2 in
+      Alcotest.(check bytes) "payload intact" (Bytes.make 300 'x')
+        last.Journal.r_payload;
+      Journal.close j2)
+
+(* Satellite: truncate the journal at every byte boundary; recovery must
+   always succeed and yield exactly the records whose frames survived
+   whole.  No torn tail ever escapes as data. *)
+let test_crash_point_sweep () =
+  let path = temp_path () in
+  let torn = path ^ ".torn" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ path; torn ])
+    (fun () ->
+      let j, _ = Journal.open_ path in
+      let keys = [ "a"; "bb"; "ccc"; "dddd" ] in
+      let ends =
+        List.map
+          (fun key ->
+            let payload = Bytes.of_string (String.concat "-" [ key; key ]) in
+            ignore (Journal.append j ~kind:1 ~key ~payload);
+            Journal.size j)
+          keys
+      in
+      Journal.sync j;
+      Journal.close j;
+      let whole = read_file path in
+      let total = String.length whole in
+      Alcotest.(check int) "sweep covers the whole file" total
+        (List.nth ends (List.length ends - 1));
+      for cut = 0 to total do
+        write_file torn (String.sub whole 0 cut);
+        (* Recovery never raises, for any torn point. *)
+        let store = Store.open_ torn in
+        let expected = List.length (List.filter (fun e -> e <= cut) ends) in
+        Alcotest.(check int)
+          (Printf.sprintf "directory matches surviving commits at cut %d" cut)
+          expected (Store.count store);
+        (* The survivors are readable, whole, and the right ones. *)
+        List.iteri
+          (fun i key ->
+            if i < expected then
+              match Store.get_wire store ~key with
+              | exception Filing.Corrupt_wire _ ->
+                () (* payloads here aren't wires; get_blob path below *)
+              | _ -> ())
+          keys;
+        Store.close store;
+        (* Recovery truncated the torn file to the last commit. *)
+        let after = String.length (read_file torn) in
+        let expected_len =
+          List.fold_left (fun acc e -> if e <= cut then max acc e else acc) 0 ends
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "torn tail truncated at cut %d" cut)
+          expected_len after
+      done)
+
+(* A flipped bit in a committed record's body fails its CRC: recovery
+   keeps the records before it and discards it and everything after. *)
+let test_corrupt_record_truncates () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let j, _ = Journal.open_ path in
+      ignore (Journal.append j ~kind:1 ~key:"good" ~payload:(Bytes.of_string "11"));
+      let second = Journal.size j in
+      ignore (Journal.append j ~kind:1 ~key:"bad" ~payload:(Bytes.of_string "22"));
+      ignore (Journal.append j ~kind:1 ~key:"after" ~payload:(Bytes.of_string "33"));
+      Journal.sync j;
+      Journal.close j;
+      let whole = Bytes.of_string (read_file path) in
+      (* Flip one payload bit inside the second record. *)
+      let p = second + 14 in
+      Bytes.set whole p (Char.chr (Char.code (Bytes.get whole p) lxor 1));
+      write_file path (Bytes.to_string whole);
+      let j2, recovered = Journal.open_ path in
+      Alcotest.(check (list string)) "valid prefix only" [ "good" ]
+        (List.map (fun r -> r.Journal.r_key) recovered);
+      Journal.close j2)
+
+(* ---------------- Store: filing graphs ---------------- *)
+
+(* Same canonical walk as the net tests: discovery-order serials, data
+   images, and rights — two graphs are isomorphic iff walks are equal. *)
+let canonical_walk m root =
+  let table = K.Machine.table m in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let count = ref 0 in
+  let rec go access =
+    let idx = Access.index access in
+    match Hashtbl.find_opt seen idx with
+    | Some serial -> out := `Ref serial :: !out
+    | None ->
+      let serial = !count in
+      incr count;
+      Hashtbl.add seen idx serial;
+      let e = Object_table.entry_of_access table access in
+      out :=
+        `Node
+          ( serial,
+            K.Machine.read_bytes m access ~offset:0
+              ~len:e.Object_table.data_length,
+            Access.rights access,
+            e.Object_table.otype )
+        :: !out;
+      Array.iter
+        (function Some child -> go child | None -> out := `Hole :: !out)
+        e.Object_table.access_part
+  in
+  go root;
+  List.rev !out
+
+let test_store_retrieve_graph () =
+  with_store (fun _path store ->
+      let src = mk () and dst = mk () in
+      (* Shared + cyclic + sealed: root -> a -> shared, root -> shared,
+         shared -> root, root -> sealed instance. *)
+      let root = alloc src ~access_length:3 () in
+      let a = alloc src ~access_length:1 () in
+      let shared = alloc src ~access_length:1 () in
+      K.Machine.write_word src root ~offset:0 1;
+      K.Machine.write_word src a ~offset:0 2;
+      K.Machine.write_word src shared ~offset:0 3;
+      K.Machine.store_access src root ~slot:0 (Some a);
+      K.Machine.store_access src root ~slot:1 (Some shared);
+      K.Machine.store_access src a ~slot:0 (Some shared);
+      K.Machine.store_access src shared ~slot:0 (Some root);
+      let table = K.Machine.table src in
+      let sro = K.Machine.global_sro src in
+      let td = Type_def.create table sro ~name:"mailbox" in
+      let inst =
+        Type_def.create_instance table td sro ~data_length:8 ~access_length:0
+      in
+      K.Machine.store_access src root ~slot:2 (Some inst);
+      let filed = Store.store_graph store src ~key:"g" root in
+      Alcotest.(check int) "four objects filed" 4 filed;
+      let root' = Store.retrieve_graph store dst ~key:"g" () in
+      Alcotest.(check bool) "isomorphic after disk round trip" true
+        (canonical_walk src root = canonical_walk dst root');
+      let inst' = Option.get (K.Machine.load_access dst root' ~slot:2) in
+      let e' = Object_table.entry_of_access (K.Machine.table dst) inst' in
+      Alcotest.(check bool) "seal survived the disk" true
+        (match e'.Object_table.otype with Obj_type.Custom _ -> true | _ -> false);
+      Alcotest.check_raises "unknown key" (Filing.Not_filed "nope") (fun () ->
+          ignore (Store.retrieve_graph store dst ~key:"nope" ())))
+
+let test_store_rights_mask () =
+  with_store (fun _path store ->
+      let src = mk () and dst = mk () in
+      let root = alloc src ~access_length:1 () in
+      let child = alloc src () in
+      K.Machine.write_word src child ~offset:0 77;
+      K.Machine.store_access src root ~slot:0 (Some child);
+      ignore (Store.store_graph store src ~key:"m" ~mask:Rights.read_only root);
+      let root' = Store.retrieve_graph store dst ~key:"m" () in
+      Alcotest.(check bool) "root write stripped" false
+        (Rights.has_write (Access.rights root'));
+      let child' = Option.get (K.Machine.load_access dst root' ~slot:0) in
+      Alcotest.(check bool) "edge write stripped" false
+        (Rights.has_write (Access.rights child'));
+      Alcotest.(check int) "data intact" 77
+        (K.Machine.read_word dst child' ~offset:0))
+
+(* qcheck satellite, first half: store -> retrieve is observationally
+   identical to capture/reconstruct for random graphs. *)
+let prop_store_equals_capture =
+  QCheck2.Test.make ~name:"store/retrieve ≡ capture/reconstruct" ~count:30
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 1000000))
+    (fun (n, salt) ->
+      let src = mk () in
+      let objs =
+        Array.init n (fun i ->
+            let o = alloc src ~data_length:8 ~access_length:3 () in
+            K.Machine.write_word src o ~offset:0 ((salt * 31) + i);
+            o)
+      in
+      let state = ref (salt + (n * 7919) + 1) in
+      let next bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      Array.iter
+        (fun o ->
+          for slot = 0 to 2 do
+            if next 3 > 0 then
+              K.Machine.store_access src o ~slot (Some objs.(next n))
+          done)
+        objs;
+      let via_mem = mk () and via_disk = mk () in
+      let direct = Filing.reconstruct via_mem (Filing.capture src objs.(0)) in
+      let path = temp_path () in
+      let store = Store.open_ path in
+      let from_disk =
+        Fun.protect
+          ~finally:(fun () ->
+            Store.close store;
+            if Sys.file_exists path then Sys.remove path)
+          (fun () ->
+            ignore (Store.store_graph store src ~key:"q" objs.(0));
+            Store.retrieve_graph store via_disk ~key:"q" ())
+      in
+      canonical_walk via_mem direct = canonical_walk via_disk from_disk)
+
+(* Binary codec: encode/decode is the identity on captured wires, and a
+   truncated buffer raises instead of yielding a malformed graph. *)
+let test_wire_codec_roundtrip () =
+  let src = mk () in
+  let root = alloc src ~access_length:2 () in
+  let child = alloc src ~access_length:1 () in
+  K.Machine.store_access src root ~slot:1 (Some child);
+  K.Machine.store_access src child ~slot:0 (Some root);
+  K.Machine.write_word src root ~offset:0 99;
+  let wire = Filing.capture src root in
+  let bytes = Filing.encode_wire wire in
+  Alcotest.(check bool) "decode inverts encode" true
+    (Filing.wire_equal wire (Filing.decode_wire bytes));
+  for cut = 0 to Bytes.length bytes - 1 do
+    match Filing.decode_wire (Bytes.sub bytes 0 cut) with
+    | exception Filing.Corrupt_wire _ -> ()
+    | _ -> Alcotest.failf "truncation to %d bytes decoded" cut
+  done
+
+(* ---------------- Store: directory and compaction ---------------- *)
+
+let test_directory_rebuild_and_delete () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let store = Store.open_ path in
+      Store.put_blob store ~key:"k1" (Bytes.of_string "v1");
+      Store.put_blob store ~key:"k1" (Bytes.of_string "v2");
+      Store.put_blob store ~key:"k2" (Bytes.of_string "w");
+      Store.delete store ~key:"k2";
+      Store.delete store ~key:"ghost";
+      (* deleting an absent key journals nothing *)
+      Alcotest.(check (list string)) "directory" [ "k1" ] (Store.keys store);
+      Store.close store;
+      let store = Store.open_ path in
+      Alcotest.(check (list string)) "directory rebuilt on open" [ "k1" ]
+        (Store.keys store);
+      Alcotest.(check (option bytes)) "latest version wins"
+        (Some (Bytes.of_string "v2"))
+        (Store.get_blob store ~key:"k1");
+      Alcotest.(check (option bytes)) "tombstone holds" None
+        (Store.get_blob store ~key:"k2");
+      Alcotest.(check bool) "garbage accumulated" true
+        (Store.garbage_bytes store > 0);
+      Store.close store)
+
+let test_compaction_reclaims_and_preserves () =
+  with_store (fun path store ->
+      let m = mk () in
+      let root = alloc m ~access_length:1 () in
+      let child = alloc m () in
+      K.Machine.write_word m child ~offset:0 5;
+      K.Machine.store_access m root ~slot:0 (Some child);
+      for i = 1 to 20 do
+        K.Machine.write_word m root ~offset:0 i;
+        ignore (Store.store_graph store m ~key:"hot" root)
+      done;
+      Store.put_blob store ~key:"cold" (Bytes.of_string "keep");
+      Store.delete store ~key:"hot";
+      ignore (Store.store_graph store m ~key:"hot" root);
+      let before = Store.garbage_bytes store in
+      Alcotest.(check bool) "garbage before compaction" true (before > 0);
+      let reclaimed = Store.compact store in
+      Alcotest.(check bool) "bytes reclaimed" true (reclaimed > 0);
+      Alcotest.(check int) "no garbage after" 0 (Store.garbage_bytes store);
+      Alcotest.(check (option bytes)) "blob survived" (Some (Bytes.of_string "keep"))
+        (Store.get_blob store ~key:"cold");
+      let fresh = mk () in
+      let root' = Store.retrieve_graph store fresh ~key:"hot" () in
+      Alcotest.(check bool) "graph survived compaction" true
+        (canonical_walk m root = canonical_walk fresh root');
+      Alcotest.(check bool) "tmp file removed" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* The compacted file recovers like any other journal. *)
+      Store.close store;
+      let store2 = Store.open_ path in
+      Alcotest.(check (list string)) "compacted file reopens" [ "cold"; "hot" ]
+        (Store.keys store2);
+      Store.close store2)
+
+let test_compaction_virtual_time_driver () =
+  (* min_garbage 1: any garbage is enough; the interval alone gates. *)
+  with_store ~compact_interval_ns:1_000 ~min_garbage_bytes:1
+    (fun _path store ->
+      Store.put_blob store ~key:"k" (Bytes.of_string "a");
+      Store.put_blob store ~key:"k" (Bytes.of_string "b");
+      let _, _, compactions0, _, _ = Store.stats store in
+      Alcotest.(check int) "no compaction before the interval" 0 compactions0;
+      (* Virtual time crosses the interval: the next append compacts. *)
+      Store.put_blob store ~now_ns:5_000 ~key:"k" (Bytes.of_string "c");
+      let _, _, compactions1, _, _ = Store.stats store in
+      Alcotest.(check int) "compacted once after the interval" 1 compactions1;
+      (* Within the same interval, garbage accrues but no second sweep. *)
+      Store.put_blob store ~now_ns:5_100 ~key:"k" (Bytes.of_string "d");
+      let _, _, compactions2, _, _ = Store.stats store in
+      Alcotest.(check int) "interval gates resweep" 1 compactions2)
+
+let test_store_observability () =
+  with_store ~sync_every:2 (fun _path store ->
+      let m = mk ~trace:true () in
+      Store.attach store m;
+      Store.put_blob store ~key:"a" (Bytes.of_string "1");
+      Store.put_blob store ~key:"b" (Bytes.of_string "2");
+      let kinds = List.map (fun e -> e.Obs.Event.kind) (K.Machine.events m) in
+      Alcotest.(check bool) "append events emitted" true
+        (List.mem Obs.Event.Journal_append kinds);
+      Alcotest.(check bool) "sync barrier event emitted" true
+        (List.mem Obs.Event.Journal_sync kinds);
+      let counter name =
+        match Obs.Metrics.find_counter (K.Machine.metrics m) name with
+        | Some c -> Obs.Metrics.counter_value c
+        | None -> Alcotest.failf "counter %s missing" name
+      in
+      Alcotest.(check int) "append counter" 2 (counter "store.journal_appends");
+      Alcotest.(check int) "sync counter" 1 (counter "store.journal_syncs"))
+
+(* ---------------- Checkpoint: single machine ---------------- *)
+
+(* A deterministic multi-process workload with traced events: producers
+   and a consumer through a bounded port, staggered delays, plus an armed
+   FI plan so pending injections cross the checkpoint too. *)
+let boot_workload ?(chaos = false) () =
+  let m = mk ~processors:2 ~trace:true () in
+  let port = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  ignore
+    (K.Machine.spawn m ~name:"consumer" (fun () ->
+         for _ = 1 to 8 do
+           let msg = K.Machine.receive m ~port in
+           K.Machine.compute m (100 * K.Machine.read_word m msg ~offset:0)
+         done));
+  for p = 1 to 2 do
+    ignore
+      (K.Machine.spawn m ~name:(Printf.sprintf "producer%d" p) (fun () ->
+           for i = 1 to 4 do
+             K.Machine.delay m ~ns:(10_000 * p);
+             let msg = alloc m () in
+             K.Machine.write_word m msg ~offset:0 ((p * 10) + i);
+             K.Machine.send m ~port ~msg
+           done))
+  done;
+  if chaos then
+    Fi.arm m
+      (Fi.random ~seed:7 ~horizon_ns:2_000_000 ~processors:2 ~count:6
+         ~cpu_faults:1);
+  m
+
+let stream m = List.map Obs.Event.to_string (K.Machine.events m)
+
+let check_kill_restore ~chaos ~bound () =
+  with_store (fun _path store ->
+      let straight = boot_workload ~chaos () in
+      ignore (K.Machine.run straight);
+      (* Kill: run to the bound, checkpoint, drop the machine. *)
+      let victim = boot_workload ~chaos () in
+      (match bound with
+      | Checkpoint.Steps n -> ignore (K.Machine.run ~max_steps:n victim)
+      | Checkpoint.Virtual_ns n -> ignore (K.Machine.run ~max_ns:n victim)
+      | Checkpoint.Rounds _ -> assert false);
+      ignore (Checkpoint.save store ~key:"ck" ~bound victim);
+      (* Restore in a world where [victim] is gone, and continue. *)
+      let revived =
+        Checkpoint.restore store ~key:"ck" ~boot:(fun () ->
+            boot_workload ~chaos ())
+      in
+      ignore (K.Machine.run revived);
+      Alcotest.(check (list string))
+        "restored run's stream is bit-identical to the straight run's"
+        (stream straight) (stream revived))
+
+let test_checkpoint_restore_steps () =
+  check_kill_restore ~chaos:false ~bound:(Checkpoint.Steps 5) ()
+
+let test_checkpoint_restore_virtual_ns () =
+  check_kill_restore ~chaos:false ~bound:(Checkpoint.Virtual_ns 45_000) ()
+
+let test_checkpoint_restore_mid_chaos () =
+  (* The kill instant falls inside the FI plan's horizon: unfired
+     injections are part of the image and refire identically on replay. *)
+  check_kill_restore ~chaos:true ~bound:(Checkpoint.Virtual_ns 300_000) ()
+
+let test_checkpoint_record_survives_reopen () =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let store = Store.open_ path in
+      let victim = boot_workload () in
+      ignore (K.Machine.run ~max_steps:4 victim);
+      ignore (Checkpoint.save store ~key:"ck" ~bound:(Checkpoint.Steps 4) victim);
+      Store.close store;
+      (* A different process opens the store after the "crash". *)
+      let store = Store.open_ path in
+      (match Checkpoint.load store ~key:"ck" with
+      | Some r ->
+        Alcotest.(check bool) "bound survived" true
+          (r.Checkpoint.c_bound = Checkpoint.Steps 4)
+      | None -> Alcotest.fail "checkpoint lost across reopen");
+      let straight = boot_workload () in
+      ignore (K.Machine.run straight);
+      let revived = Checkpoint.restore store ~key:"ck" ~boot:boot_workload in
+      ignore (K.Machine.run revived);
+      Alcotest.(check (list string)) "stream equal across reopen"
+        (stream straight) (stream revived);
+      Store.close store)
+
+let test_restore_mismatch_detected () =
+  with_store (fun _path store ->
+      let victim = boot_workload () in
+      ignore (K.Machine.run ~max_steps:6 victim);
+      ignore (Checkpoint.save store ~key:"ck" ~bound:(Checkpoint.Steps 6) victim);
+      (* A boot closure that arms different chaos is not the same run. *)
+      match
+        Checkpoint.restore store ~key:"ck" ~boot:(fun () ->
+            boot_workload ~chaos:true ())
+      with
+      | exception Checkpoint.Restore_mismatch _ -> ()
+      | _ -> Alcotest.fail "divergent replay accepted")
+
+(* qcheck satellite, second half: restore-then-run equals
+   run-straight-through on the event stream, for any kill step. *)
+let prop_kill_anywhere =
+  QCheck2.Test.make ~name:"restore-then-run ≡ run-straight-through" ~count:15
+    QCheck2.Gen.(int_range 1 60)
+    (fun kill_step ->
+      let path = temp_path () in
+      let store = Store.open_ path in
+      Fun.protect
+        ~finally:(fun () ->
+          Store.close store;
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let straight = boot_workload () in
+          ignore (K.Machine.run straight);
+          let victim = boot_workload () in
+          ignore (K.Machine.run ~max_steps:kill_step victim);
+          ignore
+            (Checkpoint.save store ~key:"ck"
+               ~bound:(Checkpoint.Steps kill_step) victim);
+          let revived =
+            Checkpoint.restore store ~key:"ck" ~boot:(fun () ->
+                boot_workload ())
+          in
+          ignore (K.Machine.run revived);
+          stream straight = stream revived))
+
+(* ---------------- Checkpoint: cluster node ---------------- *)
+
+let boot_ping_cluster () =
+  let cluster = Net.Cluster.create () in
+  let config =
+    {
+      K.Machine.default_config with
+      processors = 1;
+      trace_level = Obs.Tracer.Events;
+    }
+  in
+  let a, ma = Net.Cluster.boot_node cluster ~name:"a" ~config () in
+  let b, mb = Net.Cluster.boot_node cluster ~name:"b" ~config () in
+  ignore (Net.Cluster.connect cluster a b);
+  let home = K.Machine.create_port mb ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"chan" home;
+  ignore
+    (K.Machine.spawn mb ~name:"consumer" (fun () ->
+         for _ = 1 to 6 do
+           let msg = K.Machine.receive mb ~port:home in
+           K.Machine.compute mb (10 * K.Machine.read_word mb msg ~offset:0)
+         done));
+  let surrogate = Net.Cluster.import cluster ~node:a ~name:"chan" in
+  ignore
+    (K.Machine.spawn ma ~name:"producer" (fun () ->
+         for i = 1 to 6 do
+           let msg = alloc ma () in
+           K.Machine.write_word ma msg ~offset:0 (i * 10);
+           K.Machine.send ma ~port:surrogate ~msg
+         done));
+  cluster
+
+let cluster_streams c =
+  List.init (Net.Cluster.node_count c) (fun i ->
+      stream (Net.Cluster.machine c i))
+
+let test_cluster_checkpoint_restore () =
+  with_store (fun _path store ->
+      let straight = boot_ping_cluster () in
+      ignore (Net.Cluster.run straight ());
+      (* Kill the whole cluster at a round boundary mid-transfer. *)
+      let victim = boot_ping_cluster () in
+      let report = Net.Cluster.run victim ~max_rounds:4 () in
+      Alcotest.(check bool) "killed mid-run" true
+        (report.Net.Cluster.rounds = 4);
+      ignore
+        (Checkpoint.save_cluster store ~key:"cl"
+           ~rounds:report.Net.Cluster.rounds ~quantum_ns:100_000 victim);
+      let revived =
+        Checkpoint.restore_cluster store ~key:"cl" ~boot:boot_ping_cluster
+      in
+      ignore (Net.Cluster.run revived ());
+      List.iter2
+        (Alcotest.(check (list string)) "node stream bit-identical")
+        (cluster_streams straight) (cluster_streams revived))
+
+let test_cluster_run_resumable () =
+  (* The property cluster checkpoints stand on: a split run equals a
+     straight run on every node's event stream. *)
+  let straight = boot_ping_cluster () in
+  ignore (Net.Cluster.run straight ());
+  let split = boot_ping_cluster () in
+  ignore (Net.Cluster.run split ~max_rounds:3 ());
+  ignore (Net.Cluster.run split ());
+  List.iter2
+    (Alcotest.(check (list string)) "split ≡ straight")
+    (cluster_streams straight) (cluster_streams split)
+
+let suite =
+  [
+    Alcotest.test_case "journal: append/recover/read_at" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "journal: crash-point sweep, every byte" `Quick
+      test_crash_point_sweep;
+    Alcotest.test_case "journal: corrupt record truncates" `Quick
+      test_corrupt_record_truncates;
+    Alcotest.test_case "store: graph round trip (cycle/sharing/seal)" `Quick
+      test_store_retrieve_graph;
+    Alcotest.test_case "store: rights mask survives disk" `Quick
+      test_store_rights_mask;
+    QCheck_alcotest.to_alcotest prop_store_equals_capture;
+    Alcotest.test_case "wire codec: encode/decode identity + truncation"
+      `Quick test_wire_codec_roundtrip;
+    Alcotest.test_case "store: directory rebuild, supersede, delete" `Quick
+      test_directory_rebuild_and_delete;
+    Alcotest.test_case "store: compaction reclaims and preserves" `Quick
+      test_compaction_reclaims_and_preserves;
+    Alcotest.test_case "store: compaction driven from virtual time" `Quick
+      test_compaction_virtual_time_driver;
+    Alcotest.test_case "store: events and counters when attached" `Quick
+      test_store_observability;
+    Alcotest.test_case "checkpoint: kill at step bound, restore" `Quick
+      test_checkpoint_restore_steps;
+    Alcotest.test_case "checkpoint: kill at virtual-time bound, restore"
+      `Quick test_checkpoint_restore_virtual_ns;
+    Alcotest.test_case "checkpoint: kill mid-chaos, injections survive"
+      `Quick test_checkpoint_restore_mid_chaos;
+    Alcotest.test_case "checkpoint: record survives store reopen" `Quick
+      test_checkpoint_record_survives_reopen;
+    Alcotest.test_case "checkpoint: divergent replay rejected" `Quick
+      test_restore_mismatch_detected;
+    QCheck_alcotest.to_alcotest prop_kill_anywhere;
+    Alcotest.test_case "cluster: checkpoint a node mid-transfer, restore"
+      `Quick test_cluster_checkpoint_restore;
+    Alcotest.test_case "cluster: split run ≡ straight run" `Quick
+      test_cluster_run_resumable;
+  ]
