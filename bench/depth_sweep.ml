@@ -202,12 +202,16 @@ let deltas rows =
     ]
 
 let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ?store_tp
-    ~mode rows =
+    ?par_speedup ~mode rows =
   let open Json_out in
   Obj
     [
       ("schema", Str "imax432-bench-micro/1");
       ("mode", Str mode);
+      ( "par_speedup",
+        match par_speedup with
+        | Some r -> Par_speedup.to_json r
+        | None -> Null );
       ( "trace_overhead",
         match trace_overhead with
         | Some r -> Trace_overhead.to_json r

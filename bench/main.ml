@@ -39,6 +39,7 @@ let run_micro args =
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
   let gate = List.mem "--assert-trace-overhead" args in
+  let par_gate = List.mem "--assert-par-speedup" args in
   let out =
     let rec go = function
       | "--out" :: path :: _ -> path
@@ -87,14 +88,24 @@ let run_micro args =
     Net_rtt.print_summary net_rtt;
     let store_tp = Store_tp.measure ~smoke () in
     Store_tp.print_summary store_tp;
+    let par_speedup = Par_speedup.measure ~smoke () in
+    Par_speedup.print_summary par_speedup;
     let mode = if smoke then "smoke" else "full" in
     Json_out.write_file ~path:out
       (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead
-         ~fi_overhead ~net_rtt ~store_tp ~mode rows);
+         ~fi_overhead ~net_rtt ~store_tp ~par_speedup ~mode rows);
     Printf.printf "wrote %s\n" out;
     if gate && not (Trace_overhead.check overhead) then begin
       Printf.printf "FAIL: trace overhead %.2f%% >= %.1f%% budget\n"
         overhead.Trace_overhead.overhead_pct Trace_overhead.limit_pct;
+      exit 1
+    end;
+    if par_gate && not (Par_speedup.check par_speedup) then begin
+      if not par_speedup.Par_speedup.streams_equal then
+        print_endline "FAIL: parallel engine streams diverged from sequential"
+      else
+        Printf.printf "FAIL: par speedup x%.2f < x%.1f at 4 domains\n"
+          par_speedup.Par_speedup.speedup4 Par_speedup.limit;
       exit 1
     end
   end

@@ -97,6 +97,18 @@ let chrome_arg ~doc =
 
 let check_arg ~doc = Arg.(value & flag & info [ "check" ] ~doc)
 
+let par_arg ~doc = Arg.(value & opt int 1 & info [ "par" ] ~docv:"N" ~doc)
+
+(* Map --par N to a cluster engine, bounds-checked against the host: more
+   domains than the OCaml runtime recommends only adds contention, and a
+   result under oversubscription would be a meaningless speedup number. *)
+let engine_of_par par =
+  let limit = Stdlib.Domain.recommended_domain_count () in
+  if par < 1 then die "--par %d: need at least one domain" par;
+  if par > limit then
+    die "--par %d: this host recommends at most %d domain(s)" par limit;
+  if par = 1 then Net.Cluster.Seq else Net.Cluster.Par par
+
 let print_report (r : K.Machine.run_report) =
   Printf.printf "elapsed: %.3f ms (virtual, 8 MHz)\n"
     (float_of_int r.K.Machine.elapsed_ns /. 1e6);
@@ -463,13 +475,14 @@ let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
     else print_endline "determinism check: identical event streams"
   end
 
-(* Net: the spooler split across a two-node cluster joined by the virtual
-   interconnect, optionally under a seeded link-fault plan.  Clients on
-   one node send composite jobs through an imported surrogate port; the
-   printshop node owns the real queue.  The printer drains until quiet so
-   a plan hostile enough to lose frames still halts cleanly. *)
-let run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
-    =
+(* Net: the spooler split across an N-node star cluster joined by the
+   virtual interconnect, optionally under a seeded link-fault plan.
+   Nodes 0..N-2 each run [clients] users sending composite jobs through
+   an imported surrogate port; node N-1 (the printshop) owns the real
+   queue.  The printer drains until quiet so a plan hostile enough to
+   lose frames still halts cleanly. *)
+let run_net ~processors ~nodes ~engine ~seed ~clients ~jobs ~link_faults
+    ~partitions ~latency =
   let cluster = Net.Cluster.create ~default_latency_ns:latency () in
   let config =
     {
@@ -478,16 +491,24 @@ let run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
       trace_level = Obs.Tracer.Events;
     }
   in
-  let node_a, ma = Net.Cluster.boot_node cluster ~name:"clients" ~config () in
+  let client_nodes =
+    Array.init (nodes - 1) (fun i ->
+        Net.Cluster.boot_node cluster
+          ~name:
+            (if nodes = 2 then "clients" else Printf.sprintf "clients%d" (i + 1))
+          ~config ())
+  in
   let node_b, mb =
     Net.Cluster.boot_node cluster ~name:"printshop" ~config ()
   in
-  ignore (Net.Cluster.connect cluster node_a node_b);
+  Array.iter
+    (fun (id, _) -> ignore (Net.Cluster.connect cluster id node_b))
+    client_nodes;
   let plan =
     if link_faults > 0 || partitions > 0 then begin
       let horizon_ns = max 2_000_000 (clients * jobs * 300_000) in
       let p =
-        Fi.random_links ~seed ~horizon_ns ~links:1 ~count:link_faults
+        Fi.random_links ~seed ~horizon_ns ~links:(nodes - 1) ~count:link_faults
           ~partitions
       in
       Net.Cluster.arm_links cluster p;
@@ -514,42 +535,50 @@ let run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
              printed := (owner, seq) :: !printed
            | None -> incr quiet
          done));
-  let surrogate =
-    Net.Remote_port.import cluster ~node:node_a ~name:"printer"
-  in
-  for u = 1 to clients do
-    ignore
-      (K.Machine.spawn ma
-         ~name:(Printf.sprintf "user%d" u)
-         (fun () ->
-           for j = 1 to jobs do
-             let job =
-               K.Machine.allocate_generic ma ~data_length:16 ()
-             in
-             K.Machine.write_word ma job ~offset:0 u;
-             K.Machine.write_word ma job ~offset:4 j;
-             K.Machine.compute ma 10;
-             K.Machine.send ma ~port:surrogate ~msg:job;
-             (* Spread traffic across the fault plan's horizon so armed
-                link faults actually meet frames in flight. *)
-             K.Machine.delay ma ~ns:400_000
-           done))
-  done;
-  let report = Net.Cluster.run cluster ~quantum_ns:200_000 () in
-  (cluster, plan, report, List.rev !printed, ma, mb)
+  Array.iteri
+    (fun i (id, ma) ->
+      let surrogate = Net.Remote_port.import cluster ~node:id ~name:"printer" in
+      for u = 1 to clients do
+        (* Users are numbered globally so every job's owner field is
+           unique cluster-wide (and unchanged in the 2-node case). *)
+        let u = (i * clients) + u in
+        ignore
+          (K.Machine.spawn ma
+             ~name:(Printf.sprintf "user%d" u)
+             (fun () ->
+               for j = 1 to jobs do
+                 let job =
+                   K.Machine.allocate_generic ma ~data_length:16 ()
+                 in
+                 K.Machine.write_word ma job ~offset:0 u;
+                 K.Machine.write_word ma job ~offset:4 j;
+                 K.Machine.compute ma 10;
+                 K.Machine.send ma ~port:surrogate ~msg:job;
+                 (* Spread traffic across the fault plan's horizon so armed
+                    link faults actually meet frames in flight. *)
+                 K.Machine.delay ma ~ns:400_000
+               done))
+      done)
+    client_nodes;
+  let report = Net.Cluster.run cluster ~engine ~quantum_ns:200_000 () in
+  let machines = Array.append (Array.map snd client_nodes) [| mb |] in
+  (cluster, plan, report, List.rev !printed, machines)
 
-let scenario_net config seed clients jobs link_faults partitions latency
-    topology chrome_out check =
+let scenario_net config nodes par seed clients jobs link_faults partitions
+    latency topology chrome_out check =
   let processors = config.System.processors in
-  let run () =
-    run_net ~processors ~seed ~clients ~jobs ~link_faults ~partitions ~latency
+  if nodes < 2 then die "--nodes %d: a cluster needs at least 2 nodes" nodes;
+  let engine = engine_of_par par in
+  let run ~engine () =
+    run_net ~processors ~nodes ~engine ~seed ~clients ~jobs ~link_faults
+      ~partitions ~latency
   in
-  let cluster, plan, report, printed, ma, mb = run () in
+  let cluster, plan, report, printed, machines = run ~engine () in
   (match plan with
   | Some p -> print_string (Fi.link_plan_to_string p)
   | None -> ());
-  Printf.printf "net: %d clients x %d jobs across 2 nodes, %d printed\n"
-    clients jobs (List.length printed);
+  Printf.printf "net: %d clients x %d jobs across %d nodes, %d printed\n"
+    ((nodes - 1) * clients) jobs nodes (List.length printed);
   print_string (Net.Cluster.report_to_string report);
   if topology then print_string (Net.Cluster.topology cluster);
   (match chrome_out with
@@ -558,16 +587,24 @@ let scenario_net config seed clients jobs link_faults partitions latency
     Printf.printf "chrome trace written to %s\n" path
   | None -> ());
   if check then begin
-    (* Same seed, fresh cluster: printed output and every node's event
-       stream must be identical. *)
-    let _, _, report2, printed2, ma2, mb2 = run () in
+    (* Same seed, fresh cluster, SEQUENTIAL engine: printed output and
+       every node's event stream must be identical.  With --par this is
+       the cross-engine gate — a parallel run proven byte-identical to
+       the sequential one. *)
+    let _, _, report2, printed2, machines2 = run ~engine:Net.Cluster.Seq () in
     let stream m = List.map Obs.Event.to_string (K.Machine.events m) in
+    let streams ms = Array.to_list (Array.map stream ms) in
     if
       printed <> printed2 || report <> report2
-      || stream ma <> stream ma2
-      || stream mb <> stream mb2
+      || streams machines <> streams machines2
     then die "determinism check FAILED: runs differ"
-    else print_endline "determinism check: identical event streams on all nodes"
+    else if engine = Net.Cluster.Seq then
+      print_endline "determinism check: identical event streams on all nodes"
+    else
+      Printf.printf
+        "determinism check: %d-domain run identical to sequential on all \
+         nodes\n"
+        par
   end
 
 (* Store: file composite graphs (sharing and a cycle included) into a
@@ -579,7 +616,12 @@ let fresh_journal path =
     (fun p -> if Sys.file_exists p then Sys.remove p)
     [ path; path ^ ".tmp" ]
 
-let scenario_store config path graphs compact_flag check =
+exception Check_failed of string
+
+let scenario_store config path graphs compact_flag par check =
+  let par_domains =
+    match engine_of_par par with Net.Cluster.Par d -> d | _ -> 1
+  in
   let config = { config with System.trace_level = Obs.Tracer.Events } in
   let sys = System.boot ~config () in
   let m = System.machine sys in
@@ -616,27 +658,47 @@ let scenario_store config path graphs compact_flag check =
       reclaimed (St.count store);
   St.close store;
   if check then begin
+    (* The journal handle is a single-domain object, so the parallel check
+       reads every wire image up front; verification — reconstruct on a
+       fresh machine, re-capture, compare — shares nothing and fans out
+       over the key space round-robin, each domain on its own machine. *)
     let store2 = St.open_ path in
-    let sys2 = System.boot ~config () in
-    let m2 = System.machine sys2 in
-    let verified =
-      List.fold_left
-        (fun acc key ->
-          let stored =
-            match St.get_wire store2 ~key with
-            | Some w -> w
-            | None -> die "store check: %S lost its wire image" key
-          in
-          let root = St.retrieve_graph store2 m2 ~key () in
-          let rebuilt = Object_filing.capture m2 root in
-          if not (Object_filing.wire_equal stored rebuilt) then
-            die "store check: %S not isomorphic after reopen" key;
-          acc + 1)
-        0 (St.keys store2)
+    let wires =
+      Array.of_list
+        (List.map
+           (fun key ->
+             match St.get_wire store2 ~key with
+             | Some w -> (key, w)
+             | None -> die "store check: %S lost its wire image" key)
+           (St.keys store2))
     in
     St.close store2;
-    Printf.printf "store check: %d graphs verified across close/reopen\n"
-      verified
+    let verify_slice d =
+      let sys2 = System.boot ~config () in
+      let m2 = System.machine sys2 in
+      Array.iteri
+        (fun idx (key, stored) ->
+          if idx mod par_domains = d then begin
+            let root = Object_filing.reconstruct m2 stored in
+            let rebuilt = Object_filing.capture m2 root in
+            if not (Object_filing.wire_equal stored rebuilt) then
+              raise (Check_failed key)
+          end)
+        wires
+    in
+    (try
+       if par_domains = 1 then verify_slice 0
+       else begin
+         let pool = Net.Par_exec.create ~domains:par_domains in
+         Fun.protect
+           ~finally:(fun () -> Net.Par_exec.shutdown pool)
+           (fun () -> Net.Par_exec.run pool ~tasks:par_domains verify_slice)
+       end
+     with Check_failed key ->
+       die "store check: %S not isomorphic after reopen" key);
+    Printf.printf
+      "store check: %d graphs verified across close/reopen (%d domain(s))\n"
+      (Array.length wires) par_domains
   end
 
 (* Checkpoint: run a deterministic spooler workload, kill it at a chosen
@@ -756,12 +818,17 @@ let checkpoint_single ~processors ~clients ~jobs ~path ~kill_ns ~check =
     else die "kill/restore check FAILED: resumed event stream diverges"
 
 let checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
-    ~check =
+    ~engine ~check =
   let boot = boot_spool_cluster ~processors ~clients ~jobs in
+  (* The straight run always uses the sequential engine; the victim and
+     the restored cluster use --par's engine.  With --check this proves
+     checkpoint/restore composes with the parallel engine: kill a
+     parallel run, restore it, and the streams still match a sequential
+     run that was never killed. *)
   let straight = boot () in
   ignore (Net.Cluster.run straight ~quantum_ns ());
   let victim = boot () in
-  ignore (Net.Cluster.run victim ~quantum_ns ~max_rounds:rounds ());
+  ignore (Net.Cluster.run victim ~engine ~quantum_ns ~max_rounds:rounds ());
   fresh_journal path;
   let store = St.open_ path in
   let r =
@@ -773,7 +840,7 @@ let checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
     rounds quantum_ns
     (List.length r.Ckpt.c_nodes);
   let resumed = Ckpt.restore_cluster store ~key:"cluster" ~boot in
-  ignore (Net.Cluster.run resumed ~quantum_ns ());
+  ignore (Net.Cluster.run resumed ~engine ~quantum_ns ());
   print_endline "restore: replayed the recorded rounds and resumed to halt";
   St.close store;
   if check then
@@ -793,12 +860,17 @@ let checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
     done
 
 let scenario_checkpoint config path kill_ns rounds quantum_ns cluster clients
-    jobs check =
+    jobs par check =
   let processors = config.System.processors in
+  let engine = engine_of_par par in
   if cluster then
     checkpoint_cluster ~processors ~clients ~jobs ~path ~rounds ~quantum_ns
-      ~check
-  else checkpoint_single ~processors ~clients ~jobs ~path ~kill_ns ~check
+      ~engine ~check
+  else begin
+    if par > 1 then
+      die "--par %d: only --cluster checkpoints run on multiple domains" par;
+    checkpoint_single ~processors ~clients ~jobs ~path ~kill_ns ~check
+  end
 
 (* ---------------- commands ---------------- *)
 
@@ -904,6 +976,20 @@ let chaos_cmd =
       $ jobs_arg $ faults $ chrome $ check)
 
 let net_cmd =
+  let nodes =
+    Arg.(
+      value & opt int 2
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "Cluster size: N-1 client nodes in a star around one printshop \
+             node.")
+  in
+  let par =
+    par_arg
+      ~doc:
+        "Step cluster nodes on this many OCaml domains (1 = sequential \
+         engine); results are byte-identical either way."
+  in
   let seed = seed_arg ~default:11 ~doc:"Link-fault seed." in
   let link_faults =
     Arg.(
@@ -943,11 +1029,13 @@ let net_cmd =
   Cmd.v
     (Cmd.info "net"
        ~doc:
-         "Run the spooler split across a two-node cluster over the virtual \
-          interconnect, optionally under a seeded link-fault plan.")
+         "Run the spooler split across an N-node star cluster over the \
+          virtual interconnect, optionally under a seeded link-fault plan \
+          and on multiple OCaml domains.")
     Term.(
-      const scenario_net $ config_term $ seed $ clients_arg $ jobs_arg
-      $ link_faults $ partitions $ latency $ topology $ chrome $ check)
+      const scenario_net $ config_term $ nodes $ par $ seed $ clients_arg
+      $ jobs_arg $ link_faults $ partitions $ latency $ topology $ chrome
+      $ check)
 
 let path_arg ~default =
   Arg.(
@@ -972,6 +1060,12 @@ let store_cmd =
         "Close, reopen, and fail unless every surviving graph reconstructs \
          isomorphically on a fresh machine."
   in
+  let par =
+    par_arg
+      ~doc:
+        "With --check: verify graphs on this many OCaml domains, each with \
+         its own fresh machine."
+  in
   Cmd.v
     (Cmd.info "store"
        ~doc:
@@ -979,7 +1073,7 @@ let store_cmd =
           some, and verify recovery across close/reopen.")
     Term.(
       const scenario_store $ config_term $ path_arg ~default:"imax_store.journal"
-      $ graphs $ compact $ check)
+      $ graphs $ compact $ par $ check)
 
 let checkpoint_cmd =
   let kill_ns =
@@ -1014,6 +1108,12 @@ let checkpoint_cmd =
         "Fail unless the killed-and-restored run's event stream is \
          bit-identical to an uninterrupted run's."
   in
+  let par =
+    par_arg
+      ~doc:
+        "With --cluster: run the victim and the restored cluster on this \
+         many OCaml domains (the straight reference run stays sequential)."
+  in
   Cmd.v
     (Cmd.info "checkpoint"
        ~doc:
@@ -1023,7 +1123,8 @@ let checkpoint_cmd =
     Term.(
       const scenario_checkpoint $ config_term
       $ path_arg ~default:"imax_ckpt.journal"
-      $ kill_ns $ rounds $ quantum $ cluster $ clients_arg $ jobs_arg $ check)
+      $ kill_ns $ rounds $ quantum $ cluster $ clients_arg $ jobs_arg $ par
+      $ check)
 
 let main =
   Cmd.group

@@ -40,6 +40,18 @@ type t = {
   mutable next : int;  (* high-water mark *)
   mutable live : int;  (* valid entries, maintained incrementally *)
   mutable barrier_shades : int;  (* gray-bit settings performed (§8.1) *)
+  mutable next_typedef_id : int;
+      (* Custom type ids handed out by Type_def.create.  Per-table (not a
+         module global) so machines on different OCaml domains never share
+         a counter: type identity is a per-machine notion, a fresh table
+         always numbers its types from 0 (checkpoint replay relies on
+         this), and the parallel cluster engine stays bit-identical to the
+         sequential one. *)
+  mutable process_filter_port : int option;
+      (* The destruction-filter port for process objects (paper §8.2).
+         Process objects have a hardware type, so there is no
+         type-definition object to hang the registration on; it lives
+         here, per machine, for the same domain-safety reason. *)
 }
 
 let create ?(initial_capacity = 256) () =
@@ -50,7 +62,17 @@ let create ?(initial_capacity = 256) () =
     next = 0;
     live = 0;
     barrier_shades = 0;
+    next_typedef_id = 0;
+    process_filter_port = None;
   }
+
+let fresh_typedef_id t =
+  let id = t.next_typedef_id in
+  t.next_typedef_id <- id + 1;
+  id
+
+let set_process_filter_port t port = t.process_filter_port <- port
+let process_filter_port t = t.process_filter_port
 
 let grow t =
   let n = Array.length t.entries in

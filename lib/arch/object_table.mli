@@ -59,3 +59,20 @@ val barrier_shades : t -> int
 val iter_valid : (entry -> unit) -> t -> unit
 val count_valid : t -> int
 val capacity : t -> int
+
+(** {1 Per-table kernel counters}
+
+    These live on the table rather than in module globals so independent
+    machines — cluster nodes stepped on different OCaml domains — never
+    share mutable state.  A fresh table always starts from the same
+    values, which checkpoint-by-replay relies on. *)
+
+(** Next Custom type id for {!Type_def} ([0, 1, 2, ...] per table). *)
+val fresh_typedef_id : t -> int
+
+(** The destruction-filter port for process objects (paper §8.2), which
+    have a hardware type and hence no type-definition object to carry the
+    registration. *)
+val set_process_filter_port : t -> int option -> unit
+
+val process_filter_port : t -> int option

@@ -19,8 +19,6 @@ type state = {
 
 type Object_table.payload += Typedef_state of state
 
-let next_id = ref 0
-
 let state_of table access =
   Segment.check_type table access Obj_type.Type_definition;
   let e = Object_table.entry_of_access table access in
@@ -30,14 +28,17 @@ let state_of table access =
     Fault.raise_fault (Fault.Protocol "type-definition object has no state")
 
 (* Create a new type; the returned full-rights access is the type manager's
-   privilege and should be confined to the managing package. *)
+   privilege and should be confined to the managing package.  Type ids are
+   drawn from the table's own counter — per machine, never shared across
+   OCaml domains — so type identity is local to a machine; an id carried
+   across the wire stays a seal the destination cannot forge or amplify,
+   but it does not resolve to the destination's type managers. *)
 let create table sro_access ~name =
   let access =
     Sro.allocate table sro_access ~data_length:0 ~access_length:4
       ~otype:Obj_type.Type_definition
   in
-  let id = !next_id in
-  incr next_id;
+  let id = Object_table.fresh_typedef_id table in
   let e = Object_table.entry_of_access table access in
   e.Object_table.payload <-
     Some (Typedef_state { id; name; filter_port = None; sealed_count = 0 });

@@ -120,7 +120,8 @@ let create machine =
   let recovery_port =
     K.Machine.create_port machine ~capacity:256 ~discipline:K.Port.Fifo ()
   in
-  I432_gc.Destruction_filter.register_process_filter recovery_port;
+  I432_gc.Destruction_filter.register_process_filter (K.Machine.table machine)
+    recovery_port;
   let t =
     {
       machine;

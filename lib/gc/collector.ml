@@ -173,7 +173,7 @@ let deliver_to_filter t (e : Object_table.entry) =
   let filter_port =
     match e.Object_table.otype with
     | Obj_type.Custom id -> Type_def.filter_port_for_id table ~id
-    | Obj_type.Process -> Destruction_filter.process_filter_port ()
+    | Obj_type.Process -> Destruction_filter.process_filter_port table
     | Obj_type.Generic | Obj_type.Processor | Obj_type.Port
     | Obj_type.Dispatching_port | Obj_type.Storage_resource | Obj_type.Domain
     | Obj_type.Context | Obj_type.Type_definition -> None

@@ -15,14 +15,15 @@
 open I432
 
 (* Process objects have no type-definition object to hang a filter on; the
-   basic process manager registers its recovery port here. *)
-let process_port : int option ref = ref None
+   basic process manager registers its recovery port on the machine's
+   object table.  Per-table (not a module global) so cluster nodes stepped
+   on different OCaml domains never share the registration — and so two
+   machines in one process cannot clobber each other's recovery port. *)
+let register_process_filter table port_access =
+  Object_table.set_process_filter_port table (Some (Access.index port_access))
 
-let register_process_filter port_access =
-  process_port := Some (Access.index port_access)
-
-let clear_process_filter () = process_port := None
-let process_filter_port () = !process_port
+let clear_process_filter table = Object_table.set_process_filter_port table None
+let process_filter_port table = Object_table.process_filter_port table
 
 (* Register a filter for a user-defined type: garbage of that type will be
    sent to [port] instead of being freed. *)

@@ -9,11 +9,13 @@
 open I432
 
 (** Register the port that receives terminated-and-unreferenced process
-    objects. *)
-val register_process_filter : Access.t -> unit
+    objects.  The registration lives on the machine's object table, so
+    independent machines (cluster nodes on different OCaml domains) never
+    share it. *)
+val register_process_filter : Object_table.t -> Access.t -> unit
 
-val clear_process_filter : unit -> unit
-val process_filter_port : unit -> int option
+val clear_process_filter : Object_table.t -> unit
+val process_filter_port : Object_table.t -> int option
 
 (** Register a filter port for a user-defined type. *)
 val register : Object_table.t -> typedef:Access.t -> port:Access.t -> unit

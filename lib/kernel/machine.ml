@@ -128,6 +128,11 @@ type t = {
   mutable timed_waiters : int;  (* processes blocked with a deadline *)
   mutable reclaim_hook : (unit -> int) option;  (* allocate_retry's GC *)
   mutable fault_hook : (Process.t -> Fault.cause -> unit) option;
+  (* Domain id currently inside [run], if any.  A machine is a
+     single-domain object: the parallel cluster engine steps each node on
+     exactly one domain per round, and this field turns a violated
+     partitioning into an immediate failure instead of a data race. *)
+  mutable stepper : int option;
 }
 
 let make_monitors metrics =
@@ -215,6 +220,7 @@ let create ?(config = default_config) () =
     timed_waiters = 0;
     reclaim_hook = None;
     fault_hook = None;
+    stepper = None;
   }
 
 let table t = t.table
@@ -1506,7 +1512,7 @@ let runnable_somewhere t =
               t.processors)
        t.processes
 
-let run ?(max_ns = max_int) ?(max_steps = max_int) t =
+let run_loop ?(max_ns = max_int) ?(max_steps = max_int) t =
   t.halted <- false;
   let steps = ref 0 in
   let continue_ = ref true in
@@ -1656,6 +1662,25 @@ let run ?(max_ns = max_int) ?(max_steps = max_int) t =
     dispatches = Dispatch.dispatches_of t.dispatch;
     preemptions = t.preemptions;
   }
+
+(* Stepping is exclusive: mark the machine (and claim its metrics
+   registry) for the calling domain, run, then release.  Two overlapping
+   [run] calls from different domains — a broken parallel-engine
+   partition — fail loudly here rather than corrupting state. *)
+let run ?max_ns ?max_steps t =
+  let self = (Stdlib.Domain.self () :> int) in
+  (match t.stepper with
+  | Some d when d <> self ->
+    failwith
+      (Printf.sprintf "Machine.run: machine is being stepped by domain %d" d)
+  | Some _ | None -> ());
+  t.stepper <- Some self;
+  Obs.Metrics.claim t.metrics;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.release t.metrics;
+      t.stepper <- None)
+    (fun () -> run_loop ?max_ns ?max_steps t)
 
 (* Total busy time across processors: the "total processing power" metric of
    the scaling experiment. *)

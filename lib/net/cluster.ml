@@ -541,8 +541,35 @@ let stats_snapshot (t : t) =
     t.acks_sent,
     t.dup_drops )
 
-let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
-  if quantum_ns < 1 then invalid_arg "Cluster.run: quantum_ns";
+(* Engine selection.  [Seq] is the original in-order loop.  [Par d] steps
+   the nodes of each round on a [d]-domain {!Par_exec} pool.
+
+   Why this is bit-identical to [Seq]: within a round slice, machines
+   interact with nothing outside themselves — a remote send only enqueues
+   on a local surrogate port; draining surrogates, moving frames, and
+   delivering arrivals all happen in the pump, which runs on the calling
+   domain after the barrier, in the exact order the sequential engine
+   uses.  Node stepping order therefore cannot influence any observable,
+   so running the steps concurrently produces the same event streams,
+   metrics, and snapshots byte for byte. *)
+type engine = Seq | Par of int
+
+let run_round t pool ~horizon =
+  activate_link_faults t ~horizon;
+  (match pool with
+  | None ->
+    Array.iter (fun n -> ignore (K.Machine.run ~max_ns:horizon n.machine)) t.nodes
+  | Some pool ->
+    Par_exec.run pool ~tasks:(Array.length t.nodes) (fun i ->
+        ignore (K.Machine.run ~max_ns:horizon t.nodes.(i).machine)));
+  (* Receivers just ran: retry parked messages before draining new
+     traffic, so a channel's home-port order follows its seq order. *)
+  retry_backlogs t;
+  List.iter (fun ch -> drain_channel t ch) t.channels;
+  retransmit_due t ~horizon;
+  deliver_due t ~horizon
+
+let run_engine t ~pool ~quantum_ns ~max_rounds =
   let rounds = ref 0 in
   (* First call: the grid starts at the highest node clock (nodes may
      have been stepped before the cluster ever ran).  Resumed call: the
@@ -565,16 +592,7 @@ let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
       Array.map (fun n -> K.Machine.now n.machine) t.nodes
     in
     let stats_before = stats_snapshot t in
-    activate_link_faults t ~horizon:!horizon;
-    Array.iter
-      (fun n -> ignore (K.Machine.run ~max_ns:!horizon n.machine))
-      t.nodes;
-    (* Receivers just ran: retry parked messages before draining new
-       traffic, so a channel's home-port order follows its seq order. *)
-    retry_backlogs t;
-    List.iter (fun ch -> drain_channel t ch) t.channels;
-    retransmit_due t ~horizon:!horizon;
-    deliver_due t ~horizon:!horizon;
+    run_round t pool ~horizon:!horizon;
     let clock_moved = ref false in
     Array.iteri
       (fun i n ->
@@ -597,6 +615,20 @@ let run t ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
     acks = t.acks_sent;
     dup_drops = t.dup_drops;
   }
+
+let run t ?(engine = Seq) ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
+  if quantum_ns < 1 then invalid_arg "Cluster.run: quantum_ns";
+  match engine with
+  | Seq | Par 1 ->
+    (* One domain means no pool: the round loop below already IS the
+       sequential engine. *)
+    run_engine t ~pool:None ~quantum_ns ~max_rounds
+  | Par d ->
+    if d < 1 then invalid_arg "Cluster.run: Par domains";
+    let pool = Par_exec.create ~domains:d in
+    Fun.protect
+      ~finally:(fun () -> Par_exec.shutdown pool)
+      (fun () -> run_engine t ~pool:(Some pool) ~quantum_ns ~max_rounds)
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)

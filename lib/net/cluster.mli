@@ -119,6 +119,19 @@ type report = {
   dup_drops : int;
 }
 
+(** How a round's node slices execute.  [Seq] steps nodes in id order on
+    the calling domain.  [Par d] steps them on a [d]-domain {!Par_exec}
+    pool (the caller participates, so [Par 1] = [Seq] exactly) and runs
+    the interconnect pump on the calling domain after the barrier.
+
+    Conservative-round determinism: within a slice machines touch only
+    their own state (a remote send just enqueues on a local surrogate),
+    and the pump — the only cross-node code — runs single-domain in the
+    sequential engine's exact order.  Same seed therefore produces
+    byte-identical event streams, metrics, and snapshots under every
+    engine.  See DESIGN.md §11. *)
+type engine = Seq | Par of int
+
 (** Advance the cluster until every machine is quiescent and no frame is
     in flight, unacked, or backlogged (or [max_rounds] elapses).  Each
     round steps every machine [quantum_ns] of virtual time, then pumps
@@ -127,8 +140,12 @@ type report = {
     Resumable: the quantum grid persists across calls, so
     [run ~max_rounds:k] followed by [run ()] (with the same [quantum_ns])
     is equivalent to one uninterrupted [run ()] — the property cluster
-    checkpoints rely on. *)
-val run : t -> ?quantum_ns:int -> ?max_rounds:int -> unit -> report
+    checkpoints rely on.  The engines share one grid: a run may resume
+    under a different [engine] than it started with.
+
+    [Par d] creates its domain pool on entry and joins it before
+    returning (even on exception). *)
+val run : t -> ?engine:engine -> ?quantum_ns:int -> ?max_rounds:int -> unit -> report
 
 val frames_in_flight : t -> int
 val total_unacked : t -> int

@@ -1,0 +1,123 @@
+(* A fork-join pool of OCaml 5 domains for the parallel cluster engine.
+
+   The cluster's conservative rounds need exactly one primitive: "run
+   [tasks] independent closures, wait for all of them".  This module
+   provides it with [domains - 1] long-lived worker domains plus the
+   calling domain, which participates in every batch rather than blocking
+   — so [Par 1] degenerates to a plain sequential loop with zero spawns,
+   and [Par n] costs n - 1 spawns for the lifetime of the pool, not per
+   round.
+
+   Work distribution is index claiming under a mutex: each participant
+   repeatedly takes the next unclaimed task index and runs it outside the
+   lock.  Tasks are independent by contract (each steps a distinct
+   machine), so claim order cannot affect results — which is what keeps
+   parallel rounds bit-identical to sequential ones.
+
+   Exceptions: every failure is caught and recorded with its task index;
+   after the barrier the failure with the LOWEST index is re-raised on
+   the caller's domain.  Lowest-index (not first-observed) keeps the
+   reported error deterministic under scheduling noise. *)
+
+(* The kernel models the iMAX *domain of definition* in I432.Domain; the
+   OCaml 5 runtime's unit of parallelism is Stdlib.Domain.  This alias
+   keeps the two apart everywhere the net library touches real
+   parallelism (see DESIGN.md §11). *)
+module Odomain = Stdlib.Domain
+
+type batch = {
+  fn : int -> unit;
+  tasks : int;
+  mutable next : int;  (* next unclaimed task index *)
+  mutable remaining : int;  (* claimed-or-not tasks still unfinished *)
+  mutable failures : (int * exn) list;
+}
+
+type t = {
+  domains : int;
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* workers: a new batch (or stop) is posted *)
+  batch_done : Condition.t;  (* coordinator: the current batch finished *)
+  mutable generation : int;  (* bumped when a batch is posted *)
+  mutable batch : batch option;
+  mutable stop : bool;
+  mutable workers : unit Odomain.t list;
+}
+
+let domains t = t.domains
+
+(* Claim and run tasks from [b] until none are left.  Called with [t.lock]
+   held; returns with it held. *)
+let participate t b =
+  while b.next < b.tasks do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock t.lock;
+    let failure = try (b.fn i : unit); None with e -> Some e in
+    Mutex.lock t.lock;
+    (match failure with
+    | Some e -> b.failures <- (i, e) :: b.failures
+    | None -> ());
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then Condition.broadcast t.batch_done
+  done
+
+let worker_loop t =
+  Mutex.lock t.lock;
+  (* -1 never matches a real generation, so a worker that starts late
+     still joins the batch already in flight. *)
+  let seen = ref (-1) in
+  while not t.stop do
+    (match t.batch with
+    | Some b when t.generation <> !seen ->
+      seen := t.generation;
+      participate t b
+    | Some _ | None -> Condition.wait t.work_ready t.lock)
+  done;
+  Mutex.unlock t.lock
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Par_exec.create: domains";
+  let t =
+    {
+      domains;
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      generation = 0;
+      batch = None;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun _ -> Odomain.spawn (fun () -> worker_loop t));
+  t
+
+let run t ~tasks fn =
+  if tasks < 0 then invalid_arg "Par_exec.run: tasks";
+  if tasks > 0 then begin
+    let b = { fn; tasks; next = 0; remaining = tasks; failures = [] } in
+    Mutex.lock t.lock;
+    t.batch <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    (* The caller is a participant, not a spectator. *)
+    participate t b;
+    while b.remaining > 0 do
+      Condition.wait t.batch_done t.lock
+    done;
+    t.batch <- None;
+    Mutex.unlock t.lock;
+    match List.sort compare b.failures with
+    | (_, e) :: _ -> raise e
+    | [] -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  List.iter Odomain.join t.workers;
+  t.workers <- []

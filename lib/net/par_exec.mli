@@ -1,0 +1,31 @@
+(** A fork-join pool of OCaml 5 domains for the parallel cluster engine.
+
+    One primitive: run [tasks] independent closures and wait for all of
+    them.  The pool holds [domains - 1] long-lived worker domains; the
+    calling domain participates in every batch, so a 1-domain pool is a
+    plain sequential loop with no spawns.
+
+    Tasks must be independent (the cluster engine hands each one a
+    distinct machine); the pool makes no ordering promises within a
+    batch. *)
+
+(** Alias for {!Stdlib.Domain}, the OCaml 5 unit of parallelism — named
+    apart from {!I432.Domain}, the iMAX domain of definition. *)
+module Odomain = Stdlib.Domain
+
+type t
+
+(** Raises [Invalid_argument] if [domains < 1].  Spawns [domains - 1]
+    workers that live until {!shutdown}. *)
+val create : domains:int -> t
+
+val domains : t -> int
+
+(** [run t ~tasks fn] calls [fn i] once for each [0 <= i < tasks], spread
+    over the pool, and returns when every call has finished.  If any call
+    raised, the exception from the lowest failing index is re-raised
+    here (deterministic under scheduling noise). *)
+val run : t -> tasks:int -> (int -> unit) -> unit
+
+(** Stop and join the workers.  The pool must not be used afterwards. *)
+val shutdown : t -> unit

@@ -18,6 +18,12 @@ type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  (* Domain id of the current writer, if claimed.  Registries are not
+     thread-safe: exactly one domain may update instruments at a time.
+     The parallel cluster engine claims each node's registry for the
+     duration of a round slice; a second claim from a different domain is
+     a bug in the engine's partitioning, not a race to tolerate. *)
+  mutable writer : int option;
 }
 
 let create () =
@@ -25,7 +31,20 @@ let create () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    writer = None;
   }
+
+let claim t =
+  let self = (Stdlib.Domain.self () :> int) in
+  match t.writer with
+  | Some d when d <> self ->
+    failwith
+      (Printf.sprintf
+         "Metrics.claim: registry already claimed by domain %d (self %d)" d
+         self)
+  | Some _ | None -> t.writer <- Some self
+
+let release t = t.writer <- None
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
@@ -104,6 +123,33 @@ let to_json t =
              (fun (k, h) -> (k, hist_json h.m_hist))
              (sorted_bindings t.histograms)) );
     ]
+
+(* Fold [src] into [dst]: counters and gauges add; histograms of the same
+   name must share a shape and their buckets add.  Merging the per-node
+   registries of a cluster in node order yields the same bytes from
+   [to_json]/[render] regardless of which domain stepped which node,
+   because dumps are name-sorted and the fold order is fixed by the
+   caller. *)
+let merge_into ~dst ~src =
+  List.iter
+    (fun (k, (c : counter)) ->
+      let d = counter dst k in
+      d.c_value <- d.c_value + c.c_value)
+    (sorted_bindings src.counters);
+  List.iter
+    (fun (k, (g : gauge)) ->
+      let d = gauge dst k in
+      d.g_value <- d.g_value + g.g_value)
+    (sorted_bindings src.gauges);
+  List.iter
+    (fun (k, (h : histogram)) ->
+      let d =
+        histogram dst
+          ~buckets:(Array.length h.m_hist.Stats.h_counts)
+          ~lo:h.m_hist.Stats.h_lo ~hi:h.m_hist.Stats.h_hi k
+      in
+      Stats.hist_merge_into ~dst:d.m_hist ~src:h.m_hist)
+    (sorted_bindings src.histograms)
 
 (* Human-readable rendering for operator tooling. *)
 let render t =

@@ -30,6 +30,22 @@ val histogram : t -> ?buckets:int -> ?lo:float -> ?hi:float -> string -> histogr
 
 val observe : histogram -> float -> unit
 
+(** {1 Domain safety}
+
+    A registry has at most one writer at a time.  [claim] records the
+    calling domain as the writer and fails if a different domain currently
+    holds the claim; [release] clears it.  The parallel cluster engine
+    brackets each node's round slice with claim/release, turning a
+    partitioning bug into an immediate failure instead of a silent race. *)
+
+val claim : t -> unit
+val release : t -> unit
+
+(** Fold [src] into [dst]: counters and gauges add; same-named histograms
+    (which must share bucket count and range) add bucket-wise.  Folding
+    per-node registries in node order is deterministic. *)
+val merge_into : dst:t -> src:t -> unit
+
 val find_counter : t -> string -> counter option
 val find_gauge : t -> string -> gauge option
 val find_histogram : t -> string -> histogram option

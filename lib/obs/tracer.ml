@@ -1,5 +1,12 @@
 (* The kernel event tracer.
 
+   Domain safety: a tracer is per-machine instance state — rings, drop
+   counters, and the interning memos are all fields of [t], with no module
+   globals.  The parallel cluster engine therefore needs no locking here:
+   each node's tracer is touched only by the one domain stepping that node
+   during a round slice (see Machine.run's stepper assertion), and by the
+   coordinator between slices.
+
    One bounded ring of fixed-shape event records per processor (plus one
    for boot-time/kernel events emitted outside the run loop), so tracing a
    long run costs constant memory: when a ring fills, the oldest event on

@@ -113,6 +113,23 @@ let hist_observe h x =
 let hist_mean h =
   if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
 
+(* Fold [src] into [dst].  Requires identical shape (same bucket count and
+   range), so per-node histograms created from the same instrumentation
+   site merge without rebinning.  Sum order is dst-then-src, so merging a
+   name-sorted sequence of registries is deterministic. *)
+let hist_merge_into ~dst ~src =
+  if
+    Array.length dst.h_counts <> Array.length src.h_counts
+    || dst.h_lo <> src.h_lo || dst.h_hi <> src.h_hi
+  then invalid_arg "Stats.hist_merge_into: shape mismatch";
+  Array.iteri (fun i c -> dst.h_counts.(i) <- dst.h_counts.(i) + c) src.h_counts;
+  dst.h_underflow <- dst.h_underflow + src.h_underflow;
+  dst.h_overflow <- dst.h_overflow + src.h_overflow;
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_sum <- dst.h_sum +. src.h_sum;
+  if src.h_min < dst.h_min then dst.h_min <- src.h_min;
+  if src.h_max > dst.h_max then dst.h_max <- src.h_max
+
 (* One-shot histogram of a sample array.  Underflow and overflow are
    reported explicitly rather than silently dropped; [hi] itself counts as
    overflow (the in-range interval is half-open).  NaNs are ignored. *)

@@ -49,6 +49,10 @@ val hist_observe : hist -> float -> unit
 (** 0.0 when empty. *)
 val hist_mean : hist -> float
 
+(** Fold [src] into [dst].  Raises [Invalid_argument] unless both have the
+    same bucket count and [lo, hi) range. *)
+val hist_merge_into : dst:hist -> src:hist -> unit
+
 (** Result of a one-shot {!histogram}: per-bucket counts over [lo, hi)
     plus the out-of-range counts that were previously dropped silently. *)
 type histogram_counts = {

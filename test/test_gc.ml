@@ -243,11 +243,11 @@ let test_lost_process_recovered () =
   let m, c = mk () in
   let table = K.Machine.table m in
   let port = K.Machine.create_port m ~capacity:8 ~discipline:K.Port.Fifo () in
-  G.Destruction_filter.register_process_filter port;
+  G.Destruction_filter.register_process_filter table port;
   let p = K.Machine.spawn m ~name:"shortlived" (fun () -> ()) in
   let _ = K.Machine.run m in
   let _ = collect m c in
-  G.Destruction_filter.clear_process_filter ();
+  G.Destruction_filter.clear_process_filter table;
   Alcotest.(check int) "process recovered" 1
     (G.Collector.stats c).G.Collector.processes_recovered;
   Alcotest.(check bool) "object kept for manager" true

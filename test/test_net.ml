@@ -444,6 +444,235 @@ let test_link_plan_deterministic () =
   Alcotest.(check bool) "different seed, different plan" true
     (Fi.link_plan_to_string p1 <> Fi.link_plan_to_string p3)
 
+(* ---------------- Parallel engine: seq == par, byte for byte -------- *)
+
+(* A star cluster: node 0 is the hub, nodes 1..n-1 are clients, each
+   linked to the hub.  Every client streams [count] messages to the hub's
+   exported port while a seeded link-fault plan shakes the wires.
+   Returns every observable the determinism contract covers: the report,
+   delivery order, per-node event streams, per-node state images, and the
+   deterministically merged metrics dump. *)
+let star_scenario ~engine ~nodes:n ~seed ~count () =
+  let cluster = Net.Cluster.create () in
+  let config =
+    {
+      K.Machine.default_config with
+      processors = 1;
+      trace_level = Obs.Tracer.Events;
+    }
+  in
+  let ids =
+    Array.init n (fun i ->
+        Net.Cluster.boot_node cluster ~name:(Printf.sprintf "n%d" i) ~config ())
+  in
+  let hub, mhub = ids.(0) in
+  for i = 1 to n - 1 do
+    ignore (Net.Cluster.connect cluster (fst ids.(i)) hub)
+  done;
+  let home = K.Machine.create_port mhub ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:hub ~name:"hub" home;
+  let total = (n - 1) * count in
+  let got = ref [] in
+  ignore
+    (K.Machine.spawn mhub ~name:"consumer" (fun () ->
+         for _ = 1 to total do
+           let msg = K.Machine.receive mhub ~port:home in
+           got := K.Machine.read_word mhub msg ~offset:0 :: !got
+         done));
+  for i = 1 to n - 1 do
+    let id, mi = ids.(i) in
+    let surrogate = Net.Cluster.import cluster ~node:id ~name:"hub" in
+    ignore
+      (K.Machine.spawn mi ~name:(Printf.sprintf "producer%d" i) (fun () ->
+           for j = 1 to count do
+             let msg = alloc mi () in
+             K.Machine.write_word mi msg ~offset:0 ((i * 1000) + j);
+             K.Machine.send mi ~port:surrogate ~msg
+           done))
+  done;
+  let plan =
+    Fi.random_links ~seed ~horizon_ns:5_000_000 ~links:(n - 1) ~count:5
+      ~partitions:1
+  in
+  Net.Cluster.arm_links cluster plan;
+  let report = Net.Cluster.run cluster ~engine () in
+  let streams =
+    Array.map
+      (fun (_, m) -> List.map Obs.Event.to_string (K.Machine.events m))
+      ids
+  in
+  let snaps = Array.map (fun (_, m) -> K.Snapshot.state_image m) ids in
+  let merged = Obs.Metrics.create () in
+  Array.iter
+    (fun (_, m) ->
+      Obs.Metrics.merge_into ~dst:merged ~src:(K.Machine.metrics m))
+    ids;
+  ( report,
+    List.rev !got,
+    streams,
+    snaps,
+    Obs.Jout.to_string (Obs.Metrics.to_json merged) )
+
+let prop_par_engine_identical =
+  QCheck2.Test.make
+    ~name:"par engine: 2- and 4-domain runs byte-identical to sequential"
+    ~count:8
+    QCheck2.Gen.(triple (int_range 2 5) (int_range 0 10_000) (int_range 1 6))
+    (fun (n, seed, count) ->
+      let observe engine = star_scenario ~engine ~nodes:n ~seed ~count () in
+      let base = observe Net.Cluster.Seq in
+      List.for_all
+        (fun d -> observe (Net.Cluster.Par d) = base)
+        [ 2; 4 ])
+
+(* The bench scenario (bench/par_speedup.ml): a fault-free spoke cluster
+   where each client spools compute-heavy jobs to the hub.  The speedup
+   number is only meaningful if both engines produce the same run, so the
+   parity is pinned here as a unit test too. *)
+let spool_scenario ~engine ~clients ~jobs () =
+  let cluster = Net.Cluster.create () in
+  let config =
+    {
+      K.Machine.default_config with
+      processors = 1;
+      trace_level = Obs.Tracer.Events;
+    }
+  in
+  let n = clients + 1 in
+  let ids =
+    Array.init n (fun i ->
+        Net.Cluster.boot_node cluster ~name:(Printf.sprintf "s%d" i) ~config ())
+  in
+  let hub, mhub = ids.(0) in
+  for i = 1 to clients do
+    ignore (Net.Cluster.connect cluster (fst ids.(i)) hub)
+  done;
+  let home = K.Machine.create_port mhub ~capacity:8 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:hub ~name:"spool" home;
+  ignore
+    (K.Machine.spawn mhub ~name:"printshop" (fun () ->
+         for _ = 1 to clients * jobs do
+           ignore (K.Machine.receive mhub ~port:home)
+         done));
+  for i = 1 to clients do
+    let id, mi = ids.(i) in
+    let surrogate = Net.Cluster.import cluster ~node:id ~name:"spool" in
+    ignore
+      (K.Machine.spawn mi ~name:(Printf.sprintf "client%d" i) (fun () ->
+           for j = 1 to jobs do
+             let msg = alloc mi ~data_length:64 () in
+             K.Machine.write_word mi msg ~offset:0 ((i * 100) + j);
+             K.Machine.send mi ~port:surrogate ~msg
+           done))
+  done;
+  let report = Net.Cluster.run cluster ~engine () in
+  let streams =
+    Array.map
+      (fun (_, m) -> List.map Obs.Event.to_string (K.Machine.events m))
+      ids
+  in
+  let snaps = Array.map (fun (_, m) -> K.Snapshot.state_image m) ids in
+  (report, streams, snaps)
+
+let test_par_bench_scenario_parity () =
+  let seq = spool_scenario ~engine:Net.Cluster.Seq ~clients:3 ~jobs:4 () in
+  let par2 = spool_scenario ~engine:(Net.Cluster.Par 2) ~clients:3 ~jobs:4 () in
+  let par4 = spool_scenario ~engine:(Net.Cluster.Par 4) ~clients:3 ~jobs:4 () in
+  Alcotest.(check bool) "2 domains match sequential" true (par2 = seq);
+  Alcotest.(check bool) "4 domains match sequential" true (par4 = seq);
+  let report, _, _ = seq in
+  Alcotest.(check int) "all jobs crossed the wire" 12
+    report.Net.Cluster.frames_delivered
+
+(* ---------------- Par_exec pool ---------------- *)
+
+exception Boom of int
+
+let test_par_exec_runs_every_task () =
+  let pool = Net.Par_exec.create ~domains:3 in
+  Fun.protect
+    ~finally:(fun () -> Net.Par_exec.shutdown pool)
+    (fun () ->
+      let hits = Array.make 64 0 in
+      Net.Par_exec.run pool ~tasks:64 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (list int))
+        "each task exactly once"
+        (List.init 64 (fun _ -> 1))
+        (Array.to_list hits);
+      (* The pool is reusable across batches, including empty ones. *)
+      Net.Par_exec.run pool ~tasks:0 (fun _ -> assert false);
+      Net.Par_exec.run pool ~tasks:64 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (list int))
+        "second batch too"
+        (List.init 64 (fun _ -> 2))
+        (Array.to_list hits))
+
+let test_par_exec_lowest_failure_wins () =
+  let pool = Net.Par_exec.create ~domains:2 in
+  Fun.protect
+    ~finally:(fun () -> Net.Par_exec.shutdown pool)
+    (fun () ->
+      (try
+         Net.Par_exec.run pool ~tasks:10 (fun i ->
+             if i mod 3 = 1 then raise (Boom i));
+         Alcotest.fail "expected Boom"
+       with Boom i -> Alcotest.(check int) "lowest failing index" 1 i);
+      (* A failed batch leaves the pool healthy. *)
+      let ok = ref 0 in
+      Net.Par_exec.run pool ~tasks:5 (fun _ -> incr ok);
+      Alcotest.(check bool) "pool survives a failure" true (!ok >= 1))
+
+let test_metrics_single_writer () =
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.claim r;
+  (* Re-claiming from the same domain is fine (Machine.run nests). *)
+  Obs.Metrics.claim r;
+  let refused =
+    Stdlib.Domain.join
+      (Stdlib.Domain.spawn (fun () ->
+           match Obs.Metrics.claim r with
+           | () -> false
+           | exception Failure _ -> true))
+  in
+  Alcotest.(check bool) "second domain refused while claimed" true refused;
+  Obs.Metrics.release r;
+  let ok =
+    Stdlib.Domain.join
+      (Stdlib.Domain.spawn (fun () ->
+           match Obs.Metrics.claim r with
+           | () ->
+             Obs.Metrics.release r;
+             true
+           | exception Failure _ -> false))
+  in
+  Alcotest.(check bool) "claimable again after release" true ok
+
+let test_metrics_merge_deterministic () =
+  let mk_reg salt =
+    let r = Obs.Metrics.create () in
+    Obs.Metrics.incr ~by:(10 + salt) (Obs.Metrics.counter r "net.frames_tx");
+    Obs.Metrics.set (Obs.Metrics.gauge r "ready.len") salt;
+    let h = Obs.Metrics.histogram r ~buckets:4 ~lo:0.0 ~hi:100.0 "lat" in
+    Obs.Metrics.observe h (float_of_int (salt * 30));
+    r
+  in
+  let merge regs =
+    let dst = Obs.Metrics.create () in
+    List.iter (fun src -> Obs.Metrics.merge_into ~dst ~src) regs;
+    Obs.Jout.to_string (Obs.Metrics.to_json dst)
+  in
+  let a () = mk_reg 1 and b () = mk_reg 2 in
+  Alcotest.(check string) "same node order, same bytes"
+    (merge [ a (); b () ])
+    (merge [ a (); b () ]);
+  let merged = merge [ a (); b () ] in
+  Alcotest.(check bool) "counters summed" true
+    (let dst = Obs.Metrics.create () in
+     List.iter (fun src -> Obs.Metrics.merge_into ~dst ~src) [ a (); b () ];
+     Obs.Metrics.counter_value (Obs.Metrics.counter dst "net.frames_tx") = 23);
+  Alcotest.(check bool) "dump is non-empty json" true
+    (String.length merged > 2)
+
 let suite =
   [
     Alcotest.test_case "wire: cycle and sharing cross nodes" `Quick
@@ -481,4 +710,15 @@ let suite =
       test_import_on_home_node;
     Alcotest.test_case "fi: link plans are deterministic" `Quick
       test_link_plan_deterministic;
+    QCheck_alcotest.to_alcotest prop_par_engine_identical;
+    Alcotest.test_case "par: bench scenario identical on both engines" `Quick
+      test_par_bench_scenario_parity;
+    Alcotest.test_case "par: pool runs every task once" `Quick
+      test_par_exec_runs_every_task;
+    Alcotest.test_case "par: lowest-index failure re-raised" `Quick
+      test_par_exec_lowest_failure_wins;
+    Alcotest.test_case "par: metrics registry single-writer" `Quick
+      test_metrics_single_writer;
+    Alcotest.test_case "par: metrics merge is deterministic" `Quick
+      test_metrics_merge_deterministic;
   ]
