@@ -1,0 +1,358 @@
+(* Macro bench: offered-load sweep through the open-loop traffic harness.
+
+   Each point replays a seeded arrival schedule (same seed, same users,
+   same mix — only the offered rate changes) through the typed-port
+   request path and reads the request-span histograms back out: p50/p99/
+   p999 end-to-end latency, achieved throughput, and the saturation knee
+   — the highest offered load the engine still absorbs at >= 95%
+   delivery.  The sweep runs on three engines: one 4-processor machine,
+   a 3-node cluster on the sequential engine, and the same cluster on
+   the 2-domain parallel engine (whose event streams must be
+   byte-identical to sequential — the cross-engine gate rides inside the
+   bench).
+
+   Latency here is *virtual-time* latency: scheduled arrival to service
+   completion, deterministic per seed.  Host wall-clock never enters the
+   numbers, so BENCH_macro.json is reproducible bit-for-bit on any
+   machine.  `--assert-sane` gates schema-level invariants (everything
+   completed, p99 >= p50, determinism held) for CI. *)
+
+module Obs = I432_obs
+module Net = I432_net
+module Load = I432_load
+
+(* ------------------------------------------------------------------ *)
+(* Sweep shape                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let seed = 42
+let profile = Load.Mix.Typical
+let pattern = Load.Arrival.Poisson
+
+(* Per-point request volume: enough for stable tail quantiles in full
+   mode, enough for a real queue to form in smoke mode. *)
+let spec_for ~smoke ~rate_rps =
+  if smoke then
+    {
+      Load.Arrival.seed;
+      users = 20;
+      sessions = 1;
+      requests_per_session = 3;
+      rate_rps;
+      pattern;
+      profile;
+    }
+  else
+    {
+      Load.Arrival.seed;
+      users = 100;
+      sessions = 2;
+      requests_per_session = 5;
+      rate_rps;
+      pattern;
+      profile;
+    }
+
+(* Offered-load points, requests per virtual second.  The typical mix
+   costs ~95 us of pure service per request; a 4-processor machine
+   saturates in the low tens of thousands rps, so the grid brackets the
+   knee from well under to well over. *)
+let rates ~smoke =
+  if smoke then [ 2_000.0; 8_000.0; 30_000.0 ]
+  else [ 2_000.0; 5_000.0; 10_000.0; 20_000.0; 40_000.0 ]
+
+type point = {
+  pt_rate_rps : float;  (* nominal offered load *)
+  pt_offered_rps : float;  (* realized by the drawn schedule *)
+  pt_achieved_rps : float;
+  pt_requests : int;
+  pt_completed : int;
+  pt_p50_us : float;
+  pt_p99_us : float;
+  pt_p999_us : float;
+  pt_last_done_ms : float;
+  pt_classes : (string * int * float * float) list;
+      (* name, count, p50 us, p99 us *)
+}
+
+type engine_sweep = {
+  es_engine : string;  (* "machine" | "cluster-seq" | "cluster-par2" *)
+  es_nodes : int;  (* 1 for the single machine *)
+  es_processors : int;
+  es_workers : int;
+  es_points : point list;
+  es_knee_rps : float;  (* highest offered load absorbed at >= 95% *)
+}
+
+let us ns = ns /. 1e3
+
+let point_of_outcome ~rate_rps (o : Load.Loadgen.outcome) =
+  let classes =
+    Array.to_list
+      (Array.map
+         (fun cls ->
+           let count =
+             match
+               Obs.Metrics.find_log_histogram o.Load.Loadgen.o_metrics
+                 (Obs.Span.latency_name cls)
+             with
+             | Some lh -> lh.Obs.Metrics.l_hist.I432_util.Stats.lh_count
+             | None -> 0
+           in
+           ( cls,
+             count,
+             us (Load.Loadgen.class_quantile o ~cls 0.5),
+             us (Load.Loadgen.class_quantile o ~cls 0.99) ))
+         Load.Mix.names)
+  in
+  {
+    pt_rate_rps = rate_rps;
+    pt_offered_rps = Load.Arrival.offered_rps o.Load.Loadgen.o_requests;
+    pt_achieved_rps = Load.Loadgen.achieved_rps o;
+    pt_requests = Array.length o.Load.Loadgen.o_requests;
+    pt_completed = o.Load.Loadgen.o_completed;
+    pt_p50_us = us (Load.Loadgen.quantile o 0.5);
+    pt_p99_us = us (Load.Loadgen.quantile o 0.99);
+    pt_p999_us = us (Load.Loadgen.quantile o 0.999);
+    pt_last_done_ms = float_of_int o.Load.Loadgen.o_last_done_ns /. 1e6;
+    pt_classes = classes;
+  }
+
+(* The saturation knee: the highest offered point the engine still
+   delivered at >= 95% of the realized offered rate.  Above the knee the
+   open-loop backlog grows without bound and achieved throughput pins at
+   the engine's capacity. *)
+let knee_of points =
+  List.fold_left
+    (fun acc p ->
+      if p.pt_achieved_rps >= 0.95 *. p.pt_offered_rps then
+        max acc p.pt_offered_rps
+      else acc)
+    0.0 points
+
+(* ------------------------------------------------------------------ *)
+(* Engines                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let machine_processors = 4
+let cluster_nodes = 3
+let cluster_processors = 2
+
+let sweep_machine ~smoke =
+  let points =
+    List.map
+      (fun rate_rps ->
+        let o =
+          Load.Loadgen.run_machine ~processors:machine_processors
+            ~spec:(spec_for ~smoke ~rate_rps) ()
+        in
+        point_of_outcome ~rate_rps o)
+      (rates ~smoke)
+  in
+  {
+    es_engine = "machine";
+    es_nodes = 1;
+    es_processors = machine_processors;
+    es_workers = 2 * machine_processors;
+    es_points = points;
+    es_knee_rps = knee_of points;
+  }
+
+let sweep_cluster ~smoke ~engine ~label =
+  let points =
+    List.map
+      (fun rate_rps ->
+        let o =
+          Load.Loadgen.run_cluster ~nodes:cluster_nodes
+            ~processors:cluster_processors ~engine
+            ~spec:(spec_for ~smoke ~rate_rps) ()
+        in
+        point_of_outcome ~rate_rps o)
+      (rates ~smoke)
+  in
+  {
+    es_engine = label;
+    es_nodes = cluster_nodes;
+    es_processors = cluster_processors;
+    es_workers = 2 * cluster_processors;
+    es_points = points;
+    es_knee_rps = knee_of points;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Determinism gates                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type determinism = {
+  det_same_seed : bool;  (* two fresh machine runs, identical streams *)
+  det_par_equals_seq : bool;  (* cluster Par 2 == cluster Seq streams *)
+}
+
+let streams (o : Load.Loadgen.outcome) =
+  ( Load.Arrival.render o.Load.Loadgen.o_requests,
+    Load.Loadgen.span_stream o,
+    Obs.Metrics.render o.Load.Loadgen.o_metrics )
+
+let measure_determinism ~smoke =
+  let rate_rps = List.nth (rates ~smoke) 1 in
+  let spec = spec_for ~smoke ~rate_rps in
+  let machine () =
+    Load.Loadgen.run_machine ~processors:machine_processors
+      ~trace_level:Obs.Tracer.Events ~spec ()
+  in
+  let cluster engine =
+    Load.Loadgen.run_cluster ~nodes:cluster_nodes
+      ~processors:cluster_processors ~engine ~trace_level:Obs.Tracer.Events
+      ~spec ()
+  in
+  {
+    det_same_seed = streams (machine ()) = streams (machine ());
+    det_par_equals_seq =
+      streams (cluster Net.Cluster.Seq) = streams (cluster (Net.Cluster.Par 2));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Run + report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  r_mode : string;
+  r_sweeps : engine_sweep list;
+  r_determinism : determinism;
+}
+
+let measure ~smoke () =
+  let sweeps =
+    [
+      sweep_machine ~smoke;
+      sweep_cluster ~smoke ~engine:Net.Cluster.Seq ~label:"cluster-seq";
+      sweep_cluster ~smoke ~engine:(Net.Cluster.Par 2) ~label:"cluster-par2";
+    ]
+  in
+  {
+    r_mode = (if smoke then "smoke" else "full");
+    r_sweeps = sweeps;
+    r_determinism = measure_determinism ~smoke;
+  }
+
+let print_summary r =
+  List.iter
+    (fun es ->
+      Printf.printf "-- %s (%d node%s x %dp, %d workers) --\n" es.es_engine
+        es.es_nodes
+        (if es.es_nodes = 1 then "" else "s")
+        es.es_processors es.es_workers;
+      Printf.printf "  %10s %10s %10s %9s %9s %9s\n" "offered" "realized"
+        "achieved" "p50us" "p99us" "p999us";
+      List.iter
+        (fun p ->
+          Printf.printf "  %10.0f %10.0f %10.0f %9.1f %9.1f %9.1f\n"
+            p.pt_rate_rps p.pt_offered_rps p.pt_achieved_rps p.pt_p50_us
+            p.pt_p99_us p.pt_p999_us)
+        es.es_points;
+      Printf.printf "  saturation knee ~%.0f rps\n" es.es_knee_rps)
+    r.r_sweeps;
+  Printf.printf
+    "determinism: same-seed %s, par2-vs-seq streams %s\n"
+    (if r.r_determinism.det_same_seed then "identical" else "DIVERGED")
+    (if r.r_determinism.det_par_equals_seq then "identical" else "DIVERGED")
+
+(* Every point completed everything, quantiles are ordered, every knee
+   found at least one absorbed point, determinism held. *)
+let check r =
+  r.r_determinism.det_same_seed
+  && r.r_determinism.det_par_equals_seq
+  && List.for_all
+       (fun es ->
+         es.es_knee_rps > 0.0
+         && List.for_all
+              (fun p ->
+                p.pt_completed = p.pt_requests
+                && p.pt_p50_us > 0.0
+                && p.pt_p99_us >= p.pt_p50_us
+                && p.pt_p999_us >= p.pt_p99_us)
+              es.es_points)
+       r.r_sweeps
+
+let to_json r =
+  let open Json_out in
+  let sp = spec_for ~smoke:(r.r_mode = "smoke") ~rate_rps:0.0 in
+  Obj
+    [
+      ("schema", Str "imax432-bench-macro/1");
+      ("mode", Str r.r_mode);
+      ( "spec",
+        Obj
+          [
+            ("seed", Int sp.Load.Arrival.seed);
+            ("users", Int sp.Load.Arrival.users);
+            ("sessions", Int sp.Load.Arrival.sessions);
+            ("requests_per_session", Int sp.Load.Arrival.requests_per_session);
+            ("pattern", Str (Load.Arrival.pattern_name sp.Load.Arrival.pattern));
+            ("profile", Str (Load.Mix.profile_name sp.Load.Arrival.profile));
+          ] );
+      ( "service_ns",
+        Obj
+          (Array.to_list
+             (Array.map
+                (fun cls ->
+                  (Load.Mix.name cls, Int (Load.Mix.service_ns cls)))
+                Load.Mix.all)) );
+      ("mean_service_ns", Int (Load.Mix.mean_service_ns profile));
+      ( "units",
+        Obj
+          [
+            ("rps", Str "requests per virtual second");
+            ( "latency_us",
+              Str "virtual-time scheduled-arrival to completion, microseconds"
+            );
+          ] );
+      ( "determinism",
+        Obj
+          [
+            ("same_seed_identical", Bool r.r_determinism.det_same_seed);
+            ("par2_equals_seq", Bool r.r_determinism.det_par_equals_seq);
+          ] );
+      ( "engines",
+        Arr
+          (List.map
+             (fun es ->
+               Obj
+                 [
+                   ("engine", Str es.es_engine);
+                   ("nodes", Int es.es_nodes);
+                   ("processors", Int es.es_processors);
+                   ("workers", Int es.es_workers);
+                   ("knee_rps", Float es.es_knee_rps);
+                   ( "points",
+                     Arr
+                       (List.map
+                          (fun p ->
+                            Obj
+                              [
+                                ("rate_rps", Float p.pt_rate_rps);
+                                ("offered_rps", Float p.pt_offered_rps);
+                                ("achieved_rps", Float p.pt_achieved_rps);
+                                ("requests", Int p.pt_requests);
+                                ("completed", Int p.pt_completed);
+                                ("p50_us", Float p.pt_p50_us);
+                                ("p99_us", Float p.pt_p99_us);
+                                ("p999_us", Float p.pt_p999_us);
+                                ("last_done_ms", Float p.pt_last_done_ms);
+                                ( "classes",
+                                  Arr
+                                    (List.map
+                                       (fun (name, count, p50, p99) ->
+                                         Obj
+                                           [
+                                             ("class", Str name);
+                                             ("requests", Int count);
+                                             ("p50_us", Float p50);
+                                             ("p99_us", Float p99);
+                                           ])
+                                       p.pt_classes) );
+                              ])
+                          es.es_points) );
+                 ])
+             r.r_sweeps) );
+    ]

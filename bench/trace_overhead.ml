@@ -19,7 +19,7 @@ let payload_words = 4  (* per-message job record, like the spooler's *)
    times per run.  Each message carries a [payload_words]-word job record
    that the producer fills and the consumer folds, so per-message kernel
    work matches the spooler scenario rather than an empty ping. *)
-let workload_machine ~level ~messages () =
+let workload_machine ?keep ~level ~messages () =
   let config =
     {
       K.Machine.default_config with
@@ -32,6 +32,9 @@ let workload_machine ~level ~messages () =
     }
   in
   let m = K.Machine.create ~config () in
+  (match keep with
+  | Some subs -> Obs.Tracer.set_filter (K.Machine.tracer m) ~keep:(Some subs)
+  | None -> ());
   let port = K.Machine.create_port m ~capacity:16 ~discipline:K.Port.Fifo () in
   ignore
     (K.Machine.spawn m ~name:"producer" (fun () ->
@@ -61,8 +64,8 @@ let workload_machine ~level ~messages () =
   ignore (K.Machine.run m);
   m
 
-let workload ~level ~messages () =
-  ignore (workload_machine ~level ~messages ())
+let workload ?keep ~level ~messages () =
+  ignore (workload_machine ?keep ~level ~messages ())
 
 type result = {
   messages : int;
@@ -70,6 +73,10 @@ type result = {
   off_ns : float;  (* whole-run wall clock, tracing off *)
   events_ns : float;  (* same workload, level = Events *)
   overhead_pct : float;
+  filtered_pct : float;
+      (* Events with every hot subsystem mask-filtered out: the cost of a
+         narrowed trace, which skips timestamps, interning, and the ring
+         store at the mask check *)
 }
 
 let measure ~smoke () =
@@ -116,6 +123,36 @@ let measure ~smoke () =
   in
   Array.sort compare ratios;
   let median_ratio = ratios.(trials / 2) in
+  (* The same pairing for a filtered trace: level Events, but with only
+     the (quiet) gc subsystem kept, so every hot event the workload fires
+     — dispatch, port, proc — is rejected at the mask before the tracer
+     computes a timestamp or interns a string. *)
+  let once_filtered () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      workload ~keep:[ "gc" ] ~level:Obs.Tracer.Events ~messages ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int batch
+  in
+  ignore (once_filtered ());
+  let filtered_ratios =
+    Array.init trials (fun i ->
+        Gc.full_major ();
+        if i mod 2 = 0 then begin
+          let o = once Obs.Tracer.Off in
+          Gc.full_major ();
+          let f = once_filtered () in
+          f /. o
+        end
+        else begin
+          let f = once_filtered () in
+          Gc.full_major ();
+          let o = once Obs.Tracer.Off in
+          f /. o
+        end)
+  in
+  Array.sort compare filtered_ratios;
+  let filtered_ratio = filtered_ratios.(trials / 2) in
   let emitted =
     Obs.Tracer.emitted
       (K.Machine.tracer (workload_machine ~level:Obs.Tracer.Events ~messages ()))
@@ -126,13 +163,15 @@ let measure ~smoke () =
     off_ns = !off;
     events_ns = !events;
     overhead_pct = 100.0 *. (median_ratio -. 1.0);
+    filtered_pct = 100.0 *. (filtered_ratio -. 1.0);
   }
 
 let print_summary r =
   Printf.printf
     "Trace overhead (%d messages, %d events): off %.2f ms, events %.2f ms, \
-     %+.2f%%\n"
+     %+.2f%% (%+.2f%% with hot subsystems filtered)\n"
     r.messages r.events (r.off_ns /. 1e6) (r.events_ns /. 1e6) r.overhead_pct
+    r.filtered_pct
 
 let to_json r =
   let open Json_out in
@@ -143,6 +182,7 @@ let to_json r =
       ("off_ns", Float r.off_ns);
       ("events_ns", Float r.events_ns);
       ("overhead_pct", Float r.overhead_pct);
+      ("filtered_pct", Float r.filtered_pct);
     ]
 
 (* The PR-gate budget: tracing at Events must cost < [limit_pct] wall

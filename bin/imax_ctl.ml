@@ -14,6 +14,7 @@ module Obs = I432_obs
 module Fi = I432_fi.Fi
 module Net = I432_net
 module St = I432_store.Store
+module Load = I432_load
 module Ckpt = I432_store.Checkpoint
 
 (* ---------------- exit codes ----------------
@@ -1126,13 +1127,225 @@ let checkpoint_cmd =
       $ kill_ns $ rounds $ quantum $ cluster $ clients_arg $ jobs_arg $ par
       $ check)
 
+(* Open-loop traffic harness: replay a seeded arrival schedule through the
+   typed-port request path and report end-to-end latency quantiles from
+   the request spans.  --nodes >= 2 drives the same schedule across the
+   virtual interconnect; --check proves the whole run — arrival stream,
+   span stream, merged metrics — is a pure function of the seed (and with
+   --par, byte-identical to the sequential cluster engine). *)
+let scenario_loadgen config users rate sessions requests mix pattern seed nodes
+    par workers pumps chrome_out check =
+  let processors = config.System.processors in
+  let profile =
+    match Load.Mix.profile_of_string mix with
+    | Some p -> p
+    | None ->
+      die "--mix %s: expected one of %s" mix
+        (String.concat ", "
+           (Array.to_list
+              (Array.map Load.Mix.profile_name Load.Mix.profiles)))
+  in
+  let pattern =
+    match Load.Arrival.pattern_of_string pattern with
+    | Some p -> p
+    | None -> die "--pattern %s: expected poisson or bursty" pattern
+  in
+  if nodes < 1 then die "--nodes %d: need at least one node" nodes;
+  let spec =
+    {
+      Load.Arrival.seed;
+      users;
+      sessions;
+      requests_per_session = requests;
+      rate_rps = rate;
+      pattern;
+      profile;
+    }
+  in
+  let engine = engine_of_par par in
+  let opt n = if n > 0 then Some n else None in
+  let run ~engine () =
+    if nodes = 1 then
+      Load.Loadgen.run_machine ~processors ?workers:(opt workers)
+        ?pumps:(opt pumps) ~trace_level:Obs.Tracer.Events ~spec ()
+    else
+      Load.Loadgen.run_cluster ~nodes ~processors ?workers:(opt workers)
+        ?pumps:(opt pumps) ~engine ~trace_level:Obs.Tracer.Events ~spec ()
+  in
+  let o = run ~engine () in
+  let total = Load.Arrival.total spec in
+  if o.Load.Loadgen.o_completed <> total then
+    die "loadgen: %d of %d requests completed (%d issued, %d blocked)"
+      o.Load.Loadgen.o_completed total o.Load.Loadgen.o_issued
+      o.Load.Loadgen.o_deadlocked;
+  if o.Load.Loadgen.o_deadlocked <> 0 then
+    die "loadgen: %d processes still blocked at halt"
+      o.Load.Loadgen.o_deadlocked;
+  let us ns = ns /. 1e3 in
+  Printf.printf
+    "loadgen: %d users x %d sessions x %d requests = %d (%s, %s mix)\n" users
+    sessions requests total
+    (Load.Arrival.pattern_name pattern)
+    (Load.Mix.profile_name profile);
+  Printf.printf "offered %.0f rps (realized %.0f), achieved %.0f rps\n" rate
+    (Load.Arrival.offered_rps o.Load.Loadgen.o_requests)
+    (Load.Loadgen.achieved_rps o);
+  Printf.printf "horizon %.1f ms, last request retired at %.1f ms\n"
+    (float_of_int (Load.Arrival.horizon_ns o.Load.Loadgen.o_requests) /. 1e6)
+    (float_of_int o.Load.Loadgen.o_last_done_ns /. 1e6);
+  Printf.printf "latency p50 %.1f us  p99 %.1f us  p999 %.1f us\n"
+    (us (Load.Loadgen.quantile o 0.5))
+    (us (Load.Loadgen.quantile o 0.99))
+    (us (Load.Loadgen.quantile o 0.999));
+  Array.iter
+    (fun cls ->
+      match
+        Obs.Metrics.find_log_histogram o.Load.Loadgen.o_metrics
+          (Obs.Span.latency_name cls)
+      with
+      | Some lh when lh.Obs.Metrics.l_hist.U.Stats.lh_count > 0 ->
+        Printf.printf "  %-10s %6d reqs  p50 %8.1f us  p99 %8.1f us\n" cls
+          lh.Obs.Metrics.l_hist.U.Stats.lh_count
+          (us (Load.Loadgen.class_quantile o ~cls 0.5))
+          (us (Load.Loadgen.class_quantile o ~cls 0.99))
+      | _ -> ())
+    Load.Mix.names;
+  (match chrome_out with
+  | Some path ->
+    let json =
+      match o.Load.Loadgen.o_machines with
+      | [ (_, m) ] ->
+        Obs.Export.chrome_trace
+          ~processors:(K.Machine.processor_count m)
+          (K.Machine.events m)
+      | machines ->
+        Obs.Export.chrome_trace_cluster
+          (List.map
+             (fun (name, m) ->
+               (name, K.Machine.processor_count m, K.Machine.events m))
+             machines)
+    in
+    Obs.Jout.write_file ~path json;
+    Printf.printf "chrome trace written to %s\n" path
+  | None -> ());
+  if check then begin
+    (* Same seed, fresh run: the arrival schedule, the request-span event
+       stream, and the merged metrics must all be byte-identical.  With
+       --par on a cluster the re-run uses the SEQUENTIAL engine, so this
+       is also the cross-engine determinism gate. *)
+    let check_engine =
+      if nodes > 1 && par > 1 then Net.Cluster.Seq else engine
+    in
+    let o2 = run ~engine:check_engine () in
+    if
+      Load.Arrival.render o.Load.Loadgen.o_requests
+      <> Load.Arrival.render o2.Load.Loadgen.o_requests
+    then die "loadgen --check: arrival streams differ for seed %d" seed;
+    if Load.Loadgen.span_stream o <> Load.Loadgen.span_stream o2 then
+      die "loadgen --check: request-span streams differ for seed %d%s" seed
+        (if check_engine <> engine then " (Par vs Seq engine)" else "");
+    if
+      Obs.Metrics.render o.Load.Loadgen.o_metrics
+      <> Obs.Metrics.render o2.Load.Loadgen.o_metrics
+    then die "loadgen --check: merged metrics differ for seed %d" seed;
+    Printf.printf
+      "loadgen check passed: arrival, span, and metrics streams \
+       byte-identical%s\n"
+      (if check_engine <> engine then " across Par/Seq engines" else "")
+  end
+
+let loadgen_cmd =
+  let users =
+    Arg.(
+      value & opt int 100
+      & info [ "users" ] ~docv:"N" ~doc:"Simulated users issuing requests.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 20_000.0
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:"Aggregate offered load, requests per virtual second.")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 2
+      & info [ "sessions" ] ~docv:"N" ~doc:"Sessions per user, back to back.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per session.")
+  in
+  let mix =
+    Arg.(
+      value & opt string "typical"
+      & info [ "mix" ] ~docv:"PROFILE"
+          ~doc:
+            "CPI weight profile: typical, compute, memory, control, or mixed.")
+  in
+  let pattern =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "pattern" ] ~docv:"P"
+          ~doc:"Arrival pattern: poisson or bursty.")
+  in
+  let seed = seed_arg ~default:42 ~doc:"Arrival-schedule seed." in
+  let nodes =
+    Arg.(
+      value & opt int 1
+      & info [ "nodes" ] ~docv:"N"
+          ~doc:
+            "1 = single machine; >= 2 drives the schedule across an \
+             N-node cluster (node 0 serves, the rest issue).")
+  in
+  let par =
+    par_arg
+      ~doc:
+        "With --nodes >= 2: step cluster nodes on this many OCaml domains \
+         (1 = sequential engine); results are byte-identical either way."
+  in
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Serving processes (0 = twice the processor count).")
+  in
+  let pumps =
+    Arg.(
+      value & opt int 0
+      & info [ "pumps" ] ~docv:"N"
+          ~doc:"Issuing processes (per client node when clustered).")
+  in
+  let chrome =
+    chrome_arg
+      ~doc:
+        "Write a Chrome trace (request spans as async slices) to this path."
+  in
+  let check =
+    check_arg
+      ~doc:
+        "Re-run the same seed and fail unless arrival, request-span, and \
+         merged-metrics streams are byte-identical (with --par: against \
+         the sequential engine)."
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Replay a seeded open-loop arrival schedule through the typed-port \
+          request path and report end-to-end latency quantiles from the \
+          request spans.")
+    Term.(
+      const scenario_loadgen $ config_term $ users $ rate $ sessions
+      $ requests $ mix $ pattern $ seed $ nodes $ par $ workers $ pumps
+      $ chrome $ check)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
     [
       pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
-      metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd;
+      metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd; loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

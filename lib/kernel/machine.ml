@@ -261,9 +261,11 @@ let now t =
 
 (* Record one structured event, stamped with the executing processor's id
    and virtual clock (or -1 / max clock outside the run loop).  One field
-   read when tracing is off. *)
+   read when tracing is off; one mask load more when the event's subsystem
+   is filtered out — the timestamp ([now t] folds every processor clock
+   outside the run loop) and interning are skipped entirely. *)
 let emit t ?name ?detail ?a ?b kind =
-  if Obs.Tracer.enabled t.obs then
+  if Obs.Tracer.wants t.obs ~kind_code:(Obs.Event.kind_to_int kind) then
     match t.current with
     | Some p ->
       Obs.Tracer.emit t.obs ~ts_ns:p.Processor.clock_ns ~cpu:p.Processor.id
@@ -273,7 +275,7 @@ let emit t ?name ?detail ?a ?b kind =
 (* Same, on behalf of a known processor (the run loop clears [t.current]
    before it settles a process's outcome). *)
 let emit_on t (cpu : Processor.t) ?name ?detail ?a ?b kind =
-  if Obs.Tracer.enabled t.obs then
+  if Obs.Tracer.wants t.obs ~kind_code:(Obs.Event.kind_to_int kind) then
     Obs.Tracer.emit t.obs ~ts_ns:cpu.Processor.clock_ns ~cpu:cpu.Processor.id
       ?name ?detail ?a ?b kind
 
@@ -298,7 +300,7 @@ let k_dispatch = Obs.Event.kind_to_int Obs.Event.Dispatch
 let k_finish = Obs.Event.kind_to_int Obs.Event.Finish
 
 let emit_fast t ~name_id ~a ~b kind_code =
-  if Obs.Tracer.enabled t.obs then
+  if Obs.Tracer.wants t.obs ~kind_code then
     match t.current with
     | Some p ->
       Obs.Tracer.emit_raw t.obs ~ts_ns:p.Processor.clock_ns
@@ -308,7 +310,7 @@ let emit_fast t ~name_id ~a ~b kind_code =
         ~detail_id:0 ~a ~b
 
 let emit_fast_on t (cpu : Processor.t) ~name_id ~a ~b kind_code =
-  if Obs.Tracer.enabled t.obs then
+  if Obs.Tracer.wants t.obs ~kind_code then
     Obs.Tracer.emit_raw t.obs ~ts_ns:cpu.Processor.clock_ns
       ~cpu:cpu.Processor.id ~kind_code ~name_id ~detail_id:0 ~a ~b
 

@@ -1,0 +1,70 @@
+(** The open-loop traffic harness: pumps replay a precomputed arrival
+    schedule through typed-port sends (never waiting on completions),
+    workers serve the CPI-mix recipes and record request spans, poison
+    pills terminate every process deterministically.
+
+    End-to-end latency runs from a request's *scheduled* arrival to its
+    service completion, so pump slippage, send cost, queueing and service
+    are all inside the measured span — the behavior that makes offered
+    load an input and the saturation knee observable. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+module Net = I432_net
+
+type outcome = {
+  o_spec : Arrival.spec;
+  o_requests : Arrival.request array;  (** the schedule that was replayed *)
+  o_machines : (string * K.Machine.t) list;  (** node order, server first *)
+  o_metrics : Obs.Metrics.t;  (** fresh registry, node-order merge *)
+  o_issued : int;
+  o_completed : int;
+  o_last_done_ns : int;  (** virtual instant the last request retired *)
+  o_deadlocked : int;  (** processes still blocked at halt; 0 by design *)
+}
+
+(** Run the harness on one machine: [pumps] issuing processes and
+    [workers] serving processes (default [2 * processors]) over one
+    typed port. *)
+val run_machine :
+  ?processors:int ->
+  ?workers:int ->
+  ?pumps:int ->
+  ?trace_level:Obs.Tracer.level ->
+  spec:Arrival.spec ->
+  unit ->
+  outcome
+
+(** Run the harness on a [nodes]-machine cluster: node 0 serves, the
+    others issue through imported surrogate ports, so every request
+    crosses the virtual interconnect.  [pumps] is per client node;
+    [engine] selects the sequential or parallel cluster engine (runs are
+    byte-identical either way).  Raises [Invalid_argument] when
+    [nodes < 2]. *)
+val run_cluster :
+  ?nodes:int ->
+  ?processors:int ->
+  ?workers:int ->
+  ?pumps:int ->
+  ?engine:Net.Cluster.engine ->
+  ?trace_level:Obs.Tracer.level ->
+  spec:Arrival.spec ->
+  unit ->
+  outcome
+
+(** Virtual-time throughput delivered: completions over the instant the
+    last request retired. *)
+val achieved_rps : outcome -> float
+
+(** Overall latency quantile from the merged [load.latency_ns]
+    histogram, [q] in [0, 1]. *)
+val quantile : outcome -> float -> float
+
+(** Per-class latency quantile ([cls] is a {!Mix.name}); 0.0 when the
+    class saw no traffic. *)
+val class_quantile : outcome -> cls:string -> float -> float
+
+(** Canonical rendering of every load-subsystem event across machines in
+    node order — the byte-equality surface for [--check] and the
+    determinism tests. *)
+val span_stream : outcome -> string

@@ -54,6 +54,8 @@ type kind =
   | Store_compact  (* a=live records kept, b=bytes reclaimed *)
   | Ckpt_save  (* name=key, a=state image bytes, b=virtual time ns *)
   | Ckpt_restore  (* name=key, a=state image bytes, b=virtual time ns *)
+  | Req_issue  (* name=user, detail=mix class, a=request id, b=session *)
+  | Req_done  (* name=worker, detail=mix class, a=request id, b=latency ns *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -109,9 +111,11 @@ let kind_to_string = function
   | Store_compact -> "store-compact"
   | Ckpt_save -> "ckpt-save"
   | Ckpt_restore -> "ckpt-restore"
+  | Req_issue -> "req-issue"
+  | Req_done -> "req-done"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
-   rings.  [kind_of_int] is the inverse on [0 .. 41]. *)
+   rings.  [kind_of_int] is the inverse on [0 .. kind_count - 1]. *)
 let kind_to_int = function
   | Spawn -> 0
   | Exit -> 1
@@ -155,6 +159,10 @@ let kind_to_int = function
   | Store_compact -> 39
   | Ckpt_save -> 40
   | Ckpt_restore -> 41
+  | Req_issue -> 42
+  | Req_done -> 43
+
+let kind_count = 44
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -199,6 +207,8 @@ let kind_of_int = function
   | 39 -> Store_compact
   | 40 -> Ckpt_save
   | 41 -> Ckpt_restore
+  | 42 -> Req_issue
+  | 43 -> Req_done
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -216,6 +226,12 @@ let category = function
   | Journal_append | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore
     ->
     "store"
+  | Req_issue | Req_done -> "load"
+
+(* Every category value, in fixed order (for filter UIs and validation). *)
+let subsystems =
+  [ "proc"; "dispatch"; "port"; "sro"; "domain"; "gc"; "fi"; "net"; "store";
+    "load" ]
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -239,4 +255,5 @@ let legacy_line e =
   | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end | Fi_inject | Cpu_offline
   | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted
   | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Journal_append
-  | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore -> None
+  | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore | Req_issue
+  | Req_done -> None

@@ -44,6 +44,8 @@ type kind =
   | Store_compact  (** a=live records kept, b=bytes reclaimed *)
   | Ckpt_save  (** name=key, a=state image bytes, b=virtual time ns *)
   | Ckpt_restore  (** name=key, a=state image bytes, b=virtual time ns *)
+  | Req_issue  (** name=user, detail=mix class, a=request id, b=session *)
+  | Req_done  (** name=worker, detail=mix class, a=request id, b=latency ns *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -65,9 +67,15 @@ val kind_to_int : kind -> int
 
 val kind_of_int : int -> kind
 
+(** Number of kinds; codes are the dense range [0 .. kind_count - 1]. *)
+val kind_count : int
+
 (** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi,
-    net or store. *)
+    net, store or load. *)
 val category : kind -> string
+
+(** Every {!category} value, in fixed order. *)
+val subsystems : string list
 
 val to_string : t -> string
 

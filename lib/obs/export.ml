@@ -160,6 +160,24 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
            slice still open on its track. *)
         instant ();
         close ~tid ~ts_ns
+      (* Request spans: one async slice per request id, issue to
+         completion.  Async ids only need to be unique per (cat, name), so
+         the request id itself is the slice id — ids do not collide with
+         the GC slices (cat "gc") or flow arrows. *)
+      | Event.Req_issue ->
+        add ts_ns
+          (entry
+             ~name:(if e.Event.detail = "" then "request" else e.Event.detail)
+             ~cat:"load" ~ph:"b" ~ts_ns ~tid ~pid
+             ~extra:[ ("id", Jout.Int e.Event.a) ]
+             ~args:(field_args e) ())
+      | Event.Req_done ->
+        add ts_ns
+          (entry
+             ~name:(if e.Event.detail = "" then "request" else e.Event.detail)
+             ~cat:"load" ~ph:"e" ~ts_ns ~tid ~pid
+             ~extra:[ ("id", Jout.Int e.Event.a) ]
+             ~args:(field_args e) ())
       | Event.Spawn | Event.Ready | Event.Wake | Event.Stop | Event.Start
       | Event.Allocate | Event.Release | Event.Sro_create | Event.Sro_destroy
       | Event.Domain_call | Event.Domain_return | Event.Fi_inject

@@ -13,11 +13,13 @@ open I432_util
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : int }
 type histogram = { m_name : string; m_hist : Stats.hist }
+type log_histogram = { l_name : string; l_hist : Stats.log_hist }
 
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  log_histograms : (string, log_histogram) Hashtbl.t;
   (* Domain id of the current writer, if claimed.  Registries are not
      thread-safe: exactly one domain may update instruments at a time.
      The parallel cluster engine claims each node's registry for the
@@ -31,6 +33,7 @@ let create () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 16;
     histograms = Hashtbl.create 16;
+    log_histograms = Hashtbl.create 16;
     writer = None;
   }
 
@@ -78,9 +81,26 @@ let histogram t ?(buckets = 32) ?(lo = 0.0) ?(hi = 1.0e6) name =
 
 let observe h x = Stats.hist_observe h.m_hist x
 
+(* Log-bucketed histograms: quantile-capable over multi-decade ranges
+   (request latencies).  Defaults cover 10 ns .. 10 s of virtual time at
+   ~15% relative bucket width. *)
+let log_histogram t ?(per_decade = 16) ?(lo = 10.0) ?(decades = 9) name =
+  match Hashtbl.find_opt t.log_histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { l_name = name; l_hist = Stats.log_hist_create ~per_decade ~lo ~decades () }
+    in
+    Hashtbl.replace t.log_histograms name h;
+    h
+
+let observe_log h x = Stats.log_hist_observe h.l_hist x
+let log_quantile h q = Stats.log_hist_quantile h.l_hist q
+
 let find_counter t name = Hashtbl.find_opt t.counters name
 let find_gauge t name = Hashtbl.find_opt t.gauges name
 let find_histogram t name = Hashtbl.find_opt t.histograms name
+let find_log_histogram t name = Hashtbl.find_opt t.log_histograms name
 
 let sorted_bindings tbl =
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
@@ -88,6 +108,7 @@ let sorted_bindings tbl =
 let counters t = List.map snd (sorted_bindings t.counters)
 let gauges t = List.map snd (sorted_bindings t.gauges)
 let histograms t = List.map snd (sorted_bindings t.histograms)
+let log_histograms t = List.map snd (sorted_bindings t.log_histograms)
 
 let hist_json (h : Stats.hist) =
   let open Jout in
@@ -108,21 +129,53 @@ let hist_json (h : Stats.hist) =
         Arr (Array.to_list (Array.map (fun c -> Int c) h.Stats.h_counts)) );
     ]
 
-let to_json t =
+let log_hist_json (h : Stats.log_hist) =
   let open Jout in
   Obj
     [
-      ("schema", Str "imax432-metrics/1");
-      ( "counters",
-        Obj (List.map (fun (k, c) -> (k, Int c.c_value)) (sorted_bindings t.counters)) );
-      ( "gauges",
-        Obj (List.map (fun (k, g) -> (k, Int g.g_value)) (sorted_bindings t.gauges)) );
-      ( "histograms",
-        Obj
-          (List.map
-             (fun (k, h) -> (k, hist_json h.m_hist))
-             (sorted_bindings t.histograms)) );
+      ("lo", Float h.Stats.lh_lo);
+      ("per_decade", Int h.Stats.lh_per_decade);
+      ("count", Int h.Stats.lh_count);
+      ("sum", Float h.Stats.lh_sum);
+      ("mean", Float (Stats.log_hist_mean h));
+      ("min", if h.Stats.lh_count = 0 then Null else Float h.Stats.lh_min);
+      ("max", if h.Stats.lh_count = 0 then Null else Float h.Stats.lh_max);
+      ("p50", Float (Stats.log_hist_quantile h 0.50));
+      ("p99", Float (Stats.log_hist_quantile h 0.99));
+      ("p999", Float (Stats.log_hist_quantile h 0.999));
+      ("underflow", Int h.Stats.lh_underflow);
+      ("overflow", Int h.Stats.lh_overflow);
+      ( "buckets",
+        Arr (Array.to_list (Array.map (fun c -> Int c) h.Stats.lh_counts)) );
     ]
+
+let to_json t =
+  let open Jout in
+  Obj
+    ([
+       ("schema", Str "imax432-metrics/1");
+       ( "counters",
+         Obj (List.map (fun (k, c) -> (k, Int c.c_value)) (sorted_bindings t.counters)) );
+       ( "gauges",
+         Obj (List.map (fun (k, g) -> (k, Int g.g_value)) (sorted_bindings t.gauges)) );
+       ( "histograms",
+         Obj
+           (List.map
+              (fun (k, h) -> (k, hist_json h.m_hist))
+              (sorted_bindings t.histograms)) );
+     ]
+    (* Only present when some site registered one: dumps from runs without
+       a load generator stay byte-identical to pre-log-histogram runs. *)
+    @
+    if Hashtbl.length t.log_histograms = 0 then []
+    else
+      [
+        ( "log_histograms",
+          Obj
+            (List.map
+               (fun (k, h) -> (k, log_hist_json h.l_hist))
+               (sorted_bindings t.log_histograms)) );
+      ])
 
 (* Fold [src] into [dst]: counters and gauges add; histograms of the same
    name must share a shape and their buckets add.  Merging the per-node
@@ -149,7 +202,17 @@ let merge_into ~dst ~src =
           ~lo:h.m_hist.Stats.h_lo ~hi:h.m_hist.Stats.h_hi k
       in
       Stats.hist_merge_into ~dst:d.m_hist ~src:h.m_hist)
-    (sorted_bindings src.histograms)
+    (sorted_bindings src.histograms);
+  List.iter
+    (fun (k, (h : log_histogram)) ->
+      let per_decade = h.l_hist.Stats.lh_per_decade in
+      let d =
+        log_histogram dst ~per_decade ~lo:h.l_hist.Stats.lh_lo
+          ~decades:(Array.length h.l_hist.Stats.lh_counts / per_decade)
+          k
+      in
+      Stats.log_hist_merge_into ~dst:d.l_hist ~src:h.l_hist)
+    (sorted_bindings src.log_histograms)
 
 (* Human-readable rendering for operator tooling. *)
 let render t =
@@ -168,4 +231,14 @@ let render t =
         s.Stats.h_count (Stats.hist_mean s) s.Stats.h_underflow
         s.Stats.h_overflow)
     (sorted_bindings t.histograms);
+  List.iter
+    (fun (k, h) ->
+      let s = h.l_hist in
+      Printf.bprintf buf
+        "loghist %-28s count %d mean %.1f p50 %.1f p99 %.1f p999 %.1f\n" k
+        s.Stats.lh_count (Stats.log_hist_mean s)
+        (Stats.log_hist_quantile s 0.50)
+        (Stats.log_hist_quantile s 0.99)
+        (Stats.log_hist_quantile s 0.999))
+    (sorted_bindings t.log_histograms);
   Buffer.contents buf

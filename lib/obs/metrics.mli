@@ -10,6 +10,7 @@ open I432_util
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : int }
 type histogram = { m_name : string; m_hist : Stats.hist }
+type log_histogram = { l_name : string; l_hist : Stats.log_hist }
 
 type t
 
@@ -30,6 +31,18 @@ val histogram : t -> ?buckets:int -> ?lo:float -> ?hi:float -> string -> histogr
 
 val observe : histogram -> float -> unit
 
+(** Log-bucketed quantile histogram ({!Stats.log_hist}); the shape
+    arguments apply only on first creation of the name.  Defaults span
+    10 ns .. 10 s at 16 buckets per decade (~15% relative width) —
+    sized for virtual-time request latencies. *)
+val log_histogram :
+  t -> ?per_decade:int -> ?lo:float -> ?decades:int -> string -> log_histogram
+
+val observe_log : log_histogram -> float -> unit
+
+(** [log_quantile h q] with [q] in [0, 1]. *)
+val log_quantile : log_histogram -> float -> float
+
 (** {1 Domain safety}
 
     A registry has at most one writer at a time.  [claim] records the
@@ -49,15 +62,19 @@ val merge_into : dst:t -> src:t -> unit
 val find_counter : t -> string -> counter option
 val find_gauge : t -> string -> gauge option
 val find_histogram : t -> string -> histogram option
+val find_log_histogram : t -> string -> log_histogram option
 
 (** Sorted by name. *)
 val counters : t -> counter list
 
 val gauges : t -> gauge list
 val histograms : t -> histogram list
+val log_histograms : t -> log_histogram list
 
 (** Schema [imax432-metrics/1]: counters, gauges, histograms (with
-    underflow/overflow buckets), sorted by name. *)
+    underflow/overflow buckets), sorted by name.  A [log_histograms] key
+    is appended only when at least one exists, so dumps from runs without
+    one are byte-identical to earlier schema emissions. *)
 val to_json : t -> Jout.t
 
 (** Human-readable rendering for operator tooling. *)

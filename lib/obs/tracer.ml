@@ -83,6 +83,11 @@ type t = {
   rings : ring array;  (* index cpu+1; slot 0 = boot *)
   dropped : int array;  (* per ring *)
   strings : interns;
+  (* Per-kind-code enable mask (index = Event.kind_to_int).  All-true by
+     default, so unfiltered traces are byte-identical to pre-filter runs.
+     Checked before seq assignment, interning and ring stores: a filtered
+     subsystem costs one array load per event, nothing else. *)
+  mask : bool array;
   mutable emitted : int;  (* total events ever emitted (= next seq) *)
   mutable legacy : string list;  (* newest first, like the seed's buffer *)
 }
@@ -163,6 +168,7 @@ let create ?(capacity = default_capacity) ~level ~processors () =
     rings = Array.init (processors + 1) (fun _ -> ring_create capacity);
     dropped = Array.make (processors + 1) 0;
     strings = interns_create ();
+    mask = Array.make Event.kind_count true;
     emitted = 0;
     legacy = [];
   }
@@ -175,6 +181,34 @@ let enabled t = match t.level with Off -> false | _ -> true
 let capacity t = t.rings.(0).r_cap
 let processors t = Array.length t.rings - 1
 
+(* Subsystem filtering.  [set_filter ~keep:None] restores the default
+   (everything traced); [Some subs] keeps only kinds whose
+   {!Event.category} is listed.  Unknown names raise, so a typo cannot
+   silently discard a whole trace. *)
+let set_filter t ~keep =
+  match keep with
+  | None -> Array.fill t.mask 0 Event.kind_count true
+  | Some subs ->
+    List.iter
+      (fun s ->
+        if not (List.mem s Event.subsystems) then
+          invalid_arg (Printf.sprintf "Tracer.set_filter: subsystem %S" s))
+      subs;
+    for code = 0 to Event.kind_count - 1 do
+      t.mask.(code) <-
+        List.mem (Event.category (Event.kind_of_int code)) subs
+    done
+
+(* [wants t ~kind_code] is the cheap pre-flight for instrumentation sites:
+   false means the event would be discarded, so the caller can skip
+   computing the timestamp and arguments entirely.  [kind_code] must be a
+   valid dense code (they are compile-time constants at every call
+   site). *)
+let wants t ~kind_code =
+  match t.level with
+  | Off -> false
+  | Events | Events_and_legacy_lines -> Array.unsafe_get t.mask kind_code
+
 (* The one physical "" that omitted ?name/?detail default to, so the
    common no-string case is a single pointer compare, not a memo scan. *)
 let no_string = ""
@@ -186,7 +220,8 @@ let no_string = ""
 let emit_raw t ~ts_ns ~cpu ~kind_code ~name_id ~detail_id ~a ~b =
   match t.level with
   | Off -> ()
-  | (Events | Events_and_legacy_lines) as lvl ->
+  | (Events | Events_and_legacy_lines) as lvl
+    when Array.unsafe_get t.mask kind_code ->
     let record_legacy = match lvl with
       | Events_and_legacy_lines -> true
       | _ -> false
@@ -227,7 +262,7 @@ let emit_raw t ~ts_ns ~cpu ~kind_code ~name_id ~detail_id ~a ~b =
     Array.unsafe_set d (base + 5) kind_code;
     Array.unsafe_set d (base + 6) name_id;
     Array.unsafe_set d (base + 7) detail_id;
-    if record_legacy then
+    if record_legacy then begin
       match
         Event.legacy_line
           {
@@ -243,6 +278,8 @@ let emit_raw t ~ts_ns ~cpu ~kind_code ~name_id ~detail_id ~a ~b =
       with
       | Some line -> t.legacy <- line :: t.legacy
       | None -> ()
+    end
+  | Events | Events_and_legacy_lines -> ()  (* subsystem filtered out *)
 
 let string_id t s =
   match t.level with Off -> 0 | _ -> intern t.strings s
@@ -252,12 +289,15 @@ let emit t ~ts_ns ~cpu ?(name = no_string) ?(detail = no_string) ?(a = 0)
   match t.level with
   | Off -> ()
   | Events | Events_and_legacy_lines ->
-    let st = t.strings in
-    let name_id = if name == no_string then 0 else intern st name in
-    let detail_id = if detail == no_string then 0 else intern st detail in
-    emit_raw t ~ts_ns ~cpu
-      ~kind_code:(Event.kind_to_int kind)
-      ~name_id ~detail_id ~a ~b
+    (* Mask check before interning: a filtered-out subsystem must not pay
+       for (or pollute) the intern pool. *)
+    let kind_code = Event.kind_to_int kind in
+    if Array.unsafe_get t.mask kind_code then begin
+      let st = t.strings in
+      let name_id = if name == no_string then 0 else intern st name in
+      let detail_id = if detail == no_string then 0 else intern st detail in
+      emit_raw t ~ts_ns ~cpu ~kind_code ~name_id ~detail_id ~a ~b
+    end
 
 (* All retained events in emission order (seq ascending).  Each ring is
    already seq-sorted, so this is a k-way merge. *)

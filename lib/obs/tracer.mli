@@ -24,6 +24,23 @@ val enabled : t -> bool
 val capacity : t -> int
 val processors : t -> int
 
+(** {1 Subsystem filtering}
+
+    [set_filter t ~keep:(Some subs)] drops every event whose
+    {!Event.category} is not listed, before any per-event work (no seq,
+    no interning, no ring store: a filtered event costs one array load).
+    [~keep:None] restores the default — everything traced — under which
+    streams are byte-identical to a tracer without filtering.  The filter
+    survives {!clear}.  Raises [Invalid_argument] on an unknown subsystem
+    name. *)
+val set_filter : t -> keep:string list option -> unit
+
+(** [wants t ~kind_code] is false when an event of that kind would be
+    discarded (level [Off] or subsystem filtered out) — instrumentation
+    sites use it to skip computing timestamps and arguments entirely.
+    [kind_code] must be a valid dense code from {!Event.kind_to_int}. *)
+val wants : t -> kind_code:int -> bool
+
 (** Record one event.  No-op when the level is [Off].  [cpu] is the
     emitting processor id, or -1 outside the run loop. *)
 val emit :

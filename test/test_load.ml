@@ -1,0 +1,311 @@
+(* Load-generator tests: the log-bucketed latency histogram, the seeded
+   arrival streams, the CPI mix, and the open-loop harness itself —
+   including the determinism gates the PR promises (same seed => byte
+   identical arrival stream, request-span stream, and merged metrics,
+   sequential or parallel cluster engine alike). *)
+
+open I432_util
+module K = I432_kernel
+module Obs = I432_obs
+module Net = I432_net
+module Load = I432_load
+
+(* ---------------- Stats.log_hist ---------------- *)
+
+let test_log_hist_basic () =
+  let h = Stats.log_hist_create ~per_decade:16 ~lo:10.0 ~decades:6 () in
+  Alcotest.(check int) "empty count" 0 h.Stats.lh_count;
+  Alcotest.(check (float 1e-9)) "empty quantile" 0.0 (Stats.log_hist_quantile h 0.5);
+  List.iter (Stats.log_hist_observe h) [ 100.0; 1_000.0; 10_000.0 ];
+  Alcotest.(check int) "count" 3 h.Stats.lh_count;
+  Alcotest.(check (float 1e-9)) "mean" (11_100.0 /. 3.0) (Stats.log_hist_mean h);
+  Alcotest.(check (float 1e-9)) "min" 100.0 h.Stats.lh_min;
+  Alcotest.(check (float 1e-9)) "max" 10_000.0 h.Stats.lh_max;
+  (* Geometric buckets at 16/decade have <= ~15.5% relative width; the
+     quantile must land within one bucket of the true value. *)
+  let q50 = Stats.log_hist_quantile h 0.5 in
+  Alcotest.(check bool) "p50 near 1000" true (q50 > 850.0 && q50 < 1200.0);
+  Alcotest.(check (float 1e-9)) "p0 = min" 100.0 (Stats.log_hist_quantile h 0.0);
+  Alcotest.(check (float 1e-9)) "p1 = max" 10_000.0 (Stats.log_hist_quantile h 1.0)
+
+let test_log_hist_under_overflow () =
+  let h = Stats.log_hist_create ~per_decade:8 ~lo:100.0 ~decades:2 () in
+  Stats.log_hist_observe h 1.0;
+  (* below lo *)
+  Stats.log_hist_observe h 1e9;
+  (* beyond the last bucket *)
+  Stats.log_hist_observe h Float.nan;
+  (* ignored *)
+  Alcotest.(check int) "underflow" 1 h.Stats.lh_underflow;
+  Alcotest.(check int) "overflow" 1 h.Stats.lh_overflow;
+  Alcotest.(check int) "count excludes nan" 2 h.Stats.lh_count;
+  Alcotest.(check (float 1e-9)) "min is underflowed obs" 1.0 h.Stats.lh_min;
+  Alcotest.(check (float 1e-9)) "max is overflowed obs" 1e9 h.Stats.lh_max
+
+let test_log_hist_invalid () =
+  Alcotest.check_raises "bad shape"
+    (Invalid_argument "Stats.log_hist_create: per_decade") (fun () ->
+      ignore (Stats.log_hist_create ~per_decade:0 ~lo:10.0 ~decades:3 ()));
+  let h = Stats.log_hist_create ~per_decade:4 ~lo:1.0 ~decades:3 () in
+  Alcotest.check_raises "bad q" (Invalid_argument "Stats.log_hist_quantile")
+    (fun () -> ignore (Stats.log_hist_quantile h 1.5))
+
+let test_log_hist_merge_shape () =
+  let a = Stats.log_hist_create ~per_decade:8 ~lo:10.0 ~decades:3 () in
+  let b = Stats.log_hist_create ~per_decade:16 ~lo:10.0 ~decades:3 () in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Stats.log_hist_merge_into: shape mismatch") (fun () ->
+      Stats.log_hist_merge_into ~dst:a ~src:b)
+
+let pos_float_gen = QCheck2.Gen.(map (fun f -> 1.0 +. f) (float_bound_inclusive 1e6))
+
+let prop_log_hist_quantile_bounds =
+  QCheck2.Test.make ~name:"log_hist quantile within [min, max], monotone"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) pos_float_gen)
+    (fun xs ->
+      let h = Stats.log_hist_create ~per_decade:16 ~lo:10.0 ~decades:9 () in
+      List.iter (Stats.log_hist_observe h) xs;
+      let qs = List.map (Stats.log_hist_quantile h) [ 0.0; 0.5; 0.9; 0.99; 1.0 ] in
+      let mn = List.fold_left min infinity xs
+      and mx = List.fold_left max neg_infinity xs in
+      List.for_all (fun q -> q >= mn -. 1e-9 && q <= mx +. 1e-9) qs
+      && List.sort compare qs = qs)
+
+let prop_log_hist_merge_is_union =
+  QCheck2.Test.make ~name:"log_hist merge == observing the union" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40) pos_float_gen)
+        (list_size (int_range 0 40) pos_float_gen))
+    (fun (xs, ys) ->
+      let mk () = Stats.log_hist_create ~per_decade:16 ~lo:10.0 ~decades:9 () in
+      let a = mk () and b = mk () and u = mk () in
+      List.iter (Stats.log_hist_observe a) xs;
+      List.iter (Stats.log_hist_observe b) ys;
+      List.iter (Stats.log_hist_observe u) (xs @ ys);
+      Stats.log_hist_merge_into ~dst:a ~src:b;
+      a.Stats.lh_counts = u.Stats.lh_counts
+      && a.Stats.lh_count = u.Stats.lh_count
+      && a.Stats.lh_underflow = u.Stats.lh_underflow
+      && a.Stats.lh_overflow = u.Stats.lh_overflow
+      && (xs @ ys = []
+         || Stats.log_hist_quantile a 0.5 = Stats.log_hist_quantile u 0.5))
+
+(* ---------------- Mix ---------------- *)
+
+let test_mix_tables () =
+  Alcotest.(check int) "class count" 5 Load.Mix.class_count;
+  Array.iter
+    (fun cls ->
+      Alcotest.(check bool) "code roundtrip" true
+        (Load.Mix.of_code (Load.Mix.code cls) = cls))
+    Load.Mix.all;
+  Array.iter
+    (fun p ->
+      Alcotest.(check int) "weights sum to 100" 100
+        (Array.fold_left ( + ) 0 (Load.Mix.weights p)))
+    Load.Mix.profiles;
+  (* CPI model at 8 MHz: alu 25 cycles x 16 insns x 125 ns. *)
+  Alcotest.(check int) "alu service" 50_000 (Load.Mix.service_ns Load.Mix.Alu);
+  Alcotest.(check int) "objops service" 240_000
+    (Load.Mix.service_ns Load.Mix.Object_ops)
+
+let test_mix_service_charges_budget () =
+  let m = K.Machine.create () in
+  let scratch = ref None in
+  ignore
+    (K.Machine.spawn m ~name:"svc" (fun () ->
+         let s = K.Machine.allocate_generic m ~data_length:256 ~access_length:0 () in
+         let t0 = K.Machine.now m in
+         Array.iter (fun cls -> Load.Mix.service m ~scratch:s cls) Load.Mix.all;
+         scratch := Some (K.Machine.now m - t0)));
+  ignore (K.Machine.run m);
+  let expected =
+    Array.fold_left (fun acc c -> acc + Load.Mix.service_ns c) 0 Load.Mix.all
+  in
+  match !scratch with
+  | Some elapsed ->
+    (* Each recipe's wrappers plus remainder must land exactly on the CPI
+       budget (single processor: no bus contention adjustment). *)
+    Alcotest.(check int) "service time = CPI budget" expected elapsed
+  | None -> Alcotest.fail "service process did not run"
+
+(* ---------------- Arrival streams ---------------- *)
+
+let spec ?(seed = 7) ?(users = 6) ?(sessions = 2) ?(requests = 2)
+    ?(rate = 9_000.0) ?(pattern = Load.Arrival.Poisson)
+    ?(profile = Load.Mix.Typical) () =
+  {
+    Load.Arrival.seed;
+    users;
+    sessions;
+    requests_per_session = requests;
+    rate_rps = rate;
+    pattern;
+    profile;
+  }
+
+let test_arrival_shape () =
+  let s = spec () in
+  let reqs = Load.Arrival.generate s in
+  Alcotest.(check int) "total" (Load.Arrival.total s) (Array.length reqs);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) "dense ids" i r.Load.Arrival.r_id;
+      if i > 0 then
+        Alcotest.(check bool) "sorted by arrival" true
+          (reqs.(i - 1).Load.Arrival.r_at_ns <= r.Load.Arrival.r_at_ns))
+    reqs
+
+let prop_arrival_same_seed_identical =
+  QCheck2.Test.make ~name:"same seed => byte-identical arrival stream"
+    ~count:60
+    QCheck2.Gen.(
+      quad (int_range 1 1000) (int_range 1 8) (int_range 1 4) bool)
+    (fun (seed, users, sessions, bursty) ->
+      let pattern =
+        if bursty then Load.Arrival.Bursty else Load.Arrival.Poisson
+      in
+      let s = spec ~seed ~users ~sessions ~pattern () in
+      Load.Arrival.render (Load.Arrival.generate s)
+      = Load.Arrival.render (Load.Arrival.generate s))
+
+(* The aggregate rate splits evenly across users, so the per-user stream
+   is a function of (seed, user, rate/users): doubling users AND rate
+   keeps every existing user's schedule bit-identical (the x2 rate scale
+   is exact in binary floating point). *)
+let prop_arrival_user_streams_stable =
+  QCheck2.Test.make ~name:"doubling users at fixed per-user rate is stable"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 6))
+    (fun (seed, users) ->
+      let small = Load.Arrival.generate (spec ~seed ~users ~rate:9_000.0 ()) in
+      let big =
+        Load.Arrival.generate
+          (spec ~seed ~users:(2 * users) ~rate:18_000.0 ())
+      in
+      let key (r : Load.Arrival.request) =
+        (r.Load.Arrival.r_user, r.Load.Arrival.r_session, r.Load.Arrival.r_at_ns, r.Load.Arrival.r_cls)
+      in
+      let keep arr =
+        Array.to_list arr
+        |> List.filter_map (fun r ->
+               if r.Load.Arrival.r_user < users then Some (key r) else None)
+      in
+      keep small = keep big)
+
+let test_arrival_invalid () =
+  Alcotest.check_raises "zero users" (Invalid_argument "Arrival.generate: users")
+    (fun () -> ignore (Load.Arrival.generate (spec ~users:0 ())))
+
+(* ---------------- Harness: single machine ---------------- *)
+
+let run_machine ?(trace = Obs.Tracer.Events) s =
+  Load.Loadgen.run_machine ~processors:2 ~trace_level:trace ~spec:s ()
+
+let test_machine_completes_all () =
+  let s = spec () in
+  let o = run_machine s in
+  let total = Load.Arrival.total s in
+  Alcotest.(check int) "issued" total o.Load.Loadgen.o_issued;
+  Alcotest.(check int) "completed" total o.Load.Loadgen.o_completed;
+  Alcotest.(check int) "no blocked processes" 0 o.Load.Loadgen.o_deadlocked;
+  Alcotest.(check bool) "achieved > 0" true (Load.Loadgen.achieved_rps o > 0.0);
+  (* Latency can never be below the cheapest service recipe. *)
+  Alcotest.(check bool) "p50 >= min service" true
+    (Load.Loadgen.quantile o 0.5
+    >= float_of_int (Load.Mix.service_ns Load.Mix.Alu));
+  Alcotest.(check bool) "p99 >= p50" true
+    (Load.Loadgen.quantile o 0.99 >= Load.Loadgen.quantile o 0.5)
+
+let test_machine_span_stream_deterministic () =
+  let s = spec ~seed:13 () in
+  let a = run_machine s and b = run_machine s in
+  Alcotest.(check string) "span streams identical"
+    (Load.Loadgen.span_stream a) (Load.Loadgen.span_stream b);
+  Alcotest.(check string) "merged metrics identical"
+    (Obs.Metrics.render a.Load.Loadgen.o_metrics)
+    (Obs.Metrics.render b.Load.Loadgen.o_metrics);
+  (* One span pair per request: issue and done both present. *)
+  let contains line needle =
+    let nl = String.length needle and ll = String.length line in
+    let rec go i = i + nl <= ll && (String.sub line i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let count needle s =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> contains l needle)
+    |> List.length
+  in
+  let total = Load.Arrival.total s in
+  let stream = Load.Loadgen.span_stream a in
+  Alcotest.(check int) "req-issue spans" total (count "req-issue" stream);
+  Alcotest.(check int) "req-done spans" total (count "req-done" stream)
+
+let test_machine_spans_off_when_untraced () =
+  let o = run_machine ~trace:Obs.Tracer.Off (spec ()) in
+  Alcotest.(check string) "no span events without tracing" ""
+    (Load.Loadgen.span_stream o);
+  (* Metrics still measure: spans are counters/histograms, not events. *)
+  Alcotest.(check int) "metrics unaffected" (Load.Arrival.total (spec ()))
+    o.Load.Loadgen.o_completed
+
+(* ---------------- Harness: cluster, Seq vs Par ---------------- *)
+
+let run_cluster ~engine s =
+  Load.Loadgen.run_cluster ~nodes:3 ~processors:2 ~engine
+    ~trace_level:Obs.Tracer.Events ~spec:s ()
+
+let test_cluster_completes_all () =
+  let s = spec ~seed:21 () in
+  let o = run_cluster ~engine:Net.Cluster.Seq s in
+  Alcotest.(check int) "completed" (Load.Arrival.total s)
+    o.Load.Loadgen.o_completed;
+  Alcotest.(check int) "three machines" 3
+    (List.length o.Load.Loadgen.o_machines)
+
+let prop_cluster_par_equals_seq =
+  QCheck2.Test.make ~name:"cluster loadgen: Par 2 == Seq byte-identical"
+    ~count:6
+    QCheck2.Gen.(pair (int_range 1 500) (int_range 2 5))
+    (fun (seed, users) ->
+      let s = spec ~seed ~users ~sessions:1 () in
+      let a = run_cluster ~engine:Net.Cluster.Seq s in
+      let b = run_cluster ~engine:(Net.Cluster.Par 2) s in
+      Load.Loadgen.span_stream a = Load.Loadgen.span_stream b
+      && Obs.Metrics.render a.Load.Loadgen.o_metrics
+         = Obs.Metrics.render b.Load.Loadgen.o_metrics
+      && a.Load.Loadgen.o_completed = Load.Arrival.total s
+      && b.Load.Loadgen.o_completed = Load.Arrival.total s)
+
+(* Overload: offered far above capacity must still complete every request
+   (open-loop backpressure, the premature-quiescence regression guard for
+   the cluster round loop). *)
+let test_cluster_overload_drains () =
+  let s = spec ~seed:5 ~users:8 ~sessions:2 ~requests:4 ~rate:60_000.0 () in
+  let o = run_cluster ~engine:Net.Cluster.Seq s in
+  Alcotest.(check int) "all requests served under overload"
+    (Load.Arrival.total s) o.Load.Loadgen.o_completed
+
+let suite =
+  [
+    ("log_hist basic", `Quick, test_log_hist_basic);
+    ("log_hist under/overflow", `Quick, test_log_hist_under_overflow);
+    ("log_hist invalid args", `Quick, test_log_hist_invalid);
+    ("log_hist merge shape", `Quick, test_log_hist_merge_shape);
+    QCheck_alcotest.to_alcotest prop_log_hist_quantile_bounds;
+    QCheck_alcotest.to_alcotest prop_log_hist_merge_is_union;
+    ("mix tables", `Quick, test_mix_tables);
+    ("mix service charges budget", `Quick, test_mix_service_charges_budget);
+    ("arrival shape", `Quick, test_arrival_shape);
+    QCheck_alcotest.to_alcotest prop_arrival_same_seed_identical;
+    QCheck_alcotest.to_alcotest prop_arrival_user_streams_stable;
+    ("arrival invalid", `Quick, test_arrival_invalid);
+    ("machine completes all", `Quick, test_machine_completes_all);
+    ("machine span stream deterministic", `Quick, test_machine_span_stream_deterministic);
+    ("machine spans off when untraced", `Quick, test_machine_spans_off_when_untraced);
+    ("cluster completes all", `Quick, test_cluster_completes_all);
+    QCheck_alcotest.to_alcotest prop_cluster_par_equals_seq;
+    ("cluster overload drains", `Quick, test_cluster_overload_drains);
+  ]

@@ -85,14 +85,45 @@ let test_off_level_is_inert () =
 let test_kind_codes_roundtrip () =
   (* The packed rings store kinds as dense ints; the mapping must be a
      bijection over the full range. *)
-  for i = 0 to 41 do
+  for i = 0 to Obs.Event.kind_count - 1 do
     Alcotest.(check int) "roundtrip"
       i
       (Obs.Event.kind_to_int (Obs.Event.kind_of_int i))
   done;
   Alcotest.check_raises "out of range"
-    (Invalid_argument "Event.kind_of_int: 42") (fun () ->
-      ignore (Obs.Event.kind_of_int 42))
+    (Invalid_argument
+       (Printf.sprintf "Event.kind_of_int: %d" Obs.Event.kind_count))
+    (fun () -> ignore (Obs.Event.kind_of_int Obs.Event.kind_count))
+
+let test_subsystem_filter () =
+  let t = Obs.Tracer.create ~level:Obs.Tracer.Events ~processors:1 () in
+  (* Keep only the port subsystem: process events are skipped before any
+     interning or ring store, and [wants] reports the mask so emitters
+     can skip timestamp computation too. *)
+  Obs.Tracer.set_filter t ~keep:(Some [ "port" ]);
+  Alcotest.(check bool) "wants port" true
+    (Obs.Tracer.wants t ~kind_code:(Obs.Event.kind_to_int Obs.Event.Send));
+  Alcotest.(check bool) "rejects proc" false
+    (Obs.Tracer.wants t ~kind_code:(Obs.Event.kind_to_int Obs.Event.Spawn));
+  Obs.Tracer.emit t ~ts_ns:1 ~cpu:0 ~name:"p" Obs.Event.Spawn;
+  Obs.Tracer.emit t ~ts_ns:2 ~cpu:0 ~name:"q" Obs.Event.Send;
+  Alcotest.(check int) "only port event stored" 1 (Obs.Tracer.emitted t);
+  (match Obs.Tracer.events t with
+  | [ e ] -> Alcotest.(check string) "kept the send" "send"
+      (Obs.Event.kind_to_string e.Obs.Event.kind)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* None restores the all-pass mask. *)
+  Obs.Tracer.set_filter t ~keep:None;
+  Obs.Tracer.emit t ~ts_ns:3 ~cpu:0 ~name:"r" Obs.Event.Spawn;
+  Alcotest.(check int) "unfiltered again" 2 (Obs.Tracer.emitted t);
+  (* Unknown subsystem names are refused. *)
+  Alcotest.check_raises "bad subsystem"
+    (Invalid_argument "Tracer.set_filter: subsystem \"nope\"") (fun () ->
+      Obs.Tracer.set_filter t ~keep:(Some [ "nope" ]));
+  (* Off level wins over any mask. *)
+  let off = Obs.Tracer.create ~level:Obs.Tracer.Off ~processors:1 () in
+  Alcotest.(check bool) "off never wants" false
+    (Obs.Tracer.wants off ~kind_code:(Obs.Event.kind_to_int Obs.Event.Send))
 
 (* ---------------- Legacy compat shim ---------------- *)
 
@@ -253,6 +284,7 @@ let suite =
     ("tracer: per-processor rings", `Quick, test_rings_are_per_processor);
     ("tracer: off level inert", `Quick, test_off_level_is_inert);
     ("tracer: kind codes roundtrip", `Quick, test_kind_codes_roundtrip);
+    ("tracer: subsystem filter", `Quick, test_subsystem_filter);
     ("shim: byte-identical lines", `Quick, test_legacy_lines_byte_identical);
     ("shim: silent at Events", `Quick, test_events_level_has_no_legacy_lines);
     ( "shim: survives ring overflow",
