@@ -17,6 +17,7 @@
    machine.  `--assert-sane` gates schema-level invariants (everything
    completed, p99 >= p50, determinism held) for CI. *)
 
+module K = I432_kernel
 module Obs = I432_obs
 module Net = I432_net
 module Load = I432_load
@@ -212,6 +213,126 @@ let measure_determinism ~smoke =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Chaos at the knee                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Whole-node failure under serving load: drive the cluster at its
+   saturation knee, kill the serving node mid-schedule, splice its
+   checkpoint replay back in after the outage, and read completion and
+   latency per phase (before the kill / during the outage / after the
+   rejoin) off the request events.  The phase of a request is where its
+   *scheduled arrival* falls, so "during" is exactly the traffic that had
+   to ride the ARQ across the dead server. *)
+
+type chaos_phase = {
+  cp_phase : string;  (* "before" | "during" | "after" *)
+  cp_requests : int;
+  cp_completed : int;
+  cp_p50_us : float;
+  cp_p99_us : float;
+  cp_p999_us : float;
+}
+
+type chaos_run = {
+  cr_rate_rps : float;  (* nominal offered load (the knee point) *)
+  cr_kill_at_ms : float;
+  cr_restart_at_ms : float;
+  cr_requests : int;
+  cr_completed : int;
+  cr_dead_letters : int;
+  cr_restarts : int;
+  cr_phases : chaos_phase list;
+  cr_deterministic : bool;  (* two staged runs, identical streams *)
+}
+
+let counter_value metrics name =
+  match Obs.Metrics.find_counter metrics name with
+  | Some c -> Obs.Metrics.counter_value c
+  | None -> 0
+
+(* Nearest-rank quantile over the exact (sorted) latency list; phase
+   populations are small enough that a histogram would only blur them. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* Kill at ~40% of the schedule horizon, restart an eighth of the horizon
+   later: the outage sits squarely inside the arrival stream and stays
+   far below the ARQ give-up time, so nothing dead-letters — every
+   in-flight request is retransmitted into the rejoined server. *)
+let measure_chaos ~smoke ~rate_rps =
+  let spec = spec_for ~smoke ~rate_rps in
+  let reqs = Load.Arrival.generate spec in
+  let horizon = Load.Arrival.horizon_ns reqs in
+  let quantum = 100_000 in
+  let chaos =
+    {
+      Load.Loadgen.c_kill_after_rounds = max 1 (horizon * 2 / 5 / quantum);
+      c_outage_ns = max (10 * quantum) (horizon / 8);
+    }
+  in
+  let run () =
+    Load.Loadgen.run_cluster ~nodes:cluster_nodes
+      ~processors:cluster_processors ~engine:Net.Cluster.Seq
+      ~trace_level:Obs.Tracer.Events ~chaos ~spec ()
+  in
+  let o = run () in
+  let o2 = run () in
+  let kill_at, restart_at =
+    match o.Load.Loadgen.o_chaos with Some kr -> kr | None -> (0, 0)
+  in
+  let done_ns = Hashtbl.create 512 in
+  List.iter
+    (fun (_, m) ->
+      List.iter
+        (fun (e : Obs.Event.t) ->
+          if e.Obs.Event.kind = Obs.Event.Req_done then
+            Hashtbl.replace done_ns e.Obs.Event.a e.Obs.Event.b)
+        (K.Machine.events m))
+    o.Load.Loadgen.o_machines;
+  let phase_of at =
+    if at < kill_at then "before"
+    else if at < restart_at then "during"
+    else "after"
+  in
+  let phase name =
+    let mine =
+      List.filter
+        (fun (r : Load.Arrival.request) ->
+          String.equal (phase_of r.Load.Arrival.r_at_ns) name)
+        (Array.to_list reqs)
+    in
+    let lats =
+      List.filter_map
+        (fun (r : Load.Arrival.request) ->
+          Option.map float_of_int
+            (Hashtbl.find_opt done_ns r.Load.Arrival.r_id))
+        mine
+    in
+    let sorted = Array.of_list (List.sort compare lats) in
+    {
+      cp_phase = name;
+      cp_requests = List.length mine;
+      cp_completed = Array.length sorted;
+      cp_p50_us = us (exact_quantile sorted 0.5);
+      cp_p99_us = us (exact_quantile sorted 0.99);
+      cp_p999_us = us (exact_quantile sorted 0.999);
+    }
+  in
+  {
+    cr_rate_rps = rate_rps;
+    cr_kill_at_ms = float_of_int kill_at /. 1e6;
+    cr_restart_at_ms = float_of_int restart_at /. 1e6;
+    cr_requests = Array.length reqs;
+    cr_completed = o.Load.Loadgen.o_completed;
+    cr_dead_letters =
+      counter_value o.Load.Loadgen.o_metrics "node.dead_letters";
+    cr_restarts = counter_value o.Load.Loadgen.o_metrics "node.restarts";
+    cr_phases = [ phase "before"; phase "during"; phase "after" ];
+    cr_deterministic = streams o = streams o2;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Run + report                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -219,6 +340,7 @@ type result = {
   r_mode : string;
   r_sweeps : engine_sweep list;
   r_determinism : determinism;
+  r_chaos : chaos_run;
 }
 
 let measure ~smoke () =
@@ -229,10 +351,25 @@ let measure ~smoke () =
       sweep_cluster ~smoke ~engine:(Net.Cluster.Par 2) ~label:"cluster-par2";
     ]
   in
+  (* The chaos scenario runs at the cluster's serving knee: the highest
+     nominal rate the sequential cluster still absorbed at >= 95%. *)
+  let knee_rate =
+    let es =
+      List.find (fun es -> String.equal es.es_engine "cluster-seq") sweeps
+    in
+    List.fold_left
+      (fun acc p ->
+        if p.pt_achieved_rps >= 0.95 *. p.pt_offered_rps then
+          max acc p.pt_rate_rps
+        else acc)
+      (List.hd (rates ~smoke))
+      es.es_points
+  in
   {
     r_mode = (if smoke then "smoke" else "full");
     r_sweeps = sweeps;
     r_determinism = measure_determinism ~smoke;
+    r_chaos = measure_chaos ~smoke ~rate_rps:knee_rate;
   }
 
 let print_summary r =
@@ -255,10 +392,29 @@ let print_summary r =
   Printf.printf
     "determinism: same-seed %s, par2-vs-seq streams %s\n"
     (if r.r_determinism.det_same_seed then "identical" else "DIVERGED")
-    (if r.r_determinism.det_par_equals_seq then "identical" else "DIVERGED")
+    (if r.r_determinism.det_par_equals_seq then "identical" else "DIVERGED");
+  let c = r.r_chaos in
+  Printf.printf
+    "-- chaos at the knee (cluster-seq, %.0f rps) --\n\
+    \  server killed at %.2f ms, rejoined at %.2f ms; %d/%d completed, %d \
+     dead-letter(s), %d restart(s)\n"
+    c.cr_rate_rps c.cr_kill_at_ms c.cr_restart_at_ms c.cr_completed
+    c.cr_requests c.cr_dead_letters c.cr_restarts;
+  Printf.printf "  %8s %9s %9s %9s %9s %9s\n" "phase" "requests" "done"
+    "p50us" "p99us" "p999us";
+  List.iter
+    (fun p ->
+      Printf.printf "  %8s %9d %9d %9.1f %9.1f %9.1f\n" p.cp_phase
+        p.cp_requests p.cp_completed p.cp_p50_us p.cp_p99_us p.cp_p999_us)
+    c.cr_phases;
+  Printf.printf "  chaos determinism: %s\n"
+    (if c.cr_deterministic then "identical across staged re-runs"
+     else "DIVERGED")
 
 (* Every point completed everything, quantiles are ordered, every knee
-   found at least one absorbed point, determinism held. *)
+   found at least one absorbed point, determinism held — and the chaos
+   run completed every request across the kill/rejoin with its streams
+   identical on re-run. *)
 let check r =
   r.r_determinism.det_same_seed
   && r.r_determinism.det_par_equals_seq
@@ -273,6 +429,17 @@ let check r =
                 && p.pt_p999_us >= p.pt_p99_us)
               es.es_points)
        r.r_sweeps
+  &&
+  let c = r.r_chaos in
+  c.cr_deterministic
+  && c.cr_completed = c.cr_requests
+  && c.cr_restarts >= 1
+  && List.for_all
+       (fun p ->
+         p.cp_completed = p.cp_requests
+         && (p.cp_completed = 0
+             || (p.cp_p99_us >= p.cp_p50_us && p.cp_p999_us >= p.cp_p99_us)))
+       c.cr_phases
 
 let to_json r =
   let open Json_out in
@@ -312,6 +479,33 @@ let to_json r =
           [
             ("same_seed_identical", Bool r.r_determinism.det_same_seed);
             ("par2_equals_seq", Bool r.r_determinism.det_par_equals_seq);
+          ] );
+      ( "chaos_at_knee",
+        Obj
+          [
+            ("engine", Str "cluster-seq");
+            ("rate_rps", Float r.r_chaos.cr_rate_rps);
+            ("kill_at_ms", Float r.r_chaos.cr_kill_at_ms);
+            ("restart_at_ms", Float r.r_chaos.cr_restart_at_ms);
+            ("requests", Int r.r_chaos.cr_requests);
+            ("completed", Int r.r_chaos.cr_completed);
+            ("dead_letters", Int r.r_chaos.cr_dead_letters);
+            ("restarts", Int r.r_chaos.cr_restarts);
+            ("deterministic", Bool r.r_chaos.cr_deterministic);
+            ( "phases",
+              Arr
+                (List.map
+                   (fun p ->
+                     Obj
+                       [
+                         ("phase", Str p.cp_phase);
+                         ("requests", Int p.cp_requests);
+                         ("completed", Int p.cp_completed);
+                         ("p50_us", Float p.cp_p50_us);
+                         ("p99_us", Float p.cp_p99_us);
+                         ("p999_us", Float p.cp_p999_us);
+                       ])
+                   r.r_chaos.cr_phases) );
           ] );
       ( "engines",
         Arr

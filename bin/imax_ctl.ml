@@ -476,111 +476,261 @@ let scenario_chaos config snapshot seed clients jobs faults chrome_out check =
     else print_endline "determinism check: identical event streams"
   end
 
+(* Scratch files (checkpoint journals, store demos) default under
+   _build/imax-scratch so repeated runs never litter the source tree. *)
+let rec mkdir_p dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let scratch_path name =
+  Filename.concat (Filename.concat "_build" "imax-scratch") name
+
+let fresh_journal path =
+  mkdir_p (Filename.dirname path);
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".tmp" ]
+
 (* Net: the spooler split across an N-node star cluster joined by the
    virtual interconnect, optionally under a seeded link-fault plan.
    Nodes 0..N-2 each run [clients] users sending composite jobs through
    an imported surrogate port; node N-1 (the printshop) owns the real
    queue.  The printer drains until quiet so a plan hostile enough to
-   lose frames still halts cleanly. *)
+   lose frames still halts cleanly.
+
+   [kill = Some (name, kill_ns, restart_at)] stages the whole-node
+   failure story: run to the round boundary at or below [kill_ns],
+   checkpoint every node into a scratch journal, then arm a node-fault
+   plan that kills [name] at [kill_ns] and (when [restart_at] is set)
+   splices a checkpoint replay back in at the restart instant.  The
+   boot closure rebuilds the identical scenario, which is what makes
+   the replay — and therefore the rejoin — deterministic. *)
 let run_net ~processors ~nodes ~engine ~seed ~clients ~jobs ~link_faults
-    ~partitions ~latency =
-  let cluster = Net.Cluster.create ~default_latency_ns:latency () in
-  let config =
-    {
-      K.Machine.default_config with
-      K.Machine.processors;
-      trace_level = Obs.Tracer.Events;
-    }
+    ~partitions ~latency ~kill =
+  let quantum_ns = 200_000 in
+  let boot () =
+    let cluster = Net.Cluster.create ~default_latency_ns:latency () in
+    let config =
+      {
+        K.Machine.default_config with
+        K.Machine.processors;
+        trace_level = Obs.Tracer.Events;
+      }
+    in
+    let client_nodes =
+      Array.init (nodes - 1) (fun i ->
+          Net.Cluster.boot_node cluster
+            ~name:
+              (if nodes = 2 then "clients"
+               else Printf.sprintf "clients%d" (i + 1))
+            ~config ())
+    in
+    let node_b, mb =
+      Net.Cluster.boot_node cluster ~name:"printshop" ~config ()
+    in
+    Array.iter
+      (fun (id, _) -> ignore (Net.Cluster.connect cluster id node_b))
+      client_nodes;
+    let plan =
+      if link_faults > 0 || partitions > 0 then begin
+        let horizon_ns = max 2_000_000 (clients * jobs * 300_000) in
+        let p =
+          Fi.random_links ~seed ~horizon_ns ~links:(nodes - 1)
+            ~count:link_faults ~partitions
+        in
+        Net.Cluster.arm_links cluster p;
+        Some p
+      end
+      else None
+    in
+    let queue =
+      K.Machine.create_port mb ~capacity:8 ~discipline:K.Port.Fifo ()
+    in
+    Net.Remote_port.export cluster ~node:node_b ~name:"printer"
+      ~mask:Rights.read_only queue;
+    let printed = ref [] in
+    ignore
+      (K.Machine.spawn mb ~name:"printer" (fun () ->
+           let quiet = ref 0 in
+           while !quiet < 3 do
+             match
+               K.Machine.receive_timeout mb ~port:queue ~timeout_ns:2_000_000
+             with
+             | Some job ->
+               quiet := 0;
+               let owner = K.Machine.read_word mb job ~offset:0 in
+               let seq = K.Machine.read_word mb job ~offset:4 in
+               K.Machine.compute mb 25;
+               printed := (owner, seq) :: !printed
+             | None -> incr quiet
+           done));
+    Array.iteri
+      (fun i (id, ma) ->
+        let surrogate =
+          Net.Remote_port.import cluster ~node:id ~name:"printer"
+        in
+        for u = 1 to clients do
+          (* Users are numbered globally so every job's owner field is
+             unique cluster-wide (and unchanged in the 2-node case). *)
+          let u = (i * clients) + u in
+          ignore
+            (K.Machine.spawn ma
+               ~name:(Printf.sprintf "user%d" u)
+               (fun () ->
+                 for j = 1 to jobs do
+                   let job =
+                     K.Machine.allocate_generic ma ~data_length:16 ()
+                   in
+                   K.Machine.write_word ma job ~offset:0 u;
+                   K.Machine.write_word ma job ~offset:4 j;
+                   K.Machine.compute ma 10;
+                   K.Machine.send ma ~port:surrogate ~msg:job;
+                   (* Spread traffic across the fault plan's horizon so armed
+                      link faults actually meet frames in flight. *)
+                   K.Machine.delay ma ~ns:400_000
+                 done))
+        done)
+      client_nodes;
+    (cluster, plan, printed)
   in
-  let client_nodes =
-    Array.init (nodes - 1) (fun i ->
-        Net.Cluster.boot_node cluster
-          ~name:
-            (if nodes = 2 then "clients" else Printf.sprintf "clients%d" (i + 1))
-          ~config ())
-  in
-  let node_b, mb =
-    Net.Cluster.boot_node cluster ~name:"printshop" ~config ()
-  in
-  Array.iter
-    (fun (id, _) -> ignore (Net.Cluster.connect cluster id node_b))
-    client_nodes;
-  let plan =
-    if link_faults > 0 || partitions > 0 then begin
-      let horizon_ns = max 2_000_000 (clients * jobs * 300_000) in
-      let p =
-        Fi.random_links ~seed ~horizon_ns ~links:(nodes - 1) ~count:link_faults
-          ~partitions
+  let cluster, plan, printed = boot () in
+  let staged =
+    match kill with
+    | None -> None
+    | Some (victim_name, kill_ns, restart_at) ->
+      let victim =
+        let rec find i =
+          if i >= nodes then
+            die "--kill-node %s: no such node (try --topology)" victim_name
+          else if String.equal (Net.Cluster.node_name cluster i) victim_name
+          then i
+          else find (i + 1)
+        in
+        find 0
       in
-      Net.Cluster.arm_links cluster p;
-      Some p
-    end
-    else None
+      if kill_ns < quantum_ns then
+        die "--kill-node %s@%d: kill instant must be at least one %d ns round"
+          victim_name kill_ns quantum_ns;
+      (match restart_at with
+      | Some at when at <= kill_ns ->
+        die "--restart-at %d: must come after the kill at %d ns" at kill_ns
+      | _ -> ());
+      (* Phase A: advance to the last round boundary at or below the kill
+         instant and file every node's image.  The rejoin replays from
+         this checkpoint; work the victim did inside the final partial
+         round is rolled back and re-done after the restart (the
+         at-least-once seam DESIGN.md documents). *)
+      let r1 =
+        Net.Cluster.run cluster ~engine ~quantum_ns
+          ~max_rounds:(kill_ns / quantum_ns) ()
+      in
+      let path = scratch_path "imax_net_ckpt.journal" in
+      fresh_journal path;
+      let store = St.open_ path in
+      ignore
+        (Ckpt.save_cluster store ~key:"net" ~rounds:r1.Net.Cluster.rounds
+           ~quantum_ns cluster);
+      let events =
+        { Fi.n_at_ns = kill_ns; n_node = victim; n_act = Fi.N_kill }
+        ::
+        (match restart_at with
+        | Some at ->
+          [ { Fi.n_at_ns = at; n_node = victim; n_act = Fi.N_restart } ]
+        | None -> [])
+      in
+      let nplan = { Fi.n_seed = seed; n_events = events } in
+      Net.Cluster.arm_nodes cluster
+        ~restore:(fun ~node ~at_ns:_ ->
+          Ckpt.restore_node store ~key:"net" ~node
+            ~boot:(fun () ->
+              let c, _, _ = boot () in
+              c))
+        nplan;
+      Some (store, nplan, victim)
   in
-  let queue = K.Machine.create_port mb ~capacity:8 ~discipline:K.Port.Fifo () in
-  Net.Remote_port.export cluster ~node:node_b ~name:"printer"
-    ~mask:Rights.read_only queue;
-  let printed = ref [] in
-  ignore
-    (K.Machine.spawn mb ~name:"printer" (fun () ->
-         let quiet = ref 0 in
-         while !quiet < 3 do
-           match
-             K.Machine.receive_timeout mb ~port:queue ~timeout_ns:2_000_000
-           with
-           | Some job ->
-             quiet := 0;
-             let owner = K.Machine.read_word mb job ~offset:0 in
-             let seq = K.Machine.read_word mb job ~offset:4 in
-             K.Machine.compute mb 25;
-             printed := (owner, seq) :: !printed
-           | None -> incr quiet
-         done));
-  Array.iteri
-    (fun i (id, ma) ->
-      let surrogate = Net.Remote_port.import cluster ~node:id ~name:"printer" in
-      for u = 1 to clients do
-        (* Users are numbered globally so every job's owner field is
-           unique cluster-wide (and unchanged in the 2-node case). *)
-        let u = (i * clients) + u in
-        ignore
-          (K.Machine.spawn ma
-             ~name:(Printf.sprintf "user%d" u)
-             (fun () ->
-               for j = 1 to jobs do
-                 let job =
-                   K.Machine.allocate_generic ma ~data_length:16 ()
-                 in
-                 K.Machine.write_word ma job ~offset:0 u;
-                 K.Machine.write_word ma job ~offset:4 j;
-                 K.Machine.compute ma 10;
-                 K.Machine.send ma ~port:surrogate ~msg:job;
-                 (* Spread traffic across the fault plan's horizon so armed
-                    link faults actually meet frames in flight. *)
-                 K.Machine.delay ma ~ns:400_000
-               done))
-      done)
-    client_nodes;
-  let report = Net.Cluster.run cluster ~engine ~quantum_ns:200_000 () in
-  let machines = Array.append (Array.map snd client_nodes) [| mb |] in
-  (cluster, plan, report, List.rev !printed, machines)
+  (* Counters and the round/horizon clock are cumulative across resumed
+     runs, so this report covers phase A too. *)
+  let report = Net.Cluster.run cluster ~engine ~quantum_ns () in
+  let nplan =
+    match staged with
+    | None -> None
+    | Some (store, nplan, victim) ->
+      St.close store;
+      Some (nplan, victim)
+  in
+  (* Re-fetch from the cluster: a restarted node's machine record was
+     replaced by the checkpoint replay mid-run. *)
+  let machines = Array.init nodes (Net.Cluster.machine cluster) in
+  (cluster, plan, nplan, report, List.rev !printed, machines)
 
 let scenario_net config nodes par seed clients jobs link_faults partitions
-    latency topology chrome_out check =
+    latency kill_spec restart_at topology chrome_out check =
   let processors = config.System.processors in
   if nodes < 2 then die "--nodes %d: a cluster needs at least 2 nodes" nodes;
+  let kill =
+    match (kill_spec, restart_at) with
+    | None, None -> None
+    | None, Some _ -> die "--restart-at: requires --kill-node"
+    | Some spec, restart_at -> (
+      match String.rindex_opt spec '@' with
+      | None -> die "--kill-node %s: expected NAME@NS" spec
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let at =
+          String.sub spec (i + 1) (String.length spec - i - 1)
+        in
+        (match int_of_string_opt at with
+        | Some at when at > 0 -> Some (name, at, restart_at)
+        | _ -> die "--kill-node %s: expected NAME@NS with NS > 0" spec))
+  in
   let engine = engine_of_par par in
   let run ~engine () =
     run_net ~processors ~nodes ~engine ~seed ~clients ~jobs ~link_faults
-      ~partitions ~latency
+      ~partitions ~latency ~kill
   in
-  let cluster, plan, report, printed, machines = run ~engine () in
+  let cluster, plan, nplan, report, printed, machines = run ~engine () in
   (match plan with
   | Some p -> print_string (Fi.link_plan_to_string p)
+  | None -> ());
+  (match nplan with
+  | Some (p, _) -> print_string (Fi.node_plan_to_string p)
   | None -> ());
   Printf.printf "net: %d clients x %d jobs across %d nodes, %d printed\n"
     ((nodes - 1) * clients) jobs nodes (List.length printed);
   print_string (Net.Cluster.report_to_string report);
+  (match nplan with
+  | Some (_, victim) ->
+    (* A node-failure run must terminate cleanly: every remote send either
+       delivered or dead-lettered; nothing may still hang in the
+       interconnect at halt. *)
+    if
+      Net.Cluster.frames_in_flight cluster <> 0
+      || Net.Cluster.total_unacked cluster <> 0
+      || Net.Cluster.total_backlog cluster <> 0
+    then die "net --kill-node: frames still pending at halt";
+    Array.iteri
+      (fun i m ->
+        if Net.Cluster.node_alive cluster i then
+          match Fi.check_invariants m with
+          | [] -> ()
+          | violations ->
+            List.iter (Printf.printf "  %s\n") violations;
+            die "net --kill-node: node %S violates %d invariant(s)"
+              (Net.Cluster.node_name cluster i)
+              (List.length violations))
+      machines;
+    if Net.Cluster.node_alive cluster victim then
+      Printf.printf
+        "rejoin: node %S restored from its checkpoint and re-homed (name \
+         service at epoch %d)\n"
+        (Net.Cluster.node_name cluster victim)
+        (Net.Name_service.epoch (Net.Cluster.name_service cluster))
+    else
+      Printf.printf "node %S still down at halt (no --restart-at)\n"
+        (Net.Cluster.node_name cluster victim)
+  | None -> ());
   if topology then print_string (Net.Cluster.topology cluster);
   (match chrome_out with
   | Some path ->
@@ -588,11 +738,22 @@ let scenario_net config nodes par seed clients jobs link_faults partitions
     Printf.printf "chrome trace written to %s\n" path
   | None -> ());
   if check then begin
+    (* Loud-loss gate: with no fault plan of any kind armed, a lost frame
+       means the ARQ gave up on a healthy fabric — always a bug. *)
+    if
+      report.Net.Cluster.frames_lost > 0
+      && Option.is_none plan && Option.is_none nplan
+    then
+      die "net --check: %d frame(s) lost with no fault plan armed"
+        report.Net.Cluster.frames_lost;
     (* Same seed, fresh cluster, SEQUENTIAL engine: printed output and
        every node's event stream must be identical.  With --par this is
        the cross-engine gate — a parallel run proven byte-identical to
-       the sequential one. *)
-    let _, _, report2, printed2, machines2 = run ~engine:Net.Cluster.Seq () in
+       the sequential one.  A --kill-node run re-stages the whole
+       checkpoint/kill/rejoin sequence. *)
+    let _, _, _, report2, printed2, machines2 =
+      run ~engine:Net.Cluster.Seq ()
+    in
     let stream m = List.map Obs.Event.to_string (K.Machine.events m) in
     let streams ms = Array.to_list (Array.map stream ms) in
     if
@@ -612,11 +773,6 @@ let scenario_net config nodes par seed clients jobs link_faults partitions
    fresh journal, tombstone a third, optionally compact, and — with
    --check — close, reopen, and verify every surviving graph reconstructs
    isomorphically on a fresh machine. *)
-let fresh_journal path =
-  List.iter
-    (fun p -> if Sys.file_exists p then Sys.remove p)
-    [ path; path ^ ".tmp" ]
-
 exception Check_failed of string
 
 let scenario_store config path graphs compact_flag par check =
@@ -1021,22 +1177,43 @@ let net_cmd =
         "Write a multi-process Chrome trace with cross-node frame flow \
          arrows."
   in
+  let kill_node =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill-node" ] ~docv:"NAME@NS"
+          ~doc:
+            "Checkpoint the cluster, then kill node NAME at virtual instant \
+             NS; sends to the dead node retry with bounded backoff and \
+             dead-letter instead of hanging.")
+  in
+  let restart_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "restart-at" ] ~docv:"NS"
+          ~doc:
+            "With --kill-node: splice a checkpoint replay of the dead node \
+             back in at this instant, republishing its names under a bumped \
+             name-service epoch.")
+  in
   let check =
     check_arg
       ~doc:
         "Re-run with the same seed and fail unless printed output and every \
-         node's event stream are identical."
+         node's event stream are identical.  Also fails loudly if any frame \
+         was lost with no fault plan armed."
   in
   Cmd.v
     (Cmd.info "net"
        ~doc:
          "Run the spooler split across an N-node star cluster over the \
-          virtual interconnect, optionally under a seeded link-fault plan \
-          and on multiple OCaml domains.")
+          virtual interconnect, optionally under a seeded link-fault plan, \
+          a staged whole-node kill/rejoin, and on multiple OCaml domains.")
     Term.(
       const scenario_net $ config_term $ nodes $ par $ seed $ clients_arg
-      $ jobs_arg $ link_faults $ partitions $ latency $ topology $ chrome
-      $ check)
+      $ jobs_arg $ link_faults $ partitions $ latency $ kill_node $ restart_at
+      $ topology $ chrome $ check)
 
 let path_arg ~default =
   Arg.(
@@ -1073,7 +1250,8 @@ let store_cmd =
          "File object graphs into the persistent store's journal, tombstone \
           some, and verify recovery across close/reopen.")
     Term.(
-      const scenario_store $ config_term $ path_arg ~default:"imax_store.journal"
+      const scenario_store $ config_term
+      $ path_arg ~default:(scratch_path "imax_store.journal")
       $ graphs $ compact $ par $ check)
 
 let checkpoint_cmd =
@@ -1123,7 +1301,7 @@ let checkpoint_cmd =
           bit-identical to a run that was never killed.")
     Term.(
       const scenario_checkpoint $ config_term
-      $ path_arg ~default:"imax_ckpt.journal"
+      $ path_arg ~default:(scratch_path "imax_ckpt.journal")
       $ kill_ns $ rounds $ quantum $ cluster $ clients_arg $ jobs_arg $ par
       $ check)
 

@@ -93,6 +93,59 @@ let random_links ~seed ~horizon_ns ~links ~count ~partitions =
   in
   { l_seed = seed; l_events }
 
+(* Node faults: whole-machine kill/restart pairs, interpreted by
+   I432_net.Cluster.arm_nodes at quantum boundaries.  Like link plans, a
+   node plan is pure data — Fi knows nothing about checkpoints; the
+   cluster's restore hook supplies the replacement machine. *)
+
+type node_act = N_kill | N_restart
+type node_event = { n_at_ns : int; n_node : int; n_act : node_act }
+type node_plan = { n_seed : int; n_events : node_event list }
+
+let random_nodes ~seed ~horizon_ns ~nodes ~kills =
+  if nodes < 2 then invalid_arg "Fi.random_nodes: nodes";
+  if horizon_ns < 10 then invalid_arg "Fi.random_nodes: horizon_ns";
+  if kills < 0 then invalid_arg "Fi.random_nodes: kills";
+  let rng = Prng.create ~seed in
+  (* Same quiet first tenth as [random]: let the workload exist before
+     the first node dies. *)
+  let lo = horizon_ns / 10 in
+  (* Kills hit distinct nodes and spare at least one, so the cluster
+     always keeps a survivor to re-home against. *)
+  let kills = min kills (nodes - 1) in
+  let ids = Array.init nodes (fun i -> i) in
+  Prng.shuffle rng ids;
+  let events = ref [] in
+  for i = 0 to kills - 1 do
+    let at = lo + Prng.int rng (horizon_ns - lo) in
+    (* Outages last between 2% and 20% of the horizon; every kill is
+       paired with a restart so the plan always converges. *)
+    let dur = (horizon_ns / 50) + Prng.int rng (horizon_ns * 9 / 50) in
+    events :=
+      { n_at_ns = at + dur; n_node = ids.(i); n_act = N_restart }
+      :: { n_at_ns = at; n_node = ids.(i); n_act = N_kill }
+      :: !events
+  done;
+  let n_events =
+    List.stable_sort (fun a b -> compare a.n_at_ns b.n_at_ns) (List.rev !events)
+  in
+  { n_seed = seed; n_events }
+
+let node_act_to_string = function
+  | N_kill -> "kill"
+  | N_restart -> "restart"
+
+let node_plan_to_string plan =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "node plan seed=%d (%d events)\n" plan.n_seed
+    (List.length plan.n_events);
+  List.iter
+    (fun e ->
+      Printf.bprintf buf "  %9d ns  node %d: %s\n" e.n_at_ns e.n_node
+        (node_act_to_string e.n_act))
+    plan.n_events;
+  Buffer.contents buf
+
 let link_act_to_string = function
   | L_drop n -> Printf.sprintf "drop %d frame%s" n (if n = 1 then "" else "s")
   | L_dup n -> Printf.sprintf "duplicate %d frame%s" n (if n = 1 then "" else "s")

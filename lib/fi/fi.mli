@@ -71,6 +71,39 @@ val link_act_to_string : link_act -> string
 (** Human-readable one-line-per-event rendering. *)
 val link_plan_to_string : link_plan -> string
 
+(** {1 Node faults}
+
+    Whole-machine kill/restart pairs, interpreted at quantum boundaries
+    by [I432_net.Cluster.arm_nodes].  A node plan is pure data — Fi
+    knows nothing about checkpoints; the cluster's restore hook supplies
+    the replacement machine at restart time. *)
+
+type node_act =
+  | N_kill  (** the node stops executing; its inbound frames drop *)
+  | N_restart  (** the node rejoins from its checkpoint image *)
+
+type node_event = { n_at_ns : int; n_node : int; n_act : node_act }
+
+type node_plan = {
+  n_seed : int;
+  n_events : node_event list;  (** sorted by [n_at_ns] *)
+}
+
+(** [random_nodes ~seed ~horizon_ns ~nodes ~kills] draws at most [kills]
+    kill/restart pairs on distinct nodes (sparing at least one node, so
+    the cluster always keeps a survivor), kills at instants uniform in
+    [\[horizon_ns/10, horizon_ns)], each paired with a restart 2–20% of
+    the horizon later.  Same arguments, same plan.
+
+    Raises [Invalid_argument] if [nodes < 2] or [horizon_ns < 10]. *)
+val random_nodes :
+  seed:int -> horizon_ns:int -> nodes:int -> kills:int -> node_plan
+
+val node_act_to_string : node_act -> string
+
+(** Human-readable one-line-per-event rendering. *)
+val node_plan_to_string : node_plan -> string
+
 (** Schedule every event of the plan on the machine. *)
 val arm : K.Machine.t -> plan -> unit
 

@@ -31,6 +31,7 @@
 module K = I432_kernel
 module Obs = I432_obs
 module Net = I432_net
+module Fi = I432_fi.Fi
 
 (* Typed-port instance carrying raw access descriptors (paper Figure 2);
    the single-machine harness issues every request through it. *)
@@ -164,6 +165,7 @@ type outcome = {
   o_completed : int;
   o_last_done_ns : int;  (* virtual instant the last request retired *)
   o_deadlocked : int;  (* processes still blocked at halt; 0 by design *)
+  o_chaos : (int * int) option;  (* (kill instant, restart instant) staged *)
 }
 
 let merged_metrics machines =
@@ -178,7 +180,7 @@ let metric_count metrics name =
   | Some c -> Obs.Metrics.counter_value c
   | None -> 0
 
-let outcome ~spec ~reqs ~machines ~last_done_ns ~deadlocked =
+let outcome ?chaos ~spec ~reqs ~machines ~last_done_ns ~deadlocked () =
   let metrics = merged_metrics machines in
   {
     o_spec = spec;
@@ -189,6 +191,7 @@ let outcome ~spec ~reqs ~machines ~last_done_ns ~deadlocked =
     o_completed = metric_count metrics "load.requests_completed";
     o_last_done_ns = last_done_ns;
     o_deadlocked = deadlocked;
+    o_chaos = chaos;
   }
 
 (* Virtual-time throughput actually delivered, requests per second. *)
@@ -268,12 +271,24 @@ let run_machine ?(processors = 4) ?(workers = 0) ?(pumps = 4)
     ~machines:[ ("machine", m) ]
     ~last_done_ns:!last_done_ns
     ~deadlocked:(List.length report.K.Machine.deadlocked)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Cluster                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let port_name = "loadgen"
+
+(* Whole-node failure staged under load: checkpoint at a round boundary,
+   kill the serving node there, splice a checkpoint replay back in after
+   the outage.  The kill lands exactly on the checkpoint horizon, so the
+   rollback window is empty — no completion is lost or double-counted —
+   and the outage must stay well below the ARQ give-up time so in-flight
+   requests ride retransmission across it instead of dead-lettering. *)
+type chaos = {
+  c_kill_after_rounds : int;  (* checkpoint + kill at this round boundary *)
+  c_outage_ns : int;  (* restart the server this long after the kill *)
+}
 
 (* [nodes] total machines: node 0 serves, nodes 1.. issue.  Users are
    partitioned across the client nodes; each client preallocates only its
@@ -282,68 +297,141 @@ let port_name = "loadgen"
    instruction crosses the interconnect (frames, ARQ, link latency are
    all inside the measured span). *)
 let run_cluster ?(nodes = 2) ?(processors = 2) ?(workers = 0) ?(pumps = 2)
-    ?(engine = Net.Cluster.Seq) ?(trace_level = Obs.Tracer.Off) ~spec () =
+    ?(engine = Net.Cluster.Seq) ?(trace_level = Obs.Tracer.Off) ?chaos ~spec
+    () =
   if nodes < 2 then invalid_arg "Loadgen.run_cluster: nodes";
+  if chaos <> None && trace_level = Obs.Tracer.Off then
+    invalid_arg "Loadgen.run_cluster: chaos needs trace_level Events";
   let workers = if workers > 0 then workers else 2 * processors in
   let clients = nodes - 1 in
   let reqs = Arrival.generate spec in
   let total = Array.length reqs in
-  (* A wide window keeps the interconnect itself from throttling the
-     offered load: above-knee sweep points must overload the server's
-     workers, not the ARQ channel. *)
-  let cl = Net.Cluster.create ~window:256 () in
-  let config = machine_config ~processors ~trace_level in
-  let server_id, server = Net.Cluster.boot_node cl ~name:"lg-server" ~config () in
-  let client_ms =
-    List.init clients (fun j ->
-        let _, m =
-          Net.Cluster.boot_node cl
-            ~name:(Printf.sprintf "lg-client%d" j)
-            ~config ()
+  let quantum_ns = 100_000 in
+  let boot () =
+    (* A wide window keeps the interconnect itself from throttling the
+       offered load: above-knee sweep points must overload the server's
+       workers, not the ARQ channel. *)
+    let cl = Net.Cluster.create ~window:256 () in
+    let config = machine_config ~processors ~trace_level in
+    let server_id, server =
+      Net.Cluster.boot_node cl ~name:"lg-server" ~config ()
+    in
+    let client_ms =
+      List.init clients (fun j ->
+          let _, m =
+            Net.Cluster.boot_node cl
+              ~name:(Printf.sprintf "lg-client%d" j)
+              ~config ()
+          in
+          m)
+    in
+    List.iteri
+      (fun j _ -> ignore (Net.Cluster.connect cl server_id (j + 1)))
+      client_ms;
+    let recorder =
+      Obs.Span.recorder (K.Machine.metrics server) ~classes:Mix.names
+    in
+    let prt =
+      K.Machine.create_port server
+        ~capacity:(min (total + workers) Imax.Untyped_ports.max_msg_cnt)
+        ~discipline:K.Port.Fifo ()
+    in
+    Net.Cluster.export cl ~node:server_id ~name:port_name prt;
+    let poison = boot_poison server in
+    let remaining = ref total in
+    let last_done_ns = ref 0 in
+    ignore
+      (spawn_workers server ~workers ~recorder ~remaining ~last_done_ns
+         ~recv:(fun () -> K.Machine.receive server ~port:prt)
+         ~send_poison:(fun () -> K.Machine.send server ~port:prt ~msg:poison));
+    List.iteri
+      (fun j m ->
+        (* Client j owns the users with u mod clients = j; its slice of the
+           schedule keeps global arrival order. *)
+        let mine =
+          Array.of_list
+            (List.filter
+               (fun (r : Arrival.request) -> r.Arrival.r_user mod clients = j)
+               (Array.to_list reqs))
         in
-        m)
+        let msgs = boot_messages m mine in
+        let issued =
+          Obs.Metrics.counter (K.Machine.metrics m) "load.requests_issued"
+        in
+        let surrogate = Net.Cluster.import cl ~node:(j + 1) ~name:port_name in
+        ignore
+          (spawn_pumps m ~label:"pump" ~pumps ~reqs:mine ~msgs ~issued
+             ~send_msg:(fun msg -> K.Machine.send m ~port:surrogate ~msg)))
+      client_ms;
+    (cl, last_done_ns)
   in
-  List.iteri
-    (fun j _ -> ignore (Net.Cluster.connect cl server_id (j + 1)))
-    client_ms;
-  let recorder =
-    Obs.Span.recorder (K.Machine.metrics server) ~classes:Mix.names
-  in
-  let prt =
-    K.Machine.create_port server
-      ~capacity:(min (total + workers) Imax.Untyped_ports.max_msg_cnt)
-      ~discipline:K.Port.Fifo ()
-  in
-  Net.Cluster.export cl ~node:server_id ~name:port_name prt;
-  let poison = boot_poison server in
-  let remaining = ref total in
-  let last_done_ns = ref 0 in
-  ignore
-    (spawn_workers server ~workers ~recorder ~remaining ~last_done_ns
-       ~recv:(fun () -> K.Machine.receive server ~port:prt)
-       ~send_poison:(fun () -> K.Machine.send server ~port:prt ~msg:poison));
-  List.iteri
-    (fun j m ->
-      (* Client j owns the users with u mod clients = j; its slice of the
-         schedule keeps global arrival order. *)
-      let mine =
-        Array.of_list
-          (List.filter
-             (fun (r : Arrival.request) -> r.Arrival.r_user mod clients = j)
-             (Array.to_list reqs))
+  let cl, last_done_ns = boot () in
+  let staged =
+    match chaos with
+    | None ->
+      ignore (Net.Cluster.run cl ~engine ~quantum_ns ());
+      None
+    | Some { c_kill_after_rounds; c_outage_ns } ->
+      (* Phase A: advance to the checkpoint boundary and capture every
+         node's state image — the in-memory form of a cluster checkpoint
+         (same record, same verification; imax_ctl's path goes through
+         the journal). *)
+      let r1 =
+        Net.Cluster.run cl ~engine ~quantum_ns
+          ~max_rounds:c_kill_after_rounds ()
       in
-      let msgs = boot_messages m mine in
-      let issued =
-        Obs.Metrics.counter (K.Machine.metrics m) "load.requests_issued"
+      let rounds = r1.Net.Cluster.rounds in
+      let images =
+        Array.init nodes (fun i ->
+            K.Snapshot.state_image (Net.Cluster.machine cl i))
       in
-      let surrogate = Net.Cluster.import cl ~node:(j + 1) ~name:port_name in
-      ignore
-        (spawn_pumps m ~label:"pump" ~pumps ~reqs:mine ~msgs ~issued
-           ~send_msg:(fun msg -> K.Machine.send m ~port:surrogate ~msg)))
-    client_ms;
-  ignore (Net.Cluster.run cl ~engine ());
+      let kill_at = r1.Net.Cluster.horizon_ns in
+      let restart_at = kill_at + c_outage_ns in
+      let restore ~node ~at_ns:_ =
+        (* Checkpoint rejoin by replay: re-boot the identical scenario,
+           replay the recorded rounds on the sequential engine, verify
+           the target node's image byte-for-byte. *)
+        let shadow, _ = boot () in
+        if rounds > 0 then
+          ignore (Net.Cluster.run shadow ~quantum_ns ~max_rounds:rounds ());
+        let m = Net.Cluster.machine shadow node in
+        if not (String.equal (K.Snapshot.state_image m) images.(node)) then
+          failwith "Loadgen chaos: checkpoint replay diverged";
+        m
+      in
+      Net.Cluster.arm_nodes cl ~restore
+        {
+          Fi.n_seed = spec.Arrival.seed;
+          n_events =
+            [
+              { Fi.n_at_ns = kill_at; n_node = 0; n_act = Fi.N_kill };
+              { Fi.n_at_ns = restart_at; n_node = 0; n_act = Fi.N_restart };
+            ];
+        };
+      ignore (Net.Cluster.run cl ~engine ~quantum_ns ());
+      Some (kill_at, restart_at)
+  in
+  (* Re-fetch from the cluster: with chaos the server machine was replaced
+     by its checkpoint replay mid-run. *)
   let machines =
-    ("lg-server", server)
-    :: List.mapi (fun j m -> (Printf.sprintf "lg-client%d" j, m)) client_ms
+    List.init nodes (fun i ->
+        (Net.Cluster.node_name cl i, Net.Cluster.machine cl i))
   in
-  outcome ~spec ~reqs ~machines ~last_done_ns:!last_done_ns ~deadlocked:0
+  let last_done_ns =
+    match staged with
+    | None -> !last_done_ns
+    | Some _ ->
+      (* The boot closure's ref died with the killed server incarnation;
+         read the retirement instants back off the spliced machine's
+         Req_done events instead. *)
+      List.fold_left
+        (fun acc (_, m) ->
+          List.fold_left
+            (fun acc (e : Obs.Event.t) ->
+              if e.Obs.Event.kind = Obs.Event.Req_done then
+                max acc e.Obs.Event.ts_ns
+              else acc)
+            acc (K.Machine.events m))
+        0 machines
+  in
+  outcome ?chaos:staged ~spec ~reqs ~machines ~last_done_ns ~deadlocked:0 ()

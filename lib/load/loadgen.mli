@@ -21,6 +21,8 @@ type outcome = {
   o_completed : int;
   o_last_done_ns : int;  (** virtual instant the last request retired *)
   o_deadlocked : int;  (** processes still blocked at halt; 0 by design *)
+  o_chaos : (int * int) option;
+      (** (kill instant, restart instant) staged by a chaos run *)
 }
 
 (** Run the harness on one machine: [pumps] issuing processes and
@@ -35,12 +37,26 @@ val run_machine :
   unit ->
   outcome
 
+(** Whole-node failure staged under load: checkpoint at the given round
+    boundary (100 us rounds), kill the serving node exactly there, and
+    splice a verified checkpoint replay back in [c_outage_ns] later.
+    Because the kill lands on the checkpoint horizon, the rollback
+    window is empty: no completion is lost or double-counted, and every
+    in-flight request rides ARQ retransmission across the outage (keep
+    the outage well below the retry give-up time). *)
+type chaos = {
+  c_kill_after_rounds : int;  (** checkpoint + kill at this round boundary *)
+  c_outage_ns : int;  (** restart the server this long after the kill *)
+}
+
 (** Run the harness on a [nodes]-machine cluster: node 0 serves, the
     others issue through imported surrogate ports, so every request
     crosses the virtual interconnect.  [pumps] is per client node;
     [engine] selects the sequential or parallel cluster engine (runs are
-    byte-identical either way).  Raises [Invalid_argument] when
-    [nodes < 2]. *)
+    byte-identical either way).  [chaos] stages the kill/rejoin of the
+    serving node and requires [trace_level] at least [Events] (phase
+    stats and retirement instants come off the event stream).  Raises
+    [Invalid_argument] when [nodes < 2]. *)
 val run_cluster :
   ?nodes:int ->
   ?processors:int ->
@@ -48,6 +64,7 @@ val run_cluster :
   ?pumps:int ->
   ?engine:Net.Cluster.engine ->
   ?trace_level:Obs.Tracer.level ->
+  ?chaos:chaos ->
   spec:Arrival.spec ->
   unit ->
   outcome

@@ -43,6 +43,15 @@ type node = {
   id : int;
   node_name : string;
   machine : K.Machine.t;
+  (* Whole-node failure state.  A dead node's machine stops stepping and
+     its inbound frames drop; [n_down_since, n_up_since) is the last
+     outage window, used to reject arrivals that fall inside it.  A node
+     that never died has n_down_since = max_int. *)
+  mutable n_alive : bool;
+  mutable n_down_since : int;
+  mutable n_up_since : int;
+  mutable n_parked : Name_service.entry list;
+      (* names withdrawn at kill, republished (bumped epoch) at restart *)
   (* Registered only when the node joins, so non-cluster machines keep a
      byte-identical metrics dump. *)
   m_frames_tx : Obs.Metrics.counter;
@@ -51,6 +60,8 @@ type node = {
   m_remote_delivers : Obs.Metrics.counter;
   m_retransmits : Obs.Metrics.counter;
   m_frames_lost : Obs.Metrics.counter;
+  m_dead_letters : Obs.Metrics.counter;
+  m_restarts : Obs.Metrics.counter;
 }
 
 type pending = {
@@ -78,6 +89,8 @@ type channel = {
   ch_backlog : (Frame.t * Access.t) Queue.t;
       (* arrived (and acked) but home port was full; each msg is rooted on
          the destination machine until delivered *)
+  mutable ch_frames_dead : int;  (* gave up after max_retries *)
+  mutable ch_dead_letters : int;  (* dead-lettered against a dead node *)
 }
 
 type t = {
@@ -92,6 +105,10 @@ type t = {
   in_flight : (int * Frame.t) U.Pqueue.t;  (* keyed (-arrival, uid) *)
   mutable uid : int;
   mutable link_events : Fi.link_event list;  (* pending, sorted by l_at_ns *)
+  mutable node_events : Fi.node_event list;  (* pending, sorted by n_at_ns *)
+  mutable node_restore : (node:int -> at_ns:int -> K.Machine.t) option;
+      (* supplies the replacement machine at restart instants; typically
+         a checkpoint replay (Checkpoint.restore_node) *)
   mutable cur_horizon : int;
       (* last horizon reached by [run].  Persisted so a resumed run
          continues the same quantum grid: without it, a kill at a round
@@ -105,6 +122,7 @@ type t = {
   mutable retransmits : int;
   mutable acks_sent : int;
   mutable dup_drops : int;
+  mutable dead_letters : int;  (* frames that could only ever reach a dead node *)
 }
 
 let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
@@ -123,6 +141,8 @@ let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
     in_flight = U.Pqueue.create ();
     uid = 0;
     link_events = [];
+    node_events = [];
+    node_restore = None;
     cur_horizon = 0;
     frames_sent = 0;
     frames_delivered = 0;
@@ -130,6 +150,7 @@ let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
     retransmits = 0;
     acks_sent = 0;
     dup_drops = 0;
+    dead_letters = 0;
   }
 
 let node_count t = Array.length t.nodes
@@ -143,22 +164,31 @@ let machine t id = (node_of t id).machine
 let node_name t id = (node_of t id).node_name
 let name_service t = t.ns
 
-let add_node t ~name machine =
-  let id = Array.length t.nodes in
+let mk_node ~id ~name ~alive ~down_since ~up_since machine =
   let metrics = K.Machine.metrics machine in
   let c n = Obs.Metrics.counter metrics n in
+  {
+    id;
+    node_name = name;
+    machine;
+    n_alive = alive;
+    n_down_since = down_since;
+    n_up_since = up_since;
+    n_parked = [];
+    m_frames_tx = c "net.frames_tx";
+    m_frames_rx = c "net.frames_rx";
+    m_remote_sends = c "net.remote_sends";
+    m_remote_delivers = c "net.remote_delivers";
+    m_retransmits = c "net.retransmits";
+    m_frames_lost = c "net.frames_lost";
+    m_dead_letters = c "node.dead_letters";
+    m_restarts = c "node.restarts";
+  }
+
+let add_node t ~name machine =
+  let id = Array.length t.nodes in
   let node =
-    {
-      id;
-      node_name = name;
-      machine;
-      m_frames_tx = c "net.frames_tx";
-      m_frames_rx = c "net.frames_rx";
-      m_remote_sends = c "net.remote_sends";
-      m_remote_delivers = c "net.remote_delivers";
-      m_retransmits = c "net.retransmits";
-      m_frames_lost = c "net.frames_lost";
-    }
+    mk_node ~id ~name ~alive:true ~down_since:max_int ~up_since:0 machine
   in
   t.nodes <- Array.append t.nodes [| node |];
   id
@@ -214,6 +244,7 @@ let export t ~node ~name ?(mask = Rights.full) ?capacity port =
       e_port = port;
       e_mask = mask;
       e_capacity = capacity;
+      e_epoch = 0;  (* restamped by publish *)
     }
 
 exception Not_exported of string
@@ -275,6 +306,8 @@ let import t ~node ~name =
             ch_unacked_n = 0;
             ch_seen = Hashtbl.create 64;
             ch_backlog = Queue.create ();
+            ch_frames_dead = 0;
+            ch_dead_letters = 0;
           }
         in
         t.channels <- t.channels @ [ ch ];
@@ -305,6 +338,25 @@ let fresh_uid t =
    retry by the caller. *)
 let rto link size_bytes =
   4 * (link.Link.latency_ns + (size_bytes * link.Link.ns_per_byte) + 1)
+
+(* Does [n] accept a frame arriving at [arrival]?  Anything landing in
+   the node's last outage window is gone — the dead machine cannot have
+   received it, and the restarted machine replays from a checkpoint that
+   predates it.  Arrivals before the window were received by the old
+   incarnation; arrivals after it land on the new one. *)
+let node_accepts n ~arrival =
+  if n.n_alive then arrival < n.n_down_since || arrival >= n.n_up_since
+  else arrival < n.n_down_since
+
+(* A frame whose only possible destination is dead: surfaced as an event
+   on the sender plus counters at every level, never a silent stall. *)
+let dead_letter t ch (frame : Frame.t) ~now =
+  let src = node_of t ch.ch_src in
+  emit src ~ts_ns:now ~name:ch.ch_name ~a:ch.ch_id ~b:frame.Frame.seq
+    Obs.Event.Dead_letter;
+  Obs.Metrics.incr src.m_dead_letters;
+  ch.ch_dead_letters <- ch.ch_dead_letters + 1;
+  t.dead_letters <- t.dead_letters + 1
 
 (* Put a frame on the wire no earlier than [now]; returns the departure
    instant.  Lost copies still cost a Frame_tx (the NIC did transmit). *)
@@ -347,9 +399,13 @@ let send_ack t ch (data : Frame.t) ~now =
    Each drained message is marshalled immediately: the frame owns a wire
    image, not a live descriptor, so the source object can be mutated or
    collected afterwards without affecting the bytes in flight. *)
+(* A dead source drains nothing (its machine is not running); a dead
+   destination does NOT stop the drain — senders keep their ordinary
+   window backpressure and each frame either survives to the restarted
+   node or dead-letters after bounded retries. *)
 let drain_channel t ch =
   let budget = t.window - ch.ch_unacked_n in
-  if budget > 0 then begin
+  if budget > 0 && (node_of t ch.ch_src).n_alive then begin
     let src = node_of t ch.ch_src in
     let drained =
       K.Machine.drain_port src.machine ~max:budget ~port:ch.ch_surrogate ()
@@ -403,7 +459,15 @@ let retransmit_due t ~horizon =
             Hashtbl.remove ch.ch_unacked seq;
             ch.ch_unacked_n <- ch.ch_unacked_n - 1;
             t.frames_lost <- t.frames_lost + 1;
-            Obs.Metrics.incr src.m_frames_lost
+            Obs.Metrics.incr src.m_frames_lost;
+            (* Loud, typed give-up: a Frame_dead always; additionally a
+               Dead_letter when the reason is a dead destination. *)
+            ch.ch_frames_dead <- ch.ch_frames_dead + 1;
+            emit src ~ts_ns:p.p_next_retx ~name:ch.ch_name
+              ~detail:(Frame.kind_to_string p.p_frame.Frame.kind)
+              ~a:seq ~b:ch.ch_dst Obs.Event.Frame_dead;
+            if not (node_of t ch.ch_dst).n_alive then
+              dead_letter t ch p.p_frame ~now:p.p_next_retx
           end
           else begin
             p.p_tries <- p.p_tries + 1;
@@ -434,6 +498,12 @@ let handle_arrival t (frame : Frame.t) ~arrival =
   let dst = node_of t frame.Frame.dst in
   let ch = channel_by_id t frame.Frame.channel in
   Link.note_rx ch.ch_link;
+  if not (node_accepts dst ~arrival) then ()
+    (* Dropped on the floor of a dead node: no rx event, no ack.  A Data
+       frame stays unacked on the sender (bounded retries, then
+       Frame_dead/Dead_letter); an Ack to a dead sender acks nothing
+       because the kill already cleared its unacked table. *)
+  else begin
   emit dst ~ts_ns:arrival ~name:frame.Frame.port_name
     ~detail:(Frame.kind_to_string frame.Frame.kind)
     ~a:frame.Frame.seq ~b:frame.Frame.src Obs.Event.Frame_rx;
@@ -467,6 +537,7 @@ let handle_arrival t (frame : Frame.t) ~arrival =
         Queue.push (frame, msg) ch.ch_backlog
       end
     end
+  end
 
 let deliver_due t ~horizon =
   let rec go () =
@@ -487,7 +558,7 @@ let retry_backlogs t =
   List.iter
     (fun ch ->
       let dst = node_of t ch.ch_dst in
-      let continue_ = ref true in
+      let continue_ = ref dst.n_alive in
       while !continue_ && not (Queue.is_empty ch.ch_backlog) do
         let frame, msg = Queue.peek ch.ch_backlog in
         if deliver_home t dst ch frame msg ~now:(K.Machine.now dst.machine)
@@ -511,6 +582,113 @@ let activate_link_faults t ~horizon =
   go t.link_events
 
 (* ------------------------------------------------------------------ *)
+(* Whole-node failure and rejoin                                       *)
+(* ------------------------------------------------------------------ *)
+
+let kill_now t id ~at =
+  let n = node_of t id in
+  if n.n_alive then begin
+    (* The victim executes up to the instant of death, then never again:
+       the kill lands mid-quantum exactly at [at]. *)
+    ignore (K.Machine.run ~max_ns:at n.machine);
+    emit n ~ts_ns:at ~name:n.node_name ~a:id Obs.Event.Node_kill;
+    n.n_alive <- false;
+    n.n_down_since <- at;
+    (* Withdraw the dead node's names; the restart republishes them
+       under a bumped epoch. *)
+    let mine =
+      List.filter
+        (fun (e : Name_service.entry) -> e.Name_service.e_node = id)
+        (Name_service.entries t.ns)
+    in
+    List.iter
+      (fun (e : Name_service.entry) ->
+        Name_service.unpublish t.ns e.Name_service.e_name)
+      mine;
+    n.n_parked <- mine;
+    List.iter
+      (fun ch ->
+        if ch.ch_dst = id then
+          (* Arrived-but-parked messages owed to the dead node die with
+             it: they were acked, so no retransmission will resurrect
+             them — surface each as a dead letter on its sender. *)
+          while not (Queue.is_empty ch.ch_backlog) do
+            let frame, _msg = Queue.pop ch.ch_backlog in
+            dead_letter t ch frame ~now:at
+          done
+        else if ch.ch_src = id then begin
+          (* The dead node's own unacked sends stop retrying — the
+             checkpoint rollback re-issues that work with fresh
+             sequence numbers (ch_next_seq stays monotonic so replayed
+             sends never collide with the destination's dup filter). *)
+          Hashtbl.reset ch.ch_unacked;
+          ch.ch_unacked_n <- 0
+        end)
+      t.channels
+  end
+
+let restart_now t id ~at ~machine =
+  let n = node_of t id in
+  if n.n_alive then
+    invalid_arg (Printf.sprintf "Cluster.restart_node: node %d is alive" id);
+  let fresh =
+    mk_node ~id ~name:n.node_name ~alive:true ~down_since:n.n_down_since
+      ~up_since:at machine
+  in
+  t.nodes.(id) <- fresh;
+  (* The replacement is a checkpoint replay, so its clocks sit at the
+     checkpoint instant; idle processors catch up to the restart instant
+     before the node steps again. *)
+  K.Machine.advance_idle_clocks machine ~to_ns:at;
+  (* Re-home: republish the parked names under a bumped epoch.  The
+     survivors' surrogate channels keep their descriptors — a replayed
+     machine reproduces the object-table layout byte for byte, so every
+     cached home-port AD still names the same object on the new
+     incarnation. *)
+  List.iter (fun e -> Name_service.publish t.ns e) n.n_parked;
+  emit fresh ~ts_ns:at ~name:fresh.node_name ~a:id
+    ~b:(Name_service.epoch t.ns) Obs.Event.Node_restart;
+  Obs.Metrics.incr fresh.m_restarts
+
+let fail_node t ?at_ns id =
+  let at = match at_ns with Some a -> a | None -> t.cur_horizon in
+  kill_now t id ~at
+
+let restart_node t ?at_ns ~machine id =
+  let at = match at_ns with Some a -> a | None -> t.cur_horizon in
+  restart_now t id ~at ~machine
+
+let node_alive t id = (node_of t id).n_alive
+let dead_letters t = t.dead_letters
+
+let arm_nodes t ~restore (plan : Fi.node_plan) =
+  t.node_restore <- Some restore;
+  t.node_events <-
+    List.stable_sort
+      (fun (a : Fi.node_event) b -> compare a.Fi.n_at_ns b.Fi.n_at_ns)
+      (t.node_events @ plan.Fi.n_events)
+
+let activate_node_faults t ~horizon =
+  let rec go = function
+    | (e : Fi.node_event) :: rest when e.Fi.n_at_ns <= horizon ->
+      (match e.Fi.n_act with
+      | Fi.N_kill -> kill_now t e.Fi.n_node ~at:e.Fi.n_at_ns
+      | Fi.N_restart ->
+        if not (node_of t e.Fi.n_node).n_alive then begin
+          let machine =
+            match t.node_restore with
+            | Some f -> f ~node:e.Fi.n_node ~at_ns:e.Fi.n_at_ns
+            | None ->
+              invalid_arg "Cluster: node plan armed without a restore hook"
+          in
+          restart_now t e.Fi.n_node ~at:e.Fi.n_at_ns ~machine
+        end);
+      go rest
+    | rest -> t.node_events <- rest
+  in
+  go t.node_events
+
+(* ------------------------------------------------------------------ *)
 (* Running                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -523,6 +701,7 @@ type report = {
   retransmits : int;
   acks : int;
   dup_drops : int;
+  dead_letters : int;
 }
 
 let frames_in_flight t = U.Pqueue.size t.in_flight
@@ -539,7 +718,8 @@ let stats_snapshot (t : t) =
     t.frames_lost,
     t.retransmits,
     t.acks_sent,
-    t.dup_drops )
+    t.dup_drops,
+    t.dead_letters )
 
 (* Engine selection.  [Seq] is the original in-order loop.  [Par d] steps
    the nodes of each round on a [d]-domain {!Par_exec} pool.
@@ -556,12 +736,20 @@ type engine = Seq | Par of int
 
 let run_round t pool ~horizon =
   activate_link_faults t ~horizon;
+  (* Node faults run on the calling domain before the slice: a kill
+     steps its victim to the death instant sequentially, and a restart's
+     restore hook may replay a whole shadow cluster. *)
+  activate_node_faults t ~horizon;
   (match pool with
   | None ->
-    Array.iter (fun n -> ignore (K.Machine.run ~max_ns:horizon n.machine)) t.nodes
+    Array.iter
+      (fun n ->
+        if n.n_alive then ignore (K.Machine.run ~max_ns:horizon n.machine))
+      t.nodes
   | Some pool ->
     Par_exec.run pool ~tasks:(Array.length t.nodes) (fun i ->
-        ignore (K.Machine.run ~max_ns:horizon t.nodes.(i).machine)));
+        let n = t.nodes.(i) in
+        if n.n_alive then ignore (K.Machine.run ~max_ns:horizon n.machine)));
   (* Receivers just ran: retry parked messages before draining new
      traffic, so a channel's home-port order follows its seq order. *)
   retry_backlogs t;
@@ -580,7 +768,8 @@ let run_round t pool ~horizon =
 let local_work t =
   Array.exists
     (fun n ->
-      List.exists
+      n.n_alive
+      && List.exists
         (fun (p : K.Process.t) ->
           (not p.K.Process.daemon)
           && (not p.K.Process.stopped)
@@ -629,6 +818,7 @@ let run_engine t ~pool ~quantum_ns ~max_rounds =
       frames_in_flight t > 0
       || total_unacked t > 0
       || total_backlog t > 0
+      || t.node_events <> []
       || local_work t
     in
     if not (moved || pending) then continue_ := false
@@ -643,6 +833,7 @@ let run_engine t ~pool ~quantum_ns ~max_rounds =
     retransmits = t.retransmits;
     acks = t.acks_sent;
     dup_drops = t.dup_drops;
+    dead_letters = t.dead_letters;
   }
 
 let run t ?(engine = Seq) ?(quantum_ns = 100_000) ?(max_rounds = 100_000) () =
@@ -669,22 +860,34 @@ let topology t =
     (Array.length t.nodes) (List.length t.links) (List.length t.channels);
   Array.iter
     (fun n ->
-      Printf.bprintf buf "  node %d %-12s %d processor(s)\n" n.id n.node_name
-        (K.Machine.processor_count n.machine))
+      Printf.bprintf buf "  node %d %-12s %d processor(s)%s\n" n.id n.node_name
+        (K.Machine.processor_count n.machine)
+        (if n.n_alive then
+           if n.n_up_since > 0 then
+             Printf.sprintf " (rejoined at %dns, epoch %d)" n.n_up_since
+               (Name_service.epoch t.ns)
+           else ""
+         else Printf.sprintf " DOWN since %dns" n.n_down_since))
     t.nodes;
   List.iter (fun l -> Printf.bprintf buf "  %s\n" (Link.to_string l)) t.links;
   List.iter
     (fun ch ->
       Printf.bprintf buf
         "  channel %d '%s': node%d -> node%d (link %d) next_seq=%d unacked=%d \
-         backlog=%d\n"
+         backlog=%d%s\n"
         ch.ch_id ch.ch_name ch.ch_src ch.ch_dst ch.ch_link.Link.id
         ch.ch_next_seq ch.ch_unacked_n
-        (Queue.length ch.ch_backlog))
+        (Queue.length ch.ch_backlog)
+        (if ch.ch_frames_dead = 0 && ch.ch_dead_letters = 0 then ""
+         else
+           Printf.sprintf " dead=%d dead_letters=%d" ch.ch_frames_dead
+             ch.ch_dead_letters))
     t.channels;
   List.iter
-    (fun name -> Printf.bprintf buf "  name '%s' exported\n" name)
-    (Name_service.names t.ns);
+    (fun (e : Name_service.entry) ->
+      Printf.bprintf buf "  name '%s' exported (epoch %d)\n"
+        e.Name_service.e_name e.Name_service.e_epoch)
+    (Name_service.entries t.ns);
   Buffer.contents buf
 
 let chrome_trace t =
@@ -700,6 +903,6 @@ let chrome_trace t =
 let report_to_string r =
   Printf.sprintf
     "rounds=%d horizon=%dns sent=%d delivered=%d lost=%d retx=%d acks=%d \
-     dups=%d\n"
+     dups=%d dead_letters=%d\n"
     r.rounds r.horizon_ns r.frames_sent r.frames_delivered r.frames_lost
-    r.retransmits r.acks r.dup_drops
+    r.retransmits r.acks r.dup_drops r.dead_letters

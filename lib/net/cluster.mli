@@ -25,12 +25,19 @@ type node = private {
   id : int;
   node_name : string;
   machine : K.Machine.t;
+  mutable n_alive : bool;
+  mutable n_down_since : int;  (** kill instant; [max_int] if never killed *)
+  mutable n_up_since : int;  (** restart instant; 0 if never restarted *)
+  mutable n_parked : Name_service.entry list;
+      (** names withdrawn at kill, republished at restart *)
   m_frames_tx : I432_obs.Metrics.counter;
   m_frames_rx : I432_obs.Metrics.counter;
   m_remote_sends : I432_obs.Metrics.counter;
   m_remote_delivers : I432_obs.Metrics.counter;
   m_retransmits : I432_obs.Metrics.counter;
   m_frames_lost : I432_obs.Metrics.counter;
+  m_dead_letters : I432_obs.Metrics.counter;
+  m_restarts : I432_obs.Metrics.counter;
 }
 
 type pending
@@ -52,6 +59,8 @@ type channel = private {
   mutable ch_unacked_n : int;
   ch_seen : (int, unit) Hashtbl.t;
   ch_backlog : (Frame.t * Access.t) Queue.t;
+  mutable ch_frames_dead : int;  (** gave up after [max_retries] *)
+  mutable ch_dead_letters : int;  (** dead-lettered against a dead node *)
 }
 
 type t
@@ -90,6 +99,46 @@ val channels : t -> channel list
     whose horizon reaches [l_at_ns].  Cumulative with earlier plans. *)
 val arm_links : t -> Fi.link_plan -> unit
 
+(** {1 Whole-node failure and rejoin}
+
+    A dead node stops stepping; frames arriving during the outage drop
+    on the floor, so their senders retry with the ordinary doubling
+    backoff and, after [max_retries], surface a [Frame_dead] plus a
+    [Dead_letter] event and counter — a send to a dead node always
+    terminates, it never hangs.  Messages already acked into the dead
+    node's backlog dead-letter immediately (the ack killed their
+    retransmission).  The node's exported names are withdrawn at the
+    kill and republished under a bumped {!Name_service} epoch at the
+    restart; survivors keep their surrogate descriptors, which stay
+    valid because the replacement machine is a checkpoint replay with a
+    byte-identical object-table layout.  See DESIGN.md §13. *)
+
+(** Kill [id] at [at_ns] (default: the current horizon).  The victim
+    executes exactly up to the kill instant.  Idempotent on a dead
+    node. *)
+val fail_node : t -> ?at_ns:int -> int -> unit
+
+(** Splice a replacement machine in for dead node [id] at [at_ns]
+    (default: the current horizon).  [machine] must be a replay of the
+    node's checkpoint (see {!I432_store.Checkpoint.restore_node});
+    its clocks are advanced to the restart instant and the node's names
+    are republished under a bumped epoch.  Raises [Invalid_argument] if
+    the node is alive. *)
+val restart_node : t -> ?at_ns:int -> machine:K.Machine.t -> int -> unit
+
+val node_alive : t -> int -> bool
+
+(** Cluster-wide dead-letter count so far. *)
+val dead_letters : t -> int
+
+(** Arm a node-fault plan: kills and restarts fire the first round whose
+    horizon reaches their instant, before the round's machine slices.
+    [restore] supplies the replacement machine at each restart (typically
+    a checkpoint replay); it runs on the calling domain, so plans stay
+    deterministic under every engine.  Cumulative with earlier plans. *)
+val arm_nodes :
+  t -> restore:(node:int -> at_ns:int -> K.Machine.t) -> Fi.node_plan -> unit
+
 exception Not_exported of string
 exception No_route of string
 
@@ -117,6 +166,8 @@ type report = {
   retransmits : int;
   acks : int;
   dup_drops : int;
+  dead_letters : int;
+      (** frames whose only possible destination was a dead node *)
 }
 
 (** How a round's node slices execute.  [Seq] steps nodes in id order on

@@ -4,7 +4,13 @@
    name to (home node, home port, rights mask, queue capacity).  It is
    cluster metadata, not an object in any node's heap — resolving a name
    never costs virtual time.  Entries are kept sorted by name so every
-   enumeration is deterministic. *)
+   enumeration is deterministic.
+
+   Every mutation bumps the service epoch, and each entry records the
+   epoch at which it was (re)published.  A looked-up entry whose e_epoch
+   is older than a cached one is stale: the re-home protocol after a
+   node restart republishes the node's names under a fresh epoch, and
+   survivors compare epochs instead of guessing. *)
 
 open I432
 
@@ -14,23 +20,36 @@ type entry = {
   e_port : Access.t;  (* the home port, on the home node's machine *)
   e_mask : Rights.t;  (* intersected into every marshalled rights set *)
   e_capacity : int;  (* surrogate queue capacity on importing nodes *)
+  e_epoch : int;  (* service epoch at which this entry was published *)
 }
 
-type t = { mutable entries : entry list }  (* sorted by e_name *)
+type t = {
+  mutable entries : entry list;  (* sorted by e_name *)
+  mutable epoch : int;  (* bumped on every publish/unpublish *)
+}
 
-let create () = { entries = [] }
+let create () = { entries = []; epoch = 0 }
+let epoch t = t.epoch
 
 let lookup t name =
   List.find_opt (fun e -> String.equal e.e_name name) t.entries
 
 exception Already_exported of string
+exception Not_published of string
 
 let publish t entry =
   if lookup t entry.e_name <> None then raise (Already_exported entry.e_name);
+  t.epoch <- t.epoch + 1;
   t.entries <-
     List.sort
       (fun a b -> String.compare a.e_name b.e_name)
-      (entry :: t.entries)
+      ({ entry with e_epoch = t.epoch } :: t.entries)
 
+let unpublish t name =
+  if lookup t name = None then raise (Not_published name);
+  t.epoch <- t.epoch + 1;
+  t.entries <- List.filter (fun e -> not (String.equal e.e_name name)) t.entries
+
+let entries t = t.entries
 let names t = List.map (fun e -> e.e_name) t.entries
 let count t = List.length t.entries

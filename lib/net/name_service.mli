@@ -1,6 +1,11 @@
 (** Cluster-wide port names: a flat, deterministic registry from exported
     name to (home node, home port, rights mask, queue capacity).  Cluster
-    metadata, not a heap object — resolution costs no virtual time. *)
+    metadata, not a heap object — resolution costs no virtual time.
+
+    The registry carries an {e epoch}, bumped on every publish and
+    unpublish; each entry records the epoch at which it was published, so
+    a consumer holding a cached resolution can tell a stale entry from a
+    republished one (the re-home protocol after a node restart). *)
 
 open I432
 
@@ -10,18 +15,32 @@ type entry = {
   e_port : Access.t;  (** the home port, on the home node's machine *)
   e_mask : Rights.t;  (** intersected into every marshalled rights set *)
   e_capacity : int;  (** surrogate queue capacity on importing nodes *)
+  e_epoch : int;  (** service epoch at which this entry was published *)
 }
 
 type t
 
 exception Already_exported of string
+exception Not_published of string
 
 val create : unit -> t
 
-(** Raises {!Already_exported} on a duplicate name. *)
+(** Current epoch: 0 at creation, +1 per publish or unpublish. *)
+val epoch : t -> int
+
+(** Publishes under the bumped epoch ([e_epoch] in the argument is
+    ignored and restamped).  Raises {!Already_exported} on a duplicate
+    name. *)
 val publish : t -> entry -> unit
 
+(** Withdraw a name and bump the epoch.  Raises {!Not_published} if the
+    name is not currently exported. *)
+val unpublish : t -> string -> unit
+
 val lookup : t -> string -> entry option
+
+(** All entries, sorted by name. *)
+val entries : t -> entry list
 
 (** Exported names, sorted. *)
 val names : t -> string list

@@ -56,6 +56,10 @@ type kind =
   | Ckpt_restore  (* name=key, a=state image bytes, b=virtual time ns *)
   | Req_issue  (* name=user, detail=mix class, a=request id, b=session *)
   | Req_done  (* name=worker, detail=mix class, a=request id, b=latency ns *)
+  | Node_kill  (* name=node name, a=node id *)
+  | Node_restart  (* name=node name, a=node id, b=name-service epoch *)
+  | Frame_dead  (* name=port name, a=frame seq, b=dst node *)
+  | Dead_letter  (* name=port name, a=channel id, b=frame seq *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -113,6 +117,10 @@ let kind_to_string = function
   | Ckpt_restore -> "ckpt-restore"
   | Req_issue -> "req-issue"
   | Req_done -> "req-done"
+  | Node_kill -> "node-kill"
+  | Node_restart -> "node-restart"
+  | Frame_dead -> "frame-dead"
+  | Dead_letter -> "dead-letter"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
    rings.  [kind_of_int] is the inverse on [0 .. kind_count - 1]. *)
@@ -161,8 +169,12 @@ let kind_to_int = function
   | Ckpt_restore -> 41
   | Req_issue -> 42
   | Req_done -> 43
+  | Node_kill -> 44
+  | Node_restart -> 45
+  | Frame_dead -> 46
+  | Dead_letter -> 47
 
-let kind_count = 44
+let kind_count = 48
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -209,6 +221,10 @@ let kind_of_int = function
   | 41 -> Ckpt_restore
   | 42 -> Req_issue
   | 43 -> Req_done
+  | 44 -> Node_kill
+  | 45 -> Node_restart
+  | 46 -> Frame_dead
+  | 47 -> Dead_letter
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -222,7 +238,9 @@ let category = function
   | Domain_call | Domain_return -> "domain"
   | Gc_mark_begin | Gc_mark_end | Gc_sweep_begin | Gc_sweep_end -> "gc"
   | Fi_inject -> "fi"
-  | Remote_send | Remote_deliver | Frame_tx | Frame_rx -> "net"
+  | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Node_kill
+  | Node_restart | Frame_dead | Dead_letter ->
+    "net"
   | Journal_append | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore
     ->
     "store"
@@ -256,4 +274,4 @@ let legacy_line e =
   | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted
   | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Journal_append
   | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore | Req_issue
-  | Req_done -> None
+  | Req_done | Node_kill | Node_restart | Frame_dead | Dead_letter -> None

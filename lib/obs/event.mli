@@ -46,6 +46,10 @@ type kind =
   | Ckpt_restore  (** name=key, a=state image bytes, b=virtual time ns *)
   | Req_issue  (** name=user, detail=mix class, a=request id, b=session *)
   | Req_done  (** name=worker, detail=mix class, a=request id, b=latency ns *)
+  | Node_kill  (** name=node name, a=node id *)
+  | Node_restart  (** name=node name, a=node id, b=name-service epoch *)
+  | Frame_dead  (** name=port name, a=frame seq, b=dst node *)
+  | Dead_letter  (** name=port name, a=channel id, b=frame seq *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)

@@ -185,7 +185,8 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
       | Event.Proc_restarted | Event.Remote_send | Event.Remote_deliver
       | Event.Frame_tx | Event.Frame_rx | Event.Journal_append
       | Event.Journal_sync | Event.Store_compact | Event.Ckpt_save
-      | Event.Ckpt_restore ->
+      | Event.Ckpt_restore | Event.Node_kill | Event.Node_restart
+      | Event.Frame_dead | Event.Dead_letter ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)

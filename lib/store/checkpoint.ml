@@ -221,6 +221,48 @@ let restore store ~key ~boot =
   emit store Obs.Event.Ckpt_restore r;
   machine
 
+(* One node out of a cluster checkpoint, for splicing back into a LIVE
+   cluster (Cluster.restart_node).  The whole shadow cluster replays —
+   the node's state depends on every frame it exchanged — but only the
+   target node's image is verified and only its machine survives; the
+   rest of the shadow is garbage once this returns. *)
+let restore_node store ~key ~node ~boot =
+  let r = require store ~key in
+  let rounds, quantum_ns =
+    match r.c_bound with
+    | Rounds { rounds; quantum_ns } -> (rounds, quantum_ns)
+    | Steps _ | Virtual_ns _ ->
+      raise
+        (Restore_mismatch
+           (Printf.sprintf "checkpoint %S holds a single machine; use restore"
+              key))
+  in
+  if node < 0 || node >= List.length r.c_nodes then
+    raise
+      (Restore_mismatch
+         (Printf.sprintf "checkpoint %S has no node %d (stored %d)" key node
+            (List.length r.c_nodes)));
+  let shadow = boot () in
+  if rounds > 0 then
+    ignore (Net.Cluster.run shadow ~quantum_ns ~max_rounds:rounds ());
+  if Net.Cluster.node_count shadow <> List.length r.c_nodes then
+    raise
+      (Restore_mismatch
+         (Printf.sprintf "checkpoint %S: %d nodes stored, boot built %d" key
+            (List.length r.c_nodes)
+            (Net.Cluster.node_count shadow)));
+  let name, stored = List.nth r.c_nodes node in
+  let booted = Net.Cluster.node_name shadow node in
+  if not (String.equal name booted) then
+    raise
+      (Restore_mismatch
+         (Printf.sprintf "checkpoint %S: node %d is %S, boot built %S" key node
+            name booted));
+  let machine = Net.Cluster.machine shadow node in
+  verify_node ~key ~name ~stored machine;
+  emit store Obs.Event.Ckpt_restore r;
+  machine
+
 let restore_cluster store ~key ~boot =
   let r = require store ~key in
   let rounds, quantum_ns =

@@ -64,5 +64,17 @@ val save_cluster :
 val restore_cluster :
   Store.t -> key:string -> boot:(unit -> Net.Cluster.t) -> Net.Cluster.t
 
+(** Restore one node of a cluster checkpoint, for splicing into a
+    {e running} cluster with {!Net.Cluster.restart_node}: boots a shadow
+    cluster, replays the recorded rounds, verifies the target node's
+    image, and returns just that machine.  The verified machine's
+    object-table layout is byte-identical to the dead incarnation's at
+    the checkpoint, so descriptors cached by survivors (home ports,
+    name-service entries) remain valid against it.  Raises
+    [Restore_mismatch] on divergence, an unknown node index, or a
+    non-cluster checkpoint. *)
+val restore_node :
+  Store.t -> key:string -> node:int -> boot:(unit -> Net.Cluster.t) -> K.Machine.t
+
 (** The decoded checkpoint record under [key], if any. *)
 val load : Store.t -> key:string -> record option

@@ -7,6 +7,8 @@ module Obs = I432_obs
 module Fi = I432_fi.Fi
 module Net = I432_net
 module Filing = Imax.Object_filing
+module St = I432_store.Store
+module Ckpt = I432_store.Checkpoint
 
 let mk ?(processors = 1) ?(trace = false) () =
   K.Machine.create
@@ -584,6 +586,323 @@ let test_par_bench_scenario_parity () =
   Alcotest.(check int) "all jobs crossed the wire" 12
     report.Net.Cluster.frames_delivered
 
+(* ---------------- Whole-node failure and rejoin ---------------- *)
+
+let test_name_service_epochs () =
+  let cluster, _, (b, mb), _ = two_nodes () in
+  let ns = Net.Cluster.name_service cluster in
+  Alcotest.(check int) "fresh service at epoch 0" 0 (Net.Name_service.epoch ns);
+  let p1 = K.Machine.create_port mb ~capacity:2 ~discipline:K.Port.Fifo () in
+  let p2 = K.Machine.create_port mb ~capacity:2 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"one" p1;
+  Net.Cluster.export cluster ~node:b ~name:"two" p2;
+  Alcotest.(check int) "each publish bumps" 2 (Net.Name_service.epoch ns);
+  let e1 = Option.get (Net.Name_service.lookup ns "one") in
+  let e2 = Option.get (Net.Name_service.lookup ns "two") in
+  Alcotest.(check int) "entry stamped with its epoch" 1
+    e1.Net.Name_service.e_epoch;
+  Alcotest.(check int) "later entry, later stamp" 2
+    e2.Net.Name_service.e_epoch;
+  Net.Name_service.unpublish ns "one";
+  Alcotest.(check int) "unpublish bumps too" 3 (Net.Name_service.epoch ns);
+  Alcotest.(check bool) "withdrawn name gone" true
+    (Net.Name_service.lookup ns "one" = None);
+  Alcotest.(check (list string)) "survivor listed" [ "two" ]
+    (Net.Name_service.names ns);
+  (match Net.Name_service.unpublish ns "one" with
+  | () -> Alcotest.fail "expected Not_published"
+  | exception Net.Name_service.Not_published n ->
+    Alcotest.(check string) "exception names the name" "one" n);
+  Net.Cluster.export cluster ~node:b ~name:"one" p1;
+  let e1' = Option.get (Net.Name_service.lookup ns "one") in
+  Alcotest.(check int) "republished entry carries the new epoch" 4
+    e1'.Net.Name_service.e_epoch
+
+(* A send to a node that died and never comes back must terminate with a
+   typed, counted failure — never hang the sender.  Jobs spaced so some
+   frames can only arrive after the kill: those retry with the doubling
+   backoff, exhaust [max_retries], and surface as Frame_dead + Dead_letter
+   events with matching channel counters. *)
+let test_dead_node_sends_dead_letter_loudly () =
+  let cluster, (a, ma), (b, mb), _ = two_nodes ~trace:true ~max_retries:2 () in
+  let home = K.Machine.create_port mb ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"sink" home;
+  ignore
+    (K.Machine.spawn mb ~name:"consumer" (fun () ->
+         for _ = 1 to 4 do
+           ignore (K.Machine.receive mb ~port:home)
+         done));
+  let surrogate = Net.Cluster.import cluster ~node:a ~name:"sink" in
+  ignore
+    (K.Machine.spawn ma ~name:"producer" (fun () ->
+         for i = 1 to 4 do
+           let msg = alloc ma () in
+           K.Machine.write_word ma msg ~offset:0 i;
+           K.Machine.send ma ~port:surrogate ~msg;
+           K.Machine.delay ma ~ns:200_000
+         done));
+  Net.Cluster.arm_nodes cluster
+    ~restore:(fun ~node:_ ~at_ns:_ -> Alcotest.fail "no restart in this plan")
+    {
+      Fi.n_seed = 0;
+      n_events = [ { Fi.n_at_ns = 300_000; n_node = b; n_act = Fi.N_kill } ];
+    };
+  (* The run returning at all is the headline: bounded retry, no hang. *)
+  let report = Net.Cluster.run cluster () in
+  Alcotest.(check bool) "victim stayed down" false
+    (Net.Cluster.node_alive cluster b);
+  Alcotest.(check bool) "some frames gave up" true
+    (report.Net.Cluster.frames_lost >= 2);
+  Alcotest.(check int) "every loss was a dead letter"
+    report.Net.Cluster.frames_lost report.Net.Cluster.dead_letters;
+  Alcotest.(check int) "cluster counter agrees"
+    report.Net.Cluster.dead_letters
+    (Net.Cluster.dead_letters cluster);
+  let count kind =
+    List.length
+      (List.filter
+         (fun (e : Obs.Event.t) -> e.Obs.Event.kind = kind)
+         (K.Machine.events ma))
+  in
+  Alcotest.(check int) "one Frame_dead event per lost frame"
+    report.Net.Cluster.frames_lost
+    (count Obs.Event.Frame_dead);
+  Alcotest.(check int) "one Dead_letter event per dead letter"
+    report.Net.Cluster.dead_letters
+    (count Obs.Event.Dead_letter);
+  let dead, letters =
+    List.fold_left
+      (fun (d, l) (ch : Net.Cluster.channel) ->
+        (d + ch.Net.Cluster.ch_frames_dead, l + ch.Net.Cluster.ch_dead_letters))
+      (0, 0) (Net.Cluster.channels cluster)
+  in
+  Alcotest.(check int) "per-channel dead counters sum to the report"
+    report.Net.Cluster.frames_lost dead;
+  Alcotest.(check int) "per-channel dead-letter counters sum to the report"
+    report.Net.Cluster.dead_letters letters;
+  Alcotest.(check int) "nothing left pending" 0
+    (Net.Cluster.frames_in_flight cluster
+    + Net.Cluster.total_unacked cluster
+    + Net.Cluster.total_backlog cluster)
+
+(* The kill-restart-rejoin scenario: a producer on node 0 streams jobs to
+   a consumer on node 1 across the wire, spaced so traffic straddles any
+   kill instant. *)
+let rejoin_boot () =
+  let cluster = Net.Cluster.create () in
+  let config =
+    {
+      K.Machine.default_config with
+      processors = 1;
+      trace_level = Obs.Tracer.Events;
+    }
+  in
+  let a, ma = Net.Cluster.boot_node cluster ~name:"prod" ~config () in
+  let b, mb = Net.Cluster.boot_node cluster ~name:"cons" ~config () in
+  ignore (Net.Cluster.connect cluster a b);
+  let home = K.Machine.create_port mb ~capacity:4 ~discipline:K.Port.Fifo () in
+  Net.Cluster.export cluster ~node:b ~name:"sink" home;
+  ignore
+    (K.Machine.spawn mb ~name:"consumer" (fun () ->
+         for _ = 1 to 6 do
+           ignore (K.Machine.receive mb ~port:home)
+         done));
+  let surrogate = Net.Cluster.import cluster ~node:a ~name:"sink" in
+  ignore
+    (K.Machine.spawn ma ~name:"producer" (fun () ->
+         for i = 1 to 6 do
+           let msg = alloc ma () in
+           K.Machine.write_word ma msg ~offset:0 i;
+           K.Machine.send ma ~port:surrogate ~msg;
+           K.Machine.delay ma ~ns:150_000
+         done));
+  cluster
+
+(* Checkpoint at round boundary [k], kill the consumer exactly there,
+   splice a verified checkpoint replay back in 300 us later, run to
+   completion.  Returns every observable the rejoin contract covers. *)
+let rejoin_staged ~quantum_ns k =
+  let path = Filename.temp_file "imax_rejoin" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ path; path ^ ".tmp" ])
+    (fun () ->
+      let cluster = rejoin_boot () in
+      let r1 = Net.Cluster.run cluster ~quantum_ns ~max_rounds:k () in
+      let store = St.open_ path in
+      Fun.protect
+        ~finally:(fun () -> St.close store)
+        (fun () ->
+          ignore
+            (Ckpt.save_cluster store ~key:"rejoin"
+               ~rounds:r1.Net.Cluster.rounds ~quantum_ns cluster);
+          let kill_at = r1.Net.Cluster.horizon_ns in
+          Net.Cluster.arm_nodes cluster
+            ~restore:(fun ~node ~at_ns:_ ->
+              Ckpt.restore_node store ~key:"rejoin" ~node ~boot:rejoin_boot)
+            {
+              Fi.n_seed = k;
+              n_events =
+                [
+                  { Fi.n_at_ns = kill_at; n_node = 1; n_act = Fi.N_kill };
+                  {
+                    Fi.n_at_ns = kill_at + 300_000;
+                    n_node = 1;
+                    n_act = Fi.N_restart;
+                  };
+                ];
+            };
+          let report = Net.Cluster.run cluster ~quantum_ns () in
+          let machines =
+            List.init 2 (fun i -> Net.Cluster.machine cluster i)
+          in
+          let streams =
+            List.map
+              (fun m -> List.map Obs.Event.to_string (K.Machine.events m))
+              machines
+          in
+          let invariants = List.concat_map Fi.check_invariants machines in
+          let pending =
+            Net.Cluster.frames_in_flight cluster
+            + Net.Cluster.total_unacked cluster
+            + Net.Cluster.total_backlog cluster
+          in
+          ( report,
+            streams,
+            Net.Cluster.node_alive cluster 1,
+            pending,
+            invariants,
+            Net.Name_service.epoch (Net.Cluster.name_service cluster) )))
+
+(* Sweep the kill instant across every round boundary of the run: at each
+   one the rejoin must complete the full workload with nothing lost, the
+   victim back up under a bumped name-service epoch, and a second
+   identically staged run byte-identical — the kill lands on the
+   checkpoint horizon, so the rollback window is empty by construction. *)
+let test_kill_restart_every_boundary () =
+  let quantum_ns = 100_000 in
+  let probe = Net.Cluster.run (rejoin_boot ()) ~quantum_ns () in
+  let total_rounds = probe.Net.Cluster.rounds in
+  Alcotest.(check bool) "scenario spans several rounds" true (total_rounds >= 5);
+  for k = 1 to total_rounds - 1 do
+    let ((report, _, alive, pending, invariants, epoch) as once) =
+      rejoin_staged ~quantum_ns k
+    in
+    let ctx fmt = Printf.sprintf (fmt ^^ " (kill at round %d)") k in
+    Alcotest.(check bool)
+      (ctx "staged rerun byte-identical")
+      true
+      (rejoin_staged ~quantum_ns k = once);
+    Alcotest.(check int) (ctx "all jobs delivered") 6
+      report.Net.Cluster.frames_delivered;
+    Alcotest.(check int) (ctx "nothing lost") 0 report.Net.Cluster.frames_lost;
+    Alcotest.(check int) (ctx "no dead letters") 0
+      report.Net.Cluster.dead_letters;
+    Alcotest.(check bool) (ctx "victim rejoined") true alive;
+    Alcotest.(check int) (ctx "nothing pending") 0 pending;
+    Alcotest.(check (list string)) (ctx "invariants hold") [] invariants;
+    (* Export at epoch 1; the kill withdraws (2) and the restart
+       republishes (3). *)
+    Alcotest.(check int) (ctx "name republished under bumped epoch") 3 epoch
+  done
+
+(* Random star topology under a seeded random node-fault plan: kills and
+   restarts at arbitrary instants, with a replay-equivalent restore hook
+   (rebuild the scenario, replay whole rounds below the kill, then the
+   partial slice — exactly the state the dead incarnation had).  The
+   parallel engine must reproduce the sequential run byte for byte:
+   report, delivery order, event streams, state images, merged metrics. *)
+let node_chaos_scenario ~engine ~nodes:n ~seed ~count ~kills () =
+  let quantum_ns = 100_000 in
+  let build () =
+    let cluster = Net.Cluster.create () in
+    let config =
+      {
+        K.Machine.default_config with
+        processors = 1;
+        trace_level = Obs.Tracer.Events;
+      }
+    in
+    let ids =
+      Array.init n (fun i ->
+          Net.Cluster.boot_node cluster ~name:(Printf.sprintf "c%d" i) ~config
+            ())
+    in
+    let hub, mhub = ids.(0) in
+    for i = 1 to n - 1 do
+      ignore (Net.Cluster.connect cluster (fst ids.(i)) hub)
+    done;
+    let home =
+      K.Machine.create_port mhub ~capacity:4 ~discipline:K.Port.Fifo ()
+    in
+    Net.Cluster.export cluster ~node:hub ~name:"hub" home;
+    let total = (n - 1) * count in
+    ignore
+      (K.Machine.spawn mhub ~name:"consumer" (fun () ->
+           for _ = 1 to total do
+             ignore (K.Machine.receive mhub ~port:home)
+           done));
+    for i = 1 to n - 1 do
+      let id, mi = ids.(i) in
+      let surrogate = Net.Cluster.import cluster ~node:id ~name:"hub" in
+      ignore
+        (K.Machine.spawn mi ~name:(Printf.sprintf "producer%d" i) (fun () ->
+             for j = 1 to count do
+               let msg = alloc mi () in
+               K.Machine.write_word mi msg ~offset:0 ((i * 1000) + j);
+               K.Machine.send mi ~port:surrogate ~msg;
+               K.Machine.delay mi ~ns:200_000
+             done))
+    done;
+    cluster
+  in
+  let cluster = build () in
+  let plan = Fi.random_nodes ~seed ~horizon_ns:4_000_000 ~nodes:n ~kills in
+  let restore ~node ~at_ns:_ =
+    let kill_at =
+      List.fold_left
+        (fun acc (e : Fi.node_event) ->
+          if e.Fi.n_node = node && e.Fi.n_act = Fi.N_kill then
+            max acc e.Fi.n_at_ns
+          else acc)
+        0 plan.Fi.n_events
+    in
+    let shadow = build () in
+    let full = ((kill_at + quantum_ns - 1) / quantum_ns) - 1 in
+    if full > 0 then
+      ignore (Net.Cluster.run shadow ~quantum_ns ~max_rounds:full ());
+    let m = Net.Cluster.machine shadow node in
+    ignore (K.Machine.run ~max_ns:kill_at m);
+    m
+  in
+  Net.Cluster.arm_nodes cluster ~restore plan;
+  let report = Net.Cluster.run cluster ~engine ~quantum_ns () in
+  let machines = List.init n (fun i -> Net.Cluster.machine cluster i) in
+  let streams =
+    List.map (fun m -> List.map Obs.Event.to_string (K.Machine.events m))
+      machines
+  in
+  let snaps = List.map K.Snapshot.state_image machines in
+  let merged = Obs.Metrics.create () in
+  List.iter
+    (fun m -> Obs.Metrics.merge_into ~dst:merged ~src:(K.Machine.metrics m))
+    machines;
+  (report, streams, snaps, Obs.Jout.to_string (Obs.Metrics.to_json merged))
+
+let prop_node_chaos_par_identical =
+  QCheck2.Test.make
+    ~name:"chaos: node kill/rejoin plans byte-identical under Par 2" ~count:6
+    QCheck2.Gen.(
+      quad (int_range 2 4) (int_range 0 10_000) (int_range 1 4) (int_range 1 2))
+    (fun (n, seed, count, kills) ->
+      let observe engine =
+        node_chaos_scenario ~engine ~nodes:n ~seed ~count ~kills ()
+      in
+      observe (Net.Cluster.Par 2) = observe Net.Cluster.Seq)
+
 (* ---------------- Par_exec pool ---------------- *)
 
 exception Boom of int
@@ -710,6 +1029,13 @@ let suite =
       test_import_on_home_node;
     Alcotest.test_case "fi: link plans are deterministic" `Quick
       test_link_plan_deterministic;
+    Alcotest.test_case "chaos: name service epochs and unpublish" `Quick
+      test_name_service_epochs;
+    Alcotest.test_case "chaos: sends to a dead node dead-letter loudly" `Quick
+      test_dead_node_sends_dead_letter_loudly;
+    Alcotest.test_case "chaos: kill/restart at every round boundary" `Quick
+      test_kill_restart_every_boundary;
+    QCheck_alcotest.to_alcotest prop_node_chaos_par_identical;
     QCheck_alcotest.to_alcotest prop_par_engine_identical;
     Alcotest.test_case "par: bench scenario identical on both engines" `Quick
       test_par_bench_scenario_parity;
