@@ -122,3 +122,191 @@ module List_free_store = struct
       t.free_regions <- insert t.free_regions
     end
 end
+
+(* The seed's swapping memory manager (LRU), frozen exactly as it stood
+   before the vm tier replaced it: an O(n) resident list scanned on
+   every touch, rebuilt on every free, folded over on every victim
+   pick, with a private hashtable for swapped-out images.  Kept as the
+   "before" side of the swap-path overhead gate (Swap_overhead), the
+   same role the seed lists above play for the depth sweep.  Do not use
+   this in the simulator. *)
+module Seed_swapping = struct
+  open I432
+  module K = I432_kernel
+
+  let swap_in_ns = 400_000
+  let swap_out_ns = 400_000
+
+  type resident = {
+    index : int;
+    mutable last_touch : int;  (* virtual ns, for LRU *)
+    arrival : int;  (* monotonic, for FIFO tie-break *)
+  }
+
+  type t = {
+    machine : K.Machine.t;
+    heap : Access.t;
+    mutable residents : resident list;
+    backing : (int, Bytes.t) Hashtbl.t;  (* swapped-out segment images *)
+    mutable arrivals : int;
+    mutable allocations : int;
+    mutable frees : int;
+    mutable swap_ins : int;
+    mutable swap_outs : int;
+    mutable alloc_faults : int;
+  }
+
+  let create machine ~heap_bytes =
+    let heap = K.Machine.create_local_sro machine ~level:0 ~bytes:heap_bytes in
+    {
+      machine;
+      heap;
+      residents = [];
+      backing = Hashtbl.create 64;
+      arrivals = 0;
+      allocations = 0;
+      frees = 0;
+      swap_ins = 0;
+      swap_outs = 0;
+      alloc_faults = 0;
+    }
+
+  let swap_outs t = t.swap_outs
+
+  let note_resident t index =
+    t.arrivals <- t.arrivals + 1;
+    t.residents <-
+      { index; last_touch = K.Machine.now t.machine; arrival = t.arrivals }
+      :: t.residents
+
+  let pick_victim t ~avoid =
+    let table = K.Machine.table t.machine in
+    let candidates =
+      List.filter
+        (fun r ->
+          r.index <> avoid
+          && Object_table.is_valid table r.index
+          &&
+          let e = Object_table.lookup table r.index in
+          (not e.Object_table.swapped_out)
+          && (not (Obj_type.is_system e.Object_table.otype))
+          && e.Object_table.data_length > 0)
+        t.residents
+    in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+      let better a b =
+        if (a.last_touch, a.arrival) <= (b.last_touch, b.arrival) then a
+        else b
+      in
+      Some (List.fold_left better first rest)
+
+  let swap_out t victim =
+    let table = K.Machine.table t.machine in
+    let memory = K.Machine.memory t.machine in
+    let e = Object_table.lookup table victim.index in
+    let image =
+      Memory.blit_to_bytes memory ~src_addr:e.Object_table.base
+        ~len:e.Object_table.data_length
+    in
+    Hashtbl.replace t.backing victim.index image;
+    (match Sro.state_of_object table ~index:victim.index with
+    | Some s ->
+      Sro.donate table ~sro_state:s ~base:e.Object_table.base
+        ~length:e.Object_table.data_length
+    | None -> ());
+    e.Object_table.swapped_out <- true;
+    t.residents <- List.filter (fun r -> r.index <> victim.index) t.residents;
+    K.Machine.charge t.machine swap_out_ns;
+    t.swap_outs <- t.swap_outs + 1
+
+  let rec make_room t ~sro_state ~size ~avoid =
+    let table = K.Machine.table t.machine in
+    match Sro.carve table ~sro_state ~size with
+    | Some base -> Some base
+    | None -> (
+      match pick_victim t ~avoid with
+      | None -> None
+      | Some victim ->
+        swap_out t victim;
+        make_room t ~sro_state ~size ~avoid)
+
+  let swap_in t index =
+    let table = K.Machine.table t.machine in
+    let memory = K.Machine.memory t.machine in
+    let e = Object_table.lookup table index in
+    if e.Object_table.swapped_out then begin
+      let size = e.Object_table.data_length in
+      match Sro.state_of_object table ~index with
+      | None -> Fault.raise_fault Fault.Sro_destroyed
+      | Some s -> (
+        match make_room t ~sro_state:s ~size ~avoid:index with
+        | None ->
+          Fault.raise_fault
+            (Fault.Storage_exhausted { requested = size; available = 0 })
+        | Some base ->
+          (match Hashtbl.find_opt t.backing index with
+          | Some image ->
+            Memory.blit_from_bytes memory ~src:image ~dst_addr:base
+          | None -> Memory.fill memory ~addr:base ~len:size ~byte:'\000');
+          Hashtbl.remove t.backing index;
+          e.Object_table.base <- base;
+          e.Object_table.swapped_out <- false;
+          note_resident t index;
+          K.Machine.charge t.machine swap_in_ns;
+          t.swap_ins <- t.swap_ins + 1)
+    end
+
+  let allocate t ~data_length ~access_length ~otype =
+    match
+      K.Machine.allocate t.machine t.heap ~data_length ~access_length ~otype
+    with
+    | a ->
+      t.allocations <- t.allocations + 1;
+      note_resident t (Access.index a);
+      a
+    | exception Fault.Fault (Fault.Storage_exhausted _) -> (
+      t.alloc_faults <- t.alloc_faults + 1;
+      let table = K.Machine.table t.machine in
+      let s = Sro.state_of table t.heap in
+      match make_room t ~sro_state:s ~size:data_length ~avoid:(-1) with
+      | None ->
+        Fault.raise_fault
+          (Fault.Storage_exhausted { requested = data_length; available = 0 })
+      | Some base ->
+        Sro.donate table ~sro_state:s ~base ~length:data_length;
+        let a =
+          K.Machine.allocate t.machine t.heap ~data_length ~access_length
+            ~otype
+        in
+        t.allocations <- t.allocations + 1;
+        note_resident t (Access.index a);
+        a)
+
+  let free t access =
+    let table = K.Machine.table t.machine in
+    let e = Object_table.entry_of_access table access in
+    Hashtbl.remove t.backing e.Object_table.index;
+    t.residents <-
+      List.filter (fun r -> r.index <> e.Object_table.index) t.residents;
+    if e.Object_table.swapped_out then begin
+      e.Object_table.data_length <- 0;
+      e.Object_table.swapped_out <- false
+    end;
+    (match Sro.state_of_object table ~index:e.Object_table.index with
+    | Some s ->
+      Sro.release table ~sro_state:s ~index:e.Object_table.index;
+      t.frees <- t.frees + 1
+    | None -> ())
+
+  let touch t access =
+    let table = K.Machine.table t.machine in
+    let e = Object_table.entry_of_access table access in
+    if e.Object_table.swapped_out then swap_in t e.Object_table.index;
+    List.iter
+      (fun r ->
+        if r.index = e.Object_table.index then
+          r.last_touch <- K.Machine.now t.machine)
+      t.residents
+end

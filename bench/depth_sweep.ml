@@ -202,7 +202,7 @@ let deltas rows =
     ]
 
 let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ?store_tp
-    ?par_speedup ~mode rows =
+    ?par_speedup ?swap_overhead ~mode rows =
   let open Json_out in
   Obj
     [
@@ -219,6 +219,10 @@ let to_json ?(bechamel = []) ?trace_overhead ?fi_overhead ?net_rtt ?store_tp
       ( "fi_overhead",
         match fi_overhead with
         | Some r -> Fi_overhead.to_json r
+        | None -> Null );
+      ( "swap_overhead",
+        match swap_overhead with
+        | Some r -> Swap_overhead.to_json r
         | None -> Null );
       ( "net_rtt",
         match net_rtt with Some r -> Net_rtt.to_json r | None -> Null );

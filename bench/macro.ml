@@ -333,6 +333,289 @@ let measure_chaos ~smoke ~rate_rps =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Multiuser swap sweep                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The virtual-memory tier at scale: a memory-bound arrival schedule
+   (--mix memory shape) drives random touches against a live object
+   population far larger than the resident-set RAM envelope, with every
+   evicted segment image on a store-backed swap device.  The sweep holds
+   the population fixed — a million 32-byte objects in full mode — and
+   shrinks the envelope (1/2, 1/4, 1/8 of the working set), reading the
+   fault rate per touch (swap_fault) and the device throughput in
+   virtual time (swap_tp) at each point.  Every read verifies the
+   payload written at allocation, so a corrupt image fails the bench,
+   and the determinism gates re-run a reduced population — including a
+   kill mid-swap, checkpoint, restore-by-replay pass that must resume
+   bit-identically. *)
+
+module System = Imax.System
+module St = I432_store.Store
+module Ckpt = I432_store.Checkpoint
+module U = I432_util
+
+let swap_object_bytes = 32
+let swap_objects ~smoke = if smoke then 20_000 else 1_000_000
+let swap_touches ~smoke = if smoke then 8 else 32  (* per request *)
+let swap_fractions = [ 2; 4; 8 ]  (* envelope = working set / fraction *)
+let swap_seed = 1009
+
+let swap_spec ~smoke =
+  if smoke then
+    {
+      Load.Arrival.seed = swap_seed;
+      users = 8;
+      sessions = 1;
+      requests_per_session = 4;
+      rate_rps = 4_000.0;
+      pattern;
+      profile = Load.Mix.Memory_bound;
+    }
+  else
+    {
+      Load.Arrival.seed = swap_seed;
+      users = 32;
+      sessions = 2;
+      requests_per_session = 8;
+      rate_rps = 8_000.0;
+      pattern;
+      profile = Load.Mix.Memory_bound;
+    }
+
+type swap_point = {
+  sp_fraction : int;
+  sp_ram_bytes : int;
+  sp_requests : int;
+  sp_completed : int;
+  sp_touches : int;
+  sp_faults : int;
+  sp_swap_ins : int;
+  sp_swap_outs : int;
+  sp_errors : int;  (* payload reads that came back corrupt *)
+  sp_fault_rate : float;  (* faults per touch: the swap_fault key *)
+  sp_tp_mb_s : float;  (* device MB moved per virtual second: swap_tp *)
+  sp_resident_bytes : int;  (* at halt; must sit inside the envelope *)
+  sp_elapsed_ms : float;
+}
+
+type swap_sweep = {
+  ss_objects : int;
+  ss_object_bytes : int;
+  ss_policy : string;
+  ss_points : swap_point list;
+  ss_deterministic : bool;  (* same-seed streams identical *)
+  ss_restore_identical : bool;  (* kill-mid-swap restore == straight run *)
+}
+
+(* Scratch journals live next to the JSON output; a fresh path per boot
+   keeps replayed Journal_append offsets identical to the original's. *)
+let swap_journal_seq = ref 0
+
+let rec mkdir_p dir =
+  if not (dir = "" || dir = "." || dir = "/" || Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let fresh_swap_journal () =
+  incr swap_journal_seq;
+  let dir = "imax-bench-scratch" in
+  mkdir_p dir;
+  let p =
+    Filename.concat dir (Printf.sprintf "swap_%d.journal" !swap_journal_seq)
+  in
+  List.iter
+    (fun q -> if Sys.file_exists q then Sys.remove q)
+    [ p; p ^ ".tmp" ];
+  p
+
+(* Boot one swap run: store-backed device, bounded resident set, the
+   object population written with its index, and one process per
+   scheduled user touching at its arrival instants.  Returns the boot
+   closure (reused by checkpoint restore) plus the host-side tallies the
+   workload closures write into. *)
+let boot_swap ~objects ~ram_bytes ~touches ~spec =
+  let errors = ref 0 and touched = ref 0 and completed = ref 0 in
+  let sys_ref = ref None and store_ref = ref None in
+  let boot () =
+    let journal = fresh_swap_journal () in
+    let store =
+      St.open_ ~sync_every:1024 ~compact_interval_ns:1_000_000
+        ~min_garbage_bytes:(max 4096 (ram_bytes / 2))
+        journal
+    in
+    (match !store_ref with Some s -> St.close s | None -> ());
+    store_ref := Some store;
+    errors := 0;
+    touched := 0;
+    completed := 0;
+    let heap_bytes = ram_bytes + max ram_bytes (1 lsl 16) in
+    let memory_bytes = max (1 lsl 22) ((2 * heap_bytes) + (1 lsl 20)) in
+    let sys =
+      System.boot
+        ~config:
+          {
+            System.default_config with
+            System.processors = machine_processors;
+            memory_manager = System.Swapping_lru;
+            heap_bytes;
+            memory_bytes;
+            swap_ram_bytes = Some ram_bytes;
+            swap_device = Some (I432_store.Swap_store.device store);
+            trace_level = Obs.Tracer.Events;
+          }
+        ()
+    in
+    sys_ref := Some sys;
+    let m = System.machine sys in
+    St.attach store m;
+    let objs =
+      Array.init objects (fun i ->
+          let o =
+            System.mm_allocate sys ~data_length:swap_object_bytes
+              ~access_length:0 ~otype:I432.Obj_type.Generic
+          in
+          K.Machine.write_word m o ~offset:0 (i + 1);
+          o)
+    in
+    let reqs = Load.Arrival.generate spec in
+    let by_user = Array.make spec.Load.Arrival.users [] in
+    Array.iter
+      (fun (r : Load.Arrival.request) ->
+        by_user.(r.Load.Arrival.r_user) <-
+          r :: by_user.(r.Load.Arrival.r_user))
+      reqs;
+    Array.iteri
+      (fun u rs ->
+        let rs = List.rev rs in
+        let prng = U.Prng.create ~seed:(swap_seed + (u * 7919)) in
+        ignore
+          (K.Machine.spawn m
+             ~name:(Printf.sprintf "user%d" u)
+             (fun () ->
+               List.iter
+                 (fun (r : Load.Arrival.request) ->
+                   let lag = r.Load.Arrival.r_at_ns - K.Machine.now m in
+                   if lag > 0 then K.Machine.delay m ~ns:lag;
+                   for _ = 1 to touches do
+                     let i = U.Prng.int prng objects in
+                     let o = objs.(i) in
+                     (* Fault-and-retry: a preemption between touch and
+                        read can let another user's fault-in evict [o]. *)
+                     let rec read_back () =
+                       System.mm_touch sys o;
+                       match K.Machine.read_word m o ~offset:0 with
+                       | v -> v
+                       | exception
+                           I432.Fault.Fault (I432.Fault.Segment_swapped_out _)
+                         ->
+                         read_back ()
+                     in
+                     if read_back () <> i + 1 then incr errors;
+                     incr touched
+                   done;
+                   K.Machine.compute m
+                     (Load.Mix.cycles
+                        (Load.Mix.of_code r.Load.Arrival.r_cls));
+                   incr completed)
+                 rs)))
+      by_user;
+    m
+  in
+  (boot, errors, touched, completed, sys_ref, store_ref)
+
+let swap_stream m = List.map Obs.Event.to_string (K.Machine.events m)
+
+let measure_swap_point ~smoke ~fraction =
+  let objects = swap_objects ~smoke in
+  let ws = objects * swap_object_bytes in
+  let ram_bytes = max swap_object_bytes (ws / fraction) in
+  let spec = swap_spec ~smoke in
+  let boot, errors, touched, completed, sys_ref, store_ref =
+    boot_swap ~objects ~ram_bytes ~touches:(swap_touches ~smoke) ~spec
+  in
+  let m = boot () in
+  let report = K.Machine.run m in
+  let sys = Option.get !sys_ref in
+  let faults = counter_value (K.Machine.metrics m) "swap.faults" in
+  let st = System.mm_stats sys in
+  let dev_bytes =
+    match System.mm_device sys with
+    | Some dev ->
+      let ds = I432_vm.Swap_device.stats dev in
+      ds.I432_vm.Swap_device.bytes_written + ds.I432_vm.Swap_device.bytes_read
+    | None -> 0
+  in
+  let resident_bytes = Option.value ~default:0 (System.mm_resident_bytes sys) in
+  (match !store_ref with Some s -> St.close s | None -> ());
+  let elapsed_s = float_of_int report.K.Machine.elapsed_ns /. 1e9 in
+  {
+    sp_fraction = fraction;
+    sp_ram_bytes = ram_bytes;
+    sp_requests = Load.Arrival.total spec;
+    sp_completed = !completed;
+    sp_touches = !touched;
+    sp_faults = faults;
+    sp_swap_ins = st.Imax.Memory_manager.swap_ins;
+    sp_swap_outs = st.Imax.Memory_manager.swap_outs;
+    sp_errors = !errors;
+    sp_fault_rate =
+      (if !touched = 0 then 0.0
+       else float_of_int faults /. float_of_int !touched);
+    sp_tp_mb_s =
+      (if elapsed_s <= 0.0 then 0.0
+       else float_of_int dev_bytes /. 1e6 /. elapsed_s);
+    sp_resident_bytes = resident_bytes;
+    sp_elapsed_ms = float_of_int report.K.Machine.elapsed_ns /. 1e6;
+  }
+
+(* The determinism gates always run the reduced population: same-seed
+   stream equality, then kill mid-swap / checkpoint / restore-by-replay
+   with the resumed stream compared against the straight run's. *)
+let measure_swap_determinism () =
+  let objects = 20_000 in
+  let ws = objects * swap_object_bytes in
+  let ram_bytes = ws / 4 in
+  let spec = swap_spec ~smoke:true in
+  let boot, _, _, _, _, store_ref =
+    boot_swap ~objects ~ram_bytes ~touches:(swap_touches ~smoke:true) ~spec
+  in
+  let m1 = boot () in
+  ignore (K.Machine.run m1);
+  let straight = swap_stream m1 in
+  let half_ns = max 1 (K.Machine.now m1 / 2) in
+  let m2 = boot () in
+  ignore (K.Machine.run m2);
+  let same_seed = swap_stream m2 = straight in
+  let victim = boot () in
+  ignore (K.Machine.run ~max_ns:half_ns victim);
+  let ckpt_path = fresh_swap_journal () in
+  let ckpt_store = St.open_ ckpt_path in
+  ignore
+    (Ckpt.save ckpt_store ~key:"swap" ~bound:(Ckpt.Virtual_ns half_ns) victim);
+  let resumed = Ckpt.restore ckpt_store ~key:"swap" ~boot in
+  ignore (K.Machine.run resumed);
+  St.close ckpt_store;
+  let restore_identical = swap_stream resumed = straight in
+  (match !store_ref with Some s -> St.close s | None -> ());
+  (same_seed, restore_identical)
+
+let measure_swap ~smoke =
+  let points =
+    List.map (fun fraction -> measure_swap_point ~smoke ~fraction)
+      swap_fractions
+  in
+  let same_seed, restore_identical = measure_swap_determinism () in
+  {
+    ss_objects = swap_objects ~smoke;
+    ss_object_bytes = swap_object_bytes;
+    ss_policy = System.memory_choice_to_string System.Swapping_lru;
+    ss_points = points;
+    ss_deterministic = same_seed;
+    ss_restore_identical = restore_identical;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Run + report                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -341,6 +624,7 @@ type result = {
   r_sweeps : engine_sweep list;
   r_determinism : determinism;
   r_chaos : chaos_run;
+  r_swap : swap_sweep;
 }
 
 let measure ~smoke () =
@@ -370,6 +654,7 @@ let measure ~smoke () =
     r_sweeps = sweeps;
     r_determinism = measure_determinism ~smoke;
     r_chaos = measure_chaos ~smoke ~rate_rps:knee_rate;
+    r_swap = measure_swap ~smoke;
   }
 
 let print_summary r =
@@ -409,7 +694,23 @@ let print_summary r =
     c.cr_phases;
   Printf.printf "  chaos determinism: %s\n"
     (if c.cr_deterministic then "identical across staged re-runs"
-     else "DIVERGED")
+     else "DIVERGED");
+  let s = r.r_swap in
+  Printf.printf
+    "-- multiuser swap (%s, %d objects x %d B = %d KB working set) --\n"
+    s.ss_policy s.ss_objects s.ss_object_bytes
+    (s.ss_objects * s.ss_object_bytes / 1024);
+  Printf.printf "  %9s %9s %9s %10s %10s %11s %9s\n" "envelope" "touches"
+    "faults" "swap_fault" "ins/outs" "swap_tp" "elapsed";
+  List.iter
+    (fun p ->
+      Printf.printf "  %7dKB %9d %9d %10.3f %4d/%-6d %9.2fMB/s %7.1fms\n"
+        (p.sp_ram_bytes / 1024) p.sp_touches p.sp_faults p.sp_fault_rate
+        p.sp_swap_ins p.sp_swap_outs p.sp_tp_mb_s p.sp_elapsed_ms)
+    s.ss_points;
+  Printf.printf "  swap determinism: same-seed %s, kill-mid-swap restore %s\n"
+    (if s.ss_deterministic then "identical" else "DIVERGED")
+    (if s.ss_restore_identical then "identical" else "DIVERGED")
 
 (* Every point completed everything, quantiles are ordered, every knee
    found at least one absorbed point, determinism held — and the chaos
@@ -429,17 +730,41 @@ let check r =
                 && p.pt_p999_us >= p.pt_p99_us)
               es.es_points)
        r.r_sweeps
+  && (let c = r.r_chaos in
+      c.cr_deterministic
+      && c.cr_completed = c.cr_requests
+      && c.cr_restarts >= 1
+      && List.for_all
+           (fun p ->
+             p.cp_completed = p.cp_requests
+             && (p.cp_completed = 0
+                 || (p.cp_p99_us >= p.cp_p50_us && p.cp_p999_us >= p.cp_p99_us)))
+           c.cr_phases)
   &&
-  let c = r.r_chaos in
-  c.cr_deterministic
-  && c.cr_completed = c.cr_requests
-  && c.cr_restarts >= 1
+  (* The swap sweep: everything completed, no corrupt reads, the
+     resident set held inside every envelope, the fault rate grows (or
+     holds) as the envelope shrinks, both swap keys are live, and the
+     determinism gates — including kill-mid-swap restore — held. *)
+  let s = r.r_swap in
+  s.ss_deterministic && s.ss_restore_identical
   && List.for_all
        (fun p ->
-         p.cp_completed = p.cp_requests
-         && (p.cp_completed = 0
-             || (p.cp_p99_us >= p.cp_p50_us && p.cp_p999_us >= p.cp_p99_us)))
-       c.cr_phases
+         p.sp_completed = p.sp_requests
+         && p.sp_errors = 0
+         && p.sp_touches > 0
+         && p.sp_faults > 0
+         && p.sp_fault_rate > 0.0
+         && p.sp_fault_rate <= 1.0
+         && p.sp_tp_mb_s > 0.0
+         && p.sp_resident_bytes <= p.sp_ram_bytes)
+       s.ss_points
+  &&
+  let rec nondecreasing = function
+    | a :: (b : swap_point) :: rest ->
+      a.sp_fault_rate <= b.sp_fault_rate +. 1e-9 && nondecreasing (b :: rest)
+    | _ -> true
+  in
+  nondecreasing s.ss_points
 
 let to_json r =
   let open Json_out in
@@ -506,6 +831,39 @@ let to_json r =
                          ("p999_us", Float p.cp_p999_us);
                        ])
                    r.r_chaos.cr_phases) );
+          ] );
+      ( "swap",
+        Obj
+          [
+            ("policy", Str r.r_swap.ss_policy);
+            ("objects", Int r.r_swap.ss_objects);
+            ("object_bytes", Int r.r_swap.ss_object_bytes);
+            ( "working_set_bytes",
+              Int (r.r_swap.ss_objects * r.r_swap.ss_object_bytes) );
+            ("same_seed_identical", Bool r.r_swap.ss_deterministic);
+            ( "kill_mid_swap_restore_identical",
+              Bool r.r_swap.ss_restore_identical );
+            ( "points",
+              Arr
+                (List.map
+                   (fun p ->
+                     Obj
+                       [
+                         ("envelope_fraction", Int p.sp_fraction);
+                         ("ram_bytes", Int p.sp_ram_bytes);
+                         ("requests", Int p.sp_requests);
+                         ("completed", Int p.sp_completed);
+                         ("touches", Int p.sp_touches);
+                         ("faults", Int p.sp_faults);
+                         ("swap_ins", Int p.sp_swap_ins);
+                         ("swap_outs", Int p.sp_swap_outs);
+                         ("corrupt_reads", Int p.sp_errors);
+                         ("swap_fault", Float p.sp_fault_rate);
+                         ("swap_tp", Float p.sp_tp_mb_s);
+                         ("resident_bytes", Int p.sp_resident_bytes);
+                         ("elapsed_ms", Float p.sp_elapsed_ms);
+                       ])
+                   r.r_swap.ss_points) );
           ] );
       ( "engines",
         Arr

@@ -42,6 +42,7 @@ let run_micro args =
   let smoke = List.mem "--smoke" args in
   let gate = List.mem "--assert-trace-overhead" args in
   let par_gate = List.mem "--assert-par-speedup" args in
+  let swap_gate = List.mem "--assert-swap-overhead" args in
   let out =
     let rec go = function
       | "--out" :: path :: _ -> path
@@ -86,6 +87,28 @@ let run_micro args =
     in
     let fi_overhead = Fi_overhead.measure ~smoke () in
     Fi_overhead.print_summary fi_overhead;
+    (* Same re-measure-on-noise discipline as the trace gate: keep the
+       best (lowest-overhead) epoch, retrying after a cool-down. *)
+    let swap_overhead =
+      let rec attempt n best =
+        let r = Swap_overhead.measure ~smoke () in
+        Swap_overhead.print_summary r;
+        let best =
+          match best with
+          | Some b
+            when b.Swap_overhead.overhead_pct < r.Swap_overhead.overhead_pct
+            ->
+            b
+          | _ -> r
+        in
+        if Swap_overhead.check best || n >= 4 then best
+        else begin
+          Unix.sleepf 2.0;
+          attempt (n + 1) (Some best)
+        end
+      in
+      attempt 1 None
+    in
     let net_rtt = Net_rtt.measure ~smoke () in
     Net_rtt.print_summary net_rtt;
     let store_tp = Store_tp.measure ~smoke () in
@@ -95,7 +118,8 @@ let run_micro args =
     let mode = if smoke then "smoke" else "full" in
     Json_out.write_file ~path:out
       (Depth_sweep.to_json ~bechamel:estimates ~trace_overhead:overhead
-         ~fi_overhead ~net_rtt ~store_tp ~par_speedup ~mode rows);
+         ~fi_overhead ~net_rtt ~store_tp ~par_speedup ~swap_overhead ~mode
+         rows);
     Printf.printf "wrote %s\n" out;
     if gate && not (Trace_overhead.check overhead) then begin
       Printf.printf "FAIL: trace overhead %.2f%% >= %.1f%% budget\n"
@@ -108,6 +132,11 @@ let run_micro args =
       else
         Printf.printf "FAIL: par speedup x%.2f < x%.1f at 4 domains\n"
           par_speedup.Par_speedup.speedup4 Par_speedup.limit;
+      exit 1
+    end;
+    if swap_gate && not (Swap_overhead.check swap_overhead) then begin
+      Printf.printf "FAIL: swap-path overhead %.2f%% >= %.1f%% budget\n"
+        swap_overhead.Swap_overhead.overhead_pct Swap_overhead.limit_pct;
       exit 1
     end
   end

@@ -39,13 +39,18 @@ let processors =
   Arg.(value & opt int 2 & info [ "p"; "processors" ] ~docv:"N" ~doc)
 
 let memory_manager =
-  let doc = "Memory manager: non-swapping, swapping-lru or swapping-fifo." in
+  let doc =
+    "Memory manager: non-swapping, swapping-lru, swapping-fifo, \
+     swapping-clock or swapping-level."
+  in
   let choices =
     Arg.enum
       [
         ("non-swapping", System.Non_swapping);
         ("swapping-lru", System.Swapping_lru);
         ("swapping-fifo", System.Swapping_fifo);
+        ("swapping-clock", System.Swapping_clock);
+        ("swapping-level", System.Swapping_level);
       ]
   in
   Arg.(value & opt choices System.Non_swapping & info [ "memory-manager" ] ~doc)
@@ -1517,13 +1522,279 @@ let loadgen_cmd =
       $ requests $ mix $ pattern $ seed $ nodes $ par $ workers $ pumps
       $ chrome $ check)
 
+(* Swap: the virtual-memory tier end to end.  A multiuser touch workload
+   runs against a swapping memory manager whose resident set is bounded
+   by --ram-bytes and whose evicted segment images live in a store-backed
+   swap device (journaled, CRC-framed, compacted in virtual time).  Every
+   read verifies the payload written at allocation, so a corrupt image
+   cannot go unnoticed.  --check re-runs the seed on a fresh journal and
+   compares event streams, then kills a third run mid-swap, checkpoints
+   it, restores by replay, and requires the resumed stream to be
+   bit-identical to the straight run's. *)
+let scenario_swap config path policy objects object_bytes users touches
+    ram_bytes seed kill_ns chrome_out check =
+  if objects <= 0 then die "--objects %d: need at least one object" objects;
+  if object_bytes <= 0 then die "--object-bytes %d: need a positive size"
+      object_bytes;
+  if users <= 0 then die "--users %d: need at least one user" users;
+  let ws = objects * object_bytes in
+  let ram_bytes = if ram_bytes > 0 then ram_bytes else max object_bytes (ws / 4) in
+  let heap_bytes = ram_bytes + max ram_bytes (64 * 1024) in
+  let memory_bytes =
+    max System.default_config.System.memory_bytes
+      ((2 * heap_bytes) + (1 lsl 20))
+  in
+  let boots = ref 0 in
+  let stores = ref [] in
+  let errors = ref 0 in
+  let verified = ref 0 in
+  let boot_sys () =
+    incr boots;
+    let jp = if !boots = 1 then path else Printf.sprintf "%s.%d" path !boots in
+    fresh_journal jp;
+    (* A million-object working set appends constantly: raise the fsync
+       cadence and make compaction wait for MB-scale garbage. *)
+    let store =
+      St.open_ ~sync_every:256 ~compact_interval_ns:1_000_000
+        ~min_garbage_bytes:(max 4096 (ram_bytes / 2))
+        jp
+    in
+    stores := store :: !stores;
+    errors := 0;
+    verified := 0;
+    let sys =
+      System.boot
+        ~config:
+          {
+            config with
+            System.memory_manager = policy;
+            heap_bytes;
+            memory_bytes;
+            swap_ram_bytes = Some ram_bytes;
+            swap_device = Some (I432_store.Swap_store.device store);
+            trace_level = Obs.Tracer.Events;
+          }
+        ()
+    in
+    let m = System.machine sys in
+    St.attach store m;
+    (* Populate: each object carries its index as payload; the envelope
+       is enforced during this loop, so most of the set is already on the
+       swap device when the users start. *)
+    let objs =
+      Array.init objects (fun i ->
+          let o =
+            System.mm_allocate sys ~data_length:object_bytes ~access_length:0
+              ~otype:Obj_type.Generic
+          in
+          K.Machine.write_word m o ~offset:0 (i + 1);
+          o)
+    in
+    for u = 1 to users do
+      let prng = U.Prng.create ~seed:(seed + (u * 7919)) in
+      ignore
+        (K.Machine.spawn m
+           ~name:(Printf.sprintf "user%d" u)
+           (fun () ->
+             for _ = 1 to touches do
+               let i = U.Prng.int prng objects in
+               let o = objs.(i) in
+               (* Fault-and-retry: a preemption between the touch and the
+                  read can let another user's fault-in evict [o] again. *)
+               let rec read_back () =
+                 System.mm_touch sys o;
+                 match K.Machine.read_word m o ~offset:0 with
+                 | v -> v
+                 | exception Fault.Fault (Fault.Segment_swapped_out _) ->
+                   read_back ()
+               in
+               if read_back () <> i + 1 then incr errors;
+               incr verified;
+               K.Machine.compute m 4
+             done))
+    done;
+    sys
+  in
+  let sys = boot_sys () in
+  let m = System.machine sys in
+  let report = System.run sys in
+  let straight_stream = stream m in
+  let straight_errors = !errors and straight_verified = !verified in
+  Printf.printf "swap: %s policy, %d objects x %d B = %d KB working set\n"
+    (System.memory_choice_to_string policy)
+    objects object_bytes (ws / 1024);
+  Printf.printf "envelope: %d KB RAM (%.1fx over-commit), %d KB heap\n"
+    (ram_bytes / 1024)
+    (float_of_int ws /. float_of_int ram_bytes)
+    (heap_bytes / 1024);
+  print_report report;
+  let st = System.mm_stats sys in
+  let faults =
+    match Obs.Metrics.find_counter (K.Machine.metrics m) "swap.faults" with
+    | Some c -> Obs.Metrics.counter_value c
+    | None -> 0
+  in
+  Printf.printf "swap traffic: %d faults, %d ins, %d outs, %d pressure events\n"
+    faults st.Memory_manager.swap_ins st.Memory_manager.swap_outs
+    st.Memory_manager.alloc_faults;
+  (match (System.mm_resident_count sys, System.mm_resident_bytes sys) with
+  | Some n, Some b ->
+    Printf.printf "residents at halt: %d (%d KB of %d KB envelope)\n" n
+      (b / 1024) (ram_bytes / 1024);
+    if b > ram_bytes then
+      die "swap: resident set (%d B) exceeds the RAM envelope (%d B)" b
+        ram_bytes
+  | _ -> ());
+  (match System.mm_device sys with
+  | Some dev ->
+    let ds = I432_vm.Swap_device.stats dev in
+    Printf.printf
+      "device %S: %d writes (%d KB), %d reads (%d KB), %d drops\n"
+      (I432_vm.Swap_device.name dev)
+      ds.I432_vm.Swap_device.writes
+      (ds.I432_vm.Swap_device.bytes_written / 1024)
+      ds.I432_vm.Swap_device.reads
+      (ds.I432_vm.Swap_device.bytes_read / 1024)
+      ds.I432_vm.Swap_device.drops
+  | None -> ());
+  if straight_errors > 0 then
+    die "swap: %d of %d payload reads came back corrupt" straight_errors
+      straight_verified;
+  Printf.printf "payload check: %d reads verified, 0 corrupt\n"
+    straight_verified;
+  (match chrome_out with
+  | Some cpath ->
+    let json =
+      Obs.Export.chrome_trace
+        ~processors:(K.Machine.processor_count m)
+        (K.Machine.events m)
+    in
+    Obs.Jout.write_file ~path:cpath json;
+    Printf.printf "chrome trace written to %s\n" cpath
+  | None -> ());
+  if check then begin
+    (* Same seed, fresh journal: the event stream — swap events, journal
+       appends, the lot — must be identical. *)
+    let sys2 = boot_sys () in
+    ignore (System.run sys2);
+    if stream (System.machine sys2) <> straight_stream then
+      die "swap check FAILED: same-seed event streams differ";
+    Printf.printf "determinism check: identical event streams (%d events)\n"
+      (List.length straight_stream);
+    (* Kill mid-swap, checkpoint, restore by replay, resume: the resumed
+       stream must match the straight run exactly. *)
+    let kill_ns =
+      if kill_ns > 0 then kill_ns
+      else max 1 (report.K.Machine.elapsed_ns / 2)
+    in
+    let victim_sys = boot_sys () in
+    let victim = System.machine victim_sys in
+    ignore (K.Machine.run ~max_ns:kill_ns victim);
+    let ckpt_path = path ^ ".ckpt" in
+    fresh_journal ckpt_path;
+    let ckpt_store = St.open_ ckpt_path in
+    ignore
+      (Ckpt.save ckpt_store ~key:"swap" ~bound:(Ckpt.Virtual_ns kill_ns)
+         victim);
+    let resumed =
+      Ckpt.restore ckpt_store ~key:"swap" ~boot:(fun () ->
+          System.machine (boot_sys ()))
+    in
+    ignore (K.Machine.run resumed);
+    St.close ckpt_store;
+    if stream resumed <> straight_stream then
+      die
+        "swap kill/restore check FAILED: resumed stream diverges from the \
+         straight run";
+    Printf.printf
+      "kill/restore check: killed at %d ns mid-swap, resumed stream \
+       identical\n"
+      kill_ns
+  end;
+  List.iter St.close !stores
+
+let swap_cmd =
+  let policy =
+    let doc = "Victim policy: lru, fifo, clock or level." in
+    let choices =
+      Arg.enum
+        [
+          ("lru", System.Swapping_lru);
+          ("fifo", System.Swapping_fifo);
+          ("clock", System.Swapping_clock);
+          ("level", System.Swapping_level);
+        ]
+    in
+    Arg.(value & opt choices System.Swapping_lru & info [ "policy" ] ~doc)
+  in
+  let objects =
+    Arg.(
+      value & opt int 4096
+      & info [ "objects" ] ~docv:"N" ~doc:"Live objects in the working set.")
+  in
+  let object_bytes =
+    Arg.(
+      value & opt int 256
+      & info [ "object-bytes" ] ~docv:"B" ~doc:"Data bytes per object.")
+  in
+  let users =
+    Arg.(
+      value & opt int 8
+      & info [ "users" ] ~docv:"N" ~doc:"Concurrent touching processes.")
+  in
+  let touches =
+    Arg.(
+      value & opt int 400
+      & info [ "touches" ] ~docv:"N" ~doc:"Random touches per user.")
+  in
+  let ram_bytes =
+    Arg.(
+      value & opt int 0
+      & info [ "ram-bytes" ] ~docv:"B"
+          ~doc:
+            "Resident-set RAM envelope in bytes (0 = a quarter of the \
+             working set).")
+  in
+  let seed = seed_arg ~default:7 ~doc:"Touch-schedule seed." in
+  let kill_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-ns" ] ~docv:"NS"
+          ~doc:
+            "With --check: kill the victim run at this virtual instant (0 \
+             = halfway through the straight run).")
+  in
+  let chrome =
+    chrome_arg
+      ~doc:"Write a Chrome trace (fault-in slices, vm category) to this path."
+  in
+  let check =
+    check_arg
+      ~doc:
+        "Fail unless a same-seed re-run's event stream is byte-identical, \
+         and a run killed mid-swap, checkpointed, and restored by replay \
+         resumes bit-identically."
+  in
+  Cmd.v
+    (Cmd.info "swap"
+       ~doc:
+         "Multiuser working set held inside a bounded RAM envelope by the \
+          swapping memory manager, with evicted segments on a store-backed \
+          swap device.")
+    Term.(
+      const scenario_swap $ config_term
+      $ path_arg ~default:(scratch_path "imax_swap.journal")
+      $ policy $ objects $ object_bytes $ users $ touches $ ram_bytes $ seed
+      $ kill_ns $ chrome $ check)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
        ~doc:"Drive the iMAX-432 object-based multiprocessor simulator.")
     [
       pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
-      metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd; loadgen_cmd;
+      metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd; swap_cmd;
+      loadgen_cmd;
     ]
 
 let () = exit (Cmd.eval main)

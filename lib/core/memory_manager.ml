@@ -11,10 +11,21 @@
    The common interface is the module type S below; the system is configured
    by picking one first-class module (see {!System}).  The interface covers
    the three allocation mechanisms of §5: stack allocation (per-call local
-   heaps), global heap allocation, and local heap allocation. *)
+   heaps), global heap allocation, and local heap allocation.
+
+   The swapping implementation is built on the virtual-memory tier
+   (lib/vm): a {!I432_vm.Resident_set} controller owns victim selection
+   and the optional RAM envelope, and a {!I432_vm.Swap_device} holds the
+   evicted segment images.  With no device configured the manager embeds
+   an in-memory device and emits no events and no counters — exactly the
+   original behavior, byte for byte.  Attaching a device (the explicit
+   act, mirroring Store.attach) turns on the swap.* counters and the
+   Swap_out/Swap_in/Swap_fault events. *)
 
 open I432
 module K = I432_kernel
+module Obs = I432_obs
+module Vm = I432_vm
 
 type stats = {
   mutable allocations : int;
@@ -128,7 +139,19 @@ end
 (* Swapping implementation (the paper's second release)                *)
 (* ------------------------------------------------------------------ *)
 
-type victim_policy = Lru | Fifo_policy
+type victim_policy = Lru | Fifo_policy | Clock | Level_aware
+
+let policy_name = function
+  | Lru -> "lru"
+  | Fifo_policy -> "fifo"
+  | Clock -> "clock"
+  | Level_aware -> "level"
+
+let vm_policy = function
+  | Lru -> Vm.Policy.Lru
+  | Fifo_policy -> Vm.Policy.Fifo
+  | Clock -> Vm.Policy.Clock
+  | Level_aware -> Vm.Policy.Level_aware
 
 module type SWAP_CONFIG = sig
   val victim_policy : victim_policy
@@ -142,95 +165,141 @@ module Default_swap_config = struct
   let swap_out_ns = 400_000
 end
 
-module Make_swapping (C : SWAP_CONFIG) : S = struct
-  type resident = {
-    index : int;
-    mutable last_touch : int;  (* virtual ns, for LRU *)
-    arrival : int;  (* monotonic, for FIFO *)
+module type SWAPPING = sig
+  include S
+
+  (** The additional management interface (§6.2): configure the victim
+      policy, a resident-set RAM envelope, and a swap device.  [create]
+      is [create_with] with the functor's policy, no envelope, and an
+      embedded in-memory device — and, crucially, no observability: only
+      an explicitly attached device turns on swap.* counters and the
+      Swap_out/Swap_in/Swap_fault events, so a system without one is
+      byte-identical to the pre-vm-tier manager. *)
+  val create_with :
+    ?policy:victim_policy ->
+    ?ram_bytes:int ->
+    ?device:Vm.Swap_device.t ->
+    K.Machine.t ->
+    heap_bytes:int ->
+    t
+
+  val device : t -> Vm.Swap_device.t
+  val policy : t -> victim_policy
+  val ram_bytes : t -> int option
+  val resident_bytes : t -> int
+  val resident_count : t -> int
+end
+
+module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
+  (* swap.* counters, created only when a device is attached. *)
+  type observed = {
+    o_ins : Obs.Metrics.counter;
+    o_outs : Obs.Metrics.counter;
+    o_faults : Obs.Metrics.counter;
+    o_bytes_in : Obs.Metrics.counter;
+    o_bytes_out : Obs.Metrics.counter;
   }
 
   type t = {
     machine : K.Machine.t;
     heap : Access.t;
     mutable locals : (int * Access.t) list;
-    mutable residents : resident list;
-    backing : (int, Bytes.t) Hashtbl.t;  (* swapped-out segment images *)
-    mutable arrivals : int;
+    rset : Vm.Resident_set.t;
+    dev : Vm.Swap_device.t;
+    pol : victim_policy;
+    obs : observed option;
     st : stats;
   }
 
-  let name =
-    match C.victim_policy with
-    | Lru -> "swapping/lru"
-    | Fifo_policy -> "swapping/fifo"
+  let name = "swapping/" ^ policy_name C.victim_policy
 
-  let create machine ~heap_bytes =
+  let create_with ?policy ?ram_bytes ?device machine ~heap_bytes =
+    let pol = Option.value policy ~default:C.victim_policy in
+    let dev, obs =
+      match device with
+      | Some d ->
+        let metrics = K.Machine.metrics machine in
+        let c = Obs.Metrics.counter metrics in
+        ( d,
+          Some
+            {
+              o_ins = c "swap.ins";
+              o_outs = c "swap.outs";
+              o_faults = c "swap.faults";
+              o_bytes_in = c "swap.bytes_in";
+              o_bytes_out = c "swap.bytes_out";
+            } )
+      | None -> (Vm.Swap_device.in_memory (), None)
+    in
     let heap = K.Machine.create_local_sro machine ~level:0 ~bytes:heap_bytes in
     {
       machine;
       heap;
       locals = [];
-      residents = [];
-      backing = Hashtbl.create 64;
-      arrivals = 0;
+      rset = Vm.Resident_set.create ~policy:(vm_policy pol) ?ram_bytes ();
+      dev;
+      pol;
+      obs;
       st = fresh_stats ();
     }
 
+  let create machine ~heap_bytes = create_with machine ~heap_bytes
+
+  let device t = t.dev
+  let policy t = t.pol
+  let ram_bytes t = Vm.Resident_set.ram_bytes t.rset
+  let resident_bytes t = Vm.Resident_set.resident_bytes t.rset
+  let resident_count t = Vm.Resident_set.count t.rset
+
   let note_resident t index =
-    t.arrivals <- t.arrivals + 1;
-    t.residents <-
-      { index; last_touch = K.Machine.now t.machine; arrival = t.arrivals }
-      :: t.residents
-
-  (* Pick a victim among resident, non-system, non-empty segments. *)
-  let pick_victim t ~avoid =
     let table = K.Machine.table t.machine in
-    let candidates =
-      List.filter
-        (fun r ->
-          r.index <> avoid
-          && Object_table.is_valid table r.index
-          &&
-          let e = Object_table.lookup table r.index in
-          (not e.Object_table.swapped_out)
-          && (not (Obj_type.is_system e.Object_table.otype))
-          && e.Object_table.data_length > 0)
-        t.residents
-    in
-    match candidates with
-    | [] -> None
-    | first :: rest ->
-      let better a b =
-        (* Arrival breaks ties so equal-timestamp residents evict
-           oldest-first. *)
-        match C.victim_policy with
-        | Lru ->
-          if (a.last_touch, a.arrival) <= (b.last_touch, b.arrival) then a
-          else b
-        | Fifo_policy -> if a.arrival <= b.arrival then a else b
-      in
-      Some (List.fold_left better first rest)
+    let e = Object_table.lookup table index in
+    Vm.Resident_set.insert t.rset ~index ~bytes:e.Object_table.data_length
+      ~level:e.Object_table.level
+      ~now:(K.Machine.now t.machine)
 
-  (* Swap one segment out: save its data image, mark the descriptor absent,
-     and return its frame to the owning SRO's free store. *)
-  let swap_out t victim =
+  (* A victim must be resident, valid, non-system, and non-empty — the
+     same candidate filter the original linear scan applied. *)
+  let evictable t index =
+    let table = K.Machine.table t.machine in
+    Object_table.is_valid table index
+    &&
+    let e = Object_table.lookup table index in
+    (not e.Object_table.swapped_out)
+    && (not (Obj_type.is_system e.Object_table.otype))
+    && e.Object_table.data_length > 0
+
+  let pick_victim t ~avoid =
+    Vm.Resident_set.pick t.rset ~avoid ~evictable:(evictable t)
+
+  (* Swap one segment out: save its data image on the device, mark the
+     descriptor absent, and return its frame to the owning SRO's free
+     store. *)
+  let swap_out t index =
     let table = K.Machine.table t.machine in
     let memory = K.Machine.memory t.machine in
-    let e = Object_table.lookup table victim.index in
+    let e = Object_table.lookup table index in
     let image =
       Memory.blit_to_bytes memory ~src_addr:e.Object_table.base
         ~len:e.Object_table.data_length
     in
-    Hashtbl.replace t.backing victim.index image;
-    (match Sro.state_of_object table ~index:victim.index with
+    Vm.Swap_device.write t.dev ~index ~now_ns:(K.Machine.now t.machine) image;
+    (match Sro.state_of_object table ~index with
     | Some s ->
       Sro.donate table ~sro_state:s ~base:e.Object_table.base
         ~length:e.Object_table.data_length
     | None -> ());
     e.Object_table.swapped_out <- true;
-    t.residents <- List.filter (fun r -> r.index <> victim.index) t.residents;
+    Vm.Resident_set.remove t.rset ~index;
     K.Machine.charge t.machine C.swap_out_ns;
-    t.st.swap_outs <- t.st.swap_outs + 1
+    t.st.swap_outs <- t.st.swap_outs + 1;
+    match t.obs with
+    | Some o ->
+      Obs.Metrics.incr o.o_outs;
+      Obs.Metrics.incr ~by:e.Object_table.data_length o.o_bytes_out;
+      K.Machine.emit_event t.machine ~name:(policy_name t.pol) ~a:index
+        ~b:e.Object_table.data_length Obs.Event.Swap_out
+    | None -> ()
 
   (* Evict until [sro_state] can supply [size] bytes, or no victims remain. *)
   let rec make_room t ~sro_state ~size ~avoid =
@@ -243,6 +312,19 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
       | Some victim ->
         swap_out t victim;
         make_room t ~sro_state ~size ~avoid)
+
+  (* The RAM envelope: after a segment becomes resident, evict until the
+     resident set fits again.  Without [ram_bytes] this is free —
+     [over_envelope] is constantly false — which is what keeps the
+     no-envelope manager's eviction schedule (and therefore every
+     pre-existing trace) unchanged. *)
+  let rec enforce_envelope t ~avoid =
+    if Vm.Resident_set.over_envelope t.rset ~extra:0 then
+      match pick_victim t ~avoid with
+      | None -> ()  (* nothing evictable; the heap SRO still bounds us *)
+      | Some victim ->
+        swap_out t victim;
+        enforce_envelope t ~avoid
 
   (* Bring a swapped-out segment back, evicting residents as needed. *)
   let swap_in t index =
@@ -259,16 +341,25 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
           Fault.raise_fault
             (Fault.Storage_exhausted { requested = size; available = 0 })
         | Some base ->
-          (match Hashtbl.find_opt t.backing index with
+          (match Vm.Swap_device.read t.dev ~index with
           | Some image ->
             Memory.blit_from_bytes memory ~src:image ~dst_addr:base
           | None -> Memory.fill memory ~addr:base ~len:size ~byte:'\000');
-          Hashtbl.remove t.backing index;
+          Vm.Swap_device.drop t.dev ~index ~now_ns:(K.Machine.now t.machine);
           e.Object_table.base <- base;
           e.Object_table.swapped_out <- false;
           note_resident t index;
           K.Machine.charge t.machine C.swap_in_ns;
-          t.st.swap_ins <- t.st.swap_ins + 1)
+          t.st.swap_ins <- t.st.swap_ins + 1;
+          (match t.obs with
+          | Some o ->
+            Obs.Metrics.incr o.o_ins;
+            Obs.Metrics.incr ~by:size o.o_bytes_in;
+            K.Machine.emit_event t.machine
+              ~name:(Vm.Swap_device.name t.dev)
+              ~a:index ~b:size Obs.Event.Swap_in
+          | None -> ());
+          enforce_envelope t ~avoid:index)
     end
 
   let allocate_with_pressure t sro ~data_length ~access_length ~otype =
@@ -278,6 +369,7 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
     | a ->
       t.st.allocations <- t.st.allocations + 1;
       note_resident t (Access.index a);
+      enforce_envelope t ~avoid:(Access.index a);
       a
     | exception Fault.Fault (Fault.Storage_exhausted _) -> (
       t.st.alloc_faults <- t.st.alloc_faults + 1;
@@ -296,6 +388,7 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
         in
         t.st.allocations <- t.st.allocations + 1;
         note_resident t (Access.index a);
+        enforce_envelope t ~avoid:(Access.index a);
         a)
 
   let allocate t ~data_length ~access_length ~otype =
@@ -318,12 +411,14 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
   let free t access =
     let table = K.Machine.table t.machine in
     let e = Object_table.entry_of_access table access in
-    Hashtbl.remove t.backing e.Object_table.index;
-    t.residents <-
-      List.filter (fun r -> r.index <> e.Object_table.index) t.residents;
+    Vm.Resident_set.remove t.rset ~index:e.Object_table.index;
     if e.Object_table.swapped_out then begin
-      (* No physical frame to return; make the release a descriptor-only
-         operation. *)
+      (* The device holds an image exactly when the segment is absent
+         (swap-in drops the image it read); release the image, and with
+         no physical frame to return, make the release a
+         descriptor-only operation. *)
+      Vm.Swap_device.drop t.dev ~index:e.Object_table.index
+        ~now_ns:(K.Machine.now t.machine);
       e.Object_table.data_length <- 0;
       e.Object_table.swapped_out <- false
     end;
@@ -332,12 +427,17 @@ module Make_swapping (C : SWAP_CONFIG) : S = struct
   let touch t access =
     let table = K.Machine.table t.machine in
     let e = Object_table.entry_of_access table access in
-    if e.Object_table.swapped_out then swap_in t e.Object_table.index;
-    List.iter
-      (fun r ->
-        if r.index = e.Object_table.index then
-          r.last_touch <- K.Machine.now t.machine)
-      t.residents
+    if e.Object_table.swapped_out then begin
+      (match t.obs with
+      | Some o ->
+        Obs.Metrics.incr o.o_faults;
+        K.Machine.emit_event t.machine ~a:e.Object_table.index
+          ~b:e.Object_table.data_length Obs.Event.Swap_fault
+      | None -> ());
+      swap_in t e.Object_table.index
+    end;
+    Vm.Resident_set.touch t.rset ~index:e.Object_table.index
+      ~now:(K.Machine.now t.machine)
 
   let stats t = t.st
 end
@@ -346,6 +446,18 @@ module Swapping = Make_swapping (Default_swap_config)
 
 module Swapping_fifo = Make_swapping (struct
   let victim_policy = Fifo_policy
+  let swap_in_ns = Default_swap_config.swap_in_ns
+  let swap_out_ns = Default_swap_config.swap_out_ns
+end)
+
+module Swapping_clock = Make_swapping (struct
+  let victim_policy = Clock
+  let swap_in_ns = Default_swap_config.swap_in_ns
+  let swap_out_ns = Default_swap_config.swap_out_ns
+end)
+
+module Swapping_level = Make_swapping (struct
+  let victim_policy = Level_aware
   let swap_in_ns = Default_swap_config.swap_in_ns
   let swap_out_ns = Default_swap_config.swap_out_ns
 end)

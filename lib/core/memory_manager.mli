@@ -9,6 +9,7 @@
 
 open I432
 module K := I432_kernel
+module Vm := I432_vm
 
 type stats = {
   mutable allocations : int;
@@ -47,7 +48,16 @@ end
 (** The paper's first release: no swapping; exhaustion faults. *)
 module Nonswapping : S
 
-type victim_policy = Lru | Fifo_policy
+(** Victim selection for the swapping implementation, realized by
+    {!I432_vm.Resident_set}:
+    - [Lru] — least recent (last touch, then admission order);
+    - [Fifo_policy] — admission order;
+    - [Clock] — second chance over the admission ring;
+    - [Level_aware] — highest lifetime level first (shortest-lived SRO
+      segments are the cheapest to lose), LRU within a level. *)
+type victim_policy = Lru | Fifo_policy | Clock | Level_aware
+
+val policy_name : victim_policy -> string
 
 module type SWAP_CONFIG = sig
   val victim_policy : victim_policy
@@ -57,10 +67,43 @@ end
 
 module Default_swap_config : SWAP_CONFIG
 
-(** The second release: segments move to a backing store under pressure
+(** The swapping interface: {!S} plus the management surface the
+    virtual-memory tier adds. *)
+module type SWAPPING = sig
+  include S
+
+  (** [create_with] configures what [create] defaults: the victim
+      [policy], a resident-set RAM envelope in bytes (evictions keep the
+      sum of resident segment bytes at or under it), and the swap
+      [device] absent segments live on.
+
+      Attaching a device is the observability switch, mirroring
+      [Store.attach]: only then are the [swap.ins]/[swap.outs]/
+      [swap.faults]/[swap.bytes_in]/[swap.bytes_out] counters created and
+      the [Swap_out]/[Swap_in]/[Swap_fault] events emitted.  [create]
+      (no device, no envelope) embeds a private in-memory device and
+      stays byte-identical to the pre-vm-tier manager. *)
+  val create_with :
+    ?policy:victim_policy ->
+    ?ram_bytes:int ->
+    ?device:Vm.Swap_device.t ->
+    K.Machine.t ->
+    heap_bytes:int ->
+    t
+
+  val device : t -> Vm.Swap_device.t
+  val policy : t -> victim_policy
+  val ram_bytes : t -> int option
+  val resident_bytes : t -> int
+  val resident_count : t -> int
+end
+
+(** The second release: segments move to a swap device under pressure
     and return on [touch]; direct access to an absent segment faults with
     [Segment_swapped_out]. *)
-module Make_swapping (_ : SWAP_CONFIG) : S
+module Make_swapping (_ : SWAP_CONFIG) : SWAPPING
 
-module Swapping : S
-module Swapping_fifo : S
+module Swapping : SWAPPING
+module Swapping_fifo : SWAPPING
+module Swapping_clock : SWAPPING
+module Swapping_level : SWAPPING

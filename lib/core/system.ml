@@ -14,13 +14,20 @@
 
 module K = I432_kernel
 
-type memory_choice = Non_swapping | Swapping_lru | Swapping_fifo
+type memory_choice =
+  | Non_swapping
+  | Swapping_lru
+  | Swapping_fifo
+  | Swapping_clock
+  | Swapping_level
 
 type config = {
   processors : int;
   memory_bytes : int;
   heap_bytes : int;  (* managed heap carved for the memory manager *)
   memory_manager : memory_choice;
+  swap_ram_bytes : int option;  (* resident-set envelope for swapping mms *)
+  swap_device : I432_vm.Swap_device.t option;  (* attach = observe *)
   scheduling : Scheduler.policy;
   run_gc_daemon : bool;
   gc_config : I432_gc.Collector.config;
@@ -36,6 +43,8 @@ let default_config =
     memory_bytes = 1 lsl 22;
     heap_bytes = 1 lsl 20;
     memory_manager = Non_swapping;
+    swap_ram_bytes = None;
+    swap_device = None;
     scheduling = Scheduler.Null;
     run_gc_daemon = false;
     gc_config = I432_gc.Collector.default_config;
@@ -51,11 +60,17 @@ let default_config =
 
 type packed_mm = Packed : (module Memory_manager.S with type t = 'a) * 'a -> packed_mm
 
+type packed_swapping =
+  | Packed_swapping :
+      (module Memory_manager.SWAPPING with type t = 'a) * 'a
+      -> packed_swapping
+
 type t = {
   machine : K.Machine.t;
   process_manager : Process_manager.t;
   scheduler : Scheduler.t;
   memory : packed_mm;
+  swapping : packed_swapping option;
   collector : I432_gc.Collector.t option;
   config : config;
 }
@@ -80,24 +95,25 @@ let boot ?(config = default_config) () =
   (match config.scheduling with
   | Scheduler.Fair_share -> ignore (Scheduler.spawn_daemon scheduler)
   | Scheduler.Null | Scheduler.Round_robin -> ());
-  let memory =
+  let boot_swapping (type a)
+      (module M : Memory_manager.SWAPPING with type t = a) =
+    let mm =
+      M.create_with ?ram_bytes:config.swap_ram_bytes
+        ?device:config.swap_device machine ~heap_bytes:config.heap_bytes
+    in
+    (Packed ((module M), mm), Some (Packed_swapping ((module M), mm)))
+  in
+  let memory, swapping =
     match config.memory_manager with
     | Non_swapping ->
       let mm =
         Memory_manager.Nonswapping.create machine ~heap_bytes:config.heap_bytes
       in
-      Packed ((module Memory_manager.Nonswapping), mm)
-    | Swapping_lru ->
-      let mm =
-        Memory_manager.Swapping.create machine ~heap_bytes:config.heap_bytes
-      in
-      Packed ((module Memory_manager.Swapping), mm)
-    | Swapping_fifo ->
-      let mm =
-        Memory_manager.Swapping_fifo.create machine
-          ~heap_bytes:config.heap_bytes
-      in
-      Packed ((module Memory_manager.Swapping_fifo), mm)
+      (Packed ((module Memory_manager.Nonswapping), mm), None)
+    | Swapping_lru -> boot_swapping (module Memory_manager.Swapping)
+    | Swapping_fifo -> boot_swapping (module Memory_manager.Swapping_fifo)
+    | Swapping_clock -> boot_swapping (module Memory_manager.Swapping_clock)
+    | Swapping_level -> boot_swapping (module Memory_manager.Swapping_level)
   in
   let collector =
     if config.run_gc_daemon then begin
@@ -112,7 +128,7 @@ let boot ?(config = default_config) () =
     end
     else None
   in
-  { machine; process_manager; scheduler; memory; collector; config }
+  { machine; process_manager; scheduler; memory; swapping; collector; config }
 
 let machine t = t.machine
 let process_manager t = t.process_manager
@@ -141,10 +157,28 @@ let mm_name t =
   let (Packed ((module M), _)) = t.memory in
   M.name
 
+(* The swapping management interface, when a swapping implementation was
+   selected (None under Non_swapping). *)
+
+let mm_resident_bytes t =
+  Option.map
+    (fun (Packed_swapping ((module M), mm)) -> M.resident_bytes mm)
+    t.swapping
+
+let mm_resident_count t =
+  Option.map
+    (fun (Packed_swapping ((module M), mm)) -> M.resident_count mm)
+    t.swapping
+
+let mm_device t =
+  Option.map (fun (Packed_swapping ((module M), mm)) -> M.device mm) t.swapping
+
 let memory_choice_to_string = function
   | Non_swapping -> "non-swapping"
   | Swapping_lru -> "swapping/lru"
   | Swapping_fifo -> "swapping/fifo"
+  | Swapping_clock -> "swapping/clock"
+  | Swapping_level -> "swapping/level"
 
 (* Run to completion and report. *)
 let run ?max_ns ?max_steps t = K.Machine.run ?max_ns ?max_steps t.machine

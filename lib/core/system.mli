@@ -8,13 +8,25 @@
 open I432
 module K := I432_kernel
 
-type memory_choice = Non_swapping | Swapping_lru | Swapping_fifo
+type memory_choice =
+  | Non_swapping
+  | Swapping_lru
+  | Swapping_fifo
+  | Swapping_clock
+  | Swapping_level
 
 type config = {
   processors : int;
   memory_bytes : int;
   heap_bytes : int;  (** heap carved for the selected memory manager *)
   memory_manager : memory_choice;
+  swap_ram_bytes : int option;
+      (** resident-set RAM envelope for the swapping managers; [None]
+          (the default) means pressure-driven eviction only *)
+  swap_device : I432_vm.Swap_device.t option;
+      (** swap device for the swapping managers; attaching one turns on
+          the swap.* counters and Swap_* events (default [None]: a
+          private in-memory device, unobserved) *)
   scheduling : Scheduler.policy;
   run_gc_daemon : bool;
   gc_config : I432_gc.Collector.config;
@@ -43,6 +55,14 @@ val mm_free : t -> Access.t -> unit
 val mm_touch : t -> Access.t -> unit
 val mm_stats : t -> Memory_manager.stats
 val mm_name : t -> string
+
+(** {1 The swapping management interface}
+
+    [None] when the selected implementation does not swap. *)
+
+val mm_resident_bytes : t -> int option
+val mm_resident_count : t -> int option
+val mm_device : t -> I432_vm.Swap_device.t option
 val memory_choice_to_string : memory_choice -> string
 
 (** Run the machine to completion (or a bound). *)

@@ -60,6 +60,9 @@ type kind =
   | Node_restart  (* name=node name, a=node id, b=name-service epoch *)
   | Frame_dead  (* name=port name, a=frame seq, b=dst node *)
   | Dead_letter  (* name=port name, a=channel id, b=frame seq *)
+  | Swap_out  (* name=policy, a=object index, b=segment bytes *)
+  | Swap_in  (* name=device name, a=object index, b=segment bytes *)
+  | Swap_fault  (* name=process name, a=object index, b=segment bytes *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -121,6 +124,9 @@ let kind_to_string = function
   | Node_restart -> "node-restart"
   | Frame_dead -> "frame-dead"
   | Dead_letter -> "dead-letter"
+  | Swap_out -> "swap-out"
+  | Swap_in -> "swap-in"
+  | Swap_fault -> "swap-fault"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
    rings.  [kind_of_int] is the inverse on [0 .. kind_count - 1]. *)
@@ -173,8 +179,11 @@ let kind_to_int = function
   | Node_restart -> 45
   | Frame_dead -> 46
   | Dead_letter -> 47
+  | Swap_out -> 48
+  | Swap_in -> 49
+  | Swap_fault -> 50
 
-let kind_count = 48
+let kind_count = 51
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -225,6 +234,9 @@ let kind_of_int = function
   | 45 -> Node_restart
   | 46 -> Frame_dead
   | 47 -> Dead_letter
+  | 48 -> Swap_out
+  | 49 -> Swap_in
+  | 50 -> Swap_fault
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -245,11 +257,12 @@ let category = function
     ->
     "store"
   | Req_issue | Req_done -> "load"
+  | Swap_out | Swap_in | Swap_fault -> "vm"
 
 (* Every category value, in fixed order (for filter UIs and validation). *)
 let subsystems =
   [ "proc"; "dispatch"; "port"; "sro"; "domain"; "gc"; "fi"; "net"; "store";
-    "load" ]
+    "load"; "vm" ]
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -274,4 +287,5 @@ let legacy_line e =
   | Proc_requeued | Alloc_retry | Timeout_fired | Proc_restarted
   | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Journal_append
   | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore | Req_issue
-  | Req_done | Node_kill | Node_restart | Frame_dead | Dead_letter -> None
+  | Req_done | Node_kill | Node_restart | Frame_dead | Dead_letter
+  | Swap_out | Swap_in | Swap_fault -> None

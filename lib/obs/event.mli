@@ -50,6 +50,9 @@ type kind =
   | Node_restart  (** name=node name, a=node id, b=name-service epoch *)
   | Frame_dead  (** name=port name, a=frame seq, b=dst node *)
   | Dead_letter  (** name=port name, a=channel id, b=frame seq *)
+  | Swap_out  (** name=policy, a=object index, b=segment bytes *)
+  | Swap_in  (** name=device name, a=object index, b=segment bytes *)
+  | Swap_fault  (** name=process name, a=object index, b=segment bytes *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -75,7 +78,7 @@ val kind_of_int : int -> kind
 val kind_count : int
 
 (** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi,
-    net, store or load. *)
+    net, store, load or vm. *)
 val category : kind -> string
 
 (** Every {!category} value, in fixed order. *)

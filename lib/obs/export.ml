@@ -178,6 +178,22 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
              ~cat:"load" ~ph:"e" ~ts_ns ~tid ~pid
              ~extra:[ ("id", Jout.Int e.Event.a) ]
              ~args:(field_args e) ())
+      (* Fault-in spans: one async slice per swap fault on the faulting
+         processor's track, fault to swap-in (the object index is the
+         slice id; cat "vm" keeps ids from colliding with request or GC
+         slices).  Swap-outs are instants — eviction is synchronous
+         inside the faulting charge. *)
+      | Event.Swap_fault ->
+        instant ();
+        add ts_ns
+          (entry ~name:"fault-in" ~cat:"vm" ~ph:"b" ~ts_ns ~tid ~pid
+             ~extra:[ ("id", Jout.Int e.Event.a) ]
+             ~args:(field_args e) ())
+      | Event.Swap_in ->
+        add ts_ns
+          (entry ~name:"fault-in" ~cat:"vm" ~ph:"e" ~ts_ns ~tid ~pid
+             ~extra:[ ("id", Jout.Int e.Event.a) ]
+             ~args:(field_args e) ())
       | Event.Spawn | Event.Ready | Event.Wake | Event.Stop | Event.Start
       | Event.Allocate | Event.Release | Event.Sro_create | Event.Sro_destroy
       | Event.Domain_call | Event.Domain_return | Event.Fi_inject
@@ -186,7 +202,7 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
       | Event.Frame_tx | Event.Frame_rx | Event.Journal_append
       | Event.Journal_sync | Event.Store_compact | Event.Ckpt_save
       | Event.Ckpt_restore | Event.Node_kill | Event.Node_restart
-      | Event.Frame_dead | Event.Dead_letter ->
+      | Event.Frame_dead | Event.Dead_letter | Event.Swap_out ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)

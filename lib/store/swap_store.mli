@@ -1,0 +1,22 @@
+(** The store-backed swap device: segment images as journaled,
+    CRC-framed records.
+
+    Each image is a blob under a per-index key; a swap-out supersedes the
+    previous image, a drop writes the store's tombstone, and the journal
+    space both leave behind is reclaimed by the store's ordinary
+    virtual-time compaction — swapping gets crash safety (torn tails are
+    truncated at the last valid frame on reopen) and space reclamation
+    without any machinery of its own.
+
+    Swap-out passes the faulting processor's virtual clock as the blob
+    timestamp, so compaction scheduling stays in virtual time and a
+    same-seed run produces the same journal contents. *)
+
+(** The swap device persisting into [store].  The store's fsync cadence
+    and compaction thresholds come from [Store.open_]; million-object
+    working sets want a large [sync_every] and an MB-scale
+    [min_garbage_bytes]. *)
+val device : Store.t -> I432_vm.Swap_device.t
+
+(** The journal key for an object index (exposed for tests). *)
+val key_of_index : int -> string

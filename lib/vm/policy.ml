@@ -1,0 +1,18 @@
+(* Victim-selection policies (see the .mli for semantics). *)
+
+type t = Lru | Fifo | Clock | Level_aware
+
+let to_string = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Clock -> "clock"
+  | Level_aware -> "level"
+
+let of_string = function
+  | "lru" -> Some Lru
+  | "fifo" -> Some Fifo
+  | "clock" -> Some Clock
+  | "level" | "level-aware" -> Some Level_aware
+  | _ -> None
+
+let all = [ Lru; Fifo; Clock; Level_aware ]

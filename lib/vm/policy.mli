@@ -1,0 +1,18 @@
+(** Victim-selection policies for the resident-set controller.
+
+    [Lru] and [Fifo] reproduce the original swapping memory manager's
+    selection order exactly (least-recent touch, oldest arrival breaking
+    ties; oldest arrival).  [Clock] is the second-chance variant: a hand
+    sweeps the residency ring, clearing reference bits until it finds a
+    segment untouched since its last pass.  [Level_aware] prefers
+    evicting higher-level (shorter-lived) SRO segments first — paper
+    §5/§6: stack-level objects die soonest, so they are the cheapest
+    misses — and falls back to LRU order within a level. *)
+
+type t = Lru | Fifo | Clock | Level_aware
+
+val to_string : t -> string
+val of_string : string -> t option
+
+(** Every policy, in fixed order (for sweeps and flag enums). *)
+val all : t list

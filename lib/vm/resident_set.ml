@@ -1,0 +1,348 @@
+(* Resident-set controller (see the .mli for the contract).
+
+   Entries live in one flat int array, [stride] words per object-table
+   index — indices are small integers the table hands out densely, so
+   the array doubles like the table does and the steady-state
+   operations (insert, touch, remove) are a handful of loads and stores
+   on a single cache line: no hashing, no allocation.  An entry's
+   incarnation is its arrival number (the controller's own monotonic
+   counter, exactly as the original manager numbered residents);
+   arrival 0 means the slot is empty, and every policy key embeds the
+   arrival, so a reused index is distinguishable from the entry that
+   used to live there.
+
+   The heap policies (LRU, FIFO, level-aware) use a lazy pairing heap
+   that is only maintained when victims are actually requested:
+
+   - [insert] appends the index to a pending buffer (one int) instead
+     of pushing a node; [pick] flushes the buffer first, pushing one
+     node per still-live incarnation at its *current* key.
+   - [touch] that can only raise the entry's key updates the stamp in
+     place — the entry's heap node goes stale, and [pick] repairs it
+     when it surfaces (discard, push a node with the current key,
+     continue).  A touch that would *lower* the key — possible when
+     processors with different virtual clocks share an object — pushes
+     eagerly, so after a flush the heap always holds at least one node
+     at or below every live entry's current key.
+
+   That invariant is what makes the lazy minimum exact: nodes below an
+   entry's current key are discarded as stale, so the first surviving
+   node is the true minimum — the same victim the original O(n) fold
+   selected (keys embed the unique arrival, so the order is total).
+   Stale nodes are bounded by periodic rebuild: when the node
+   population exceeds twice the live population the heap is rebuilt
+   from the entry array — rebuild order cannot matter because pop
+   order is determined by the key order alone.  A run that never comes
+   under pressure never calls [pick], so it pays for no heap at all.
+
+   The clock policy keeps its own FIFO ring with a per-entry reference
+   bit: the hand clears set bits and evicts the first clear one — the
+   classic second chance, deterministic because the ring order is
+   explicit. *)
+
+(* Entry field offsets within a [stride]-word slot. *)
+let stride = 4
+let f_arrival = 0  (* 0 = slot empty; doubles as the incarnation *)
+let f_bytes = 1
+let f_level = 2
+let f_touch = 3
+
+(* Pairing heap over (k1, k2, k3) lexicographic minimum; [hi] is the
+   object-table index, [ha] the incarnation the stamp was taken from. *)
+type node = { k1 : int; k2 : int; k3 : int; hi : int; ha : int }
+type heap = Empty | Node of node * heap list
+
+(* Inlined lexicographic <= — the merge comparator runs on every push
+   and pop, so no tuple building and no polymorphic compare here. *)
+let node_le na nb =
+  na.k1 < nb.k1
+  || (na.k1 = nb.k1
+      && (na.k2 < nb.k2 || (na.k2 = nb.k2 && na.k3 <= nb.k3)))
+
+let h_merge a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (na, ca), Node (nb, cb) ->
+    if node_le na nb then Node (na, b :: ca) else Node (nb, a :: cb)
+
+let h_push h n = h_merge h (Node (n, []))
+
+let rec h_merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | a :: b :: rest -> h_merge (h_merge a b) (h_merge_pairs rest)
+
+(* Clock-ring slots carry the incarnation so a reused index reads as
+   stale. *)
+type ring_slot = { r_idx : int; r_arrival : int }
+
+type t = {
+  policy : Policy.t;
+  ram_bytes : int option;
+  mutable entries : int array;  (* [stride] words per index; see f_* *)
+  mutable a_ref : Bytes.t;  (* clock reference bits *)
+  mutable live : int;
+  mutable heap : heap;
+  mutable heap_nodes : int;  (* live + stale nodes currently in [heap] *)
+  (* Indices inserted since the last flush; pushed into the heap only
+     when a victim is requested. *)
+  mutable pend : int array;
+  mutable pend_n : int;
+  ring : ring_slot Queue.t;  (* clock order; stale slots discarded lazily *)
+  mutable arrivals : int;
+  mutable resident_bytes : int;
+}
+
+let create ~policy ?ram_bytes () =
+  (match ram_bytes with
+  | Some b when b <= 0 -> invalid_arg "Resident_set.create: ram_bytes <= 0"
+  | _ -> ());
+  {
+    policy;
+    ram_bytes;
+    entries = Array.make (1024 * stride) 0;
+    a_ref = Bytes.make 1024 '\000';
+    live = 0;
+    heap = Empty;
+    heap_nodes = 0;
+    pend = Array.make 256 0;
+    pend_n = 0;
+    ring = Queue.create ();
+    arrivals = 0;
+    resident_bytes = 0;
+  }
+
+let policy t = t.policy
+let ram_bytes t = t.ram_bytes
+let capacity t = Array.length t.entries / stride
+
+let ensure_capacity t index =
+  let n = capacity t in
+  if index >= n then begin
+    let n' = ref (n * 2) in
+    while index >= !n' do
+      n' := !n' * 2
+    done;
+    let grown = Array.make (!n' * stride) 0 in
+    Array.blit t.entries 0 grown 0 (n * stride);
+    t.entries <- grown;
+    let refs = Bytes.make !n' '\000' in
+    Bytes.blit t.a_ref 0 refs 0 n;
+    t.a_ref <- refs
+  end
+
+let present t index =
+  index >= 0
+  && index < capacity t
+  && Array.unsafe_get t.entries (index * stride) <> 0
+
+(* The entry's current key under the policy — a heap node is live iff
+   its stamp equals this. *)
+let node_of t index =
+  let off = index * stride in
+  let arrival = t.entries.(off + f_arrival) in
+  match t.policy with
+  | Policy.Lru ->
+    {
+      k1 = t.entries.(off + f_touch);
+      k2 = arrival;
+      k3 = 0;
+      hi = index;
+      ha = arrival;
+    }
+  | Policy.Fifo -> { k1 = arrival; k2 = 0; k3 = 0; hi = index; ha = arrival }
+  | Policy.Level_aware ->
+    {
+      k1 = -t.entries.(off + f_level);
+      k2 = t.entries.(off + f_touch);
+      k3 = arrival;
+      hi = index;
+      ha = arrival;
+    }
+  | Policy.Clock ->
+    (* unused: the ring orders clock picks *)
+    { k1 = 0; k2 = 0; k3 = 0; hi = index; ha = arrival }
+
+let node_current t n =
+  let off = n.hi * stride in
+  Array.unsafe_get t.entries (off + f_arrival) = n.ha
+  &&
+  match t.policy with
+  | Policy.Lru -> n.k1 = t.entries.(off + f_touch)
+  | Policy.Fifo -> true
+  | Policy.Level_aware -> n.k2 = t.entries.(off + f_touch)
+  | Policy.Clock -> true
+
+let heap_policy t =
+  match t.policy with
+  | Policy.Lru | Policy.Fifo | Policy.Level_aware -> true
+  | Policy.Clock -> false
+
+let heap_add t index =
+  t.heap <- h_push t.heap (node_of t index);
+  t.heap_nodes <- t.heap_nodes + 1
+
+(* Push the pending admissions at their current keys.  Indices freed
+   (or freed and reused) since they were queued are skipped or pushed
+   at the new incarnation's key — both harmless: the queue is only a
+   promise that the index will be findable, and duplicate current-key
+   nodes pop as ordinary stale ones. *)
+let flush_pending t =
+  for i = 0 to t.pend_n - 1 do
+    let index = t.pend.(i) in
+    if Array.unsafe_get t.entries (index * stride) <> 0 then heap_add t index
+  done;
+  t.pend_n <- 0
+
+(* Rebuild from the live entries when stale nodes dominate: pop order
+   depends only on the (total) key order, so the array's iteration
+   order cannot leak into victim selection. *)
+let maybe_rebuild t =
+  if t.heap_nodes > 64 && t.heap_nodes > 2 * t.live then begin
+    t.heap <- Empty;
+    t.heap_nodes <- 0;
+    t.pend_n <- 0;
+    for index = 0 to capacity t - 1 do
+      if Array.unsafe_get t.entries (index * stride) <> 0 then
+        heap_add t index
+    done
+  end
+
+let drop_entry t off =
+  t.entries.(off + f_arrival) <- 0;
+  t.live <- t.live - 1;
+  t.resident_bytes <- t.resident_bytes - t.entries.(off + f_bytes)
+
+let insert t ~index ~bytes ~level ~now =
+  if index < 0 then invalid_arg "Resident_set.insert: negative index";
+  ensure_capacity t index;
+  let off = index * stride in
+  (* An object-table index can be reused without the controller hearing
+     about the release (the GC frees dead objects behind the manager's
+     back); re-admission supersedes any stale entry. *)
+  if t.entries.(off + f_arrival) <> 0 then drop_entry t off;
+  t.arrivals <- t.arrivals + 1;
+  t.entries.(off + f_arrival) <- t.arrivals;
+  t.entries.(off + f_bytes) <- bytes;
+  t.entries.(off + f_level) <- level;
+  t.entries.(off + f_touch) <- now;
+  t.live <- t.live + 1;
+  t.resident_bytes <- t.resident_bytes + bytes;
+  if heap_policy t then begin
+    if t.pend_n = Array.length t.pend then
+      t.pend <- Array.append t.pend (Array.make (Array.length t.pend) 0);
+    t.pend.(t.pend_n) <- index;
+    t.pend_n <- t.pend_n + 1
+  end
+  else begin
+    Bytes.unsafe_set t.a_ref index '\000';
+    Queue.add { r_idx = index; r_arrival = t.arrivals } t.ring
+  end
+
+let touch t ~index ~now =
+  if present t index then begin
+    let off = index * stride in
+    match t.policy with
+    | Policy.Clock ->
+      t.entries.(off + f_touch) <- now;
+      Bytes.unsafe_set t.a_ref index '\001'
+    | Policy.Fifo -> t.entries.(off + f_touch) <- now  (* key is static *)
+    | Policy.Lru | Policy.Level_aware ->
+      (* Deferred restamp: raising the key leaves the old node as a
+         stale lower bound for [pick] to repair; lowering it (another
+         processor's clock runs behind) must push eagerly or the heap
+         would miss the entry's new, smaller key. *)
+      if now < t.entries.(off + f_touch) then begin
+        t.entries.(off + f_touch) <- now;
+        heap_add t index
+      end
+      else t.entries.(off + f_touch) <- now
+  end
+
+let remove t ~index = if present t index then drop_entry t (index * stride)
+let mem t ~index = present t index
+let count t = t.live
+let resident_bytes t = t.resident_bytes
+
+let over_envelope t ~extra =
+  match t.ram_bytes with
+  | None -> false
+  | Some cap -> t.resident_bytes + extra > cap
+
+let pick_heap t ~avoid ~evictable =
+  flush_pending t;
+  maybe_rebuild t;
+  (* Pop minima.  A stale node whose entry is still live is replaced by
+     a node with the current key (the deferred restamp above), so every
+     live entry stays findable; nodes the filter rejects are set aside
+     and re-pushed — the entries remain candidates for later picks, as
+     in the original list scan. *)
+  let aside = ref [] in
+  let rec go () =
+    match t.heap with
+    | Empty -> None
+    | Node (n, children) ->
+      t.heap <- h_merge_pairs children;
+      t.heap_nodes <- t.heap_nodes - 1;
+      let arrival = Array.unsafe_get t.entries ((n.hi * stride) + f_arrival) in
+      if arrival = 0 then go ()
+      else if not (node_current t n) then begin
+        (* An index reused since the stamp was taken is repaired by its
+           own pending/flushed node, not by this incarnation's. *)
+        if arrival = n.ha then heap_add t n.hi;
+        go ()
+      end
+      else if n.hi = avoid || not (evictable n.hi) then begin
+        aside := n :: !aside;
+        go ()
+      end
+      else Some n
+  in
+  let found = go () in
+  List.iter
+    (fun n ->
+      t.heap <- h_push t.heap n;
+      t.heap_nodes <- t.heap_nodes + 1)
+    !aside;
+  match found with
+  | None -> None
+  | Some n ->
+    (* The caller normally removes the victim next; keep its node so a
+       pick the caller abandons leaves the entry selectable. *)
+    t.heap <- h_push t.heap n;
+    t.heap_nodes <- t.heap_nodes + 1;
+    Some n.hi
+
+let pick_clock t ~avoid ~evictable =
+  (* Two full passes suffice: the first clears every set reference bit
+     the hand crosses, the second must then find a clear one (unless all
+     residents are filtered out). *)
+  let budget = ref ((2 * Queue.length t.ring) + 1) in
+  let rec go () =
+    if !budget <= 0 || Queue.is_empty t.ring then None
+    else begin
+      decr budget;
+      let s = Queue.pop t.ring in
+      if (not (present t s.r_idx))
+         || t.entries.((s.r_idx * stride) + f_arrival) <> s.r_arrival
+      then go ()
+      else if s.r_idx = avoid || not (evictable s.r_idx) then begin
+        Queue.add s t.ring;
+        go ()
+      end
+      else if Bytes.get t.a_ref s.r_idx <> '\000' then begin
+        Bytes.unsafe_set t.a_ref s.r_idx '\000';
+        Queue.add s t.ring;
+        go ()
+      end
+      else begin
+        Queue.add s t.ring;
+        Some s.r_idx
+      end
+    end
+  in
+  go ()
+
+let pick t ~avoid ~evictable =
+  if heap_policy t then pick_heap t ~avoid ~evictable
+  else pick_clock t ~avoid ~evictable

@@ -1,0 +1,52 @@
+(** The resident-set controller: bookkeeping for every segment currently
+    occupying a physical frame, an optional RAM envelope, and O(log n)
+    victim selection under a pluggable {!Policy}.
+
+    The controller holds no kernel state — the swapping memory manager
+    reports insertions, touches, and removals, and asks for victims; the
+    caller owns the actual frame movement.  Selection order under [Lru]
+    and [Fifo] is exactly the original manager's (least (last_touch,
+    arrival) pair; least arrival): keys are unique, so the heap minimum
+    equals the old linear fold's minimum on every pick — which is what
+    keeps pre-existing swap traces byte-identical — while scaling to
+    million-entry resident sets.
+
+    Entries the victim filter rejects (the caller's [evictable] says no,
+    or the index equals [avoid]) are retained for later picks, matching
+    the original list-based behavior. *)
+
+type t
+
+(** [ram_bytes] is the optional resident-set envelope; [None] means the
+    envelope is unbounded and {!over_envelope} is always false. *)
+val create : policy:Policy.t -> ?ram_bytes:int -> unit -> t
+
+val policy : t -> Policy.t
+val ram_bytes : t -> int option
+
+(** Register a segment that just became resident.  [now] stamps the
+    initial recency; arrival order is the controller's own monotonic
+    counter, exactly as the original manager numbered residents. *)
+val insert : t -> index:int -> bytes:int -> level:int -> now:int -> unit
+
+(** Refresh recency (and the clock reference bit).  No-op for an index
+    that is not resident. *)
+val touch : t -> index:int -> now:int -> unit
+
+(** Unregister (swap-out or free).  No-op for an unknown index. *)
+val remove : t -> index:int -> unit
+
+val mem : t -> index:int -> bool
+val count : t -> int
+
+(** Sum of [bytes] over the current residents. *)
+val resident_bytes : t -> int
+
+(** True when the envelope is configured and admitting [extra] more
+    resident bytes would exceed it. *)
+val over_envelope : t -> extra:int -> bool
+
+(** The next victim under the policy, skipping [avoid] and any index the
+    caller's [evictable] rejects (both stay registered).  [None] when no
+    admissible resident exists. *)
+val pick : t -> avoid:int -> evictable:(int -> bool) -> int option

@@ -1,0 +1,56 @@
+(* Swap devices (see the .mli). *)
+
+type stats = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable drops : int;
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+}
+
+type t = {
+  dev_name : string;
+  dev_write : index:int -> now_ns:int -> Bytes.t -> unit;
+  dev_read : index:int -> Bytes.t option;
+  dev_drop : index:int -> now_ns:int -> unit;
+  dev_stats : stats;
+}
+
+let make ~name ~write ~read ~drop =
+  let st =
+    { writes = 0; reads = 0; drops = 0; bytes_written = 0; bytes_read = 0 }
+  in
+  {
+    dev_name = name;
+    dev_write =
+      (fun ~index ~now_ns image ->
+        st.writes <- st.writes + 1;
+        st.bytes_written <- st.bytes_written + Bytes.length image;
+        write ~index ~now_ns image);
+    dev_read =
+      (fun ~index ->
+        match read ~index with
+        | Some image as r ->
+          st.reads <- st.reads + 1;
+          st.bytes_read <- st.bytes_read + Bytes.length image;
+          r
+        | None -> None);
+    dev_drop =
+      (fun ~index ~now_ns ->
+        st.drops <- st.drops + 1;
+        drop ~index ~now_ns);
+    dev_stats = st;
+  }
+
+let write t = t.dev_write
+let read t = t.dev_read
+let drop t = t.dev_drop
+let name t = t.dev_name
+let stats t = t.dev_stats
+
+let in_memory () =
+  let backing : (int, Bytes.t) Hashtbl.t = Hashtbl.create 64 in
+  make ~name:"in-memory"
+    ~write:(fun ~index ~now_ns:_ image -> Hashtbl.replace backing index image)
+    ~read:(fun ~index -> Hashtbl.find_opt backing index)
+    ~drop:(fun ~index ~now_ns:_ -> Hashtbl.remove backing index)

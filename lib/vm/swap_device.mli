@@ -1,0 +1,50 @@
+(** The swap device: where evicted segment images live while absent.
+
+    A device is a record of closures, so implementations can live above
+    this library in the dependency graph — the in-memory table here, the
+    store-backed device in [I432_store.Swap_store] (journaled, CRC-framed,
+    reclaimed by virtual-time compaction).  [now_ns] carries the faulting
+    processor's virtual clock so a persistent device can drive its
+    compaction schedule from virtual time, exactly as checkpoint blobs
+    do.
+
+    Transfer accounting is centralized in {!make}, so every
+    implementation reports the same [stats] shape — the source of the
+    swap-device throughput ([swap_tp]) bench key. *)
+
+type stats = {
+  mutable writes : int;
+  mutable reads : int;
+  mutable drops : int;
+  mutable bytes_written : int;
+  mutable bytes_read : int;
+}
+
+type t = private {
+  dev_name : string;
+  dev_write : index:int -> now_ns:int -> Bytes.t -> unit;
+      (** Persist the image for [index], superseding any previous one. *)
+  dev_read : index:int -> Bytes.t option;
+      (** The image last written for [index], if any. *)
+  dev_drop : index:int -> now_ns:int -> unit;
+      (** Discard [index]'s image (tombstone on a persistent device). *)
+  dev_stats : stats;
+}
+
+(** Wrap an implementation; the returned closures keep [dev_stats]. *)
+val make :
+  name:string ->
+  write:(index:int -> now_ns:int -> Bytes.t -> unit) ->
+  read:(index:int -> Bytes.t option) ->
+  drop:(index:int -> now_ns:int -> unit) ->
+  t
+
+val write : t -> index:int -> now_ns:int -> Bytes.t -> unit
+val read : t -> index:int -> Bytes.t option
+val drop : t -> index:int -> now_ns:int -> unit
+val name : t -> string
+val stats : t -> stats
+
+(** The hash-table device the original swapping manager embedded — image
+    lifetime is the device's lifetime, nothing persists. *)
+val in_memory : unit -> t

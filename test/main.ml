@@ -14,6 +14,7 @@ let () =
       ("fi", Test_fi.suite);
       ("net", Test_net.suite);
       ("store", Test_store.suite);
+      ("vm", Test_vm.suite);
       ("load", Test_load.suite);
       ("units", Test_units.suite);
       ("integration", Test_integration.suite);
