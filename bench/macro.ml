@@ -616,6 +616,129 @@ let measure_swap ~smoke =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Transactional banking                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The lib/txn macro scenario: token-guarded accounts driven by a seeded
+   transfer mix where every transfer is an atomic two-token acquire
+   followed by a keyed commit.  The bench reads commit-latency quantiles
+   and the abort rate off the straight run, then re-proves the three
+   invariants the subsystem sells — conservation under a random §8 fault
+   plan, exactly-once delivery across a kill/rejoin whose rollback
+   window forces the audit NIC to dedup re-sent completions, and
+   event-sourced history replaying every account to its live balance. *)
+
+module Fi = I432_fi.Fi
+module Banking = I432_txn.Banking
+module History = I432_txn.History
+
+type banking_run = {
+  bk_accounts : int;
+  bk_transfers : int;
+  bk_workers : int;
+  bk_committed : int;
+  bk_aborted : int;
+  bk_completions : int;
+  bk_dup_completions : int;
+  bk_conserved : bool;
+  bk_abort_rate : float;
+  bk_p50_us : float;  (* request-to-completion, virtual time *)
+  bk_p99_us : float;
+  bk_p999_us : float;
+  bk_history_ok : bool;  (* every account replays to its live balance *)
+  bk_deterministic : bool;  (* same-seed event streams identical *)
+  bk_chaos_sound : bool;  (* random fault plan: conserved + exactly-once *)
+  bk_kill_sound : bool;  (* cluster kill/rejoin: conserved + exactly-once *)
+  bk_dup_drops : int;  (* duplicate frames the audit NIC dropped *)
+}
+
+let banking_seed = 23
+let banking_workers = 4
+let banking_accounts ~smoke = if smoke then 4 else 8
+let banking_transfers ~smoke = if smoke then 48 else 240
+
+let banking_sound (r : Banking.result) =
+  Banking.conserved r
+  && r.Banking.completions = r.Banking.committed
+  && r.Banking.dup_completions = 0
+  && r.Banking.committed + r.Banking.aborted = r.Banking.transfers
+
+let banking_stream m = List.map Obs.Event.to_string (K.Machine.events m)
+
+let measure_banking ~smoke =
+  let accounts = banking_accounts ~smoke in
+  let transfers = banking_transfers ~smoke in
+  let straight () =
+    (* Scratch journals share the swap sweep's directory. *)
+    let store = St.open_ (fresh_swap_journal ()) in
+    let m, history, r =
+      Banking.run ~workers:banking_workers ~history_store:store ~accounts
+        ~transfers ~seed:banking_seed ()
+    in
+    let ok =
+      List.for_all
+        (fun (name, _) -> History.verify (Option.get history) ~name)
+        (History.tracked (Option.get history))
+    in
+    St.close store;
+    (m, r, ok)
+  in
+  let m1, r, history_ok = straight () in
+  let m2, _, _ = straight () in
+  let lats =
+    Array.of_list
+      (List.sort compare (List.map float_of_int r.Banking.latencies))
+  in
+  let chaos_sound =
+    let plan =
+      Fi.random ~seed:banking_seed ~horizon_ns:3_000_000 ~processors:2
+        ~count:4 ~cpu_faults:0
+    in
+    let _, _, rc =
+      Banking.run ~processors:2 ~workers:banking_workers ~accounts ~transfers
+        ~seed:banking_seed ~plan ()
+    in
+    (* A transient can kill a teller outright, losing its remaining
+       transfers — so unlike the fault-free legs the chaos gate asks
+       only for atomicity: conservation and exactly-once completion of
+       whatever did commit. *)
+    Banking.conserved rc
+    && rc.Banking.completions = rc.Banking.committed
+    && rc.Banking.dup_completions = 0
+  in
+  let kill_sound, dup_drops =
+    let ckpt_store = St.open_ (fresh_swap_journal ()) in
+    let cr =
+      Banking.run_cluster ~workers:banking_workers ~kill:(600_000, 900_000)
+        ~ckpt_ns:200_000 ~ckpt_store ~accounts ~transfers ~seed:banking_seed ()
+    in
+    St.close ckpt_store;
+    ( banking_sound cr.Banking.res,
+      Net.Cluster.txn_dup_drops cr.Banking.cluster )
+  in
+  {
+    bk_accounts = accounts;
+    bk_transfers = transfers;
+    bk_workers = banking_workers;
+    bk_committed = r.Banking.committed;
+    bk_aborted = r.Banking.aborted;
+    bk_completions = r.Banking.completions;
+    bk_dup_completions = r.Banking.dup_completions;
+    bk_conserved = Banking.conserved r;
+    bk_abort_rate =
+      (if transfers = 0 then 0.0
+       else float_of_int r.Banking.aborted /. float_of_int transfers);
+    bk_p50_us = us (exact_quantile lats 0.5);
+    bk_p99_us = us (exact_quantile lats 0.99);
+    bk_p999_us = us (exact_quantile lats 0.999);
+    bk_history_ok = history_ok;
+    bk_deterministic = banking_stream m1 = banking_stream m2;
+    bk_chaos_sound = chaos_sound;
+    bk_kill_sound = kill_sound;
+    bk_dup_drops = dup_drops;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Run + report                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -625,6 +748,7 @@ type result = {
   r_determinism : determinism;
   r_chaos : chaos_run;
   r_swap : swap_sweep;
+  r_banking : banking_run;
 }
 
 let measure ~smoke () =
@@ -655,6 +779,7 @@ let measure ~smoke () =
     r_determinism = measure_determinism ~smoke;
     r_chaos = measure_chaos ~smoke ~rate_rps:knee_rate;
     r_swap = measure_swap ~smoke;
+    r_banking = measure_banking ~smoke;
   }
 
 let print_summary r =
@@ -710,7 +835,23 @@ let print_summary r =
     s.ss_points;
   Printf.printf "  swap determinism: same-seed %s, kill-mid-swap restore %s\n"
     (if s.ss_deterministic then "identical" else "DIVERGED")
-    (if s.ss_restore_identical then "identical" else "DIVERGED")
+    (if s.ss_restore_identical then "identical" else "DIVERGED");
+  let b = r.r_banking in
+  Printf.printf
+    "-- transactional banking (%d accounts, %d transfers, %d tellers) --\n\
+    \  committed=%d aborted=%d completions=%d dups=%d abort_rate=%.3f %s\n\
+    \  completion latency: p50 %.1f us, p99 %.1f us, p999 %.1f us\n\
+    \  history replay %s, same-seed streams %s\n\
+    \  chaos run %s; kill/rejoin %s with %d duplicate frame(s) dropped\n"
+    b.bk_accounts b.bk_transfers b.bk_workers b.bk_committed b.bk_aborted
+    b.bk_completions b.bk_dup_completions b.bk_abort_rate
+    (if b.bk_conserved then "conserved" else "NOT CONSERVED")
+    b.bk_p50_us b.bk_p99_us b.bk_p999_us
+    (if b.bk_history_ok then "ok" else "FAILED")
+    (if b.bk_deterministic then "identical" else "DIVERGED")
+    (if b.bk_chaos_sound then "sound" else "UNSOUND")
+    (if b.bk_kill_sound then "exactly-once" else "UNSOUND")
+    b.bk_dup_drops
 
 (* Every point completed everything, quantiles are ordered, every knee
    found at least one absorbed point, determinism held — and the chaos
@@ -758,13 +899,28 @@ let check r =
          && p.sp_tp_mb_s > 0.0
          && p.sp_resident_bytes <= p.sp_ram_bytes)
        s.ss_points
+  && (let rec nondecreasing = function
+        | a :: (b : swap_point) :: rest ->
+          a.sp_fault_rate <= b.sp_fault_rate +. 1e-9
+          && nondecreasing (b :: rest)
+        | _ -> true
+      in
+      nondecreasing s.ss_points)
   &&
-  let rec nondecreasing = function
-    | a :: (b : swap_point) :: rest ->
-      a.sp_fault_rate <= b.sp_fault_rate +. 1e-9 && nondecreasing (b :: rest)
-    | _ -> true
-  in
-  nondecreasing s.ss_points
+  (* Banking: the straight run sound with ordered quantiles, history
+     replay and same-seed determinism held, the chaos run sound, and
+     the kill/rejoin exactly-once with the NIC provably deduping. *)
+  let b = r.r_banking in
+  b.bk_conserved
+  && b.bk_completions = b.bk_committed
+  && b.bk_dup_completions = 0
+  && b.bk_committed + b.bk_aborted = b.bk_transfers
+  && b.bk_committed > 0
+  && b.bk_p50_us > 0.0
+  && b.bk_p99_us >= b.bk_p50_us
+  && b.bk_p999_us >= b.bk_p99_us
+  && b.bk_history_ok && b.bk_deterministic && b.bk_chaos_sound
+  && b.bk_kill_sound && b.bk_dup_drops > 0
 
 let to_json r =
   let open Json_out in
@@ -864,6 +1020,27 @@ let to_json r =
                          ("elapsed_ms", Float p.sp_elapsed_ms);
                        ])
                    r.r_swap.ss_points) );
+          ] );
+      ( "banking",
+        Obj
+          [
+            ("accounts", Int r.r_banking.bk_accounts);
+            ("transfers", Int r.r_banking.bk_transfers);
+            ("workers", Int r.r_banking.bk_workers);
+            ("committed", Int r.r_banking.bk_committed);
+            ("aborted", Int r.r_banking.bk_aborted);
+            ("completions", Int r.r_banking.bk_completions);
+            ("dup_completions", Int r.r_banking.bk_dup_completions);
+            ("conserved", Bool r.r_banking.bk_conserved);
+            ("abort_rate", Float r.r_banking.bk_abort_rate);
+            ("p50_us", Float r.r_banking.bk_p50_us);
+            ("p99_us", Float r.r_banking.bk_p99_us);
+            ("p999_us", Float r.r_banking.bk_p999_us);
+            ("history_replay_ok", Bool r.r_banking.bk_history_ok);
+            ("same_seed_identical", Bool r.r_banking.bk_deterministic);
+            ("chaos_sound", Bool r.r_banking.bk_chaos_sound);
+            ("kill_rejoin_exactly_once", Bool r.r_banking.bk_kill_sound);
+            ("nic_dup_drops", Int r.r_banking.bk_dup_drops);
           ] );
       ( "engines",
         Arr

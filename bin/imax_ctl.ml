@@ -1787,6 +1787,301 @@ let swap_cmd =
       $ policy $ objects $ object_bytes $ users $ touches $ ram_bytes $ seed
       $ kill_ns $ chrome $ check)
 
+(* ---------------- txn: transactional banking ---------------- *)
+
+let scenario_txn path accounts transfers workers seed cluster kill_ns
+    restart_ns ckpt_ns check =
+  if accounts < 2 then die "--accounts %d: need at least 2" accounts;
+  if kill_ns > 0 && not cluster then
+    die "--kill-ns: the kill/rejoin variant needs --cluster";
+  let restart_ns =
+    if kill_ns > 0 && restart_ns = 0 then 2 * kill_ns else restart_ns
+  in
+  if kill_ns > 0 && restart_ns <= kill_ns then
+    die "--restart-ns %d: must come after the kill at %d ns" restart_ns kill_ns;
+  if ckpt_ns > 0 && kill_ns = 0 then
+    die "--ckpt-ns: only meaningful with --kill-ns";
+  if ckpt_ns > kill_ns then
+    die "--ckpt-ns %d: the checkpoint must precede the kill at %d ns" ckpt_ns
+      kill_ns;
+  let stream m = List.map Obs.Event.to_string (K.Machine.events m) in
+  let txn_counters m =
+    List.filter
+      (fun c ->
+        String.length c.Obs.Metrics.c_name >= 4
+        && String.sub c.Obs.Metrics.c_name 0 4 = "txn.")
+      (Obs.Metrics.counters (K.Machine.metrics m))
+  in
+  let print_result tag (r : I432_txn.Banking.result) =
+    Printf.printf "%s: %s\n" tag (I432_txn.Banking.result_to_string r);
+    let lats = List.sort compare r.I432_txn.Banking.latencies in
+    let n = List.length lats in
+    if n > 0 then begin
+      let q p = List.nth lats (min (n - 1) (p * n / 100)) in
+      Printf.printf
+        "completion latency: p50 %d ns, p99 %d ns over %d samples\n" (q 50)
+        (q 99) n
+    end
+  in
+  let die_unless_sound tag (r : I432_txn.Banking.result) =
+    if not (I432_txn.Banking.conserved r) then
+      die "%s: balance NOT conserved (%d != %d)" tag
+        r.I432_txn.Banking.final_total r.I432_txn.Banking.initial_total;
+    if r.I432_txn.Banking.completions <> r.I432_txn.Banking.committed then
+      die "%s: %d commits but %d completions — not exactly-once" tag
+        r.I432_txn.Banking.committed r.I432_txn.Banking.completions;
+    if r.I432_txn.Banking.dup_completions <> 0 then
+      die "%s: %d duplicate completions reached the auditor" tag
+        r.I432_txn.Banking.dup_completions
+  in
+  fresh_journal path;
+  let store = St.open_ path in
+  if cluster then begin
+    let kill = if kill_ns > 0 then Some (kill_ns, restart_ns) else None in
+    let ckpt_path = path ^ ".ckpt" in
+    let ckpt_store =
+      match kill with
+      | None -> None
+      | Some _ ->
+        fresh_journal ckpt_path;
+        Some (St.open_ ckpt_path)
+    in
+    let go () =
+      I432_txn.Banking.run_cluster ~workers ?kill
+        ?ckpt_ns:(if ckpt_ns > 0 then Some ckpt_ns else None)
+        ?ckpt_store ~history_store:store ~accounts ~transfers ~seed ()
+    in
+    let cr = go () in
+    let r = cr.I432_txn.Banking.res in
+    Printf.printf "banking cluster: %d accounts on %s, auditor on %s%s\n"
+      accounts
+      (Net.Cluster.node_name cr.I432_txn.Banking.cluster
+         cr.I432_txn.Banking.bank_node)
+      (Net.Cluster.node_name cr.I432_txn.Banking.cluster
+         cr.I432_txn.Banking.audit_node)
+      (match kill with
+      | Some (k, rs) ->
+        Printf.sprintf ", bank killed at %d ns, rejoined at %d ns" k rs
+      | None -> "");
+    print_result "cluster" r;
+    Printf.printf "%s\n"
+      (Net.Cluster.report_to_string cr.I432_txn.Banking.report);
+    Printf.printf "txn-level dup frames dropped by the NIC: %d\n"
+      (Net.Cluster.txn_dup_drops cr.I432_txn.Banking.cluster);
+    die_unless_sound "cluster" r;
+    if check then begin
+      (match kill with
+      | None -> ()
+      | Some _ ->
+        if not
+             (Net.Cluster.node_alive cr.I432_txn.Banking.cluster
+                cr.I432_txn.Banking.bank_node)
+        then die "check FAILED: bank node did not rejoin");
+      (* An early checkpoint leaves a rollback window of commits whose
+         completions already escaped — the rejoin MUST re-send them and
+         the audit NIC MUST drop them. *)
+      if
+        ckpt_ns > 0
+        && Net.Cluster.txn_dup_drops cr.I432_txn.Banking.cluster = 0
+      then
+        die
+          "check FAILED: checkpoint at %d ns predates the kill yet the NIC \
+           dropped no duplicate frames"
+          ckpt_ns;
+      Printf.printf
+        "check: %s exactly-once across %s\n"
+        (match kill with
+        | Some _ -> "kill-mid-commit rejoin kept delivery"
+        | None -> "cluster delivery")
+        (Printf.sprintf "%d commits" r.I432_txn.Banking.committed)
+    end;
+    (match ckpt_store with Some s -> St.close s | None -> ())
+  end
+  else begin
+    let machine, history, r =
+      I432_txn.Banking.run ~workers ~history_store:store ~accounts ~transfers
+        ~seed ()
+    in
+    Printf.printf "banking: %d accounts, %d transfers, %d tellers, seed %d\n"
+      accounts transfers workers seed;
+    print_result "banking" r;
+    List.iter
+      (fun c ->
+        Printf.printf "  %s = %d\n" c.Obs.Metrics.c_name
+          c.Obs.Metrics.c_value)
+      (txn_counters machine);
+    die_unless_sound "banking" r;
+    let h = Option.get history in
+    List.iter
+      (fun (name, _) ->
+        if not (I432_txn.History.verify h ~name) then
+          die "history FAILED: %s does not replay to its live state" name)
+      (I432_txn.History.tracked h);
+    Printf.printf
+      "history: %d accounts tracked, every one replays to its live balance \
+       (imax_ctl history acct0 --path %s)\n"
+      accounts path;
+    if check then begin
+      (* Same seed, same configuration (history journaled to a scratch
+         twin), same bytes. *)
+      let twin = path ^ ".check" in
+      fresh_journal twin;
+      let twin_store = St.open_ twin in
+      let machine2, _, r2 =
+        I432_txn.Banking.run ~workers ~history_store:twin_store ~accounts
+          ~transfers ~seed ()
+      in
+      St.close twin_store;
+      if r2.I432_txn.Banking.committed <> r.I432_txn.Banking.committed then
+        die "check FAILED: re-run committed %d vs %d"
+          r2.I432_txn.Banking.committed r.I432_txn.Banking.committed;
+      if stream machine2 <> stream machine then
+        die "check FAILED: same-seed event streams diverge";
+      (* Kill-mid-commit rejoin on the cluster variant proves the
+         exactly-once seam end to end.  Checkpointing well before the
+         kill rolls already-completed commits back, so the audit NIC has
+         real duplicate frames to drop. *)
+      let ckpt_path = path ^ ".ckpt" in
+      fresh_journal ckpt_path;
+      let ckpt_store = St.open_ ckpt_path in
+      let cr =
+        I432_txn.Banking.run_cluster ~workers ~kill:(600_000, 900_000)
+          ~ckpt_ns:200_000 ~ckpt_store ~accounts ~transfers ~seed ()
+      in
+      die_unless_sound "kill/rejoin" cr.I432_txn.Banking.res;
+      let drops = Net.Cluster.txn_dup_drops cr.I432_txn.Banking.cluster in
+      if drops = 0 then
+        die
+          "check FAILED: rollback window produced no duplicate frames for \
+           the NIC to drop";
+      St.close ckpt_store;
+      Printf.printf
+        "check: same-seed streams identical; kill-mid-commit rejoin kept %d \
+         commits exactly-once (%d duplicate frames dropped)\n"
+        cr.I432_txn.Banking.res.I432_txn.Banking.committed drops
+    end
+  end;
+  St.close store
+
+let txn_cmd =
+  let accounts =
+    Arg.(
+      value & opt int 6
+      & info [ "accounts" ] ~docv:"N" ~doc:"Bank accounts (token-guarded).")
+  in
+  let transfers =
+    Arg.(
+      value & opt int 60
+      & info [ "transfers" ] ~docv:"N" ~doc:"Transfers in the seeded mix.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N" ~doc:"Concurrent teller processes.")
+  in
+  let seed = seed_arg ~default:7 ~doc:"Transfer-mix seed." in
+  let cluster =
+    Arg.(
+      value & flag
+      & info [ "cluster" ]
+          ~doc:
+            "Two-node variant: accounts and tellers on node $(b,bank), the \
+             auditor behind an exported port on node $(b,audit).")
+  in
+  let kill_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "kill-ns" ] ~docv:"NS"
+          ~doc:
+            "With --cluster: kill the bank node at this virtual instant and \
+             rejoin it from its checkpoint.")
+  in
+  let restart_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "restart-ns" ] ~docv:"NS"
+          ~doc:"With --kill-ns: rejoin instant (must follow the kill).")
+  in
+  let ckpt_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "ckpt-ns" ] ~docv:"NS"
+          ~doc:
+            "With --kill-ns: checkpoint instant (default: the kill itself). \
+             Setting it well before the kill rolls committed work back on \
+             rejoin, forcing the audit NIC to dedup re-sent completions.")
+  in
+  let check =
+    check_arg
+      ~doc:
+        "Fail unless the run conserves total balance with exactly-once \
+         completion, a same-seed re-run's event stream is byte-identical, \
+         and a kill-mid-commit checkpoint/rejoin of the bank node still \
+         delivers every commit exactly once."
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:
+         "Transactional banking: atomic multi-port transfer groups with \
+          idempotency keys and event-sourced account history.")
+    Term.(
+      const scenario_txn
+      $ path_arg ~default:(scratch_path "imax_txn.journal")
+      $ accounts $ transfers $ workers $ seed $ cluster $ kill_ns $ restart_ns
+      $ ckpt_ns $ check)
+
+(* ---------------- history: audit an object's event log ---------------- *)
+
+let scenario_history path name to_ns =
+  if not (Sys.file_exists path) then
+    die "%s: no journal (run `imax_ctl txn` first or pass --path)" path;
+  let store = St.open_ path in
+  let recs = I432_txn.History.records store ~name in
+  (match I432_txn.History.replay store ~name ~to_ns:0 with
+  | None -> die "%s: no history filed under this name" name
+  | Some base ->
+    Printf.printf "%s: base image %d bytes, %d committed mutations\n" name
+      (Bytes.length base) (List.length recs));
+  List.iteri
+    (fun i (commit_ns, key, writes) ->
+      Printf.printf "  #%d at %d ns key=%d %s\n" (i + 1) commit_ns key
+        (String.concat ", "
+           (List.map
+              (fun (off, w) -> Printf.sprintf "[%d]=%d" off w)
+              writes)))
+    recs;
+  let bound = if to_ns > 0 then to_ns else max_int in
+  (match I432_txn.History.replay store ~name ~to_ns:bound with
+  | None -> ()
+  | Some img ->
+    Printf.printf "replayed to %s: word[0] = %ld\n"
+      (if to_ns > 0 then Printf.sprintf "%d ns" to_ns else "end of history")
+      (Bytes.get_int32_le img 0));
+  St.close store
+
+let history_cmd =
+  let obj_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Tracked object name (e.g. acct0).")
+  in
+  let to_ns =
+    Arg.(
+      value & opt int 0
+      & info [ "to-ns" ] ~docv:"NS"
+          ~doc:"Replay only mutations committed at or before this instant.")
+  in
+  Cmd.v
+    (Cmd.info "history"
+       ~doc:
+         "Audit an object's event-sourced history: list its committed \
+          mutations and replay its state to a point in virtual time.")
+    Term.(
+      const scenario_history
+      $ path_arg ~default:(scratch_path "imax_txn.journal")
+      $ obj_name $ to_ns)
+
 let main =
   Cmd.group
     (Cmd.info "imax_ctl" ~version:"1.0"
@@ -1794,7 +2089,7 @@ let main =
     [
       pipeline_cmd; churn_cmd; tapes_cmd; rendezvous_cmd; trace_cmd;
       metrics_cmd; chaos_cmd; net_cmd; store_cmd; checkpoint_cmd; swap_cmd;
-      loadgen_cmd;
+      loadgen_cmd; txn_cmd; history_cmd;
     ]
 
 let () = exit (Cmd.eval main)

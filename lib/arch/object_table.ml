@@ -31,6 +31,7 @@ type entry = {
   mutable color : color;  (* tri-color state for the on-the-fly GC (§8.1) *)
   mutable sro : int;  (* index of the allocating SRO, -1 for primal objects *)
   mutable swapped_out : bool;  (* used by the swapping memory manager (§6.2) *)
+  mutable dirty : bool;  (* data part written since the last swap transfer *)
   mutable payload : payload option;
 }
 
@@ -125,6 +126,7 @@ let allocate_entry t ~otype ~base ~data_length ~access_length ~level ~sro =
       color = Gray;
       sro;
       swapped_out = false;
+      dirty = false;
       payload = None;
     }
   in

@@ -23,6 +23,7 @@ type entry = {
   mutable color : color;
   mutable sro : int;
   mutable swapped_out : bool;
+  mutable dirty : bool;
   mutable payload : payload option;
 }
 

@@ -42,6 +42,7 @@ let read_u8 table memory access ~offset =
 let write_u8 table memory access ~offset v =
   let e = need_write table access in
   check_data_bounds e offset 1;
+  e.Object_table.dirty <- true;
   Memory.write_u8 memory (e.base + offset) v
 
 let read_u16 table memory access ~offset =
@@ -52,6 +53,7 @@ let read_u16 table memory access ~offset =
 let write_u16 table memory access ~offset v =
   let e = need_write table access in
   check_data_bounds e offset 2;
+  e.Object_table.dirty <- true;
   Memory.write_u16 memory (e.base + offset) v
 
 let read_i32 table memory access ~offset =
@@ -62,6 +64,7 @@ let read_i32 table memory access ~offset =
 let write_i32 table memory access ~offset v =
   let e = need_write table access in
   check_data_bounds e offset 4;
+  e.Object_table.dirty <- true;
   Memory.write_i32 memory (e.base + offset) v
 
 let read_bytes table memory access ~offset ~len =
@@ -72,6 +75,7 @@ let read_bytes table memory access ~offset ~len =
 let write_bytes table memory access ~offset src =
   let e = need_write table access in
   check_data_bounds e offset (Bytes.length src);
+  e.Object_table.dirty <- true;
   Memory.blit_from_bytes memory ~src ~dst_addr:(e.base + offset)
 
 (* Access part *)

@@ -274,29 +274,47 @@ module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
 
   (* Swap one segment out: save its data image on the device, mark the
      descriptor absent, and return its frame to the owning SRO's free
-     store. *)
+     store.
+
+     A clean victim — not written since its last device transfer, with
+     its image still retained on the device — skips the write and its
+     charge entirely: the retained image is already current.  Only an
+     attached device retains images across swap-in (see [swap_in]), so
+     the embedded manager never takes this path and stays byte-identical
+     to the pre-dirty-bit behavior. *)
   let swap_out t index =
     let table = K.Machine.table t.machine in
     let memory = K.Machine.memory t.machine in
     let e = Object_table.lookup table index in
-    let image =
-      Memory.blit_to_bytes memory ~src_addr:e.Object_table.base
-        ~len:e.Object_table.data_length
+    let clean =
+      (not e.Object_table.dirty) && Vm.Swap_device.mem t.dev ~index
     in
-    Vm.Swap_device.write t.dev ~index ~now_ns:(K.Machine.now t.machine) image;
+    if not clean then begin
+      let image =
+        Memory.blit_to_bytes memory ~src_addr:e.Object_table.base
+          ~len:e.Object_table.data_length
+      in
+      Vm.Swap_device.write t.dev ~index ~now_ns:(K.Machine.now t.machine) image
+    end;
     (match Sro.state_of_object table ~index with
     | Some s ->
       Sro.donate table ~sro_state:s ~base:e.Object_table.base
         ~length:e.Object_table.data_length
     | None -> ());
     e.Object_table.swapped_out <- true;
+    e.Object_table.dirty <- false;
     Vm.Resident_set.remove t.rset ~index;
-    K.Machine.charge t.machine C.swap_out_ns;
+    if not clean then K.Machine.charge t.machine C.swap_out_ns;
     t.st.swap_outs <- t.st.swap_outs + 1;
     match t.obs with
     | Some o ->
       Obs.Metrics.incr o.o_outs;
-      Obs.Metrics.incr ~by:e.Object_table.data_length o.o_bytes_out;
+      if clean then
+        Obs.Metrics.incr
+          (Obs.Metrics.counter
+             (K.Machine.metrics t.machine)
+             "swap.clean_evictions")
+      else Obs.Metrics.incr ~by:e.Object_table.data_length o.o_bytes_out;
       K.Machine.emit_event t.machine ~name:(policy_name t.pol) ~a:index
         ~b:e.Object_table.data_length Obs.Event.Swap_out
     | None -> ()
@@ -345,9 +363,14 @@ module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
           | Some image ->
             Memory.blit_from_bytes memory ~src:image ~dst_addr:base
           | None -> Memory.fill memory ~addr:base ~len:size ~byte:'\000');
-          Vm.Swap_device.drop t.dev ~index ~now_ns:(K.Machine.now t.machine);
+          (* An attached device retains the image so an unmodified
+             segment can be re-evicted without a write; the embedded
+             device keeps the original drop-on-swap-in lifetime. *)
+          if t.obs = None then
+            Vm.Swap_device.drop t.dev ~index ~now_ns:(K.Machine.now t.machine);
           e.Object_table.base <- base;
           e.Object_table.swapped_out <- false;
+          e.Object_table.dirty <- false;
           note_resident t index;
           K.Machine.charge t.machine C.swap_in_ns;
           t.st.swap_ins <- t.st.swap_ins + 1;
@@ -362,12 +385,22 @@ module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
           enforce_envelope t ~avoid:index)
     end
 
+  (* A recycled descriptor index must not inherit a stale retained image:
+     the object that owned the index before may have been reclaimed by GC
+     sweep or SRO destruction, which bypass [free].  Checked on every
+     allocation because those are exactly the points where an index comes
+     back into use as a potential victim. *)
+  let invalidate_stale_image t index =
+    if t.obs <> None && Vm.Swap_device.mem t.dev ~index then
+      Vm.Swap_device.drop t.dev ~index ~now_ns:(K.Machine.now t.machine)
+
   let allocate_with_pressure t sro ~data_length ~access_length ~otype =
     match
       K.Machine.allocate t.machine sro ~data_length ~access_length ~otype
     with
     | a ->
       t.st.allocations <- t.st.allocations + 1;
+      invalidate_stale_image t (Access.index a);
       note_resident t (Access.index a);
       enforce_envelope t ~avoid:(Access.index a);
       a
@@ -387,6 +420,7 @@ module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
           K.Machine.allocate t.machine sro ~data_length ~access_length ~otype
         in
         t.st.allocations <- t.st.allocations + 1;
+        invalidate_stale_image t (Access.index a);
         note_resident t (Access.index a);
         enforce_envelope t ~avoid:(Access.index a);
         a)
@@ -413,15 +447,19 @@ module Make_swapping (C : SWAP_CONFIG) : SWAPPING = struct
     let e = Object_table.entry_of_access table access in
     Vm.Resident_set.remove t.rset ~index:e.Object_table.index;
     if e.Object_table.swapped_out then begin
-      (* The device holds an image exactly when the segment is absent
-         (swap-in drops the image it read); release the image, and with
-         no physical frame to return, make the release a
-         descriptor-only operation. *)
+      (* The segment is absent, so its image is on the device; release
+         the image, and with no physical frame to return, make the
+         release a descriptor-only operation. *)
       Vm.Swap_device.drop t.dev ~index:e.Object_table.index
         ~now_ns:(K.Machine.now t.machine);
       e.Object_table.data_length <- 0;
       e.Object_table.swapped_out <- false
-    end;
+    end
+    else
+      (* Resident, but an attached device may still retain the image
+         kept across swap-in; the index is about to be recycled, so the
+         image must not outlive the object. *)
+      invalidate_stale_image t e.Object_table.index;
     release_to_owner table e.Object_table.index t.st
 
   let touch t access =

@@ -128,6 +128,11 @@ type t = {
   mutable timed_waiters : int;  (* processes blocked with a deadline *)
   mutable reclaim_hook : (unit -> int) option;  (* allocate_retry's GC *)
   mutable fault_hook : (Process.t -> Fault.cause -> unit) option;
+  (* Idempotency keys of applied transaction groups (Txn_try).  Part of
+     the machine's replayed state: a checkpoint restore re-executes the
+     same commits and rebuilds the same set, so a retried group can never
+     double-apply across a crash.  Empty until the first keyed commit. *)
+  txn_applied : (int, unit) Hashtbl.t;
   (* Domain id currently inside [run], if any.  A machine is a
      single-domain object: the parallel cluster engine steps each node on
      exactly one domain per round, and this field turns a violated
@@ -220,6 +225,7 @@ let create ?(config = default_config) () =
     timed_waiters = 0;
     reclaim_hook = None;
     fault_hook = None;
+    txn_applied = Hashtbl.create 16;
     stepper = None;
   }
 
@@ -250,6 +256,12 @@ let online_processors t =
 
 let set_reclaim_hook t hook = t.reclaim_hook <- hook
 let set_fault_hook t hook = t.fault_hook <- hook
+
+(* Applied transaction keys, ascending (snapshot images and tests). *)
+let txn_applied_keys t =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) t.txn_applied [])
+
+let txn_key_applied t ~key = Hashtbl.mem t.txn_applied key
 
 (* Virtual time now: the clock of the executing processor, or the max clock
    when called from outside the run loop. *)
@@ -735,50 +747,75 @@ let all_processes t = t.processes
 let send (_ : t) ~port ~msg =
   match Syscall.perform (Syscall.Send { port; msg }) with
   | Syscall.R_unit -> ()
-  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
     assert false
 
 let receive (_ : t) ~port =
   match Syscall.perform (Syscall.Receive { port }) with
   | Syscall.R_msg m -> m
-  | Syscall.R_unit | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+  | Syscall.R_unit | Syscall.R_accepted _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
     assert false
 
 let cond_send (_ : t) ~port ~msg =
   match Syscall.perform (Syscall.Cond_send { port; msg }) with
   | Syscall.R_accepted b -> b
-  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _ -> assert false
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
+    assert false
 
 let cond_receive (_ : t) ~port =
   match Syscall.perform (Syscall.Cond_receive { port }) with
   | Syscall.R_msg_option m -> m
-  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _ -> assert false
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _
+  | Syscall.R_txn _ ->
+    assert false
 
 let send_timeout (_ : t) ~port ~msg ~timeout_ns =
   match Syscall.perform (Syscall.Timed_send { port; msg; timeout_ns }) with
   | Syscall.R_accepted b -> b
-  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _ -> assert false
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
+    assert false
 
 let receive_timeout (_ : t) ~port ~timeout_ns =
   match Syscall.perform (Syscall.Timed_receive { port; timeout_ns }) with
   | Syscall.R_msg_option m -> m
-  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _ -> assert false
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _
+  | Syscall.R_txn _ ->
+    assert false
 
 let delay (_ : t) ~ns =
   match Syscall.perform (Syscall.Delay ns) with
   | Syscall.R_unit -> ()
-  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
     assert false
 
 let yield (_ : t) =
   match Syscall.perform Syscall.Yield with
   | Syscall.R_unit -> ()
-  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _ ->
+  | Syscall.R_msg _ | Syscall.R_accepted _ | Syscall.R_msg_option _
+  | Syscall.R_txn _ ->
     assert false
 
 let exit_process (_ : t) =
   ignore (Syscall.perform Syscall.Exit);
   assert false
+
+(* One atomic attempt at a multi-port transaction group; never blocks.
+   Retry/abort policy lives above the kernel (I432_txn.Txn). *)
+let txn_try (_ : t) ~key ?(receives = []) ?(sends = []) ?(writes = []) () =
+  match
+    Syscall.perform
+      (Syscall.Txn_try
+         { t_key = key; t_receives = receives; t_sends = sends; t_writes = writes })
+  with
+  | Syscall.R_txn r -> r
+  | Syscall.R_unit | Syscall.R_msg _ | Syscall.R_accepted _
+  | Syscall.R_msg_option _ ->
+    assert false
 
 (* ------------------------------------------------------------------ *)
 (* The run loop                                                        *)
@@ -847,12 +884,12 @@ let consume_port_delay t =
 (* Deliver [msg] into [port] from outside the run loop, waking a blocked
    receiver exactly as a local send would.  [false] when the queue is full
    (the NIC keeps the frame in its backlog and retries at the next pump). *)
-let deliver_external t ~port ~msg ~priority =
+let deliver_external t ?(txn = 0) ~port ~msg ~priority () =
   let p = Port.state_of t.table port in
   if Port.is_full p then false
   else begin
     Object_table.shade t.table (Access.index msg);
-    Port.enqueue p ~msg ~priority ~now:(now t);
+    Port.enqueue p ~txn ~msg ~priority ~now:(now t);
     p.Port.sends <- p.Port.sends + 1;
     Obs.Metrics.incr t.mon.mon_sends;
     (match Port.pop_receiver p with
@@ -870,7 +907,9 @@ let deliver_external t ~port ~msg ~priority =
 (* Withdraw up to [max] queued messages from [port] in service order — the
    NIC acting as the port's receiver.  Blocked senders are admitted (and
    readied) as space opens, exactly as a local receive would admit them.
-   Returns [(msg, priority, enqueued_at)] per message. *)
+   Returns [(msg, priority, enqueued_at, txn)] per message; [txn] is the
+   committing transaction's idempotency key (0 = not transactional), which
+   the interconnect carries across the wire for cluster-level dedup. *)
 let drain_port t ?(max = max_int) ~port () =
   let p = Port.state_of t.table port in
   let acc = ref [] in
@@ -888,7 +927,9 @@ let drain_port t ?(max = max_int) ~port () =
           ~now:(now t);
         unblock_sender t (proc_of t ws.Port.sender)
       | None -> ());
-      acc := (qm.Port.msg, qm.Port.msg_priority, qm.Port.enqueued_at) :: !acc
+      acc :=
+        (qm.Port.msg, qm.Port.msg_priority, qm.Port.enqueued_at, qm.Port.txn)
+        :: !acc
     | None -> (
       (* Rendezvous with a sender parked at a full (or zero-space) queue. *)
       match Port.pop_sender p with
@@ -897,7 +938,7 @@ let drain_port t ?(max = max_int) ~port () =
         p.Port.receives <- p.Port.receives + 1;
         Obs.Metrics.incr t.mon.mon_receives;
         unblock_sender t (proc_of t ws.Port.sender);
-        acc := (ws.Port.sender_msg, ws.Port.sender_priority, now t) :: !acc
+        acc := (ws.Port.sender_msg, ws.Port.sender_priority, now t, 0) :: !acc
       | None -> continue_ := false)
   done;
   List.rev !acc
@@ -1228,6 +1269,205 @@ let handle_syscall t (cpu : Processor.t) (proc : Process.t) op =
           cpu.Processor.current <- None;
           false
         end))
+  | Syscall.Txn_try { t_key; t_receives; t_sends; t_writes } ->
+    (* One atomic attempt at a multi-port group.  The whole syscall is
+       serviced with [in_body = false], so nothing can preempt between
+       validation and application: a group that validates commits at one
+       virtual-time instant.  Never blocks; a conflict leaves every port
+       and segment untouched and reports the first offender in
+       deterministic (ascending object-index) order. *)
+    let nr = List.length t_receives
+    and ns = List.length t_sends
+    and nw = List.length t_writes in
+    (* Conflicts cost the same virtual time as commits, so a retry loop
+       above the kernel consumes time and cannot livelock the clock. *)
+    charge t
+      ((tm.Timings.receive_ns * nr)
+      + (tm.Timings.send_ns * ns)
+      + (tm.Timings.write_word_ns * nw));
+    consume_port_delay t;
+    let recv_ports = List.map (fun a -> Port.state_of t.table a) t_receives in
+    let send_ports =
+      List.map (fun (a, m) -> (Port.state_of t.table a, m)) t_sends
+    in
+    List.iter Port.check_receive_right t_receives;
+    List.iter (fun (a, _) -> Port.check_send_right a) t_sends;
+    if t_key <> 0 && Hashtbl.mem t.txn_applied t_key then begin
+      (* The key already committed (a retried group, e.g. after a lost
+         completion).  Receives and writes must not re-apply; the sends
+         are re-issued best-effort — the reply-cache semantics a retrier
+         needs to get its completion (or returned tokens) again. *)
+      List.iteri
+        (fun i ((p : Port.t), msg) ->
+          match Port.pop_receiver p with
+          | Some r ->
+            p.Port.sends <- p.Port.sends + 1;
+            p.Port.receives <- p.Port.receives + 1;
+            proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+            Obs.Metrics.incr t.mon.mon_sends;
+            Obs.Metrics.incr t.mon.mon_receives;
+            let rproc = proc_of t r in
+            emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+              ~b:(Access.index msg) k_send;
+            emit_fast t ~name_id:rproc.Process.trace_name_id ~a:p.Port.self
+              ~b:(Access.index msg) k_receive;
+            unblock_receiver t rproc msg
+          | None ->
+            if not (Port.is_full p) then begin
+              p.Port.sends <- p.Port.sends + 1;
+              proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+              Obs.Metrics.incr t.mon.mon_sends;
+              emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+                ~b:(Access.index msg) k_send;
+              Object_table.shade t.table (Access.index msg);
+              Port.enqueue p ~txn:(t_key + i) ~msg
+                ~priority:proc.Process.priority ~now:cpu.Processor.clock_ns
+            end)
+        send_ports;
+      Obs.Metrics.incr (Obs.Metrics.counter t.metrics "txn.dup_drops");
+      emit t ~name:proc.Process.name ~a:t_key ~b:0 Obs.Event.Txn_dup_drop;
+      proc.Process.pending <-
+        Syscall.R_txn
+          (Syscall.Txn_committed
+             { received = []; commit_ns = cpu.Processor.clock_ns; fresh = false });
+      true
+    end
+    else begin
+      (* Validation, ascending object-index order.  Per port, a group may
+         take at most the queued messages ([receives_from] — blocked
+         senders do not rendezvous with a transaction) and may add at most
+         the space its own receives free up, plus direct handoffs to
+         blocked receivers. *)
+      let module IM = Map.Make (Int) in
+      let bump m idx = IM.update idx (fun n -> Some (Option.value n ~default:0 + 1)) m in
+      let recvs_by_port =
+        List.fold_left (fun m (p : Port.t) -> bump m p.Port.self) IM.empty recv_ports
+      in
+      let sends_by_port =
+        List.fold_left
+          (fun m ((p : Port.t), _) -> bump m p.Port.self)
+          IM.empty send_ports
+      in
+      let port_by_index =
+        List.fold_left
+          (fun m ((p : Port.t), _) -> IM.add p.Port.self p m)
+          (List.fold_left
+             (fun m (p : Port.t) -> IM.add p.Port.self p m)
+             IM.empty recv_ports)
+          send_ports
+      in
+      let conflict = ref None in
+      IM.iter
+        (fun idx (p : Port.t) ->
+          if !conflict = None then begin
+            let wants = Option.value (IM.find_opt idx recvs_by_port) ~default:0 in
+            let puts = Option.value (IM.find_opt idx sends_by_port) ~default:0 in
+            let queued = Port.queue_length p in
+            if wants > queued then conflict := Some (idx, "empty")
+            else if
+              puts
+              > p.Port.capacity - queued + wants
+                + Queue.length p.Port.receivers
+            then conflict := Some (idx, "full")
+          end)
+        port_by_index;
+      (* Write targets validate after the ports; apply cannot fault. *)
+      List.iter
+        (fun (a, offset, _) ->
+          if !conflict = None then begin
+            let e = Object_table.entry_of_access t.table a in
+            if not (Rights.has_write (Access.rights a)) then
+              conflict := Some (e.Object_table.index, "rights")
+            else if e.Object_table.swapped_out then
+              conflict := Some (e.Object_table.index, "swapped")
+            else if offset < 0 || offset + 4 > e.Object_table.data_length then
+              conflict := Some (e.Object_table.index, "bounds")
+          end)
+        t_writes;
+      match !conflict with
+      | Some (port, reason) ->
+        Obs.Metrics.incr (Obs.Metrics.counter t.metrics "txn.conflicts");
+        proc.Process.pending <-
+          Syscall.R_txn (Syscall.Txn_conflict { port; reason });
+        true
+      | None ->
+        (* Apply: receives, then writes, then sends, all at this instant.
+           Blocked senders are admitted only after the group's own sends
+           have claimed their space. *)
+        let received =
+          List.map
+            (fun (p : Port.t) ->
+              match Port.dequeue p ~now:cpu.Processor.clock_ns with
+              | Some msg ->
+                p.Port.receives <- p.Port.receives + 1;
+                proc.Process.messages_received <-
+                  proc.Process.messages_received + 1;
+                Obs.Metrics.incr t.mon.mon_receives;
+                Obs.Metrics.observe t.mon.mon_port_wait
+                  (float_of_int p.Port.last_wait_ns);
+                emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+                  ~b:(Access.index msg) k_receive;
+                msg
+              | None -> assert false (* validated: queued >= wants *))
+            recv_ports
+        in
+        List.iter
+          (fun (a, offset, v) -> Segment.write_i32 t.table t.memory a ~offset v)
+          t_writes;
+        (* The i-th send of group [k] is tagged [k + i]: each logical
+           send gets its own idempotency tag, so cluster-level dedup can
+           drop a re-issued copy without confusing two sends of the same
+           group bound for one node.  Key allocation (I432_txn.Txn)
+           strides keys far enough apart for the offsets. *)
+        List.iteri
+          (fun i ((p : Port.t), msg) ->
+            p.Port.sends <- p.Port.sends + 1;
+            proc.Process.messages_sent <- proc.Process.messages_sent + 1;
+            Obs.Metrics.incr t.mon.mon_sends;
+            emit_fast t ~name_id:proc.Process.trace_name_id ~a:p.Port.self
+              ~b:(Access.index msg) k_send;
+            match Port.pop_receiver p with
+            | Some r ->
+              p.Port.receives <- p.Port.receives + 1;
+              let rproc = proc_of t r in
+              Obs.Metrics.incr t.mon.mon_receives;
+              emit_fast t ~name_id:rproc.Process.trace_name_id ~a:p.Port.self
+                ~b:(Access.index msg) k_receive;
+              unblock_receiver t rproc msg
+            | None ->
+              Object_table.shade t.table (Access.index msg);
+              Port.enqueue p
+                ~txn:(if t_key = 0 then 0 else t_key + i)
+                ~msg ~priority:proc.Process.priority ~now:cpu.Processor.clock_ns)
+          send_ports;
+        (* Space the receives freed (net of the group's sends) admits
+           blocked senders, in ascending port order. *)
+        IM.iter
+          (fun _ (p : Port.t) ->
+            let continue_ = ref true in
+            while !continue_ && not (Port.is_full p) do
+              match Port.pop_sender p with
+              | Some ws ->
+                Port.enqueue p ~msg:ws.Port.sender_msg
+                  ~priority:ws.Port.sender_priority ~now:cpu.Processor.clock_ns;
+                unblock_sender t (proc_of t ws.Port.sender)
+              | None -> continue_ := false
+            done)
+          port_by_index;
+        if t_key <> 0 then Hashtbl.replace t.txn_applied t_key ();
+        Obs.Metrics.incr (Obs.Metrics.counter t.metrics "txn.commits");
+        emit t ~name:proc.Process.name ~a:t_key ~b:(nr + ns + nw)
+          Obs.Event.Txn_commit;
+        proc.Process.pending <-
+          Syscall.R_txn
+            (Syscall.Txn_committed
+               {
+                 received;
+                 commit_ns = cpu.Processor.clock_ns;
+                 fresh = true;
+               });
+        true
+    end
 
 (* Record a fault in a user process; faults below system level 3 are fatal
    to the whole machine (§7.3: such processes "are in general not permitted

@@ -215,6 +215,29 @@ val delay : t -> ns:int -> unit
 val yield : t -> unit
 val exit_process : t -> 'a
 
+(** One atomic attempt at a multi-port transaction group: validate every
+    staged receive, send, and data write, then apply all of them at one
+    virtual-time instant — or apply none and report the first conflicting
+    object in deterministic (ascending index) order.  Never blocks.  A
+    nonzero [key] makes the group idempotent: a key that already
+    committed skips receives and writes and re-issues the sends
+    best-effort ([fresh = false]).  Retry/abort policy lives above the
+    kernel ({!I432_txn.Txn}). *)
+val txn_try :
+  t ->
+  key:int ->
+  ?receives:Access.t list ->
+  ?sends:(Access.t * Access.t) list ->
+  ?writes:(Access.t * int * int) list ->
+  unit ->
+  Syscall.txn_result
+
+(** Idempotency keys of applied transaction groups, ascending.  Part of
+    the replayed machine state (checkpoint restores rebuild it). *)
+val txn_applied_keys : t -> int list
+
+val txn_key_applied : t -> key:int -> bool
+
 (** {1 Interconnect hooks}
 
     The kernel surface used by the virtual interconnect ({!I432_net}).  A
@@ -224,14 +247,17 @@ val exit_process : t -> 'a
 
 (** Deliver a message into a port from outside the run loop, waking a
     blocked receiver exactly as a local send would.  [false] when the
-    queue is full. *)
-val deliver_external : t -> port:Access.t -> msg:Access.t -> priority:int -> bool
+    queue is full.  [txn] re-tags the message with the committing
+    transaction's idempotency key carried by the frame (0 = none). *)
+val deliver_external :
+  t -> ?txn:int -> port:Access.t -> msg:Access.t -> priority:int -> unit -> bool
 
 (** Withdraw up to [max] queued messages in service order, admitting (and
     readying) blocked senders as space opens.  Returns
-    [(msg, priority, enqueued_at)] per message. *)
+    [(msg, priority, enqueued_at, txn)] per message; [txn] is the
+    committing transaction's idempotency key (0 = not transactional). *)
 val drain_port :
-  t -> ?max:int -> port:Access.t -> unit -> (Access.t * int * int) list
+  t -> ?max:int -> port:Access.t -> unit -> (Access.t * int * int * int) list
 
 (** Advance every idle processor's clock to [to_ns] (as idle time), so a
     delivered message cannot be consumed before its frame arrived.  Busy

@@ -26,6 +26,7 @@ type queued_message = {
   msg_priority : int;
   seq : int;  (* FIFO tiebreak *)
   enqueued_at : int;  (* virtual ns, for latency statistics *)
+  txn : int;  (* idempotency key of the committing transaction, 0 = none *)
 }
 
 type waiting_sender = {
@@ -135,9 +136,11 @@ let next_seq t =
 
 (* Enqueue in service order: FIFO appends; Priority orders by descending
    message priority, FIFO within a priority. *)
-let enqueue t ~msg ~priority ~now =
+let enqueue ?(txn = 0) t ~msg ~priority ~now =
   if is_full t then invalid_arg "Port.enqueue: full";
-  let qm = { msg; msg_priority = priority; seq = next_seq t; enqueued_at = now } in
+  let qm =
+    { msg; msg_priority = priority; seq = next_seq t; enqueued_at = now; txn }
+  in
   (match t.messages with
   | M_fifo rb -> Ring_buffer.push rb qm
   | M_prio q -> Pqueue.insert q ~priority:qm.msg_priority ~seq:qm.seq qm);

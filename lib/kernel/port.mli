@@ -20,6 +20,7 @@ type queued_message = {
   msg_priority : int;
   seq : int;
   enqueued_at : int;
+  txn : int;  (** idempotency key of the committing transaction, 0 = none *)
 }
 
 type waiting_sender = {
@@ -75,8 +76,10 @@ val has_blocked_receiver : t -> bool
 val has_blocked_sender : t -> bool
 
 (** Enqueue in service order (FIFO appends; Priority orders by descending
-    priority, FIFO within).  Raises [Invalid_argument] when full. *)
-val enqueue : t -> msg:Access.t -> priority:int -> now:int -> unit
+    priority, FIFO within).  [txn] tags the message with the committing
+    transaction's idempotency key (0 = not transactional).  Raises
+    [Invalid_argument] when full. *)
+val enqueue : ?txn:int -> t -> msg:Access.t -> priority:int -> now:int -> unit
 
 val dequeue : t -> now:int -> Access.t option
 

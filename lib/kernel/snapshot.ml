@@ -225,9 +225,13 @@ let state_image machine =
           p.Port.total_queue_wait_ns;
         Port.iter_messages
           (fun m ->
-            Printf.bprintf buf " msg %s prio=%d seq=%d at=%d\n"
+            (* The txn suffix appears only for transactional messages, so
+               images of runs without transactions are unchanged. *)
+            Printf.bprintf buf " msg %s prio=%d seq=%d at=%d%s\n"
               (access_str m.Port.msg) m.Port.msg_priority m.Port.seq
-              m.Port.enqueued_at)
+              m.Port.enqueued_at
+              (if m.Port.txn <> 0 then Printf.sprintf " txn=%d" m.Port.txn
+               else ""))
           p;
         Port.iter_senders
           (fun s ->
@@ -298,6 +302,11 @@ let state_image machine =
   if Machine.armed_port_delay_ns machine > 0 then
     Printf.bprintf buf "armed port-delay=%d\n"
       (Machine.armed_port_delay_ns machine);
+  (match Machine.txn_applied_keys machine with
+  | [] -> ()
+  | keys ->
+    Printf.bprintf buf "txn applied=%s\n"
+      (String.concat "," (List.map string_of_int keys)));
   Printf.bprintf buf "trace emitted=%d retained=%d dropped=%d\n"
     (I432_obs.Tracer.emitted (Machine.tracer machine))
     (I432_obs.Tracer.retained (Machine.tracer machine))

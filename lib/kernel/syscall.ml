@@ -23,12 +23,31 @@ type op =
           the result reports whether the message was accepted *)
   | Timed_receive of { port : Access.t; timeout_ns : int }
       (** like [Receive], but returns [None] at the deadline *)
+  | Txn_try of {
+      t_key : int;
+      t_receives : Access.t list;
+      t_sends : (Access.t * Access.t) list;  (** (port, msg) *)
+      t_writes : (Access.t * int * int) list;  (** (object, offset, word) *)
+    }
+      (** one atomic attempt at a multi-port group: validate every staged
+          operation, then apply all of them at one virtual-time instant,
+          or apply none and report the first conflicting port.  Never
+          blocks; retry/abort policy lives above the kernel (lib/txn). *)
 
 type result =
   | R_unit
   | R_msg of Access.t
   | R_accepted of bool
   | R_msg_option of Access.t option
+  | R_txn of txn_result
+
+and txn_result =
+  | Txn_committed of {
+      received : Access.t list;  (** receives, in staging order *)
+      commit_ns : int;  (** the commit's virtual-time instant *)
+      fresh : bool;  (** false: key already applied, commit skipped *)
+    }
+  | Txn_conflict of { port : int; reason : string }
 
 type _ Effect.t += Syscall : op -> result Effect.t
 
@@ -46,3 +65,6 @@ let op_to_string = function
   | Timed_send { timeout_ns; _ } -> Printf.sprintf "timed-send(%dns)" timeout_ns
   | Timed_receive { timeout_ns; _ } ->
     Printf.sprintf "timed-receive(%dns)" timeout_ns
+  | Txn_try { t_receives; t_sends; t_writes; _ } ->
+    Printf.sprintf "txn-try(%dr/%ds/%dw)" (List.length t_receives)
+      (List.length t_sends) (List.length t_writes)

@@ -22,12 +22,39 @@ type op =
           the result reports whether the message was accepted *)
   | Timed_receive of { port : Access.t; timeout_ns : int }
       (** like [Receive], but returns [None] at the deadline *)
+  | Txn_try of {
+      t_key : int;  (** idempotency key; a key is applied at most once *)
+      t_receives : Access.t list;  (** ports to take one message from *)
+      t_sends : (Access.t * Access.t) list;  (** (port, msg) to deliver *)
+      t_writes : (Access.t * int * int) list;
+          (** (object, byte offset, i32 word) data writes *)
+    }
+      (** one atomic attempt at a multi-port group: validate every staged
+          operation in ascending port-id order, then apply all of them at
+          one virtual-time instant, or apply none and report the first
+          conflicting port.  Never blocks; retry/abort policy lives above
+          the kernel ({!I432_txn.Txn}). *)
 
 type result =
   | R_unit
   | R_msg of Access.t
   | R_accepted of bool
   | R_msg_option of Access.t option
+  | R_txn of txn_result
+
+and txn_result =
+  | Txn_committed of {
+      received : Access.t list;  (** receives, in staging order *)
+      commit_ns : int;  (** the commit's virtual-time instant *)
+      fresh : bool;
+          (** [false]: the key had already been applied — receives and
+              writes were skipped, sends were re-issued best-effort (the
+              reply-cache semantics a retried commit needs) *)
+    }
+  | Txn_conflict of { port : int; reason : string }
+      (** first conflicting port in validation order; [port] is [-1] when
+          the conflict is not port-shaped (e.g. a swapped-out write
+          target's object index is reported instead) *)
 
 type _ Effect.t += Syscall : op -> result Effect.t
 

@@ -115,6 +115,13 @@ type t = {
          boundary would restart the grid from the max node clock and the
          resumed run's idle-clock advancement would diverge from a
          straight run's. *)
+  (* Transaction-level dedup: (dst node, idempotency key) pairs already
+     delivered.  Lives on the cluster, not the node record, deliberately:
+     a node restart splices in a fresh node record, and the whole point
+     is to drop a committed group's re-sent frames after exactly such a
+     failover.  A shadow replay rebuilds the same table deterministically. *)
+  txn_seen : (int * int, unit) Hashtbl.t;
+  mutable txn_dup_drops : int;
   (* cluster-wide statistics *)
   mutable frames_sent : int;  (* data frames, first transmissions *)
   mutable frames_delivered : int;
@@ -144,6 +151,8 @@ let create ?(window = 8) ?(max_retries = 10) ?(default_latency_ns = 250_000)
     node_events = [];
     node_restore = None;
     cur_horizon = 0;
+    txn_seen = Hashtbl.create 64;
+    txn_dup_drops = 0;
     frames_sent = 0;
     frames_delivered = 0;
     frames_lost = 0;
@@ -390,6 +399,7 @@ let send_ack t ch (data : Frame.t) ~now =
       port_name = ch.ch_name;
       priority = 0;
       size_bytes = Frame.ack_bytes;
+      txn = 0;
     }
   in
   t.acks_sent <- t.acks_sent + 1;
@@ -411,7 +421,7 @@ let drain_channel t ch =
       K.Machine.drain_port src.machine ~max:budget ~port:ch.ch_surrogate ()
     in
     List.iter
-      (fun (msg, priority, enqueued_at) ->
+      (fun (msg, priority, enqueued_at, txn) ->
         let wire = Filing.capture src.machine ~mask:ch.ch_mask msg in
         let seq = ch.ch_next_seq in
         ch.ch_next_seq <- ch.ch_next_seq + 1;
@@ -426,6 +436,7 @@ let drain_channel t ch =
             port_name = ch.ch_name;
             priority;
             size_bytes = Filing.wire_bytes wire;
+            txn;
           }
         in
         emit src ~ts_ns:enqueued_at ~name:ch.ch_name ~a:ch.ch_id ~b:seq
@@ -483,8 +494,8 @@ let retransmit_due t ~horizon =
 
 let deliver_home t dst ch (frame : Frame.t) msg ~now =
   if
-    K.Machine.deliver_external dst.machine ~port:ch.ch_home ~msg
-      ~priority:frame.Frame.priority
+    K.Machine.deliver_external dst.machine ~txn:frame.Frame.txn
+      ~port:ch.ch_home ~msg ~priority:frame.Frame.priority ()
   then begin
     emit dst ~ts_ns:now ~name:ch.ch_name ~a:ch.ch_id ~b:frame.Frame.seq
       Obs.Event.Remote_deliver;
@@ -525,16 +536,35 @@ let handle_arrival t (frame : Frame.t) ~arrival =
     else begin
       Hashtbl.replace ch.ch_seen frame.Frame.seq ();
       send_ack t ch frame ~now:arrival;
-      (* Idle clocks catch up to the frame first, so a blocked receiver
-         cannot consume a message before it arrived. *)
-      K.Machine.advance_idle_clocks dst.machine ~to_ns:arrival;
-      let msg = Filing.reconstruct dst.machine wire in
-      if not (deliver_home t dst ch frame msg ~now:arrival) then begin
-        (* Home port full: the frame is acked (it did arrive); park the
-           reconstructed message, rooted so a collection on the
-           destination node cannot reclaim it before delivery. *)
-        K.Machine.add_root dst.machine msg;
-        Queue.push (frame, msg) ch.ch_backlog
+      if
+        frame.Frame.txn <> 0
+        && Hashtbl.mem t.txn_seen (frame.Frame.dst, frame.Frame.txn)
+      then begin
+        (* The channel dup filter catches a re-sent frame; this one
+           catches a re-committed group: after a failover the restarted
+           source re-issues a committed group's sends under fresh
+           sequence numbers, so only the idempotency key identifies
+           them.  Acked (it did arrive), never delivered. *)
+        t.txn_dup_drops <- t.txn_dup_drops + 1;
+        Obs.Metrics.incr
+          (Obs.Metrics.counter (K.Machine.metrics dst.machine) "txn.dup_drops");
+        emit dst ~ts_ns:arrival ~name:ch.ch_name ~a:frame.Frame.txn
+          ~b:frame.Frame.src Obs.Event.Txn_dup_drop
+      end
+      else begin
+        if frame.Frame.txn <> 0 then
+          Hashtbl.replace t.txn_seen (frame.Frame.dst, frame.Frame.txn) ();
+        (* Idle clocks catch up to the frame first, so a blocked receiver
+           cannot consume a message before it arrived. *)
+        K.Machine.advance_idle_clocks dst.machine ~to_ns:arrival;
+        let msg = Filing.reconstruct dst.machine wire in
+        if not (deliver_home t dst ch frame msg ~now:arrival) then begin
+          (* Home port full: the frame is acked (it did arrive); park the
+             reconstructed message, rooted so a collection on the
+             destination node cannot reclaim it before delivery. *)
+          K.Machine.add_root dst.machine msg;
+          Queue.push (frame, msg) ch.ch_backlog
+        end
       end
     end
   end
@@ -660,6 +690,7 @@ let restart_node t ?at_ns ~machine id =
 
 let node_alive t id = (node_of t id).n_alive
 let dead_letters t = t.dead_letters
+let txn_dup_drops t = t.txn_dup_drops
 
 let arm_nodes t ~restore (plan : Fi.node_plan) =
   t.node_restore <- Some restore;

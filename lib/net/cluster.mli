@@ -131,6 +131,12 @@ val node_alive : t -> int -> bool
 (** Cluster-wide dead-letter count so far. *)
 val dead_letters : t -> int
 
+(** Keyed frames dropped by transaction-level dedup: re-issued sends of
+    an already-delivered committed group (e.g. after a failover replays
+    a commit whose frames had already escaped).  Channel-sequence dup
+    drops are counted separately in the {!report}. *)
+val txn_dup_drops : t -> int
+
 (** Arm a node-fault plan: kills and restarts fire the first round whose
     horizon reaches their instant, before the round's machine slices.
     [restore] supplies the replacement machine at each restart (typically

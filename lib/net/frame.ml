@@ -21,6 +21,7 @@ type t = {
   port_name : string;  (* exported port name, for tracing *)
   priority : int;  (* message priority, preserved across the wire *)
   size_bytes : int;  (* serialized size, for link bandwidth accounting *)
+  txn : int;  (* committing transaction's idempotency key, 0 = none *)
 }
 
 (* Fixed modelled size of an acknowledgement frame. *)

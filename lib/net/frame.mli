@@ -19,6 +19,10 @@ type t = {
   port_name : string;  (** exported port name, for tracing *)
   priority : int;  (** message priority, preserved across the wire *)
   size_bytes : int;  (** serialized size, for bandwidth accounting *)
+  txn : int;
+      (** committing transaction's idempotency key (0 = none); carried
+          across the wire so the receiving NIC can drop a re-delivered
+          keyed frame after node failover *)
 }
 
 (** Fixed modelled size of an acknowledgement frame (bytes). *)

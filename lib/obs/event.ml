@@ -63,6 +63,10 @@ type kind =
   | Swap_out  (* name=policy, a=object index, b=segment bytes *)
   | Swap_in  (* name=device name, a=object index, b=segment bytes *)
   | Swap_fault  (* name=process name, a=object index, b=segment bytes *)
+  | Txn_commit  (* name=process name, a=idempotency key, b=staged ops *)
+  | Txn_abort  (* name=process name, detail=reason, a=key, b=conflict port *)
+  | Txn_dup_drop  (* name=where it was caught, a=key, b=node or port *)
+  | Hist_append  (* name=object name, a=history seq, b=record bytes *)
 
 type t = {
   seq : int;  (* global emission order, 0-based *)
@@ -127,6 +131,10 @@ let kind_to_string = function
   | Swap_out -> "swap-out"
   | Swap_in -> "swap-in"
   | Swap_fault -> "swap-fault"
+  | Txn_commit -> "txn-commit"
+  | Txn_abort -> "txn-abort"
+  | Txn_dup_drop -> "txn-dup-drop"
+  | Hist_append -> "hist-append"
 
 (* Dense integer codes, for storing kinds in the tracer's packed int
    rings.  [kind_of_int] is the inverse on [0 .. kind_count - 1]. *)
@@ -182,8 +190,12 @@ let kind_to_int = function
   | Swap_out -> 48
   | Swap_in -> 49
   | Swap_fault -> 50
+  | Txn_commit -> 51
+  | Txn_abort -> 52
+  | Txn_dup_drop -> 53
+  | Hist_append -> 54
 
-let kind_count = 51
+let kind_count = 55
 
 let kind_of_int = function
   | 0 -> Spawn
@@ -237,6 +249,10 @@ let kind_of_int = function
   | 48 -> Swap_out
   | 49 -> Swap_in
   | 50 -> Swap_fault
+  | 51 -> Txn_commit
+  | 52 -> Txn_abort
+  | 53 -> Txn_dup_drop
+  | 54 -> Hist_append
   | n -> invalid_arg (Printf.sprintf "Event.kind_of_int: %d" n)
 
 (* Subsystem, used as the Chrome trace category. *)
@@ -258,11 +274,12 @@ let category = function
     "store"
   | Req_issue | Req_done -> "load"
   | Swap_out | Swap_in | Swap_fault -> "vm"
+  | Txn_commit | Txn_abort | Txn_dup_drop | Hist_append -> "txn"
 
 (* Every category value, in fixed order (for filter UIs and validation). *)
 let subsystems =
   [ "proc"; "dispatch"; "port"; "sro"; "domain"; "gc"; "fi"; "net"; "store";
-    "load"; "vm" ]
+    "load"; "vm"; "txn" ]
 
 let to_string e =
   Printf.sprintf "#%d %dns cpu%d %s name=%s detail=%s a=%d b=%d" e.seq
@@ -288,4 +305,5 @@ let legacy_line e =
   | Remote_send | Remote_deliver | Frame_tx | Frame_rx | Journal_append
   | Journal_sync | Store_compact | Ckpt_save | Ckpt_restore | Req_issue
   | Req_done | Node_kill | Node_restart | Frame_dead | Dead_letter
-  | Swap_out | Swap_in | Swap_fault -> None
+  | Swap_out | Swap_in | Swap_fault | Txn_commit | Txn_abort | Txn_dup_drop
+  | Hist_append -> None

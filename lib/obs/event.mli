@@ -53,6 +53,10 @@ type kind =
   | Swap_out  (** name=policy, a=object index, b=segment bytes *)
   | Swap_in  (** name=device name, a=object index, b=segment bytes *)
   | Swap_fault  (** name=process name, a=object index, b=segment bytes *)
+  | Txn_commit  (** name=process name, a=idempotency key, b=staged ops *)
+  | Txn_abort  (** name=process name, detail=reason, a=key, b=conflict port *)
+  | Txn_dup_drop  (** name=where it was caught, a=key, b=node or port *)
+  | Hist_append  (** name=object name, a=history seq, b=record bytes *)
 
 type t = {
   seq : int;  (** global emission order, 0-based *)
@@ -78,7 +82,7 @@ val kind_of_int : int -> kind
 val kind_count : int
 
 (** Subsystem of the event: proc, dispatch, port, sro, domain, gc, fi,
-    net, store, load or vm. *)
+    net, store, load, vm or txn. *)
 val category : kind -> string
 
 (** Every {!category} value, in fixed order. *)

@@ -202,7 +202,9 @@ let walk_stream ~pid ~processors ~add ~flow_seq events =
       | Event.Frame_tx | Event.Frame_rx | Event.Journal_append
       | Event.Journal_sync | Event.Store_compact | Event.Ckpt_save
       | Event.Ckpt_restore | Event.Node_kill | Event.Node_restart
-      | Event.Frame_dead | Event.Dead_letter | Event.Swap_out ->
+      | Event.Frame_dead | Event.Dead_letter | Event.Swap_out
+      | Event.Txn_commit | Event.Txn_abort | Event.Txn_dup_drop
+      | Event.Hist_append ->
         instant ())
     events;
   (* Close slices still open at the end of the trace. *)

@@ -4,9 +4,11 @@ let key_of_index index = Printf.sprintf "swap/%010d" index
 
 let device store =
   I432_vm.Swap_device.make ~name:"store"
+    ~mem:(fun ~index -> Store.mem store ~key:(key_of_index index))
     ~write:(fun ~index ~now_ns image ->
       Store.put_blob store ~now_ns ~key:(key_of_index index) image)
     ~read:(fun ~index -> Store.get_blob store ~key:(key_of_index index))
     ~drop:(fun ~index ~now_ns:_ ->
       let key = key_of_index index in
       if Store.mem store ~key then Store.delete store ~key)
+    ()

@@ -1,0 +1,372 @@
+(* The banking macro scenario (DESIGN.md §15.4, EXPERIMENTS.md).
+
+   N accounts, each a 32-bit balance segment guarded by a capacity-1
+   token port; a seeded mix of transfers, each executed as two
+   transaction groups:
+
+     txn1 (unkeyed)  atomically receive BOTH account tokens — all or
+                     nothing, so two transfers contending for
+                     overlapping accounts can never deadlock; retry
+                     exhaustion aborts the transfer loudly.
+     txn2 (keyed)    atomically write both balances, return both
+                     tokens, and send a completion message — guarded by
+                     an idempotency key, so a duplicate commit (e.g. a
+                     checkpoint replay after a node kill) re-issues the
+                     sends without touching balances, and the cluster's
+                     per-tag dedup drops any completion frame that
+                     already escaped.  If txn2 itself aborts, the
+                     compensation hook returns the held tokens.
+
+   Invariant checked by every caller: the sum of balances equals the
+   initial total at every quiescent point, every non-aborted transfer
+   completes exactly once, and replaying any tracked account's history
+   reproduces its live balance byte-for-byte. *)
+
+open I432
+open I432_util
+module K = I432_kernel
+module Net = I432_net
+module Obs = I432_obs
+module Fi = I432_fi.Fi
+module St = I432_store
+
+let initial_balance = 1_000
+
+type account = {
+  a_bal : Access.t;  (* 8-byte segment, balance word at offset 0 *)
+  a_port : Access.t;  (* capacity-1 token port *)
+  a_token : Access.t;  (* the token message priming the port *)
+}
+
+type result = {
+  transfers : int;  (* requested *)
+  committed : int;  (* distinct keyed commits (kernel txn_applied) *)
+  aborted : int;  (* acquire gave up after retry exhaustion *)
+  completions : int;  (* distinct completion keys at the collector *)
+  dup_completions : int;  (* duplicates the collector deduped *)
+  latencies : int list;  (* request-to-completion ns, arrival order *)
+  initial_total : int;
+  final_total : int;
+  balances : int array;
+}
+
+let conserved r = r.final_total = r.initial_total
+
+let result_to_string r =
+  Printf.sprintf
+    "transfers=%d committed=%d aborted=%d completions=%d dups=%d total=%d/%d%s"
+    r.transfers r.committed r.aborted r.completions r.dup_completions
+    r.final_total r.initial_total
+    (if conserved r then "" else " VIOLATED")
+
+(* Shared collector state: raw (note, arrival) pairs, newest first.  The
+   auditor records with pure OCaml mutation only — no charged instruction
+   between the receive and the record — so an armed transient fault can
+   kill it between notes but never lose one it consumed.  Parsing happens
+   after the run, outside the loop. *)
+type collector = { mutable notes : (Access.t * int option) list }
+
+let make_collector () = { notes = [] }
+
+let setup_accounts machine ~accounts =
+  Array.init accounts (fun _ ->
+      let a_bal = K.Machine.allocate_generic machine ~data_length:8 () in
+      K.Machine.write_word machine a_bal ~offset:0 initial_balance;
+      let a_port =
+        K.Machine.create_port machine ~capacity:1 ~discipline:K.Port.Fifo ()
+      in
+      let a_token = K.Machine.allocate_generic machine ~data_length:8 () in
+      { a_bal; a_port; a_token })
+
+let prime_tokens machine accts =
+  Array.iter
+    (fun a ->
+      let ok =
+        K.Machine.deliver_external machine ~port:a.a_port ~msg:a.a_token
+          ~priority:0 ()
+      in
+      assert ok)
+    accts
+
+let track_accounts history accts =
+  Array.iteri
+    (fun i a ->
+      History.track history ~name:(Printf.sprintf "acct%d" i) a.a_bal)
+    accts
+
+(* One worker's share of the transfer mix.  [done_port] may be a home
+   port or a cluster surrogate; the transaction machinery is identical. *)
+let worker machine ~accts ~done_port ~origin ~seed ~count ~pace_ns ?history ()
+    =
+  let rng = Prng.create ~seed:(seed + (origin * 7919)) in
+  let n = Array.length accts in
+  for t = 0 to count - 1 do
+    let src = Prng.int rng n in
+    let dst = (src + 1 + Prng.int rng (n - 1)) mod n in
+    let a, b = (accts.(src), accts.(dst)) in
+    let start_ns = K.Machine.now machine in
+    let acquire = Txn.group () in
+    Txn.receive acquire a.a_port;
+    Txn.receive acquire b.a_port;
+    (match Txn.commit machine ~retries:10 ~backoff_ns:2_000 acquire with
+    | Txn.Aborted _ -> ()  (* nothing held: all-or-nothing acquire *)
+    | Txn.Committed { received; _ } ->
+      let tok_a, tok_b =
+        match received with [ x; y ] -> (x, y) | _ -> assert false
+      in
+      let bal_a = K.Machine.read_word machine a.a_bal ~offset:0 in
+      let bal_b = K.Machine.read_word machine b.a_bal ~offset:0 in
+      let amt = if bal_a <= 0 then 0 else 1 + Prng.int rng (min 100 bal_a) in
+      let key = Txn.key ~origin ~seq:t in
+      let note = K.Machine.allocate_generic machine ~data_length:8 () in
+      K.Machine.write_word machine note ~offset:0 key;
+      K.Machine.write_word machine note ~offset:4 start_ns;
+      let g = Txn.group () in
+      Txn.write g a.a_bal ~offset:0 ~word:(bal_a - amt);
+      Txn.write g b.a_bal ~offset:0 ~word:(bal_b + amt);
+      Txn.send g ~port:a.a_port ~msg:tok_a;
+      Txn.send g ~port:b.a_port ~msg:tok_b;
+      Txn.send g ~port:done_port ~msg:note;
+      let compensate () =
+        (* Undo the acquire so an aborted transfer never wedges the
+           accounts: tokens go back, balances were never touched. *)
+        ignore (K.Machine.cond_send machine ~port:a.a_port ~msg:tok_a);
+        ignore (K.Machine.cond_send machine ~port:b.a_port ~msg:tok_b)
+      in
+      (match
+         Txn.commit machine ~key ~retries:20 ~backoff_ns:4_000 ~compensate
+           ?history g
+       with
+      | Txn.Committed _ -> ()
+      | Txn.Aborted _ -> ()));
+    if pace_ns > 0 then K.Machine.delay machine ~ns:pace_ns
+  done
+
+(* Receive completions until the stream stays quiet. *)
+let collect machine ~done_port ~quiet_ns c =
+  let quiet = ref 0 in
+  while !quiet < 3 do
+    match K.Machine.receive_timeout machine ~port:done_port ~timeout_ns:quiet_ns with
+    | None -> incr quiet
+    | Some note ->
+      quiet := 0;
+      c.notes <- (note, Some (K.Machine.now machine)) :: c.notes
+  done
+
+(* Chaos (a transient or CPU fault) can kill the auditor process itself;
+   notes still queued at quiescence were nonetheless delivered exactly
+   once, so fold them into the count (with no latency sample) before
+   judging the run.  Returns (distinct, dups, latencies). *)
+let resolve_completions machine ~done_port c =
+  let leftover =
+    List.map (fun (note, _, _, _) -> note)
+      (K.Machine.drain_port machine ~port:done_port ())
+  in
+  let seen = Hashtbl.create 64 in
+  let dups = ref 0 in
+  let lats = ref [] in
+  let one note arrival =
+    let key = K.Machine.read_word machine note ~offset:0 in
+    if Hashtbl.mem seen key then incr dups
+    else begin
+      Hashtbl.replace seen key ();
+      match arrival with
+      | None -> ()
+      | Some at ->
+        lats := (at - K.Machine.read_word machine note ~offset:4) :: !lats
+    end
+  in
+  List.iter (fun (note, at) -> one note at) (List.rev c.notes);
+  List.iter (fun note -> one note None) leftover;
+  (Hashtbl.length seen, !dups, List.rev !lats)
+
+let gather ~transfers ~bank ~completions:(distinct, dups, lats) ~accts =
+  let balances =
+    Array.map (fun a -> K.Machine.read_word bank a.a_bal ~offset:0) accts
+  in
+  {
+    transfers;
+    committed = List.length (K.Machine.txn_applied_keys bank);
+    aborted =
+      (match
+         Obs.Metrics.find_counter (K.Machine.metrics bank) "txn.aborts"
+       with
+      | Some ctr -> Obs.Metrics.counter_value ctr
+      | None -> 0);
+    completions = distinct;
+    dup_completions = dups;
+    latencies = lats;
+    initial_total = Array.length accts * initial_balance;
+    final_total = Array.fold_left ( + ) 0 balances;
+    balances;
+  }
+
+let split_transfers ~transfers ~workers w =
+  (transfers / workers) + (if w < transfers mod workers then 1 else 0)
+
+(* ---------------- Single machine ---------------- *)
+
+let run ?(processors = 2) ?(workers = 4) ?(pace_ns = 5_000) ?(trace = true)
+    ?history_store ?plan ~accounts ~transfers ~seed () =
+  let machine =
+    K.Machine.create
+      ~config:
+        {
+          K.Machine.default_config with
+          processors;
+          trace_level = (if trace then Obs.Tracer.Events else Obs.Tracer.Off);
+        }
+      ()
+  in
+  let accts = setup_accounts machine ~accounts in
+  prime_tokens machine accts;
+  let history =
+    match history_store with
+    | None -> None
+    | Some store ->
+      let h = History.create store machine in
+      track_accounts h accts;
+      Some h
+  in
+  let done_port =
+    K.Machine.create_port machine ~capacity:(transfers + 8)
+      ~discipline:K.Port.Fifo ()
+  in
+  let c = make_collector () in
+  for w = 0 to workers - 1 do
+    let count = split_transfers ~transfers ~workers w in
+    ignore
+      (K.Machine.spawn machine
+         ~name:(Printf.sprintf "teller%d" w)
+         (fun () ->
+           worker machine ~accts ~done_port ~origin:w ~seed ~count ~pace_ns
+             ?history ()))
+  done;
+  ignore
+    (K.Machine.spawn machine ~name:"auditor" (fun () ->
+         collect machine ~done_port ~quiet_ns:500_000 c));
+  (match plan with Some p -> Fi.arm machine p | None -> ());
+  ignore (K.Machine.run machine);
+  let completions = resolve_completions machine ~done_port c in
+  (machine, history, gather ~transfers ~bank:machine ~completions ~accts)
+
+(* ---------------- Two-node cluster ---------------- *)
+
+(* Node 0 ("bank") hosts the accounts and tellers; node 1 ("audit")
+   hosts the collector behind an exported "done" port, so every
+   completion crosses the interconnect carrying its per-send idempotency
+   tag.  A kill+rejoin of the bank node rolls uncommitted work back to
+   the checkpoint; the replayed tellers re-commit deterministically and
+   the audit NIC's tag dedup drops any completion frame that had already
+   escaped — the exactly-once seam this scenario exists to prove. *)
+
+type cluster_run = {
+  cluster : Net.Cluster.t;
+  bank_node : int;
+  audit_node : int;
+  report : Net.Cluster.report;
+  res : result;
+}
+
+let run_cluster ?(processors = 1) ?(workers = 4) ?(pace_ns = 20_000)
+    ?(quantum_ns = 50_000) ?(engine = Net.Cluster.Seq) ?kill ?ckpt_ns
+    ?ckpt_store ?history_store ?link_plan ~accounts ~transfers ~seed () =
+  let boot () =
+    let cluster = Net.Cluster.create () in
+    let config =
+      {
+        K.Machine.default_config with
+        processors;
+        trace_level = Obs.Tracer.Events;
+      }
+    in
+    let bank_id, bank = Net.Cluster.boot_node cluster ~name:"bank" ~config () in
+    let audit_id, audit =
+      Net.Cluster.boot_node cluster ~name:"audit" ~config ()
+    in
+    ignore (Net.Cluster.connect cluster bank_id audit_id);
+    let done_home =
+      K.Machine.create_port audit ~capacity:((2 * transfers) + 8)
+        ~discipline:K.Port.Fifo ()
+    in
+    Net.Cluster.export cluster ~node:audit_id ~name:"done" done_home;
+    let done_port = Net.Cluster.import cluster ~node:bank_id ~name:"done" in
+    let accts = setup_accounts bank ~accounts in
+    prime_tokens bank accts;
+    let history =
+      match history_store with
+      | None -> None
+      | Some store ->
+        let h = History.create store bank in
+        track_accounts h accts;
+        Some h
+    in
+    for w = 0 to workers - 1 do
+      let count = split_transfers ~transfers ~workers w in
+      ignore
+        (K.Machine.spawn bank
+           ~name:(Printf.sprintf "teller%d" w)
+           (fun () ->
+             worker bank ~accts ~done_port ~origin:w ~seed ~count ~pace_ns
+               ?history ()))
+    done;
+    let c = make_collector () in
+    ignore
+      (K.Machine.spawn audit ~name:"auditor" (fun () ->
+           collect audit ~done_port:done_home ~quiet_ns:2_000_000 c));
+    (match link_plan with Some p -> Net.Cluster.arm_links cluster p | None -> ());
+    (cluster, bank_id, audit_id, accts, c, done_home)
+  in
+  let cluster, bank_id, audit_id, accts, c, done_home = boot () in
+  (match kill with
+  | None -> ()
+  | Some (kill_ns, restart_ns) ->
+    let store =
+      match ckpt_store with
+      | Some s -> s
+      | None -> invalid_arg "Banking.run_cluster: kill requires ckpt_store"
+    in
+    if kill_ns < quantum_ns then
+      invalid_arg "Banking.run_cluster: kill instant before the first round";
+    (* Advance to the round boundary at or below the checkpoint instant
+       (default: the kill itself) and file every node's image; the rejoin
+       replays from here.  Checkpointing EARLIER than the kill leaves a
+       window of committed-and-pumped completions that the rejoin rolls
+       back and re-commits — the configuration that actually exercises
+       the audit NIC's transaction-tag dedup. *)
+    let ckpt_at = Option.value ckpt_ns ~default:kill_ns in
+    if ckpt_at > kill_ns then
+      invalid_arg "Banking.run_cluster: checkpoint after the kill";
+    let r1 =
+      Net.Cluster.run cluster ~engine ~quantum_ns
+        ~max_rounds:(ckpt_at / quantum_ns) ()
+    in
+    ignore
+      (St.Checkpoint.save_cluster store ~key:"banking"
+         ~rounds:r1.Net.Cluster.rounds ~quantum_ns cluster);
+    let plan =
+      {
+        Fi.n_seed = seed;
+        n_events =
+          [
+            { Fi.n_at_ns = kill_ns; n_node = bank_id; n_act = Fi.N_kill };
+            { Fi.n_at_ns = restart_ns; n_node = bank_id; n_act = Fi.N_restart };
+          ];
+      }
+    in
+    Net.Cluster.arm_nodes cluster
+      ~restore:(fun ~node ~at_ns:_ ->
+        St.Checkpoint.restore_node store ~key:"banking" ~node
+          ~boot:(fun () ->
+            let cl, _, _, _, _, _ = boot () in
+            cl))
+      plan);
+  let report = Net.Cluster.run cluster ~engine ~quantum_ns () in
+  (* Re-fetch: a killed bank node's machine was replaced by the replay. *)
+  let bank = Net.Cluster.machine cluster bank_id in
+  let completions =
+    resolve_completions (Net.Cluster.machine cluster audit_id)
+      ~done_port:done_home c
+  in
+  let res = gather ~transfers ~bank ~completions ~accts in
+  { cluster; bank_node = bank_id; audit_node = audit_id; report; res }

@@ -1,0 +1,155 @@
+(* Event-sourced per-object history (DESIGN.md §15.3).
+
+   Opt-in: an object only gains a history once [track] is called on it, so
+   runs that never create a tracker are byte-identical to the pre-history
+   kernel.  Tracking files the object's current data image as a base blob
+   (hist/<name>/base) and every subsequent committed transactional write
+   appends a numbered record blob (hist/<name>/<seq>) carrying the commit's
+   virtual timestamp, its idempotency key, and the (offset, word) pairs it
+   applied to that object.
+
+   The store is used write-only: records are appended at commit time and
+   never read back by the live run, so a checkpoint replay that re-commits
+   the same groups re-puts byte-identical blobs under the same keys — the
+   journal converges instead of corrupting.  Audit and replay read the
+   blobs back offline ([replay] and [records] take just a store). *)
+
+open I432
+module K = I432_kernel
+module Obs = I432_obs
+module St = I432_store
+
+type tracked = {
+  h_name : string;
+  h_obj : Access.t;
+  h_len : int;  (* data bytes captured in the base image *)
+  mutable h_seq : int;  (* last record appended (0 = base only) *)
+}
+
+type t = {
+  store : St.Store.t;
+  machine : K.Machine.t;
+  by_index : (int, tracked) Hashtbl.t;
+  mutable names : tracked list;  (* reverse tracking order *)
+}
+
+let base_key name = Printf.sprintf "hist/%s/base" name
+let rec_key name seq = Printf.sprintf "hist/%s/%d" name seq
+
+let create store machine =
+  { store; machine; by_index = Hashtbl.create 16; names = [] }
+
+let track t ~name obj =
+  let index = Access.index obj in
+  if Hashtbl.mem t.by_index index then
+    invalid_arg (Printf.sprintf "History.track: object %d already tracked" index);
+  let e = Object_table.entry_of_access (K.Machine.table t.machine) obj in
+  let len = e.Object_table.data_length in
+  let base = K.Machine.read_bytes t.machine obj ~offset:0 ~len in
+  St.Store.put_blob t.store ~now_ns:(K.Machine.now t.machine)
+    ~key:(base_key name) base;
+  let tr = { h_name = name; h_obj = obj; h_len = len; h_seq = 0 } in
+  Hashtbl.replace t.by_index index tr;
+  t.names <- tr :: t.names
+
+let tracked t = List.rev_map (fun tr -> (tr.h_name, tr.h_obj)) t.names
+
+(* One record blob per (commit, tracked object): a text line
+   "<commit_ns> <key> <off>:<word>,<off>:<word>,..." — auditable with any
+   pager and trivially parseable. *)
+let encode ~commit_ns ~key writes =
+  let ws =
+    String.concat ","
+      (List.map (fun (off, w) -> Printf.sprintf "%d:%d" off w) writes)
+  in
+  Bytes.of_string (Printf.sprintf "%d %d %s" commit_ns key ws)
+
+let decode b =
+  match String.split_on_char ' ' (Bytes.to_string b) with
+  | [ ns; key; ws ] ->
+    let writes =
+      if String.length ws = 0 then []
+      else
+        List.map
+          (fun pair ->
+            match String.split_on_char ':' pair with
+            | [ off; w ] -> (int_of_string off, int_of_string w)
+            | _ -> failwith "History: malformed record")
+          (String.split_on_char ',' ws)
+    in
+    (int_of_string ns, int_of_string key, writes)
+  | _ -> failwith "History: malformed record"
+
+let observe t ~commit_ns ~key ~writes =
+  (* Group the commit's writes by tracked object, preserving staging
+     order within each object (later writes win on replay, matching the
+     kernel's apply order). *)
+  let per_obj = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (obj, off, word) ->
+      let index = Access.index obj in
+      match Hashtbl.find_opt t.by_index index with
+      | None -> ()
+      | Some tr ->
+        (match Hashtbl.find_opt per_obj index with
+        | None ->
+          Hashtbl.replace per_obj index (ref [ (off, word) ]);
+          order := (index, tr) :: !order
+        | Some l -> l := (off, word) :: !l))
+    writes;
+  List.iter
+    (fun (index, tr) ->
+      let ws = List.rev !(Hashtbl.find per_obj index) in
+      tr.h_seq <- tr.h_seq + 1;
+      St.Store.put_blob t.store ~now_ns:commit_ns
+        ~key:(rec_key tr.h_name tr.h_seq)
+        (encode ~commit_ns ~key ws);
+      (* A checkpoint rejoin replays this history from an earlier frontier,
+         and the rolled-back timeline may have filed records at higher
+         sequence numbers.  Tombstoning the successor on every append keeps
+         [records]' contiguous scan from crossing into that stale tail.
+         (Full compaction of orphaned tails is a ROADMAP follow-on.) *)
+      let next = rec_key tr.h_name (tr.h_seq + 1) in
+      if St.Store.mem t.store ~key:next then St.Store.delete t.store ~key:next;
+      K.Machine.emit_event t.machine ~name:tr.h_name ~a:key ~b:tr.h_seq
+        Obs.Event.Hist_append)
+    (List.rev !order)
+
+let records store ~name =
+  let rec go seq acc =
+    match St.Store.get_blob store ~key:(rec_key name seq) with
+    | None -> List.rev acc
+    | Some b -> go (seq + 1) (decode b :: acc)
+  in
+  go 1 []
+
+let replay store ~name ~to_ns =
+  match St.Store.get_blob store ~key:(base_key name) with
+  | None -> None
+  | Some base ->
+    let img = Bytes.copy base in
+    List.iter
+      (fun (commit_ns, _key, writes) ->
+        if commit_ns <= to_ns then
+          List.iter
+            (fun (off, word) ->
+              Bytes.set_int32_le img off (Int32.of_int word))
+            writes)
+      (records store ~name);
+    Some img
+
+let live t ~name =
+  let rec find = function
+    | [] -> None
+    | tr :: rest ->
+      if String.equal tr.h_name name then
+        Some (K.Machine.read_bytes t.machine tr.h_obj ~offset:0 ~len:tr.h_len)
+      else find rest
+  in
+  find t.names
+
+let verify t ~name =
+  match (live t ~name, replay t.store ~name ~to_ns:max_int) with
+  | Some l, Some r -> Bytes.equal l r
+  | _ -> false

@@ -12,11 +12,12 @@ type t = {
   dev_name : string;
   dev_write : index:int -> now_ns:int -> Bytes.t -> unit;
   dev_read : index:int -> Bytes.t option;
+  dev_mem : index:int -> bool;
   dev_drop : index:int -> now_ns:int -> unit;
   dev_stats : stats;
 }
 
-let make ~name ~write ~read ~drop =
+let make ~name ?mem ~write ~read ~drop () =
   let st =
     { writes = 0; reads = 0; drops = 0; bytes_written = 0; bytes_read = 0 }
   in
@@ -35,6 +36,13 @@ let make ~name ~write ~read ~drop =
           st.bytes_read <- st.bytes_read + Bytes.length image;
           r
         | None -> None);
+    (* The probe goes through the raw [read] closure (or a cheaper [mem]
+       when the implementation has one), never [dev_read]: presence checks
+       are not transfers and must not move the stats. *)
+    dev_mem =
+      (match mem with
+      | Some m -> m
+      | None -> fun ~index -> read ~index <> None);
     dev_drop =
       (fun ~index ~now_ns ->
         st.drops <- st.drops + 1;
@@ -44,6 +52,7 @@ let make ~name ~write ~read ~drop =
 
 let write t = t.dev_write
 let read t = t.dev_read
+let mem t = t.dev_mem
 let drop t = t.dev_drop
 let name t = t.dev_name
 let stats t = t.dev_stats
@@ -51,6 +60,8 @@ let stats t = t.dev_stats
 let in_memory () =
   let backing : (int, Bytes.t) Hashtbl.t = Hashtbl.create 64 in
   make ~name:"in-memory"
+    ~mem:(fun ~index -> Hashtbl.mem backing index)
     ~write:(fun ~index ~now_ns:_ image -> Hashtbl.replace backing index image)
     ~read:(fun ~index -> Hashtbl.find_opt backing index)
     ~drop:(fun ~index ~now_ns:_ -> Hashtbl.remove backing index)
+    ()

@@ -26,21 +26,29 @@ type t = private {
       (** Persist the image for [index], superseding any previous one. *)
   dev_read : index:int -> Bytes.t option;
       (** The image last written for [index], if any. *)
+  dev_mem : index:int -> bool;
+      (** Whether an image is held for [index].  A presence probe, not a
+          transfer: it never touches [dev_stats], so the clean-eviction
+          check in the swapping manager costs no accounted I/O. *)
   dev_drop : index:int -> now_ns:int -> unit;
       (** Discard [index]'s image (tombstone on a persistent device). *)
   dev_stats : stats;
 }
 
-(** Wrap an implementation; the returned closures keep [dev_stats]. *)
+(** Wrap an implementation; the returned closures keep [dev_stats].
+    [mem] defaults to probing [read] directly (bypassing the stats). *)
 val make :
   name:string ->
+  ?mem:(index:int -> bool) ->
   write:(index:int -> now_ns:int -> Bytes.t -> unit) ->
   read:(index:int -> Bytes.t option) ->
   drop:(index:int -> now_ns:int -> unit) ->
+  unit ->
   t
 
 val write : t -> index:int -> now_ns:int -> Bytes.t -> unit
 val read : t -> index:int -> Bytes.t option
+val mem : t -> index:int -> bool
 val drop : t -> index:int -> now_ns:int -> unit
 val name : t -> string
 val stats : t -> stats

@@ -16,6 +16,7 @@ let () =
       ("store", Test_store.suite);
       ("vm", Test_vm.suite);
       ("load", Test_load.suite);
+      ("txn", Test_txn.suite);
       ("units", Test_units.suite);
       ("integration", Test_integration.suite);
     ]

@@ -180,7 +180,7 @@ let test_deliver_external_wakes_receiver () =
   let msg = alloc m () in
   K.Machine.write_word m msg ~offset:0 42;
   Alcotest.(check bool) "accepted" true
-    (K.Machine.deliver_external m ~port ~msg ~priority:0);
+    (K.Machine.deliver_external m ~port ~msg ~priority:0 ());
   ignore (K.Machine.run m);
   Alcotest.(check int) "woken with the message" 42 !got
 
@@ -188,9 +188,9 @@ let test_deliver_external_full_port () =
   let m = mk () in
   let port = K.Machine.create_port m ~capacity:1 ~discipline:K.Port.Fifo () in
   Alcotest.(check bool) "first fits" true
-    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0);
+    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0 ());
   Alcotest.(check bool) "second refused" false
-    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0)
+    (K.Machine.deliver_external m ~port ~msg:(alloc m ()) ~priority:0 ())
 
 let test_drain_port_admits_blocked_senders () =
   let m = mk () in
@@ -211,7 +211,7 @@ let test_drain_port_admits_blocked_senders () =
   ignore (K.Machine.run m);
   let rest = K.Machine.drain_port m ~port () in
   let payloads =
-    List.map (fun (msg, _, _) -> K.Machine.read_word m msg ~offset:0)
+    List.map (fun (msg, _, _, _) -> K.Machine.read_word m msg ~offset:0)
       (drained @ rest)
   in
   Alcotest.(check (list int)) "service order survives" [ 1; 2; 3 ] payloads

@@ -1,0 +1,346 @@
+(* Transactional multi-object send: kernel atomicity, idempotent keyed
+   commits, the banking invariants (conservation, exactly-once) under
+   chaos and node kill+rejoin, engine-independence, and event-sourced
+   history replay. *)
+
+module K = I432_kernel
+module Obs = I432_obs
+module Fi = I432_fi.Fi
+module Net = I432_net
+module Store = I432_store.Store
+module Txn = I432_txn.Txn
+module History = I432_txn.History
+module Banking = I432_txn.Banking
+
+let mk ?(processors = 1) ?(trace = false) () =
+  K.Machine.create
+    ~config:
+      {
+        K.Machine.default_config with
+        processors;
+        trace_level = (if trace then Obs.Tracer.Events else Obs.Tracer.Off);
+      }
+    ()
+
+let temp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "test_txn_%d_%d.journal" (Unix.getpid ()) !n
+
+let with_store f =
+  let path = temp_path () in
+  let store = Store.open_ path in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.close store;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f store)
+
+(* ---------------- Kernel atomicity ---------------- *)
+
+(* A group with a send, a receive, and a write applies all three at one
+   instant; staging a receive from an empty port applies none of them. *)
+let test_all_or_nothing () =
+  let m = mk () in
+  let full = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let empty = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let out = K.Machine.create_port m ~capacity:2 ~discipline:K.Port.Fifo () in
+  let cell = K.Machine.allocate_generic m ~data_length:8 () in
+  let seeded = K.Machine.allocate_generic m ~data_length:8 () in
+  assert (K.Machine.deliver_external m ~port:full ~msg:seeded ~priority:0 ());
+  let outcomes = ref [] in
+  ignore
+    (K.Machine.spawn m ~name:"t" (fun () ->
+         let note = K.Machine.allocate_generic m ~data_length:8 () in
+         (* Conflict: [empty] has nothing to receive — nothing applies. *)
+         let g1 = Txn.group () in
+         Txn.receive g1 empty;
+         Txn.send g1 ~port:out ~msg:note;
+         Txn.write g1 cell ~offset:0 ~word:7;
+         outcomes := Txn.commit m ~retries:0 g1 :: !outcomes;
+         Alcotest.(check int)
+           "conflict applied nothing" 0
+           (K.Machine.read_word m cell ~offset:0);
+         (* Fresh: receive from [full], write, send — all at once. *)
+         let g2 = Txn.group () in
+         Txn.receive g2 full;
+         Txn.send g2 ~port:out ~msg:note;
+         Txn.write g2 cell ~offset:0 ~word:42;
+         outcomes := Txn.commit m ~retries:0 g2 :: !outcomes));
+  ignore (K.Machine.run m);
+  (match !outcomes with
+  | [ Txn.Committed { received; fresh; _ }; Txn.Aborted { reason; _ } ] ->
+    Alcotest.(check string) "conflict reason" "empty" reason;
+    Alcotest.(check bool) "fresh" true fresh;
+    Alcotest.(check int) "received the seeded msg" 1 (List.length received)
+  | _ -> Alcotest.fail "unexpected outcomes");
+  Alcotest.(check int) "write applied" 42 (K.Machine.read_word m cell ~offset:0);
+  let drained = K.Machine.drain_port m ~port:out () in
+  Alcotest.(check int) "send applied once" 1 (List.length drained)
+
+(* A keyed group that already committed skips receives and writes and
+   re-issues its sends with the same per-send tags. *)
+let test_duplicate_key () =
+  let m = mk () in
+  let out = K.Machine.create_port m ~capacity:4 ~discipline:K.Port.Fifo () in
+  let cell = K.Machine.allocate_generic m ~data_length:8 () in
+  let key = Txn.key ~origin:3 ~seq:5 in
+  let fresh_flags = ref [] in
+  ignore
+    (K.Machine.spawn m ~name:"t" (fun () ->
+         let note = K.Machine.allocate_generic m ~data_length:8 () in
+         for i = 1 to 2 do
+           let g = Txn.group () in
+           Txn.write g cell ~offset:0 ~word:(100 * i);
+           Txn.send g ~port:out ~msg:note;
+           match Txn.commit m ~key g with
+           | Txn.Committed { fresh; _ } ->
+             fresh_flags := fresh :: !fresh_flags
+           | Txn.Aborted _ -> Alcotest.fail "unexpected abort"
+         done));
+  ignore (K.Machine.run m);
+  Alcotest.(check (list bool)) "second commit is a duplicate" [ false; true ]
+    !fresh_flags;
+  Alcotest.(check int) "duplicate skipped the write" 100
+    (K.Machine.read_word m cell ~offset:0);
+  let drained = K.Machine.drain_port m ~port:out () in
+  Alcotest.(check int) "both sends delivered" 2 (List.length drained);
+  List.iter
+    (fun (_, _, _, tag) ->
+      Alcotest.(check int) "per-send tag is key + 0" key tag)
+    drained;
+  Alcotest.(check (list int)) "key recorded once" [ key ]
+    (K.Machine.txn_applied_keys m)
+
+(* ---------------- Banking: single machine ---------------- *)
+
+let check_exactly_once r =
+  Alcotest.(check bool) "balance conserved" true (Banking.conserved r);
+  Alcotest.(check int) "every commit completed exactly once"
+    r.Banking.committed r.Banking.completions;
+  Alcotest.(check int) "no duplicate completions" 0 r.Banking.dup_completions;
+  Alcotest.(check int) "every transfer accounted" r.Banking.transfers
+    (r.Banking.committed + r.Banking.aborted)
+
+let test_banking_conserves () =
+  let _, _, r =
+    Banking.run ~processors:2 ~accounts:6 ~transfers:40 ~seed:7 ()
+  in
+  Alcotest.(check bool) "some transfers committed" true (r.Banking.committed > 0);
+  check_exactly_once r
+
+(* Same seed, same machine shape: byte-identical state image and event
+   stream — the scenario inherits the kernel's determinism. *)
+let test_banking_deterministic () =
+  let go () =
+    let m, _, r =
+      Banking.run ~processors:2 ~accounts:5 ~transfers:25 ~seed:11 ()
+    in
+    ( K.Snapshot.state_image m,
+      List.map Obs.Event.to_string (K.Machine.events m),
+      r )
+  in
+  let s1, e1, r1 = go () in
+  let s2, e2, r2 = go () in
+  Alcotest.(check string) "state image" s1 s2;
+  Alcotest.(check (list string)) "event stream" e1 e2;
+  Alcotest.(check int) "committed" r1.Banking.committed r2.Banking.committed
+
+(* ---------------- History ---------------- *)
+
+let test_history_replay () =
+  with_store (fun store ->
+      let _, history, r =
+        Banking.run ~processors:2 ~accounts:4 ~transfers:30 ~seed:3
+          ~history_store:store ()
+      in
+      Alcotest.(check bool) "committed > 0" true (r.Banking.committed > 0);
+      check_exactly_once r;
+      let h = Option.get history in
+      List.iter
+        (fun (name, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s replays to live state" name)
+            true
+            (History.verify h ~name))
+        (History.tracked h);
+      (* The audit path needs only the store: replaying acct0 to the end
+         of history matches its live balance word. *)
+      let img = Option.get (History.replay store ~name:"acct0" ~to_ns:max_int) in
+      Alcotest.(check int32) "replayed balance word"
+        (Int32.of_int r.Banking.balances.(0))
+        (Bytes.get_int32_le img 0);
+      (* Replay to virtual time 0 is the base image: the initial balance. *)
+      let base = Option.get (History.replay store ~name:"acct0" ~to_ns:0) in
+      Alcotest.(check int32) "base balance"
+        (Int32.of_int Banking.initial_balance)
+        (Bytes.get_int32_le base 0);
+      (* Records carry monotonically nondecreasing commit instants. *)
+      let recs = History.records store ~name:"acct0" in
+      Alcotest.(check bool) "acct0 has history" true (List.length recs > 0);
+      ignore
+        (List.fold_left
+           (fun prev (ns, _, _) ->
+             Alcotest.(check bool) "commit_ns nondecreasing" true (ns >= prev);
+             ns)
+           0 recs))
+
+(* An untracked run writes nothing under hist/. *)
+let test_history_opt_in () =
+  with_store (fun store ->
+      let _, _, _ =
+        Banking.run ~processors:1 ~accounts:3 ~transfers:10 ~seed:5 ()
+      in
+      Alcotest.(check (list string)) "store untouched" [] (Store.keys store))
+
+(* ---------------- Banking: chaos (qcheck) ---------------- *)
+
+(* Under a random §8 fault plan every transaction is still all-or-nothing:
+   total balance conserved, completions match commits, no duplicates. *)
+let prop_atomic_under_chaos =
+  QCheck2.Test.make ~name:"banking atomic under random fault plans" ~count:12
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 0 4))
+    (fun (seed, faults) ->
+      let plan =
+        Fi.random ~seed ~horizon_ns:3_000_000 ~processors:2 ~count:faults
+          ~cpu_faults:0
+      in
+      let _, _, r =
+        Banking.run ~processors:2 ~trace:false ~accounts:4 ~transfers:20
+          ~seed ~plan ()
+      in
+      Banking.conserved r
+      && r.Banking.completions = r.Banking.committed
+      && r.Banking.dup_completions = 0)
+
+(* ---------------- Banking: cluster ---------------- *)
+
+let test_banking_cluster_engines () =
+  let go engine =
+    let cr =
+      Banking.run_cluster ~engine ~accounts:4 ~transfers:16 ~seed:21 ()
+    in
+    check_exactly_once cr.Banking.res;
+    List.map
+      (fun i -> K.Snapshot.state_image (Net.Cluster.machine cr.Banking.cluster i))
+      [ cr.Banking.bank_node; cr.Banking.audit_node ]
+  in
+  let seq = go Net.Cluster.Seq in
+  let par = go (Net.Cluster.Par 2) in
+  Alcotest.(check (list string)) "Seq and Par 2 byte-identical" seq par
+
+(* Chaos on the interconnect: link faults delay or drop frames, ARQ
+   retries them, and the transaction invariants still hold. *)
+let test_banking_cluster_link_chaos () =
+  let link_plan =
+    Fi.random_links ~seed:31 ~horizon_ns:8_000_000 ~links:1 ~count:6
+      ~partitions:1
+  in
+  let cr =
+    Banking.run_cluster ~accounts:4 ~transfers:16 ~seed:31 ~link_plan ()
+  in
+  check_exactly_once cr.Banking.res
+
+(* Kill the bank node mid-stream and rejoin it from its checkpoint: the
+   replayed tellers re-commit deterministically, re-issued completion
+   frames that had already escaped are dropped by the audit NIC's
+   per-tag dedup, and delivery stays exactly-once. *)
+let test_banking_kill_rejoin () =
+  with_store (fun ckpt_store ->
+      let cr =
+        Banking.run_cluster ~accounts:4 ~transfers:24 ~seed:13
+          ~kill:(400_000, 700_000) ~ckpt_store ()
+      in
+      let r = cr.Banking.res in
+      Alcotest.(check bool) "some transfers committed" true (r.Banking.committed > 0);
+      check_exactly_once r;
+      (* The rejoin actually happened and the audit node saw the replay's
+         re-sent frames as duplicates (NIC-level, so the collector never
+         had to dedup). *)
+      Alcotest.(check bool) "bank node alive" true
+        (Net.Cluster.node_alive cr.Banking.cluster cr.Banking.bank_node))
+
+(* Checkpoint WELL BEFORE the kill: commits from the window between
+   checkpoint and kill already delivered their completions to the audit
+   node, the rejoin rolls them back and re-commits them, and the audit
+   NIC must drop the re-sent frames by transaction tag.  This is the
+   configuration that proves the dedup path actually fires (the
+   boundary-checkpoint test above never rolls a commit back). *)
+let test_banking_rollback_window_dedup () =
+  with_store (fun ckpt_store ->
+      with_store (fun history_store ->
+          let cr =
+            Banking.run_cluster ~accounts:4 ~transfers:24 ~seed:13
+              ~kill:(600_000, 900_000) ~ckpt_ns:200_000 ~ckpt_store
+              ~history_store ()
+          in
+          let r = cr.Banking.res in
+          check_exactly_once r;
+          Alcotest.(check bool) "NIC dropped re-sent duplicate frames" true
+            (Net.Cluster.txn_dup_drops cr.Banking.cluster > 0);
+          (* The rolled-back timeline also appended history records; the
+             re-executed timeline must overwrite/truncate them so replay
+             still lands on the live balances. *)
+          Array.iteri
+            (fun i bal ->
+              let name = Printf.sprintf "acct%d" i in
+              let img =
+                Option.get (History.replay history_store ~name ~to_ns:max_int)
+              in
+              Alcotest.(check int32)
+                (Printf.sprintf "%s history replays through rollback" name)
+                (Int32.of_int bal)
+                (Bytes.get_int32_le img 0))
+            r.Banking.balances))
+
+(* History survives the kill+rejoin: the replayed bank re-appends
+   byte-identical records up to the checkpoint and continues past it, so
+   replaying any account from the store reproduces the final live
+   balance. *)
+let test_banking_kill_rejoin_history () =
+  with_store (fun ckpt_store ->
+      with_store (fun history_store ->
+          let cr =
+            Banking.run_cluster ~accounts:3 ~transfers:18 ~seed:17
+              ~kill:(400_000, 700_000) ~ckpt_store ~history_store ()
+          in
+          let r = cr.Banking.res in
+          check_exactly_once r;
+          Array.iteri
+            (fun i bal ->
+              let name = Printf.sprintf "acct%d" i in
+              let img =
+                Option.get (History.replay history_store ~name ~to_ns:max_int)
+              in
+              Alcotest.(check int32)
+                (Printf.sprintf "%s history replays to live balance" name)
+                (Int32.of_int bal)
+                (Bytes.get_int32_le img 0))
+            r.Banking.balances))
+
+let suite =
+  [
+    Alcotest.test_case "txn: all-or-nothing" `Quick test_all_or_nothing;
+    Alcotest.test_case "txn: duplicate key is idempotent" `Quick
+      test_duplicate_key;
+    Alcotest.test_case "banking: conserves and completes exactly once" `Quick
+      test_banking_conserves;
+    Alcotest.test_case "banking: same seed, same bytes" `Quick
+      test_banking_deterministic;
+    Alcotest.test_case "history: replay reproduces live state" `Quick
+      test_history_replay;
+    Alcotest.test_case "history: opt-in leaves the store untouched" `Quick
+      test_history_opt_in;
+    QCheck_alcotest.to_alcotest prop_atomic_under_chaos;
+    Alcotest.test_case "banking cluster: Seq = Par 2" `Quick
+      test_banking_cluster_engines;
+    Alcotest.test_case "banking cluster: link chaos" `Quick
+      test_banking_cluster_link_chaos;
+    Alcotest.test_case "banking cluster: kill + rejoin is exactly-once" `Quick
+      test_banking_kill_rejoin;
+    Alcotest.test_case "banking cluster: rollback window exercises NIC dedup"
+      `Quick test_banking_rollback_window_dedup;
+    Alcotest.test_case "banking cluster: history survives rejoin" `Quick
+      test_banking_kill_rejoin_history;
+  ]

@@ -320,6 +320,108 @@ let test_swap_out_crash_sweep () =
         Store.close s
       done)
 
+(* ---------------- Clean evictions (dirty bit) ---------------- *)
+
+let counter_value m name =
+  match Obs.Metrics.find_counter (K.Machine.metrics m) name with
+  | Some c -> Obs.Metrics.counter_value c
+  | None -> 0
+
+(* A victim whose data never changed since its last swap-in, and whose
+   image the device still holds, goes out without a device write: the
+   device's write count and swap.bytes_out stand still while
+   swap.clean_evictions ticks. *)
+let test_clean_eviction_skips_write () =
+  let m = mk () in
+  let dev = Vm.Swap_device.in_memory () in
+  (* Envelope fits exactly two 32-byte segments, LRU victims. *)
+  let mm = MM.Swapping.create_with ~ram_bytes:64 ~device:dev m ~heap_bytes:(1 lsl 16) in
+  let alloc () =
+    MM.Swapping.allocate mm ~data_length:32 ~access_length:0
+      ~otype:Obj_type.Generic
+  in
+  let a = alloc () in
+  K.Machine.write_word m a ~offset:0 7;  (* a is dirty *)
+  let b = alloc () in
+  let _c = alloc () in
+  (* a (LRU, dirty) went to the device. *)
+  Alcotest.(check int) "first eviction wrote" 1 (Vm.Swap_device.stats dev).Vm.Swap_device.writes;
+  MM.Swapping.touch mm a;  (* back in: dirty cleared, image retained *)
+  Alcotest.(check bool) "image retained across swap-in" true
+    (Vm.Swap_device.mem dev ~index:(Access.index a));
+  MM.Swapping.touch mm b;  (* evicts c (no image: writes), reloads b *)
+  let writes_before = (Vm.Swap_device.stats dev).Vm.Swap_device.writes in
+  let bytes_before = counter_value m "swap.bytes_out" in
+  MM.Swapping.touch mm _c;  (* evicts a: untouched since swap-in => clean *)
+  Alcotest.(check int) "clean eviction skipped the device write"
+    writes_before (Vm.Swap_device.stats dev).Vm.Swap_device.writes;
+  Alcotest.(check int) "no bytes charged out" bytes_before
+    (counter_value m "swap.bytes_out");
+  Alcotest.(check int) "swap.clean_evictions ticked" 1
+    (counter_value m "swap.clean_evictions");
+  (* The clean victim still reads back whole. *)
+  MM.Swapping.touch mm a;
+  Alcotest.(check int) "content survived the writeless eviction" 7
+    (K.Machine.read_word m a ~offset:0)
+
+(* Re-dirtying a resident segment voids the shortcut: the next eviction
+   writes the device again. *)
+let test_dirty_eviction_rewrites () =
+  let m = mk () in
+  let dev = Vm.Swap_device.in_memory () in
+  let mm = MM.Swapping.create_with ~ram_bytes:64 ~device:dev m ~heap_bytes:(1 lsl 16) in
+  let alloc () =
+    MM.Swapping.allocate mm ~data_length:32 ~access_length:0
+      ~otype:Obj_type.Generic
+  in
+  let a = alloc () in
+  K.Machine.write_word m a ~offset:0 1;
+  let b = alloc () in
+  let _c = alloc () in  (* evicts a (dirty: writes) *)
+  MM.Swapping.touch mm a;  (* back in, clean *)
+  K.Machine.write_word m a ~offset:0 2;  (* dirty again *)
+  MM.Swapping.touch mm b;  (* evicts c *)
+  let writes_before = (Vm.Swap_device.stats dev).Vm.Swap_device.writes in
+  MM.Swapping.touch mm _c;  (* evicts a: dirty => must write *)
+  Alcotest.(check int) "dirty victim wrote the device" (writes_before + 1)
+    (Vm.Swap_device.stats dev).Vm.Swap_device.writes;
+  Alcotest.(check int) "no clean eviction counted" 0
+    (counter_value m "swap.clean_evictions");
+  MM.Swapping.touch mm a;
+  Alcotest.(check int) "latest content read back" 2
+    (K.Machine.read_word m a ~offset:0)
+
+(* Index reuse after a free must never let a stale retained image satisfy
+   a clean eviction for the new object. *)
+let test_stale_image_invalidated () =
+  let m = mk () in
+  let dev = Vm.Swap_device.in_memory () in
+  let mm = MM.Swapping.create_with ~ram_bytes:64 ~device:dev m ~heap_bytes:(1 lsl 16) in
+  let alloc () =
+    MM.Swapping.allocate mm ~data_length:32 ~access_length:0
+      ~otype:Obj_type.Generic
+  in
+  let a = alloc () in
+  K.Machine.write_word m a ~offset:0 99;
+  let b = alloc () in
+  let _c = alloc () in  (* evicts a *)
+  MM.Swapping.touch mm a;  (* retained image for a's index *)
+  let a_index = Access.index a in
+  MM.Swapping.free mm a;  (* free drops the stale image *)
+  Alcotest.(check bool) "free invalidated the retained image" false
+    (Vm.Swap_device.mem dev ~index:a_index);
+  (* A fresh allocation reusing the index round-trips its own image: the
+     clean-eviction shortcut may only ever serve bytes this incarnation
+     wrote. *)
+  let d = alloc () in
+  K.Machine.write_word m d ~offset:0 5;
+  MM.Swapping.touch mm b;  (* evict the LRU resident, reload b *)
+  MM.Swapping.touch mm d;
+  MM.Swapping.touch mm b;
+  MM.Swapping.touch mm d;  (* second pass can ride the retained image *)
+  Alcotest.(check int) "reused index reads its own image" 5
+    (K.Machine.read_word m d ~offset:0)
+
 let suite =
   [
     Alcotest.test_case "level-aware: high levels evict first" `Quick
@@ -338,4 +440,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_swap_nonswap_equal;
     Alcotest.test_case "swap store: crash sweep across a swap-out" `Quick
       test_swap_out_crash_sweep;
+    Alcotest.test_case "clean eviction skips the device write" `Quick
+      test_clean_eviction_skips_write;
+    Alcotest.test_case "dirty eviction writes the device" `Quick
+      test_dirty_eviction_rewrites;
+    Alcotest.test_case "stale retained image is invalidated on reuse" `Quick
+      test_stale_image_invalidated;
   ]
